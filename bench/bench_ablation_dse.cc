@@ -1,0 +1,117 @@
+// DSE ablations (§4.3 / §5.2): how much each S2FA strategy contributes.
+//
+//   1. stopping criteria: entropy vs trivial no-improvement-for-10 vs the
+//      fixed time limit (paper: the trivial criterion runs ~1 hour longer
+//      — 2.8 h vs 1.9 h — for only ~4% better results);
+//   2. seed generation on/off (paper: the QoR of the first explored point);
+//   3. design-space partitioning on/off.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "merlin/transform.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace s2fa;
+using namespace s2fa::bench;
+
+namespace {
+
+struct Aggregate {
+  double sum_stop_h = 0;
+  double sum_log_cost = 0;
+  double sum_first_cost = 0;
+  int n = 0;
+
+  void Add(const dse::DseResult& r) {
+    sum_stop_h += r.elapsed_minutes / 60.0;
+    sum_log_cost += std::log(r.best_cost);
+    sum_first_cost += r.trace.empty() ? 0.0 : r.trace.front().best_cost;
+    ++n;
+  }
+  double MeanStopHours() const { return sum_stop_h / n; }
+  double GeoCost() const { return std::exp(sum_log_cost / n); }
+  double MeanFirst() const { return sum_first_cost / n; }
+};
+
+}  // namespace
+
+int main() {
+  EvalSetup setup;
+
+  Aggregate entropy, trivial, time_only, no_seeds, no_partition;
+  // Future-work ablation: DSE objective assumes the target clock (the
+  // published flow) vs using the estimated post-P&R frequency (this
+  // repository's default). Scored on the *achieved* execution time.
+  double freq_naive_sum = 0, freq_aware_sum = 0;
+  int freq_n = 0;
+
+  for (apps::App& app : apps::AllApps()) {
+    PreparedApp prepared = Prepare(std::move(app));
+    auto run = [&](dse::StopKind stop, bool seeds, bool partition) {
+      dse::ExplorerOptions options;
+      options.time_limit_minutes = setup.time_limit_minutes;
+      options.num_cores = setup.num_cores;
+      options.seed = setup.seed;
+      options.stop = stop;
+      options.enable_seeds = seeds;
+      options.enable_partitioning = partition;
+      return dse::RunS2faDse(prepared.space, prepared.generated,
+                             prepared.evaluate, options);
+    };
+    entropy.Add(run(dse::StopKind::kEntropy, true, true));
+    trivial.Add(run(dse::StopKind::kNoImprovement, true, true));
+    time_only.Add(run(dse::StopKind::kTimeOnly, true, true));
+    no_seeds.Add(run(dse::StopKind::kEntropy, false, true));
+    no_partition.Add(run(dse::StopKind::kEntropy, true, false));
+
+    // Frequency-model ablation: same DSE, different objective; judge both
+    // winners by their achieved (estimated-frequency) execution time.
+    tuner::EvalFn naive_eval =
+        MakeHlsEvaluator(prepared.generated, {}, FrequencyModel::kAssumeTarget);
+    dse::ExplorerOptions fopt;
+    fopt.time_limit_minutes = setup.time_limit_minutes;
+    fopt.num_cores = setup.num_cores;
+    fopt.seed = setup.seed;
+    dse::DseResult naive = dse::RunS2faDse(prepared.space, prepared.generated,
+                                           naive_eval, fopt);
+    dse::DseResult aware = dse::RunS2faDse(prepared.space, prepared.generated,
+                                           prepared.evaluate, fopt);
+    if (naive.found_feasible && aware.found_feasible) {
+      auto achieved = [&](const merlin::DesignConfig& cfg) {
+        merlin::TransformResult t =
+            merlin::ApplyDesign(prepared.generated, cfg);
+        return hls::EstimateHls(t.kernel).exec_us;
+      };
+      freq_naive_sum += std::log(achieved(naive.best_config));
+      freq_aware_sum += std::log(achieved(aware.best_config));
+      ++freq_n;
+    }
+  }
+
+  std::printf("=== DSE strategy ablations (8 apps, geometric means) ===\n\n");
+  TextTable table({"Configuration", "Mean stop (h)", "Geomean best (us)",
+                   "Mean first point (us)"});
+  auto row = [&](const char* label, const Aggregate& agg) {
+    table.AddRow({label, FormatDouble(agg.MeanStopHours(), 2),
+                  FormatDouble(agg.GeoCost(), 2),
+                  FormatDouble(agg.MeanFirst(), 1)});
+  };
+  row("S2FA (entropy stop)", entropy);
+  row("trivial stop (10 stale iters)", trivial);
+  row("time limit only (4 h)", time_only);
+  row("no seed generation", no_seeds);
+  row("no partitioning", no_partition);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("frequency model (paper future work): achieved-time ratio "
+              "assume-target-clock / frequency-aware = %.2fx "
+              "(geomean over %d apps; >1 means the frequency-aware "
+              "objective found faster silicon)\n\n",
+              std::exp((freq_naive_sum - freq_aware_sum) / freq_n), freq_n);
+  std::printf("paper: trivial criterion stops ~1 h later (2.8 h vs 1.9 h) "
+              "for ~4%% better results;\n"
+              "seeds determine the QoR of the first explored point; "
+              "partitioning drives the faster descent.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Component microbenchmarks (google-benchmark): throughput of the pieces
+// every DSE iteration exercises — bytecode interpretation, kernel-IR
+// evaluation, the Merlin transform, the HLS estimator, design-space
+// operations, and one full tuner evaluation round trip.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/app.h"
+#include "apps/jvm_baseline.h"
+#include "b2c/compiler.h"
+#include "blaze/runtime.h"
+#include "dse/partition.h"
+#include "dse/stopping.h"
+#include "hls/estimator.h"
+#include "merlin/transform.h"
+#include "s2fa/framework.h"
+#include "tuner/space.h"
+
+namespace {
+
+using namespace s2fa;
+
+struct Fixture {
+  apps::App app;
+  kir::Kernel kernel;
+  tuner::DesignSpace space;
+  tuner::EvalFn evaluate;
+  merlin::DesignConfig mid_config;
+
+  explicit Fixture(const std::string& name) : app(apps::FindApp(name)) {
+    kernel = b2c::CompileKernel(*app.pool, app.spec);
+    space = tuner::BuildDesignSpace(kernel);
+    evaluate = MakeHlsEvaluator(kernel);
+    // A representative mid-weight configuration.
+    for (const kir::Stmt* loop : kernel.Loops()) {
+      mid_config.loops[loop->loop_id()] = {1, 2, merlin::PipelineMode::kOn};
+    }
+  }
+};
+
+Fixture& Svm() {
+  static Fixture fixture("SVM");
+  return fixture;
+}
+
+Fixture& Aes() {
+  static Fixture fixture("AES");
+  return fixture;
+}
+
+void BM_BytecodeCompile(benchmark::State& state) {
+  Fixture& f = Svm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b2c::CompileKernel(*f.app.pool, f.app.spec));
+  }
+}
+BENCHMARK(BM_BytecodeCompile);
+
+void BM_InterpreterPerRecord(benchmark::State& state) {
+  Fixture& f = Svm();
+  Rng rng(1);
+  blaze::Dataset input = f.app.make_input(64, rng);
+  Rng brng(2);
+  blaze::Dataset broadcast = f.app.make_broadcast(brng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::RunOnJvm(f.app, input, &broadcast));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_InterpreterPerRecord);
+
+void BM_MerlinTransform(benchmark::State& state) {
+  Fixture& f = Svm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merlin::ApplyDesign(f.kernel, f.mid_config));
+  }
+}
+BENCHMARK(BM_MerlinTransform);
+
+void BM_HlsEstimateSmallKernel(benchmark::State& state) {
+  Fixture& f = Svm();
+  kir::Kernel transformed =
+      merlin::ApplyDesign(f.kernel, f.mid_config).kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hls::EstimateHls(transformed));
+  }
+}
+BENCHMARK(BM_HlsEstimateSmallKernel);
+
+void BM_HlsEstimateLargeKernel(benchmark::State& state) {
+  Fixture& f = Aes();
+  kir::Kernel transformed =
+      merlin::ApplyDesign(f.kernel, f.app.manual_config).kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hls::EstimateHls(transformed));
+  }
+}
+BENCHMARK(BM_HlsEstimateLargeKernel);
+
+void BM_FullDesignPointEvaluation(benchmark::State& state) {
+  Fixture& f = Svm();
+  Rng rng(3);
+  for (auto _ : state) {
+    tuner::Point p = f.space.RandomPoint(rng);
+    benchmark::DoNotOptimize(f.evaluate(f.space.ToConfig(p)));
+  }
+}
+BENCHMARK(BM_FullDesignPointEvaluation);
+
+void BM_DesignSpaceMutation(benchmark::State& state) {
+  Fixture& f = Aes();
+  Rng rng(4);
+  tuner::Point p = f.space.RandomPoint(rng);
+  for (auto _ : state) {
+    p = f.space.Mutate(p, rng, 2);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_DesignSpaceMutation);
+
+void BM_PartitionTraining(benchmark::State& state) {
+  Fixture& f = Svm();
+  std::function<double(const tuner::Point&)> log_cost =
+      [&](const tuner::Point& p) {
+        tuner::EvalOutcome out = f.evaluate(f.space.ToConfig(p));
+        return out.feasible ? std::log(out.cost) : 30.0;
+      };
+  for (auto _ : state) {
+    Rng rng(5);
+    auto samples = dse::DrawTrainingSamples(f.space, 160, log_cost, rng);
+    auto candidates = dse::RuleCandidateFactors(f.space, f.kernel);
+    benchmark::DoNotOptimize(
+        dse::BuildPartitions(f.space, candidates, samples, {}));
+  }
+}
+BENCHMARK(BM_PartitionTraining);
+
+void BM_EntropyComputation(benchmark::State& state) {
+  tuner::ResultDatabase db;
+  Rng rng(6);
+  Fixture& f = Svm();
+  for (int i = 0; i < 500; ++i) {
+    db.Add(f.space.RandomPoint(rng), rng.NextDouble(1, 100), true,
+           static_cast<double>(i), 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dse::UphillEntropy(db, f.space.num_factors()));
+  }
+}
+BENCHMARK(BM_EntropyComputation);
+
+void BM_BlazeMapBatch(benchmark::State& state) {
+  Fixture& f = Svm();
+  Artifact artifact =
+      BuildWithConfig(*f.app.pool, f.app.spec, merlin::DesignConfig{});
+  blaze::BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "svm", artifact);
+  Rng rng(7);
+  blaze::Dataset input = f.app.make_input(1024, rng);
+  Rng brng(8);
+  blaze::Dataset broadcast = f.app.make_broadcast(brng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.Map("svm", input, &broadcast));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BlazeMapBatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table 2 reproduction: resource utilization and clock frequency of the
+// best DSE-generated design for every kernel.
+//
+// Paper rows (VU9P, 75% usable): PR 25% BRAM / 250 MHz (bandwidth bound),
+// KMeans 73% BRAM, KNN/LR/SVM/LLS resource-saturated in FF/LUT/BRAM, AES
+// 36%/0% DSP (bandwidth bound), S-W 100 MHz (deep unrolled wavefront).
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.h"
+#include "merlin/transform.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace s2fa;
+using namespace s2fa::bench;
+
+int main() {
+  EvalSetup setup;
+  TextTable table({"Kernel", "Type", "BRAM", "DSP", "FF", "LUT", "Freq."});
+  std::ofstream csv("table2_resources.csv");
+  csv << "kernel,type,bram,dsp,ff,lut,freq_mhz\n";
+
+  for (apps::App& app : apps::AllApps()) {
+    PreparedApp prepared = Prepare(std::move(app));
+    dse::ExplorerOptions options;
+    options.time_limit_minutes = setup.time_limit_minutes;
+    options.num_cores = setup.num_cores;
+    options.seed = setup.seed;
+    dse::DseResult dse_result = dse::RunS2faDse(
+        prepared.space, prepared.generated, prepared.evaluate, options);
+    if (!dse_result.found_feasible) {
+      std::fprintf(stderr, "%s: DSE found no feasible design\n",
+                   prepared.app.name.c_str());
+      return 1;
+    }
+    merlin::TransformResult best =
+        merlin::ApplyDesign(prepared.generated, dse_result.best_config);
+    hls::HlsResult r = hls::EstimateHls(best.kernel);
+
+    table.AddRow({prepared.app.name, prepared.app.type_label,
+                  FormatPercent(r.util.bram_frac, 0),
+                  FormatPercent(r.util.dsp_frac, 0),
+                  FormatPercent(r.util.ff_frac, 0),
+                  FormatPercent(r.util.lut_frac, 0),
+                  FormatDouble(r.freq_mhz, 0)});
+    csv << prepared.app.name << "," << prepared.app.type_label << ","
+        << r.util.bram_frac << "," << r.util.dsp_frac << ","
+        << r.util.ff_frac << "," << r.util.lut_frac << "," << r.freq_mhz
+        << "\n";
+  }
+
+  std::printf("=== Table 2: resource utilization and clock frequency "
+              "(MHz) of the best DSE designs ===\n");
+  std::printf("device: VU9P, cap %.0f%% (vendor shell uses the rest); "
+              "target 250 MHz\n\n",
+              75.0);
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "b2c/compiler.h"
+#include "support/strings.h"
+
+namespace s2fa::bench {
+
+PreparedApp Prepare(apps::App app) {
+  PreparedApp prepared;
+  prepared.generated = b2c::CompileKernel(*app.pool, app.spec);
+  prepared.space = tuner::BuildDesignSpace(prepared.generated);
+  prepared.evaluate = MakeHlsEvaluator(prepared.generated);
+
+  kir::Kernel manual_base = app.manual_kernel
+                                ? app.manual_kernel(prepared.generated)
+                                : prepared.generated.Clone();
+  merlin::TransformResult t =
+      merlin::ApplyDesign(manual_base, app.manual_config);
+  prepared.manual_design = std::move(t.kernel);
+  prepared.manual_hls = hls::EstimateHls(prepared.manual_design);
+  prepared.app = std::move(app);
+  return prepared;
+}
+
+DseComparison RunComparison(const PreparedApp& prepared,
+                            const EvalSetup& setup, dse::StopKind stop) {
+  DseComparison cmp;
+  cmp.vanilla = dse::RunVanillaOpenTuner(prepared.space, prepared.evaluate,
+                                         setup.time_limit_minutes,
+                                         setup.num_cores, setup.seed);
+  dse::ExplorerOptions options;
+  options.time_limit_minutes = setup.time_limit_minutes;
+  options.num_cores = setup.num_cores;
+  options.seed = setup.seed;
+  options.stop = stop;
+  cmp.s2fa = dse::RunS2faDse(prepared.space, prepared.generated,
+                             prepared.evaluate, options);
+  cmp.normalization_cost = cmp.vanilla.trace.empty()
+                               ? 1.0
+                               : cmp.vanilla.trace.front().best_cost;
+  return cmp;
+}
+
+double CostAt(const std::vector<tuner::TracePoint>& trace, double minutes,
+              double norm) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& tp : trace) {
+    if (tp.time_minutes > minutes) break;
+    best = tp.best_cost;
+  }
+  if (norm > 0 && std::isfinite(best)) return best / norm;
+  return best;
+}
+
+double AcceleratorMicros(const kir::Kernel& design,
+                         const hls::HlsResult& hls_result,
+                         std::size_t records) {
+  blaze::OffloadCostModel model;
+  double bytes = 0;
+  std::int64_t batch = 1;
+  for (const auto& buf : design.buffers) {
+    if (buf.kind == kir::BufferKind::kLocal) continue;
+    bytes += static_cast<double>(buf.byte_size());
+  }
+  const kir::Stmt* task = kir::FindLoop(design.body, design.task_loop_id);
+  if (task != nullptr) batch = task->trip_count();
+  const double invocations =
+      std::ceil(static_cast<double>(records) / static_cast<double>(batch));
+  const double per_invocation =
+      bytes * model.jvm_pack_ns_per_byte / 1000.0 +   // (de)serialization
+      bytes / (model.pcie_gbps * 1e3) +               // PCIe
+      hls_result.exec_us +                            // accelerator
+      model.invoke_overhead_us;                       // driver
+  return invocations * per_invocation;
+}
+
+double JvmMicros(const apps::App& app, std::size_t records,
+                 std::uint64_t seed) {
+  // Interpret a sample and scale: workloads are i.i.d. records.
+  const std::size_t sample = std::min<std::size_t>(records, 128);
+  Rng rng(seed);
+  blaze::Dataset input = app.make_input(sample, rng);
+  blaze::Dataset broadcast;
+  const blaze::Dataset* bc = nullptr;
+  if (app.make_broadcast) {
+    Rng brng(seed ^ 0xBCA57ULL);
+    broadcast = app.make_broadcast(brng);
+    bc = &broadcast;
+  }
+  apps::JvmRunResult run = apps::RunOnJvm(app, input, bc);
+  const double scale =
+      static_cast<double>(records) / static_cast<double>(sample);
+  return run.total_ns * scale / 1000.0;
+}
+
+std::string RenderTraceRow(const std::string& label,
+                           const std::vector<tuner::TracePoint>& trace,
+                           const std::vector<double>& sample_minutes,
+                           double norm) {
+  std::string row = PadRight(label, 18) + " |";
+  for (double m : sample_minutes) {
+    double v = CostAt(trace, m, norm);
+    row += " " + PadLeft(std::isfinite(v) ? FormatDouble(v, 4) : "--", 9);
+  }
+  return row;
+}
+
+}  // namespace s2fa::bench

@@ -1,0 +1,68 @@
+// Shared plumbing for the reproduction harness binaries: standard DSE
+// settings (the paper's 4-hour / 8-core setup), per-app artifact builders,
+// and table/trace rendering.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/jvm_baseline.h"
+#include "dse/explorer.h"
+#include "s2fa/framework.h"
+
+namespace s2fa::bench {
+
+// The paper's evaluation setup (§5.1-5.2).
+struct EvalSetup {
+  double time_limit_minutes = 240;  // fixed 4-hour budget
+  int num_cores = 8;                // f1.2xlarge host CPU
+  std::uint64_t seed = 2018;        // DAC'18 vintage
+};
+
+// One app fully prepared for experiments.
+struct PreparedApp {
+  apps::App app;
+  kir::Kernel generated;           // b2c output
+  tuner::DesignSpace space;
+  tuner::EvalFn evaluate;          // Merlin+HLS black box
+  // Manual design (expert config, possibly on a hand-written kernel).
+  kir::Kernel manual_design;       // transformed
+  hls::HlsResult manual_hls;
+};
+
+PreparedApp Prepare(apps::App app);
+
+// Runs the two explorations of Fig. 3 for one app.
+struct DseComparison {
+  dse::DseResult s2fa;
+  dse::DseResult vanilla;
+  double normalization_cost = 0;  // vanilla's first feasible (random seed)
+};
+
+DseComparison RunComparison(const PreparedApp& prepared,
+                            const EvalSetup& setup,
+                            dse::StopKind stop = dse::StopKind::kEntropy);
+
+// Best-so-far cost at simulated `minutes` (normalized when norm > 0).
+double CostAt(const std::vector<tuner::TracePoint>& trace, double minutes,
+              double norm);
+
+// Accelerator wall time for `records` records under a design, through the
+// Blaze offload cost model.
+double AcceleratorMicros(const kir::Kernel& design,
+                         const hls::HlsResult& hls_result,
+                         std::size_t records);
+
+// JVM baseline microseconds for `records` records of the app's workload.
+double JvmMicros(const apps::App& app, std::size_t records,
+                 std::uint64_t seed);
+
+// Renders an ASCII sparkline-ish trace row sampled at `sample_minutes`.
+std::string RenderTraceRow(const std::string& label,
+                           const std::vector<tuner::TracePoint>& trace,
+                           const std::vector<double>& sample_minutes,
+                           double norm);
+
+}  // namespace s2fa::bench

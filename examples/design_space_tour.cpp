@@ -1,0 +1,76 @@
+// A tour of the S2FA design space exploration internals, on KMeans.
+//
+// Shows the pieces §4 of the paper describes: the Table-1 design space,
+// the decision-tree partitions with their rule paths, the two seeds per
+// partition, the per-partition exploration outcomes with the entropy
+// stopping criterion, and the final design with its Merlin pragmas.
+//
+//   build/examples/design_space_tour
+#include <cstdio>
+
+#include "apps/app.h"
+#include "b2c/compiler.h"
+#include "dse/explorer.h"
+#include "dse/partition.h"
+#include "dse/seeds.h"
+#include "kir/printer.h"
+#include "s2fa/framework.h"
+
+using namespace s2fa;
+
+int main() {
+  apps::App app = apps::FindApp("KMeans");
+  kir::Kernel kernel = b2c::CompileKernel(*app.pool, app.spec);
+  tuner::DesignSpace space = tuner::BuildDesignSpace(kernel);
+
+  std::printf("=== the design space (paper Table 1) ===\n");
+  for (const auto& f : space.factors) {
+    std::printf("  %-16s %zu values\n", f.name.c_str(), f.values.size());
+  }
+  std::printf("cardinality: 10^%.1f points\n\n", space.Log10Cardinality());
+
+  std::printf("=== seeds (paper 4.3.2) ===\n");
+  tuner::SeedPoint perf = dse::MakePerformanceSeed(space);
+  tuner::SeedPoint area = dse::MakeAreaSeed(space);
+  std::printf("performance-driven: %s\n",
+              space.ToConfig(perf.point).ToString().c_str());
+  std::printf("area-driven:        %s\n\n",
+              space.ToConfig(area.point).ToString().c_str());
+
+  std::printf("=== exploration (partitions + entropy stop) ===\n");
+  tuner::EvalFn evaluate = MakeHlsEvaluator(kernel);
+  dse::ExplorerOptions options;
+  options.time_limit_minutes = 240;
+  options.num_cores = 8;
+  options.seed = 11;
+  dse::DseResult result = dse::RunS2faDse(space, kernel, evaluate, options);
+  for (const auto& p : result.partitions) {
+    std::printf("  [%s]\n    start %.0f min, end %.0f min, %zu evals, "
+                "stop: %s, best %.2f us\n",
+                p.description.c_str(), p.start_minutes, p.end_minutes,
+                p.result.evaluations, p.result.stop_reason.c_str(),
+                p.clipped_best_cost);
+  }
+  std::printf("\nDSE finished at %.0f simulated minutes "
+              "(%zu evaluations total)\n",
+              result.elapsed_minutes, result.evaluations);
+  std::printf("best config: %s\n\n", result.best_config.ToString().c_str());
+
+  std::printf("=== best-so-far trace ===\n");
+  for (const auto& tp : result.trace) {
+    std::printf("  t=%6.1f min  best=%10.2f us\n", tp.time_minutes,
+                tp.best_cost);
+  }
+
+  merlin::TransformResult best =
+      merlin::ApplyDesign(kernel, result.best_config);
+  hls::HlsResult hls_result = hls::EstimateHls(best.kernel);
+  std::printf("\n=== final design ===\n");
+  std::printf("BRAM %.0f%%  DSP %.0f%%  FF %.0f%%  LUT %.0f%%  @ %.0f MHz\n",
+              100 * hls_result.util.bram_frac, 100 * hls_result.util.dsp_frac,
+              100 * hls_result.util.ff_frac, 100 * hls_result.util.lut_frac,
+              hls_result.freq_mhz);
+  std::printf("\n=== transformed HLS C with Merlin pragmas ===\n%s\n",
+              kir::EmitC(best.kernel).c_str());
+  return 0;
+}

@@ -1,0 +1,402 @@
+// AES (AES-128 ECB encryption) — string processing.
+//
+// Per record: one 16-byte block through the full ten-round AES-128
+// transform. Round keys, the S-box, and the ShiftRows permutation are
+// broadcast and cached on chip; the GF(2^8) doubling (xtime) is a helper
+// method the bytecode-to-C compiler inlines. On the FPGA a block leaves
+// every cycle once the rounds are flattened, so the accelerator is bound
+// by the 16-byte/record interface traffic (paper Table 2: 36% BRAM, 0%
+// DSP — "bounded by external memory bandwidth").
+#include "apps/detail.h"
+
+#include <array>
+
+namespace s2fa::apps {
+
+namespace {
+
+using namespace detail;
+
+constexpr int kBlock = 16;
+constexpr int kRounds = 10;
+constexpr int kKeyBytes = 16 * (kRounds + 1);
+
+// ------------------------------------------------------- native AES-128
+
+constexpr std::array<std::uint8_t, 256> kSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+std::uint8_t XtimeNative(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ (((x >> 7) & 1) * 0x1b));
+}
+
+// Expands a 16-byte key into 176 round-key bytes (column-major layout).
+std::array<std::uint8_t, kKeyBytes> ExpandKey(
+    const std::array<std::uint8_t, 16>& key) {
+  std::array<std::uint8_t, kKeyBytes> rk{};
+  for (int i = 0; i < 16; ++i) rk[static_cast<std::size_t>(i)] = key[static_cast<std::size_t>(i)];
+  std::uint8_t rcon = 0x01;
+  for (int i = 16; i < kKeyBytes; i += 4) {
+    std::uint8_t t0 = rk[static_cast<std::size_t>(i - 4)];
+    std::uint8_t t1 = rk[static_cast<std::size_t>(i - 3)];
+    std::uint8_t t2 = rk[static_cast<std::size_t>(i - 2)];
+    std::uint8_t t3 = rk[static_cast<std::size_t>(i - 1)];
+    if (i % 16 == 0) {
+      // RotWord + SubWord + Rcon.
+      std::uint8_t n0 = static_cast<std::uint8_t>(kSbox[t1] ^ rcon);
+      std::uint8_t n1 = kSbox[t2];
+      std::uint8_t n2 = kSbox[t3];
+      std::uint8_t n3 = kSbox[t0];
+      t0 = n0;
+      t1 = n1;
+      t2 = n2;
+      t3 = n3;
+      rcon = XtimeNative(rcon);
+    }
+    rk[static_cast<std::size_t>(i + 0)] =
+        static_cast<std::uint8_t>(rk[static_cast<std::size_t>(i - 16)] ^ t0);
+    rk[static_cast<std::size_t>(i + 1)] =
+        static_cast<std::uint8_t>(rk[static_cast<std::size_t>(i - 15)] ^ t1);
+    rk[static_cast<std::size_t>(i + 2)] =
+        static_cast<std::uint8_t>(rk[static_cast<std::size_t>(i - 14)] ^ t2);
+    rk[static_cast<std::size_t>(i + 3)] =
+        static_cast<std::uint8_t>(rk[static_cast<std::size_t>(i - 13)] ^ t3);
+  }
+  return rk;
+}
+
+// ShiftRows source index for state layout s[row + 4*col].
+int ShiftSource(int i) {
+  int row = i % 4;
+  int col = i / 4;
+  return row + 4 * ((col + row) % 4);
+}
+
+void EncryptNative(const std::uint8_t* in,
+                   const std::array<std::uint8_t, kKeyBytes>& rk,
+                   std::uint8_t* out) {
+  std::uint8_t st[kBlock];
+  std::uint8_t tmp[kBlock];
+  for (int i = 0; i < kBlock; ++i) st[i] = static_cast<std::uint8_t>(in[i] ^ rk[static_cast<std::size_t>(i)]);
+  for (int r = 1; r <= kRounds - 1; ++r) {
+    for (int i = 0; i < kBlock; ++i) {
+      tmp[i] = kSbox[st[ShiftSource(i)]];
+    }
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t a0 = tmp[4 * c + 0], a1 = tmp[4 * c + 1];
+      std::uint8_t a2 = tmp[4 * c + 2], a3 = tmp[4 * c + 3];
+      std::uint8_t b0 = static_cast<std::uint8_t>(
+          XtimeNative(a0) ^ XtimeNative(a1) ^ a1 ^ a2 ^ a3);
+      std::uint8_t b1 = static_cast<std::uint8_t>(
+          a0 ^ XtimeNative(a1) ^ XtimeNative(a2) ^ a2 ^ a3);
+      std::uint8_t b2 = static_cast<std::uint8_t>(
+          a0 ^ a1 ^ XtimeNative(a2) ^ XtimeNative(a3) ^ a3);
+      std::uint8_t b3 = static_cast<std::uint8_t>(
+          XtimeNative(a0) ^ a0 ^ a1 ^ a2 ^ XtimeNative(a3));
+      const std::size_t rko = static_cast<std::size_t>(16 * r + 4 * c);
+      st[4 * c + 0] = static_cast<std::uint8_t>(b0 ^ rk[rko + 0]);
+      st[4 * c + 1] = static_cast<std::uint8_t>(b1 ^ rk[rko + 1]);
+      st[4 * c + 2] = static_cast<std::uint8_t>(b2 ^ rk[rko + 2]);
+      st[4 * c + 3] = static_cast<std::uint8_t>(b3 ^ rk[rko + 3]);
+    }
+  }
+  for (int i = 0; i < kBlock; ++i) tmp[i] = kSbox[st[ShiftSource(i)]];
+  for (int i = 0; i < kBlock; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        tmp[i] ^ rk[static_cast<std::size_t>(16 * kRounds + i)]);
+  }
+}
+
+// -------------------------------------------------------- bytecode kernel
+
+void DefineKernel(jvm::ClassPool& pool) {
+  jvm::Klass& in = pool.Define("AESBlock");
+  in.AddField({"_1", Type::Array(Type::Byte())});  // plaintext block
+  in.AddField({"_2", Type::Array(Type::Byte())});  // round keys (bcast)
+  in.AddField({"_3", Type::Array(Type::Byte())});  // sbox (bcast)
+  in.AddField({"_4", Type::Array(Type::Byte())});  // ShiftRows map (bcast)
+
+  jvm::Klass& k = pool.Define("AesKernel");
+  {
+    // static int xtime(int x) { return ((x<<1) ^ (((x>>7)&1)*0x1b)) & 0xff; }
+    Assembler a;
+    a.Load(Type::Int(), 0).IConst(1).Bin(Type::Int(), jvm::BinOp::kShl);
+    a.Load(Type::Int(), 0).IConst(7).Bin(Type::Int(), jvm::BinOp::kShr);
+    a.IConst(1).Bin(Type::Int(), jvm::BinOp::kAnd);
+    a.IConst(0x1b).IMul();
+    a.Bin(Type::Int(), jvm::BinOp::kXor);
+    a.IConst(0xff).Bin(Type::Int(), jvm::BinOp::kAnd);
+    a.Ret(Type::Int());
+    MethodSignature sig;
+    sig.params = {Type::Int()};
+    sig.ret = Type::Int();
+    k.AddMethod(jvm::MakeMethod("xtime", sig, true, 1, a.Finish()));
+  }
+
+  Assembler a;
+  // static byte[] call(AESBlock in)
+  // locals: 0=in, 1=blk, 2=rk, 3=sbox, 4=shift, 5=st, 6=tmp,
+  //         7=r, 8=i, 9=c, 10..13=a0..a3, 14=base, 15=rko
+  const Type ba = Type::Array(Type::Byte());
+  auto load_masked = [&](int array_slot, auto&& push_index) {
+    a.Load(ba, array_slot);
+    push_index();
+    a.ALoadElem(Type::Byte());
+    a.IConst(0xff).Bin(Type::Int(), jvm::BinOp::kAnd);
+  };
+  a.Load(Type::Class("AESBlock"), 0).GetField("AESBlock", "_1").Store(ba, 1);
+  a.Load(Type::Class("AESBlock"), 0).GetField("AESBlock", "_2").Store(ba, 2);
+  a.Load(Type::Class("AESBlock"), 0).GetField("AESBlock", "_3").Store(ba, 3);
+  a.Load(Type::Class("AESBlock"), 0).GetField("AESBlock", "_4").Store(ba, 4);
+  a.IConst(kBlock).NewArray(Type::Byte()).Store(ba, 5);
+  a.IConst(kBlock).NewArray(Type::Byte()).Store(ba, 6);
+  // Round 0: st[i] = blk[i] ^ rk[i].
+  EmitLoop(a, 8, kBlock, [&] {
+    a.Load(ba, 5).Load(Type::Int(), 8);
+    a.Load(ba, 1).Load(Type::Int(), 8).ALoadElem(Type::Byte());
+    a.Load(ba, 2).Load(Type::Int(), 8).ALoadElem(Type::Byte());
+    a.Bin(Type::Int(), jvm::BinOp::kXor);
+    a.AStoreElem(Type::Byte());
+  });
+  // Rounds 1..9.
+  EmitLoop(a, 7, kRounds - 1, [&] {
+    // rko = (r + 1) * 16
+    a.Load(Type::Int(), 7).IConst(1).IAdd().IConst(16).IMul()
+        .Store(Type::Int(), 15);
+    // SubBytes + ShiftRows: tmp[i] = sbox[st[shift[i]] & 0xff].
+    EmitLoop(a, 8, kBlock, [&] {
+      a.Load(ba, 6).Load(Type::Int(), 8);
+      load_masked(3, [&] {
+        load_masked(5, [&] {
+          a.Load(ba, 4).Load(Type::Int(), 8).ALoadElem(Type::Byte());
+        });
+      });
+      a.AStoreElem(Type::Byte());
+    });
+    // MixColumns + AddRoundKey, column by column.
+    EmitLoop(a, 9, 4, [&] {
+      a.Load(Type::Int(), 9).IConst(4).IMul().Store(Type::Int(), 14);
+      for (int e = 0; e < 4; ++e) {
+        load_masked(6, [&] {
+          a.Load(Type::Int(), 14);
+          if (e != 0) a.IConst(e).IAdd();
+        });
+        a.Store(Type::Int(), 10 + e);
+      }
+      // Column outputs b0..b3 -> st[base + e] ^ rk[rko + base + e].
+      auto emit_column_byte = [&](int e, auto&& push_value) {
+        a.Load(ba, 5);
+        a.Load(Type::Int(), 14);
+        if (e != 0) a.IConst(e).IAdd();
+        push_value();
+        // ^ rk[rko + base + e]
+        a.Load(ba, 2);
+        a.Load(Type::Int(), 15).Load(Type::Int(), 14).IAdd();
+        if (e != 0) a.IConst(e).IAdd();
+        a.ALoadElem(Type::Byte());
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        a.AStoreElem(Type::Byte());
+      };
+      auto xt = [&](int slot) {
+        a.Load(Type::Int(), slot).InvokeStatic("AesKernel", "xtime");
+      };
+      auto raw = [&](int slot) { a.Load(Type::Int(), slot); };
+      auto x = [&](auto&& f, auto&& g) {
+        f();
+        g();
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+      };
+      emit_column_byte(0, [&] {
+        // xt(a0) ^ xt(a1) ^ a1 ^ a2 ^ a3
+        xt(10);
+        xt(11);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(11);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(12);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(13);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+      });
+      emit_column_byte(1, [&] {
+        // a0 ^ xt(a1) ^ xt(a2) ^ a2 ^ a3
+        raw(10);
+        xt(11);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        xt(12);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(12);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(13);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+      });
+      emit_column_byte(2, [&] {
+        // a0 ^ a1 ^ xt(a2) ^ xt(a3) ^ a3
+        raw(10);
+        raw(11);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        xt(12);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        xt(13);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(13);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+      });
+      emit_column_byte(3, [&] {
+        // xt(a0) ^ a0 ^ a1 ^ a2 ^ xt(a3)
+        xt(10);
+        raw(10);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(11);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        raw(12);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+        xt(13);
+        a.Bin(Type::Int(), jvm::BinOp::kXor);
+      });
+      (void)x;
+    });
+  });
+  // Final round: SubBytes + ShiftRows + AddRoundKey(10).
+  EmitLoop(a, 8, kBlock, [&] {
+    a.Load(ba, 6).Load(Type::Int(), 8);
+    load_masked(3, [&] {
+      load_masked(5, [&] {
+        a.Load(ba, 4).Load(Type::Int(), 8).ALoadElem(Type::Byte());
+      });
+    });
+    a.AStoreElem(Type::Byte());
+  });
+  EmitLoop(a, 8, kBlock, [&] {
+    a.Load(ba, 5).Load(Type::Int(), 8);
+    a.Load(ba, 6).Load(Type::Int(), 8).ALoadElem(Type::Byte());
+    a.Load(ba, 2).IConst(16 * kRounds).Load(Type::Int(), 8).IAdd()
+        .ALoadElem(Type::Byte());
+    a.Bin(Type::Int(), jvm::BinOp::kXor);
+    a.AStoreElem(Type::Byte());
+  });
+  a.Load(ba, 5).Ret(ba);
+
+  MethodSignature sig;
+  sig.params = {Type::Class("AESBlock")};
+  sig.ret = ba;
+  k.AddMethod(jvm::MakeMethod("call", sig, true, 16, a.Finish()));
+}
+
+}  // namespace
+
+blaze::Dataset MakeAesBroadcast(const std::array<std::uint8_t, 16>& key) {
+  auto rk = ExpandKey(key);
+  std::vector<std::int32_t> rk_v(rk.begin(), rk.end());
+  std::vector<std::int32_t> sbox_v(kSbox.begin(), kSbox.end());
+  std::vector<std::int32_t> shift_v;
+  for (int i = 0; i < kBlock; ++i) shift_v.push_back(ShiftSource(i));
+  Dataset d;
+  d.AddColumn(ByteColumn("_2", kKeyBytes, std::move(rk_v)));
+  d.AddColumn(ByteColumn("_3", 256, std::move(sbox_v)));
+  d.AddColumn(ByteColumn("_4", kBlock, std::move(shift_v)));
+  return d;
+}
+
+App MakeAes() {
+  App app;
+  app.name = "AES";
+  app.type_label = "string proc.";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  DefineKernel(*app.pool);
+
+  app.spec.kernel_name = "aes_kernel";
+  app.spec.klass = "AesKernel";
+  app.spec.input.type = Type::Class("AESBlock");
+  {
+    b2c::FieldSpec blk{"_1", Type::Byte(), kBlock, true};
+    b2c::FieldSpec rk{"_2", Type::Byte(), kKeyBytes, true};
+    rk.broadcast = true;
+    b2c::FieldSpec sbox{"_3", Type::Byte(), 256, true};
+    sbox.broadcast = true;
+    b2c::FieldSpec shift{"_4", Type::Byte(), kBlock, true};
+    shift.broadcast = true;
+    app.spec.input.fields = {blk, rk, sbox, shift};
+  }
+  app.spec.output.type = Type::Array(Type::Byte());
+  app.spec.output.fields = {{"cipher", Type::Byte(), kBlock, true}};
+  app.spec.batch = 1024;
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    std::vector<std::int32_t> blocks;
+    blocks.reserve(records * kBlock);
+    for (std::size_t n = 0; n < records * kBlock; ++n) {
+      blocks.push_back(static_cast<std::int32_t>(rng.NextBounded(256)));
+    }
+    Dataset d;
+    d.AddColumn(ByteColumn("_1", kBlock, std::move(blocks)));
+    return d;
+  };
+  app.make_broadcast = [](Rng& rng) {
+    std::array<std::uint8_t, 16> key;
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+    return MakeAesBroadcast(key);
+  };
+
+  app.reference = [](const Dataset& input, const Dataset* broadcast) {
+    const Column& blocks = input.ColumnByField("_1");
+    const Column& rk_col = broadcast->ColumnByField("_2");
+    std::array<std::uint8_t, kKeyBytes> rk;
+    for (int i = 0; i < kKeyBytes; ++i) {
+      rk[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+          rk_col.data[static_cast<std::size_t>(i)].AsInt());
+    }
+    std::vector<std::int32_t> cipher;
+    cipher.reserve(input.num_records() * kBlock);
+    for (std::size_t r = 0; r < input.num_records(); ++r) {
+      std::uint8_t in_block[kBlock];
+      std::uint8_t out_block[kBlock];
+      for (int i = 0; i < kBlock; ++i) {
+        in_block[i] = static_cast<std::uint8_t>(
+            blocks.data[r * kBlock + static_cast<std::size_t>(i)].AsInt());
+      }
+      EncryptNative(in_block, rk, out_block);
+      for (int i = 0; i < kBlock; ++i) cipher.push_back(out_block[i]);
+    }
+    Dataset out;
+    out.AddColumn(ByteColumn("cipher", kBlock, std::move(cipher)));
+    return out;
+  };
+
+  app.jvm_cost_scale = 10.0;  // boxed byte/char string processing on the JVM
+
+  // Generated loop ids: L0/L1/L2 = rk/sbox/shift caches, L3/L4 = st/tmp
+  // zero-init, L5 = round-0 ARK, L6 = SubBytes, L7 = MixColumns,
+  // L8 = round loop, L9/L10 = final SubBytes/ARK, L11 = result copy-out,
+  // L12 = task loop. The expert design flattens the whole block transform
+  // under a pipelined task loop: one block in flight per initiation.
+  app.manual_config.loops[12] = {1, 1, merlin::PipelineMode::kFlatten};
+  app.manual_config.buffer_bits["in_1"] = 512;
+  app.manual_config.buffer_bits["out_1"] = 512;
+
+  app.bench_records = 4096;
+  return app;
+}
+
+}  // namespace s2fa::apps

@@ -1,0 +1,88 @@
+// The evaluation applications (paper §5, Table 2):
+//   PR, KMeans, KNN, LR, SVM, LLS (machine learning / graph) and
+//   AES, S-W (string processing).
+//
+// Each App bundles exactly what the paper's evaluation needs per kernel:
+//   * the Scala lambda, authored as bytecode (the layer S2FA consumes),
+//   * the flattening spec (tuple layout, per-task lengths, broadcasts),
+//   * deterministic workload generators,
+//   * a native C++ reference (golden results),
+//   * the expert manual HLS design: a hand-picked configuration and — for
+//     LR — a hand-restructured kernel (the paper's manual LR splits the
+//     accumulation chain into stages, which is a source-level rewrite
+//     outside the DSE's reach),
+//   * JVM-baseline parameters (Spark per-record overhead; string apps get
+//     a cost multiplier for the boxed-character overhead of Scala string
+//     processing on JDK 1.7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "b2c/spec.h"
+#include "blaze/dataset.h"
+#include "jvm/klass.h"
+#include "kir/kernel.h"
+#include "merlin/design.h"
+#include "support/rng.h"
+
+namespace s2fa::apps {
+
+struct App {
+  std::string name;        // Table-2 name, e.g. "KMeans"
+  std::string type_label;  // "classification", "string proc.", ...
+
+  std::shared_ptr<jvm::ClassPool> pool;
+  b2c::KernelSpec spec;
+
+  // Deterministic workload generation.
+  std::function<blaze::Dataset(std::size_t records, Rng&)> make_input;
+  // One-record broadcast dataset; null when the kernel has no broadcast.
+  std::function<blaze::Dataset(Rng&)> make_broadcast;
+
+  // Expert manual design.
+  merlin::DesignConfig manual_config;
+  // Optional hand-written kernel replacing the generated one for the
+  // manual design (LR's staged accumulation). Receives the generated
+  // kernel for interface reuse.
+  std::function<kir::Kernel(const kir::Kernel& generated)> manual_kernel;
+
+  // Native golden reference: outputs for (input, broadcast).
+  std::function<blaze::Dataset(const blaze::Dataset& input,
+                               const blaze::Dataset* broadcast)>
+      reference;
+
+  // Spark executor per-record overhead (iterator advance + lambda
+  // dispatch + boxing), nanoseconds.
+  double spark_record_overhead_ns = 90.0;
+  // Multiplier on interpreted kernel cost (string apps: boxed chars).
+  double jvm_cost_scale = 1.0;
+
+  // Suggested record count for the benchmark harness.
+  std::size_t bench_records = 4096;
+};
+
+// All eight evaluation apps in Table-2 order.
+std::vector<App> AllApps();
+
+App MakePageRank();
+App MakeKMeans();
+App MakeKnn();
+App MakeLogisticRegression();
+App MakeSvm();
+App MakeLinearLeastSquares();
+App MakeAes();
+App MakeSmithWaterman();
+
+// Looks up one app by Table-2 name; throws InvalidArgument if unknown.
+App FindApp(const std::string& name);
+
+// AES helper exposed for tests/examples: the broadcast dataset (round keys,
+// S-box, ShiftRows map) for an explicit 16-byte key.
+blaze::Dataset MakeAesBroadcast(const std::array<std::uint8_t, 16>& key);
+
+}  // namespace s2fa::apps

@@ -1,0 +1,29 @@
+#include "apps/app.h"
+
+#include "support/error.h"
+
+namespace s2fa::apps {
+
+std::vector<App> AllApps() {
+  std::vector<App> apps;
+  apps.push_back(MakePageRank());
+  apps.push_back(MakeKMeans());
+  apps.push_back(MakeKnn());
+  apps.push_back(MakeLogisticRegression());
+  apps.push_back(MakeSvm());
+  apps.push_back(MakeLinearLeastSquares());
+  apps.push_back(MakeAes());
+  apps.push_back(MakeSmithWaterman());
+  return apps;
+}
+
+App FindApp(const std::string& name) {
+  for (App& app : AllApps()) {
+    if (app.name == name) return std::move(app);
+  }
+  throw InvalidArgument("unknown app " + name +
+                        " (expected PR, KMeans, KNN, LR, SVM, LLS, AES or "
+                        "S-W)");
+}
+
+}  // namespace s2fa::apps

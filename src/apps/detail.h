@@ -1,0 +1,81 @@
+// Internal helpers shared by the app definitions.
+#pragma once
+
+#include <vector>
+
+#include "apps/app.h"
+#include "jvm/assembler.h"
+
+namespace s2fa::apps::detail {
+
+using blaze::Column;
+using blaze::Dataset;
+using jvm::Assembler;
+using jvm::Cond;
+using jvm::MethodSignature;
+using jvm::Type;
+using jvm::Value;
+
+inline Column FloatColumn(std::string field, std::int64_t per_record,
+                          std::vector<float> data) {
+  Column col;
+  col.field = std::move(field);
+  col.element = Type::Float();
+  col.per_record = per_record;
+  col.data.reserve(data.size());
+  for (float v : data) col.data.push_back(Value::OfFloat(v));
+  return col;
+}
+
+inline Column IntColumn(std::string field, std::int64_t per_record,
+                        std::vector<std::int32_t> data) {
+  Column col;
+  col.field = std::move(field);
+  col.element = Type::Int();
+  col.per_record = per_record;
+  col.data.reserve(data.size());
+  for (std::int32_t v : data) col.data.push_back(Value::OfInt(v));
+  return col;
+}
+
+inline Column ByteColumn(std::string field, std::int64_t per_record,
+                         std::vector<std::int32_t> data) {
+  Column col;
+  col.field = std::move(field);
+  col.element = Type::Byte();
+  col.per_record = per_record;
+  col.data.reserve(data.size());
+  for (std::int32_t v : data) {
+    col.data.push_back(Value::OfInt(static_cast<std::int8_t>(v)));
+  }
+  return col;
+}
+
+inline Column DoubleColumn(std::string field, std::int64_t per_record,
+                           std::vector<double> data) {
+  Column col;
+  col.field = std::move(field);
+  col.element = Type::Double();
+  col.per_record = per_record;
+  col.data.reserve(data.size());
+  for (double v : data) col.data.push_back(Value::OfDouble(v));
+  return col;
+}
+
+// Emits the canonical counted loop skeleton:
+//   iconst 0; istore slot; HEAD: iload slot; iconst trip; if_icmpge EXIT;
+//   <body via callback>; iinc slot 1; goto HEAD; EXIT:
+template <typename BodyFn>
+void EmitLoop(Assembler& a, int slot, std::int32_t trip, BodyFn&& body) {
+  a.IConst(0).Store(Type::Int(), slot);
+  auto head = a.NewLabel();
+  auto exit = a.NewLabel();
+  a.Bind(head);
+  a.Load(Type::Int(), slot).IConst(trip).IfICmp(Cond::kGe, exit);
+  body();
+  a.IInc(slot, 1);
+  a.Goto(head);
+  a.Bind(exit);
+}
+
+}  // namespace s2fa::apps::detail

@@ -1,0 +1,26 @@
+// The single-threaded JVM baseline of Fig. 4.
+//
+// Replays the Spark executor path: for every record, construct the lambda's
+// argument objects on the JVM heap, invoke the kernel method through the
+// bytecode interpreter, and collect the result — accumulating the modeled
+// JVM time (interpreter cost model x app-specific scale + per-record Spark
+// framework overhead). The produced outputs double as a second golden
+// reference for the accelerator path.
+#pragma once
+
+#include "apps/app.h"
+#include "blaze/dataset.h"
+
+namespace s2fa::apps {
+
+struct JvmRunResult {
+  blaze::Dataset output;   // one record per input record (map) or one (reduce)
+  double total_ns = 0;     // modeled single-thread JVM time
+};
+
+// Runs `app`'s kernel on the JVM model over the whole input.
+// `broadcast` must be supplied when the app declares broadcast fields.
+JvmRunResult RunOnJvm(const App& app, const blaze::Dataset& input,
+                      const blaze::Dataset* broadcast);
+
+}  // namespace s2fa::apps

@@ -1,0 +1,151 @@
+// KMeans — classification.
+//
+// Per point: the index of the nearest of K centroids (Euclidean). The
+// centroid table is broadcast once per invocation and cached on chip; with
+// the point/centroid loops unrolled the design is BRAM-heavy (Table 2:
+// KMeans has the largest BRAM footprint of the ML kernels).
+#include "apps/detail.h"
+
+namespace s2fa::apps {
+
+namespace {
+
+using namespace detail;
+
+constexpr int kClusters = 16;
+constexpr int kDims = 16;
+
+void DefineKernel(jvm::ClassPool& pool) {
+  jvm::Klass& in = pool.Define("KMPoint");
+  in.AddField({"_1", Type::Array(Type::Float())});  // point
+  in.AddField({"_2", Type::Array(Type::Float())});  // centroids (broadcast)
+
+  Assembler a;
+  // static int call(KMPoint in)
+  // locals: 0=in, 1=p, 2=c, 3=best, 4=bestDist, 5=k, 6=dist, 7=d, 8=diff
+  const Type fa = Type::Array(Type::Float());
+  a.Load(Type::Class("KMPoint"), 0).GetField("KMPoint", "_1").Store(fa, 1);
+  a.Load(Type::Class("KMPoint"), 0).GetField("KMPoint", "_2").Store(fa, 2);
+  a.IConst(0).Store(Type::Int(), 3);
+  a.FConst(3.0e38f).Store(Type::Float(), 4);
+  EmitLoop(a, 5, kClusters, [&] {
+    a.FConst(0.0f).Store(Type::Float(), 6);
+    EmitLoop(a, 7, kDims, [&] {
+      // diff = p[d] - c[k*kDims + d]
+      a.Load(fa, 1).Load(Type::Int(), 7).ALoadElem(Type::Float());
+      a.Load(fa, 2);
+      a.Load(Type::Int(), 5).IConst(kDims).IMul().Load(Type::Int(), 7)
+          .IAdd();
+      a.ALoadElem(Type::Float());
+      a.FSub().Store(Type::Float(), 8);
+      a.Load(Type::Float(), 6);
+      a.Load(Type::Float(), 8).Load(Type::Float(), 8).FMul();
+      a.FAdd().Store(Type::Float(), 6);
+    });
+    // if (dist < bestDist) { bestDist = dist; best = k; }
+    auto skip = a.NewLabel();
+    a.Load(Type::Float(), 6).Load(Type::Float(), 4)
+        .Cmp(Type::Float(), /*nan_is_less=*/false);
+    a.If(Cond::kGe, skip);
+    a.Load(Type::Float(), 6).Store(Type::Float(), 4);
+    a.Load(Type::Int(), 5).Store(Type::Int(), 3);
+    a.Bind(skip);
+  });
+  a.Load(Type::Int(), 3).Ret(Type::Int());
+
+  MethodSignature sig;
+  sig.params = {Type::Class("KMPoint")};
+  sig.ret = Type::Int();
+  pool.Define("KMeansKernel")
+      .AddMethod(jvm::MakeMethod("call", sig, true, 9, a.Finish()));
+}
+
+}  // namespace
+
+App MakeKMeans() {
+  App app;
+  app.name = "KMeans";
+  app.type_label = "classification";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  DefineKernel(*app.pool);
+
+  app.spec.kernel_name = "kmeans_kernel";
+  app.spec.klass = "KMeansKernel";
+  app.spec.input.type = Type::Class("KMPoint");
+  {
+    b2c::FieldSpec point{"_1", Type::Float(), kDims, true};
+    b2c::FieldSpec centroids{"_2", Type::Float(), kClusters * kDims, true};
+    centroids.broadcast = true;
+    app.spec.input.fields = {point, centroids};
+  }
+  app.spec.output.type = Type::Int();
+  app.spec.output.fields = {{"cluster", Type::Int(), 1, false}};
+  app.spec.batch = 1024;
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    std::vector<float> points;
+    points.reserve(records * kDims);
+    for (std::size_t n = 0; n < records * kDims; ++n) {
+      points.push_back(static_cast<float>(rng.NextDouble(-1.0, 1.0)));
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("_1", kDims, std::move(points)));
+    return d;
+  };
+  app.make_broadcast = [](Rng& rng) {
+    std::vector<float> centroids;
+    centroids.reserve(kClusters * kDims);
+    for (int n = 0; n < kClusters * kDims; ++n) {
+      centroids.push_back(static_cast<float>(rng.NextDouble(-1.0, 1.0)));
+    }
+    Dataset d;
+    d.AddColumn(
+        FloatColumn("_2", kClusters * kDims, std::move(centroids)));
+    return d;
+  };
+
+  app.reference = [](const Dataset& input, const Dataset* broadcast) {
+    const Column& points = input.ColumnByField("_1");
+    const Column& centroids = broadcast->ColumnByField("_2");
+    std::vector<std::int32_t> assignment;
+    assignment.reserve(input.num_records());
+    for (std::size_t r = 0; r < input.num_records(); ++r) {
+      int best = 0;
+      float best_dist = 3.0e38f;
+      for (int k = 0; k < kClusters; ++k) {
+        float dist = 0.0f;
+        for (int d = 0; d < kDims; ++d) {
+          float diff =
+              points.data[r * kDims + static_cast<std::size_t>(d)]
+                  .AsFloat() -
+              centroids.data[static_cast<std::size_t>(k * kDims + d)]
+                  .AsFloat();
+          dist += diff * diff;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = k;
+        }
+      }
+      assignment.push_back(best);
+    }
+    Dataset out;
+    out.AddColumn(IntColumn("cluster", 1, std::move(assignment)));
+    return out;
+  };
+
+  // Generated loop ids: L0 = centroid cache burst, L1 = distance dims,
+  // L2 = cluster loop, L3 = task loop.
+  app.manual_config.loops[0] = {1, 64, merlin::PipelineMode::kOn};
+  app.manual_config.loops[1] = {1, kDims, merlin::PipelineMode::kFlatten};
+  app.manual_config.loops[2] = {1, 2, merlin::PipelineMode::kFlatten};
+  app.manual_config.loops[3] = {1, 16, merlin::PipelineMode::kOn};
+  app.manual_config.buffer_bits["in_1"] = 512;
+  app.manual_config.buffer_bits["in_2"] = 128;
+  app.manual_config.buffer_bits["out_1"] = 512;
+
+  app.bench_records = 8192;
+  return app;
+}
+
+}  // namespace s2fa::apps

@@ -1,0 +1,158 @@
+// KNN (K-Nearest Neighbor, k = 1) — classification.
+//
+// Per query point: the label of the nearest training sample. The training
+// set and its labels are broadcast and cached on chip; distance lanes
+// unroll heavily, which drives the FF/LUT-dominant utilization of Table 2.
+#include "apps/detail.h"
+
+namespace s2fa::apps {
+
+namespace {
+
+using namespace detail;
+
+constexpr int kTrain = 32;
+constexpr int kDims = 16;
+
+void DefineKernel(jvm::ClassPool& pool) {
+  jvm::Klass& in = pool.Define("KNNQuery");
+  in.AddField({"_1", Type::Array(Type::Float())});  // query point
+  in.AddField({"_2", Type::Array(Type::Float())});  // training set (bcast)
+  in.AddField({"_3", Type::Array(Type::Int())});    // labels (bcast)
+
+  Assembler a;
+  // static int call(KNNQuery in)
+  // locals: 0=in, 1=q, 2=train, 3=labels, 4=bestLabel, 5=bestDist, 6=m,
+  //         7=dist, 8=d, 9=diff
+  const Type fa = Type::Array(Type::Float());
+  const Type ia = Type::Array(Type::Int());
+  a.Load(Type::Class("KNNQuery"), 0).GetField("KNNQuery", "_1").Store(fa, 1);
+  a.Load(Type::Class("KNNQuery"), 0).GetField("KNNQuery", "_2").Store(fa, 2);
+  a.Load(Type::Class("KNNQuery"), 0).GetField("KNNQuery", "_3").Store(ia, 3);
+  a.IConst(-1).Store(Type::Int(), 4);
+  a.FConst(3.0e38f).Store(Type::Float(), 5);
+  EmitLoop(a, 6, kTrain, [&] {
+    a.FConst(0.0f).Store(Type::Float(), 7);
+    EmitLoop(a, 8, kDims, [&] {
+      a.Load(fa, 1).Load(Type::Int(), 8).ALoadElem(Type::Float());
+      a.Load(fa, 2);
+      a.Load(Type::Int(), 6).IConst(kDims).IMul().Load(Type::Int(), 8)
+          .IAdd();
+      a.ALoadElem(Type::Float());
+      a.FSub().Store(Type::Float(), 9);
+      a.Load(Type::Float(), 7);
+      a.Load(Type::Float(), 9).Load(Type::Float(), 9).FMul();
+      a.FAdd().Store(Type::Float(), 7);
+    });
+    auto skip = a.NewLabel();
+    a.Load(Type::Float(), 7).Load(Type::Float(), 5)
+        .Cmp(Type::Float(), /*nan_is_less=*/false);
+    a.If(Cond::kGe, skip);
+    a.Load(Type::Float(), 7).Store(Type::Float(), 5);
+    a.Load(ia, 3).Load(Type::Int(), 6).ALoadElem(Type::Int())
+        .Store(Type::Int(), 4);
+    a.Bind(skip);
+  });
+  a.Load(Type::Int(), 4).Ret(Type::Int());
+
+  MethodSignature sig;
+  sig.params = {Type::Class("KNNQuery")};
+  sig.ret = Type::Int();
+  pool.Define("KnnKernel")
+      .AddMethod(jvm::MakeMethod("call", sig, true, 10, a.Finish()));
+}
+
+}  // namespace
+
+App MakeKnn() {
+  App app;
+  app.name = "KNN";
+  app.type_label = "classification";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  DefineKernel(*app.pool);
+
+  app.spec.kernel_name = "knn_kernel";
+  app.spec.klass = "KnnKernel";
+  app.spec.input.type = Type::Class("KNNQuery");
+  {
+    b2c::FieldSpec query{"_1", Type::Float(), kDims, true};
+    b2c::FieldSpec train{"_2", Type::Float(), kTrain * kDims, true};
+    train.broadcast = true;
+    b2c::FieldSpec labels{"_3", Type::Int(), kTrain, true};
+    labels.broadcast = true;
+    app.spec.input.fields = {query, train, labels};
+  }
+  app.spec.output.type = Type::Int();
+  app.spec.output.fields = {{"label", Type::Int(), 1, false}};
+  app.spec.batch = 1024;
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    std::vector<float> queries;
+    queries.reserve(records * kDims);
+    for (std::size_t n = 0; n < records * kDims; ++n) {
+      queries.push_back(static_cast<float>(rng.NextDouble(-1.0, 1.0)));
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("_1", kDims, std::move(queries)));
+    return d;
+  };
+  app.make_broadcast = [](Rng& rng) {
+    std::vector<float> train;
+    std::vector<std::int32_t> labels;
+    for (int n = 0; n < kTrain * kDims; ++n) {
+      train.push_back(static_cast<float>(rng.NextDouble(-1.0, 1.0)));
+    }
+    for (int n = 0; n < kTrain; ++n) {
+      labels.push_back(static_cast<std::int32_t>(rng.NextInt(0, 9)));
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("_2", kTrain * kDims, std::move(train)));
+    d.AddColumn(IntColumn("_3", kTrain, std::move(labels)));
+    return d;
+  };
+
+  app.reference = [](const Dataset& input, const Dataset* broadcast) {
+    const Column& queries = input.ColumnByField("_1");
+    const Column& train = broadcast->ColumnByField("_2");
+    const Column& labels = broadcast->ColumnByField("_3");
+    std::vector<std::int32_t> out_labels;
+    for (std::size_t r = 0; r < input.num_records(); ++r) {
+      int best = -1;
+      float best_dist = 3.0e38f;
+      for (int m = 0; m < kTrain; ++m) {
+        float dist = 0.0f;
+        for (int d = 0; d < kDims; ++d) {
+          float diff =
+              queries.data[r * kDims + static_cast<std::size_t>(d)]
+                  .AsFloat() -
+              train.data[static_cast<std::size_t>(m * kDims + d)].AsFloat();
+          dist += diff * diff;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = labels.data[static_cast<std::size_t>(m)].AsInt();
+        }
+      }
+      out_labels.push_back(best);
+    }
+    Dataset out;
+    out.AddColumn(IntColumn("label", 1, std::move(out_labels)));
+    return out;
+  };
+
+  // Generated loop ids: L0/L1 = broadcast caches, L2 = dims, L3 = train,
+  // L4 = task loop.
+  app.manual_config.loops[1] = {8, 8, merlin::PipelineMode::kOff};
+  app.manual_config.loops[2] = {1, 16, merlin::PipelineMode::kFlatten};
+  app.manual_config.loops[3] = {1, 2, merlin::PipelineMode::kFlatten};
+  app.manual_config.loops[4] = {1, 16, merlin::PipelineMode::kOff};
+  app.manual_config.buffer_bits["in_1"] = 512;
+  app.manual_config.buffer_bits["in_2"] = 64;
+  app.manual_config.buffer_bits["in_3"] = 32;
+  app.manual_config.buffer_bits["out_1"] = 32;
+
+  app.bench_records = 8192;
+  return app;
+}
+
+}  // namespace s2fa::apps

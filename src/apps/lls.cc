@@ -1,0 +1,134 @@
+// LLS (Least Linear Squares) — regression.
+//
+// The RDD `reduce` evaluation kernel: sum over rows of the squared
+// residual (a·x − b)² for a broadcast solution candidate x. Exercises the
+// reduce template (accumulators kept on chip, one result per invocation)
+// and the host-side combination of per-invocation partials.
+#include "apps/detail.h"
+
+namespace s2fa::apps {
+
+namespace {
+
+using namespace detail;
+
+constexpr int kDims = 32;
+
+void DefineKernel(jvm::ClassPool& pool) {
+  jvm::Klass& in = pool.Define("LLSRow");
+  in.AddField({"_1", Type::Array(Type::Float())});  // matrix row a
+  in.AddField({"_2", Type::Float()});               // rhs b
+  in.AddField({"_3", Type::Array(Type::Float())});  // candidate x (bcast)
+
+  Assembler a;
+  // static float call(float acc, LLSRow row)  — single-precision partial
+  // sums: the relaxed-FP tree reduction applies (unlike LR's doubles).
+  // locals: 0=acc, 1=row, 2=arow, 3=x, 4=s, 5=j, 6=r
+  const Type fa = Type::Array(Type::Float());
+  a.Load(Type::Class("LLSRow"), 1).GetField("LLSRow", "_1").Store(fa, 2);
+  a.Load(Type::Class("LLSRow"), 1).GetField("LLSRow", "_3").Store(fa, 3);
+  a.FConst(0.0f).Store(Type::Float(), 4);
+  EmitLoop(a, 5, kDims, [&] {
+    a.Load(Type::Float(), 4);
+    a.Load(fa, 2).Load(Type::Int(), 5).ALoadElem(Type::Float());
+    a.Load(fa, 3).Load(Type::Int(), 5).ALoadElem(Type::Float());
+    a.FMul().FAdd().Store(Type::Float(), 4);
+  });
+  // r = s - row._2
+  a.Load(Type::Float(), 4);
+  a.Load(Type::Class("LLSRow"), 1).GetField("LLSRow", "_2");
+  a.FSub().Store(Type::Float(), 6);
+  // return acc + r * r
+  a.Load(Type::Float(), 0);
+  a.Load(Type::Float(), 6).Load(Type::Float(), 6).FMul();
+  a.FAdd().Ret(Type::Float());
+
+  MethodSignature sig;
+  sig.params = {Type::Float(), Type::Class("LLSRow")};
+  sig.ret = Type::Float();
+  pool.Define("LlsKernel")
+      .AddMethod(jvm::MakeMethod("call", sig, true, 7, a.Finish()));
+}
+
+}  // namespace
+
+App MakeLinearLeastSquares() {
+  App app;
+  app.name = "LLS";
+  app.type_label = "regression";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  DefineKernel(*app.pool);
+
+  app.spec.kernel_name = "lls_kernel";
+  app.spec.klass = "LlsKernel";
+  app.spec.pattern = kir::ParallelPattern::kReduce;
+  app.spec.input.type = Type::Class("LLSRow");
+  {
+    b2c::FieldSpec row{"_1", Type::Float(), kDims, true};
+    b2c::FieldSpec rhs{"_2", Type::Float(), 1, false};
+    b2c::FieldSpec x{"_3", Type::Float(), kDims, true};
+    x.broadcast = true;
+    app.spec.input.fields = {row, rhs, x};
+  }
+  app.spec.output.type = Type::Float();
+  app.spec.output.fields = {{"sse", Type::Float(), 1, false}};
+  app.spec.batch = 1024;
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    std::vector<float> rows;
+    std::vector<float> rhs;
+    rows.reserve(records * kDims);
+    for (std::size_t r = 0; r < records; ++r) {
+      for (int d = 0; d < kDims; ++d) {
+        rows.push_back(static_cast<float>(rng.NextDouble(-1.0, 1.0)));
+      }
+      rhs.push_back(static_cast<float>(rng.NextDouble(-2.0, 2.0)));
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("_1", kDims, std::move(rows)));
+    d.AddColumn(FloatColumn("_2", 1, std::move(rhs)));
+    return d;
+  };
+  app.make_broadcast = [](Rng& rng) {
+    std::vector<float> x;
+    for (int d = 0; d < kDims; ++d) {
+      x.push_back(static_cast<float>(rng.NextDouble(-0.5, 0.5)));
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("_3", kDims, std::move(x)));
+    return d;
+  };
+
+  app.reference = [](const Dataset& input, const Dataset* broadcast) {
+    const Column& rows = input.ColumnByField("_1");
+    const Column& rhs = input.ColumnByField("_2");
+    const Column& x = broadcast->ColumnByField("_3");
+    float sse = 0.0f;
+    for (std::size_t r = 0; r < input.num_records(); ++r) {
+      float s = 0.0f;
+      for (int d = 0; d < kDims; ++d) {
+        s += rows.data[r * kDims + static_cast<std::size_t>(d)].AsFloat() *
+             x.data[static_cast<std::size_t>(d)].AsFloat();
+      }
+      float res = s - rhs.data[r].AsFloat();
+      sse += res * res;
+    }
+    Dataset out;
+    out.AddColumn(FloatColumn("sse", 1, {sse}));
+    return out;
+  };
+
+  // Generated loop ids: L0 = x cache, L1 = dot loop, L2 = task loop.
+  app.manual_config.loops[0] = {1, 32, merlin::PipelineMode::kOn};
+  app.manual_config.loops[1] = {1, 4, merlin::PipelineMode::kOn};
+  app.manual_config.loops[2] = {1, 32, merlin::PipelineMode::kOff};
+  app.manual_config.buffer_bits["in_1"] = 512;
+  app.manual_config.buffer_bits["in_2"] = 512;
+  app.manual_config.buffer_bits["in_3"] = 512;
+  app.manual_config.buffer_bits["out_1"] = 64;
+
+  app.bench_records = 8192;
+  return app;
+}
+
+}  // namespace s2fa::apps

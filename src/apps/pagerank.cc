@@ -1,0 +1,97 @@
+// PR (PageRank) — graph processing.
+//
+// Per node: new_rank = 0.15 + 0.85 * sum(neighbor contributions). The
+// computational pattern is "too simple to hide the communication latency"
+// (paper §5.2): 64 floats in per one float out makes the accelerator
+// bandwidth-bound, so even the manual design shows a modest speedup and
+// the best configurations leave most of the fabric idle (Table 2: 25%
+// BRAM, 2% DSP).
+#include "apps/detail.h"
+
+namespace s2fa::apps {
+
+namespace {
+
+using namespace detail;
+
+constexpr int kContribs = 64;
+
+void DefineKernel(jvm::ClassPool& pool) {
+  Assembler a;
+  // static float call(float[] contribs)
+  // locals: 0=contribs, 1=acc, 2=j
+  a.FConst(0.0f).Store(Type::Float(), 1);
+  EmitLoop(a, 2, kContribs, [&] {
+    a.Load(Type::Float(), 1);
+    a.Load(Type::Array(Type::Float()), 0).Load(Type::Int(), 2)
+        .ALoadElem(Type::Float());
+    a.FAdd().Store(Type::Float(), 1);
+  });
+  a.FConst(0.15f);
+  a.Load(Type::Float(), 1).FConst(0.85f).FMul();
+  a.FAdd().Ret(Type::Float());
+
+  MethodSignature sig;
+  sig.params = {Type::Array(Type::Float())};
+  sig.ret = Type::Float();
+  pool.Define("PageRankKernel")
+      .AddMethod(jvm::MakeMethod("call", sig, /*is_static=*/true, 3,
+                                 a.Finish()));
+}
+
+}  // namespace
+
+App MakePageRank() {
+  App app;
+  app.name = "PR";
+  app.type_label = "graph proc.";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  DefineKernel(*app.pool);
+
+  app.spec.kernel_name = "pr_kernel";
+  app.spec.klass = "PageRankKernel";
+  app.spec.input.type = Type::Array(Type::Float());
+  app.spec.input.fields = {{"contribs", Type::Float(), kContribs, true}};
+  app.spec.output.type = Type::Float();
+  app.spec.output.fields = {{"rank", Type::Float(), 1, false}};
+  app.spec.batch = 2048;  // bandwidth-bound kernels amortize with big batches
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    std::vector<float> contribs;
+    contribs.reserve(records * kContribs);
+    for (std::size_t n = 0; n < records * kContribs; ++n) {
+      contribs.push_back(static_cast<float>(rng.NextDouble(0.0, 0.01)));
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("contribs", kContribs, std::move(contribs)));
+    return d;
+  };
+
+  app.reference = [](const Dataset& input, const Dataset*) {
+    const Column& col = input.ColumnByField("contribs");
+    std::vector<float> ranks;
+    ranks.reserve(input.num_records());
+    for (std::size_t r = 0; r < input.num_records(); ++r) {
+      float acc = 0.0f;
+      for (int j = 0; j < kContribs; ++j) {
+        acc += col.data[r * kContribs + static_cast<std::size_t>(j)]
+                   .AsFloat();
+      }
+      ranks.push_back(0.15f + 0.85f * acc);
+    }
+    Dataset out;
+    out.AddColumn(FloatColumn("rank", 1, std::move(ranks)));
+    return out;
+  };
+
+  // Generated loop ids: L0 = contribution sum, L1 = task loop.
+  app.manual_config.loops[0] = {1, 32, merlin::PipelineMode::kOn};
+  app.manual_config.loops[1] = {1, 64, merlin::PipelineMode::kOn};
+  app.manual_config.buffer_bits["in_1"] = 512;
+  app.manual_config.buffer_bits["out_1"] = 512;
+
+  app.bench_records = 16384;
+  return app;
+}
+
+}  // namespace s2fa::apps

@@ -1,0 +1,175 @@
+// S-W (Smith-Waterman) — string processing; the paper's motivating example
+// (Code 1/2).
+//
+// Per record: the best local-alignment score of a pair of 128-byte
+// sequences (match +3, mismatch −1, gap −2) computed over a two-row
+// dynamic-programming band. The inner loop carries cur[j+1] ← cur[j]
+// (the anti-diagonal wavefront): pipelining it hits the recurrence II, and
+// unrolling it deepens the ripple path — the design that wins instead
+// unrolls the independent *task* loop into parallel alignment units, at
+// the cost of the 100 MHz clock Table 2 reports.
+#include "apps/detail.h"
+
+namespace s2fa::apps {
+
+namespace {
+
+using namespace detail;
+
+constexpr int kLen = 128;
+constexpr int kMatch = 3;
+constexpr int kMismatch = -1;
+constexpr int kGap = 2;
+
+void DefineKernel(jvm::ClassPool& pool) {
+  jvm::Klass& in = pool.Define("SWPair");
+  in.AddField({"_1", Type::Array(Type::Byte())});
+  in.AddField({"_2", Type::Array(Type::Byte())});
+
+  Assembler a;
+  // static int call(SWPair in)
+  // locals: 0=in, 1=sa, 2=sb, 3=prev, 4=cur, 5=best, 6=i, 7=j,
+  //         8=sc, 9=d, 10=u, 11=l, 12=h
+  const Type ba = Type::Array(Type::Byte());
+  const Type ia = Type::Array(Type::Int());
+  a.Load(Type::Class("SWPair"), 0).GetField("SWPair", "_1").Store(ba, 1);
+  a.Load(Type::Class("SWPair"), 0).GetField("SWPair", "_2").Store(ba, 2);
+  a.IConst(kLen + 1).NewArray(Type::Int()).Store(ia, 3);
+  a.IConst(kLen + 1).NewArray(Type::Int()).Store(ia, 4);
+  a.IConst(0).Store(Type::Int(), 5);
+  EmitLoop(a, 6, kLen, [&] {
+    EmitLoop(a, 7, kLen, [&] {
+      // sc = (sa[i] == sb[j]) ? kMatch : kMismatch
+      a.Load(ba, 1).Load(Type::Int(), 6).ALoadElem(Type::Byte());
+      a.Load(ba, 2).Load(Type::Int(), 7).ALoadElem(Type::Byte());
+      auto miss = a.NewLabel();
+      auto done = a.NewLabel();
+      a.IfICmp(Cond::kNe, miss);
+      a.IConst(kMatch).Goto(done);
+      a.Bind(miss);
+      a.IConst(kMismatch);
+      a.Bind(done);
+      a.Store(Type::Int(), 8);
+      // d = prev[j] + sc
+      a.Load(ia, 3).Load(Type::Int(), 7).ALoadElem(Type::Int());
+      a.Load(Type::Int(), 8).IAdd().Store(Type::Int(), 9);
+      // u = prev[j+1] - kGap
+      a.Load(ia, 3).Load(Type::Int(), 7).IConst(1).IAdd()
+          .ALoadElem(Type::Int());
+      a.IConst(kGap).ISub().Store(Type::Int(), 10);
+      // l = cur[j] - kGap
+      a.Load(ia, 4).Load(Type::Int(), 7).ALoadElem(Type::Int());
+      a.IConst(kGap).ISub().Store(Type::Int(), 11);
+      // h = max(0, max(d, max(u, l)))
+      a.Load(Type::Int(), 9).Load(Type::Int(), 10)
+          .Bin(Type::Int(), jvm::BinOp::kMax);
+      a.Load(Type::Int(), 11).Bin(Type::Int(), jvm::BinOp::kMax);
+      a.IConst(0).Bin(Type::Int(), jvm::BinOp::kMax);
+      a.Store(Type::Int(), 12);
+      // cur[j + 1] = h
+      a.Load(ia, 4).Load(Type::Int(), 7).IConst(1).IAdd();
+      a.Load(Type::Int(), 12).AStoreElem(Type::Int());
+      // best = max(best, h)
+      a.Load(Type::Int(), 5).Load(Type::Int(), 12)
+          .Bin(Type::Int(), jvm::BinOp::kMax);
+      a.Store(Type::Int(), 5);
+    });
+    // Row roll: prev <- cur.
+    EmitLoop(a, 7, kLen + 1, [&] {
+      a.Load(ia, 3).Load(Type::Int(), 7);
+      a.Load(ia, 4).Load(Type::Int(), 7).ALoadElem(Type::Int());
+      a.AStoreElem(Type::Int());
+    });
+  });
+  a.Load(Type::Int(), 5).Ret(Type::Int());
+
+  MethodSignature sig;
+  sig.params = {Type::Class("SWPair")};
+  sig.ret = Type::Int();
+  pool.Define("SmithWatermanKernel")
+      .AddMethod(jvm::MakeMethod("call", sig, true, 13, a.Finish()));
+}
+
+}  // namespace
+
+App MakeSmithWaterman() {
+  App app;
+  app.name = "S-W";
+  app.type_label = "string proc.";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  DefineKernel(*app.pool);
+
+  app.spec.kernel_name = "sw_kernel";
+  app.spec.klass = "SmithWatermanKernel";
+  app.spec.input.type = Type::Class("SWPair");
+  app.spec.input.fields = {{"_1", Type::Byte(), kLen, true},
+                           {"_2", Type::Byte(), kLen, true}};
+  app.spec.output.type = Type::Int();
+  app.spec.output.fields = {{"score", Type::Int(), 1, false}};
+  app.spec.batch = 256;
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    // DNA-like 4-letter alphabet.
+    std::vector<std::int32_t> sa, sb;
+    sa.reserve(records * kLen);
+    sb.reserve(records * kLen);
+    const char alphabet[4] = {'A', 'C', 'G', 'T'};
+    for (std::size_t n = 0; n < records * kLen; ++n) {
+      sa.push_back(alphabet[rng.NextIndex(4)]);
+      sb.push_back(alphabet[rng.NextIndex(4)]);
+    }
+    Dataset d;
+    d.AddColumn(ByteColumn("_1", kLen, std::move(sa)));
+    d.AddColumn(ByteColumn("_2", kLen, std::move(sb)));
+    return d;
+  };
+
+  app.reference = [](const Dataset& input, const Dataset*) {
+    const Column& sa = input.ColumnByField("_1");
+    const Column& sb = input.ColumnByField("_2");
+    std::vector<std::int32_t> scores;
+    for (std::size_t r = 0; r < input.num_records(); ++r) {
+      std::vector<int> prev(kLen + 1, 0), cur(kLen + 1, 0);
+      int best = 0;
+      for (int i = 0; i < kLen; ++i) {
+        for (int j = 0; j < kLen; ++j) {
+          int sc = sa.data[r * kLen + static_cast<std::size_t>(i)].AsInt() ==
+                           sb.data[r * kLen +
+                                   static_cast<std::size_t>(j)].AsInt()
+                       ? kMatch
+                       : kMismatch;
+          int d = prev[static_cast<std::size_t>(j)] + sc;
+          int u = prev[static_cast<std::size_t>(j + 1)] - kGap;
+          int l = cur[static_cast<std::size_t>(j)] - kGap;
+          int h = std::max(0, std::max(d, std::max(u, l)));
+          cur[static_cast<std::size_t>(j + 1)] = h;
+          best = std::max(best, h);
+        }
+        prev = cur;
+      }
+      scores.push_back(best);
+    }
+    Dataset out;
+    out.AddColumn(IntColumn("score", 1, std::move(scores)));
+    return out;
+  };
+
+  // Scala string processing on JDK 1.7 pays boxed-char costs the
+  // interpreter model does not include.
+  app.jvm_cost_scale = 12.0;
+
+  // Generated loop ids: L0/L1 = prev/cur zero-init, L2 = inner wavefront,
+  // L3 = row roll, L4 = the i loop, L5 = task loop. The expert design
+  // deploys parallel alignment units over the task loop.
+  app.manual_config.loops[2] = {1, 1, merlin::PipelineMode::kOn};
+  app.manual_config.loops[3] = {1, 16, merlin::PipelineMode::kOn};
+  app.manual_config.loops[5] = {1, 128, merlin::PipelineMode::kOff};
+  app.manual_config.buffer_bits["in_1"] = 512;
+  app.manual_config.buffer_bits["in_2"] = 512;
+  app.manual_config.buffer_bits["out_1"] = 64;
+
+  app.bench_records = 512;
+  return app;
+}
+
+}  // namespace s2fa::apps

@@ -1,0 +1,133 @@
+// SVM (Support Vector Machine) — regression/classification.
+//
+// Per sample: the hinge loss max(0, 1 − y·(w·x)) against a broadcast weight
+// vector. The dot product is a clean associative reduction, so the DSE can
+// unroll it with a tree rewrite; FF/LUT dominate the utilization (Table 2).
+#include "apps/detail.h"
+
+namespace s2fa::apps {
+
+namespace {
+
+using namespace detail;
+
+constexpr int kDims = 32;
+
+void DefineKernel(jvm::ClassPool& pool) {
+  jvm::Klass& in = pool.Define("SVMSample");
+  in.AddField({"_1", Type::Array(Type::Float())});  // features
+  in.AddField({"_2", Type::Float()});               // label (+1/-1)
+  in.AddField({"_3", Type::Array(Type::Float())});  // weights (broadcast)
+
+  Assembler a;
+  // static float call(SVMSample in)
+  // locals: 0=in, 1=x, 2=w, 3=y, 4=s, 5=j
+  const Type fa = Type::Array(Type::Float());
+  a.Load(Type::Class("SVMSample"), 0).GetField("SVMSample", "_1")
+      .Store(fa, 1);
+  a.Load(Type::Class("SVMSample"), 0).GetField("SVMSample", "_3")
+      .Store(fa, 2);
+  a.Load(Type::Class("SVMSample"), 0).GetField("SVMSample", "_2")
+      .Store(Type::Float(), 3);
+  a.FConst(0.0f).Store(Type::Float(), 4);
+  EmitLoop(a, 5, kDims, [&] {
+    a.Load(Type::Float(), 4);
+    a.Load(fa, 1).Load(Type::Int(), 5).ALoadElem(Type::Float());
+    a.Load(fa, 2).Load(Type::Int(), 5).ALoadElem(Type::Float());
+    a.FMul().FAdd().Store(Type::Float(), 4);
+  });
+  // return max(1 - y*s, 0)
+  a.FConst(1.0f);
+  a.Load(Type::Float(), 3).Load(Type::Float(), 4).FMul();
+  a.FSub();
+  a.FConst(0.0f);
+  a.Bin(Type::Float(), jvm::BinOp::kMax);
+  a.Ret(Type::Float());
+
+  MethodSignature sig;
+  sig.params = {Type::Class("SVMSample")};
+  sig.ret = Type::Float();
+  pool.Define("SvmKernel")
+      .AddMethod(jvm::MakeMethod("call", sig, true, 6, a.Finish()));
+}
+
+}  // namespace
+
+App MakeSvm() {
+  App app;
+  app.name = "SVM";
+  app.type_label = "regression";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  DefineKernel(*app.pool);
+
+  app.spec.kernel_name = "svm_kernel";
+  app.spec.klass = "SvmKernel";
+  app.spec.input.type = Type::Class("SVMSample");
+  {
+    b2c::FieldSpec x{"_1", Type::Float(), kDims, true};
+    b2c::FieldSpec y{"_2", Type::Float(), 1, false};
+    b2c::FieldSpec w{"_3", Type::Float(), kDims, true};
+    w.broadcast = true;
+    app.spec.input.fields = {x, y, w};
+  }
+  app.spec.output.type = Type::Float();
+  app.spec.output.fields = {{"hinge", Type::Float(), 1, false}};
+  app.spec.batch = 1024;
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    std::vector<float> xs;
+    std::vector<float> ys;
+    xs.reserve(records * kDims);
+    for (std::size_t r = 0; r < records; ++r) {
+      for (int d = 0; d < kDims; ++d) {
+        xs.push_back(static_cast<float>(rng.NextDouble(-1.0, 1.0)));
+      }
+      ys.push_back(rng.NextBool() ? 1.0f : -1.0f);
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("_1", kDims, std::move(xs)));
+    d.AddColumn(FloatColumn("_2", 1, std::move(ys)));
+    return d;
+  };
+  app.make_broadcast = [](Rng& rng) {
+    std::vector<float> w;
+    for (int d = 0; d < kDims; ++d) {
+      w.push_back(static_cast<float>(rng.NextDouble(-0.5, 0.5)));
+    }
+    Dataset d;
+    d.AddColumn(FloatColumn("_3", kDims, std::move(w)));
+    return d;
+  };
+
+  app.reference = [](const Dataset& input, const Dataset* broadcast) {
+    const Column& xs = input.ColumnByField("_1");
+    const Column& ys = input.ColumnByField("_2");
+    const Column& w = broadcast->ColumnByField("_3");
+    std::vector<float> hinge;
+    for (std::size_t r = 0; r < input.num_records(); ++r) {
+      float s = 0.0f;
+      for (int d = 0; d < kDims; ++d) {
+        s += xs.data[r * kDims + static_cast<std::size_t>(d)].AsFloat() *
+             w.data[static_cast<std::size_t>(d)].AsFloat();
+      }
+      float margin = 1.0f - ys.data[r].AsFloat() * s;
+      hinge.push_back(std::max(margin, 0.0f));
+    }
+    Dataset out;
+    out.AddColumn(FloatColumn("hinge", 1, std::move(hinge)));
+    return out;
+  };
+
+  // Generated loop ids: L0 = weight cache, L1 = dot loop, L2 = task loop.
+  app.manual_config.loops[1] = {1, kDims, merlin::PipelineMode::kOff};
+  app.manual_config.loops[2] = {1, 4, merlin::PipelineMode::kFlatten};
+  app.manual_config.buffer_bits["in_1"] = 512;
+  app.manual_config.buffer_bits["in_2"] = 64;
+  app.manual_config.buffer_bits["in_3"] = 512;
+  app.manual_config.buffer_bits["out_1"] = 64;
+
+  app.bench_records = 8192;
+  return app;
+}
+
+}  // namespace s2fa::apps

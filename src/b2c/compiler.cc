@@ -1,0 +1,1179 @@
+#include "b2c/compiler.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "jvm/verifier.h"
+#include "kir/analysis.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace s2fa::b2c {
+
+namespace {
+
+using jvm::Cond;
+using jvm::Insn;
+using jvm::Opcode;
+using kir::BinaryOp;
+using kir::Buffer;
+using kir::BufferKind;
+using kir::Expr;
+using kir::ExprPtr;
+using kir::ParallelPattern;
+using kir::Stmt;
+using kir::StmtPtr;
+using kir::Type;
+using kir::TypeKind;
+
+constexpr int kMaxInlineDepth = 16;
+constexpr const char* kTaskVar = "i";
+
+// ------------------------------------------------------ symbolic values
+
+struct SymObject;
+
+// One abstractly-interpreted stack/local slot.
+struct SymValue {
+  enum class Kind {
+    kNone,    // uninitialized / unsupported (e.g. `this`)
+    kExpr,    // a pure expression
+    kBuffer,  // reference to a kernel buffer (+ element base offset)
+    kObject,  // flattened object instance
+    kCmp,     // result of fcmp/dcmp/lcmp awaiting its consuming branch
+  };
+  Kind kind = Kind::kNone;
+  ExprPtr expr;       // kExpr; kCmp lhs
+  ExprPtr expr2;      // kCmp rhs
+  std::string buffer;
+  Type elem;
+  ExprPtr base;       // may be null (offset 0)
+  std::int64_t length = 0;
+  std::shared_ptr<SymObject> object;
+
+  static SymValue OfExpr(ExprPtr e) {
+    SymValue v;
+    v.kind = Kind::kExpr;
+    v.expr = std::move(e);
+    return v;
+  }
+  static SymValue OfBuffer(std::string name, Type element, ExprPtr base_off,
+                           std::int64_t len) {
+    SymValue v;
+    v.kind = Kind::kBuffer;
+    v.buffer = std::move(name);
+    v.elem = element;
+    v.base = std::move(base_off);
+    v.length = len;
+    return v;
+  }
+};
+
+struct SymObject {
+  std::string klass;
+  std::vector<SymValue> fields;
+};
+
+BinaryOp CondToOp(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return BinaryOp::kEq;
+    case Cond::kNe: return BinaryOp::kNe;
+    case Cond::kLt: return BinaryOp::kLt;
+    case Cond::kGe: return BinaryOp::kGe;
+    case Cond::kGt: return BinaryOp::kGt;
+    case Cond::kLe: return BinaryOp::kLe;
+  }
+  S2FA_UNREACHABLE("bad cond");
+}
+
+Cond NegateCond(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return Cond::kNe;
+    case Cond::kNe: return Cond::kEq;
+    case Cond::kLt: return Cond::kGe;
+    case Cond::kGe: return Cond::kLt;
+    case Cond::kGt: return Cond::kLe;
+    case Cond::kLe: return Cond::kGt;
+  }
+  S2FA_UNREACHABLE("bad cond");
+}
+
+BinaryOp MapBinOp(jvm::BinOp op) {
+  switch (op) {
+    case jvm::BinOp::kAdd: return BinaryOp::kAdd;
+    case jvm::BinOp::kSub: return BinaryOp::kSub;
+    case jvm::BinOp::kMul: return BinaryOp::kMul;
+    case jvm::BinOp::kDiv: return BinaryOp::kDiv;
+    case jvm::BinOp::kRem: return BinaryOp::kRem;
+    case jvm::BinOp::kShl: return BinaryOp::kShl;
+    case jvm::BinOp::kShr: return BinaryOp::kShr;
+    case jvm::BinOp::kUShr: return BinaryOp::kUShr;
+    case jvm::BinOp::kAnd: return BinaryOp::kAnd;
+    case jvm::BinOp::kOr: return BinaryOp::kOr;
+    case jvm::BinOp::kXor: return BinaryOp::kXor;
+    case jvm::BinOp::kMin: return BinaryOp::kMin;
+    case jvm::BinOp::kMax: return BinaryOp::kMax;
+  }
+  S2FA_UNREACHABLE("bad binop");
+}
+
+ExprPtr ZeroOf(const Type& type) {
+  if (type.is_floating()) return Expr::FloatLit(0.0, type);
+  return Expr::IntLit(0, type.kind() == TypeKind::kLong ? Type::Long()
+                                                        : Type::Int());
+}
+
+// base + index, folding a null/zero base away.
+ExprPtr AddBase(const ExprPtr& base, const ExprPtr& index) {
+  if (base == nullptr) return index;
+  if (index->IsIntLit(0)) return base;
+  return Expr::Binary(BinaryOp::kAdd, base, index);
+}
+
+// --------------------------------------------------------- the compiler
+
+class Compiler {
+ public:
+  Compiler(const jvm::ClassPool& pool, const KernelSpec& spec)
+      : pool_(pool), spec_(spec) {}
+
+  kir::Kernel Run();
+
+ private:
+  struct MethodCtx {
+    const jvm::Method* method = nullptr;
+    std::vector<SymValue> locals;
+    // Slot -> emitted C variable name (primitive locals only).
+    std::map<int, std::string> var_names;
+    std::map<int, Type> var_types;
+    std::set<int> declared;
+    std::string prefix;
+    bool saw_return = false;
+    SymValue ret;
+  };
+
+  // Compiles code[begin, end) appending statements to `out`. `top_level`
+  // is true only for the outermost range of a method: a return instruction
+  // is legal only there (single-tail-return restriction).
+  void CompileRange(MethodCtx& ctx, std::size_t begin, std::size_t end,
+                    std::vector<SymValue>& stack, std::vector<StmtPtr>& out,
+                    bool top_level = false);
+
+  void CompileCountedLoop(MethodCtx& ctx, std::size_t if_pc, std::size_t T,
+                          std::vector<SymValue>& stack,
+                          std::vector<StmtPtr>& out);
+
+  void CompileIf(MethodCtx& ctx, std::size_t pc, std::size_t end,
+                 std::vector<SymValue>& stack, std::vector<StmtPtr>& out,
+                 std::size_t& next_pc);
+
+  void InlineCall(MethodCtx& ctx, const Insn& insn,
+                  std::vector<SymValue>& stack, std::vector<StmtPtr>& out);
+
+  // Pops a value, materializing comparison markers into an expression.
+  ExprPtr PopExpr(std::vector<SymValue>& stack);
+  SymValue Pop(std::vector<SymValue>& stack);
+
+  // Builds the IR condition for a branch, optionally negated (the
+  // fallthrough path of `if<cond> goto L` executes when cond is false).
+  ExprPtr BuildCond(const Insn& insn, std::vector<SymValue>& stack,
+                    bool negate);
+
+  // Binds the kernel parameter described by `io`. Broadcast fields are
+  // burst into on-chip caches by statements appended to `prologue` (they
+  // run before the task loop).
+  SymValue BindParameter(const IoSpec& io, bool is_input,
+                         const std::string& buffer_prefix,
+                         std::vector<StmtPtr>& prologue);
+
+  void AppendMapOutputBinding(const SymValue& ret, std::vector<StmtPtr>& out);
+  void AppendReduceTemplate(MethodCtx& ctx, std::vector<StmtPtr>& kernel_stmts,
+                            std::vector<StmtPtr>& body_stmts);
+
+  std::string LocalName(MethodCtx& ctx, int slot) {
+    auto it = ctx.var_names.find(slot);
+    if (it != ctx.var_names.end()) return it->second;
+    std::string name = ctx.prefix + "lv" + std::to_string(slot);
+    ctx.var_names[slot] = name;
+    return name;
+  }
+
+  int NextLoopId() { return loop_id_counter_++; }
+  std::string NewTemp() { return "t" + std::to_string(temp_counter_++); }
+
+  // Allocates a kernel-local buffer, emitting its zero-init loop.
+  SymValue NewLocalBuffer(const Type& element, std::int64_t length,
+                          std::vector<StmtPtr>& out);
+
+  const jvm::ClassPool& pool_;
+  const KernelSpec& spec_;
+  kir::Kernel kernel_;
+  int loop_id_counter_ = 0;
+  int temp_counter_ = 0;
+  int loc_counter_ = 0;
+  int inline_counter_ = 0;
+  int inline_depth_ = 0;
+  // Scalar accumulator variable names for the reduce template.
+  std::vector<std::string> acc_vars_;
+};
+
+SymValue Compiler::Pop(std::vector<SymValue>& stack) {
+  if (stack.empty()) {
+    throw InternalError("b2c: operand stack underflow (verifier gap?)");
+  }
+  SymValue v = std::move(stack.back());
+  stack.pop_back();
+  return v;
+}
+
+ExprPtr Compiler::PopExpr(std::vector<SymValue>& stack) {
+  SymValue v = Pop(stack);
+  switch (v.kind) {
+    case SymValue::Kind::kExpr:
+      return v.expr;
+    case SymValue::Kind::kCmp: {
+      // Materialize the three-way compare: (a<b) ? -1 : ((a>b) ? 1 : 0).
+      auto lt = Expr::Binary(BinaryOp::kLt, v.expr, v.expr2);
+      auto gt = Expr::Binary(BinaryOp::kGt, v.expr, v.expr2);
+      return Expr::Select(
+          lt, Expr::IntLit(-1),
+          Expr::Select(gt, Expr::IntLit(1), Expr::IntLit(0)));
+    }
+    default:
+      throw Unsupported(
+          "b2c: a reference value was used where a primitive expression is "
+          "required (unsupported object flow)");
+  }
+}
+
+ExprPtr Compiler::BuildCond(const Insn& insn, std::vector<SymValue>& stack,
+                            bool negate) {
+  Cond cond = negate ? NegateCond(insn.cond) : insn.cond;
+  if (insn.op == Opcode::kIfICmp) {
+    ExprPtr b = PopExpr(stack);
+    ExprPtr a = PopExpr(stack);
+    return Expr::Binary(CondToOp(cond), a, b);
+  }
+  // kIf compares the top value with zero; fold cmp markers directly.
+  SymValue v = Pop(stack);
+  if (v.kind == SymValue::Kind::kCmp) {
+    return Expr::Binary(CondToOp(cond), v.expr, v.expr2);
+  }
+  if (v.kind != SymValue::Kind::kExpr) {
+    throw Unsupported("b2c: branch on non-primitive value");
+  }
+  return Expr::Binary(CondToOp(cond), v.expr, Expr::IntLit(0));
+}
+
+SymValue Compiler::NewLocalBuffer(const Type& element, std::int64_t length,
+                                  std::vector<StmtPtr>& out) {
+  std::string name = "loc" + std::to_string(++loc_counter_);
+  Buffer buf;
+  buf.name = name;
+  buf.element = element;
+  buf.length = length;
+  buf.kind = BufferKind::kLocal;
+  kernel_.buffers.push_back(buf);
+  // Fresh JVM arrays are zero-initialized; static C arrays persist across
+  // task iterations, so emit the zeroing loop the real compiler emits.
+  int id = NextLoopId();
+  std::string var = "z" + std::to_string(id);
+  auto zero = Stmt::Assign(
+      Expr::ArrayRef(name, element, Expr::Var(var, Type::Int())),
+      ZeroOf(element));
+  out.push_back(Stmt::For(id, var, length, Stmt::Block({zero})));
+  return SymValue::OfBuffer(name, element, nullptr, length);
+}
+
+void Compiler::CompileCountedLoop(MethodCtx& ctx, std::size_t if_pc,
+                                  std::size_t T,
+                                  std::vector<SymValue>& stack,
+                                  std::vector<StmtPtr>& out) {
+  const auto& code = ctx.method->code;
+  const Insn& branch = code[if_pc];
+  // Canonical form: load i; const K; if_icmpge EXIT; body...; iinc i 1;
+  // goto HEAD; EXIT:
+  if (branch.op != Opcode::kIfICmp || branch.cond != Cond::kGe) {
+    throw Unsupported(
+        "b2c: only canonical `i < K` counted loops are supported (got " +
+        branch.ToString() + ")");
+  }
+  ExprPtr bound = PopExpr(stack);
+  ExprPtr ivar = PopExpr(stack);
+  if (bound->kind() != kir::ExprKind::kIntLit) {
+    throw Unsupported(
+        "b2c: loop bound must be a compile-time constant (paper 3.3)");
+  }
+  if (ivar->kind() != kir::ExprKind::kVar) {
+    throw Unsupported("b2c: loop induction must be a local variable");
+  }
+  const std::int64_t trip = bound->int_value();
+  if (trip < 1) {
+    throw Unsupported("b2c: loop trip count must be >= 1, got " +
+                      std::to_string(trip));
+  }
+  const std::string iname = ivar->name();
+
+  // The init `i = 0` was just emitted as the previous statement.
+  if (out.empty()) {
+    throw Unsupported("b2c: counted loop without `i = 0` initialization");
+  }
+  const StmtPtr& init = out.back();
+  bool init_ok = false;
+  if (init->kind() == kir::StmtKind::kDecl && init->decl_name() == iname &&
+      init->init() && init->init()->IsIntLit(0)) {
+    init_ok = true;
+  }
+  if (init->kind() == kir::StmtKind::kAssign &&
+      init->lhs()->kind() == kir::ExprKind::kVar &&
+      init->lhs()->name() == iname && init->rhs()->IsIntLit(0)) {
+    init_ok = true;
+  }
+  if (!init_ok) {
+    throw Unsupported("b2c: counted loop must start from 0 (canonical form)");
+  }
+  out.pop_back();  // the For header subsumes the init
+
+  // The body must end with `iinc i, 1` right before the backedge goto.
+  if (T < 3 || code[T - 2].op != Opcode::kIInc || code[T - 2].const_i != 1) {
+    throw Unsupported("b2c: counted loop must step by iinc +1");
+  }
+  int islot = code[T - 2].slot;
+  if (LocalName(ctx, islot) != iname) {
+    throw Unsupported("b2c: loop increments a different variable than it "
+                      "tests");
+  }
+
+  std::vector<SymValue> body_stack;
+  std::vector<StmtPtr> body;
+  CompileRange(ctx, if_pc + 1, T - 2, body_stack, body);
+  if (!body_stack.empty()) {
+    throw Unsupported("b2c: loop body leaves values on the operand stack");
+  }
+  // The induction variable must not be written inside the body.
+  for (const auto& st : body) {
+    kir::VisitStmt(st, std::function<void(const kir::Stmt&)>(
+                           [&](const kir::Stmt& s) {
+                             if (s.kind() == kir::StmtKind::kAssign &&
+                                 s.lhs()->kind() == kir::ExprKind::kVar &&
+                                 s.lhs()->name() == iname) {
+                               throw Unsupported(
+                                   "b2c: loop body writes the induction "
+                                   "variable");
+                             }
+                           }));
+  }
+  out.push_back(Stmt::For(NextLoopId(), iname, trip, Stmt::Block(body)));
+}
+
+void Compiler::CompileIf(MethodCtx& ctx, std::size_t pc, std::size_t end,
+                         std::vector<SymValue>& stack,
+                         std::vector<StmtPtr>& out, std::size_t& next_pc) {
+  const auto& code = ctx.method->code;
+  const Insn& branch = code[pc];
+  const std::size_t T = branch.target;
+  ExprPtr cond = BuildCond(branch, stack, /*negate=*/true);
+
+  std::size_t then_begin = pc + 1;
+  std::size_t then_end = T;
+  std::size_t else_begin = 0;
+  std::size_t else_end = 0;
+  bool has_else = false;
+  if (T >= 1 && T - 1 > pc && T - 1 < end &&
+      code[T - 1].op == Opcode::kGoto && code[T - 1].target > T &&
+      code[T - 1].target <= end) {
+    has_else = true;
+    then_end = T - 1;
+    else_begin = T;
+    else_end = code[T - 1].target;
+    next_pc = else_end;
+  } else {
+    next_pc = T;
+  }
+
+  std::vector<SymValue> stack_then = stack;
+  std::vector<SymValue> stack_else = stack;
+  std::vector<StmtPtr> stmts_then;
+  std::vector<StmtPtr> stmts_else;
+  CompileRange(ctx, then_begin, then_end, stack_then, stmts_then);
+  if (has_else) {
+    CompileRange(ctx, else_begin, else_end, stack_else, stmts_else);
+  }
+
+  const std::size_t base = stack.size();
+  if (stack_then.size() == base && stack_else.size() == base) {
+    out.push_back(Stmt::If(cond, Stmt::Block(std::move(stmts_then)),
+                           has_else ? Stmt::Block(std::move(stmts_else))
+                                    : nullptr));
+    return;
+  }
+  if (has_else && stack_then.size() == base + 1 &&
+      stack_else.size() == base + 1) {
+    // Value-producing conditional (scalac if-expression).
+    ExprPtr then_val = PopExpr(stack_then);
+    ExprPtr else_val = PopExpr(stack_else);
+    if (stmts_then.empty() && stmts_else.empty()) {
+      stack.push_back(SymValue::OfExpr(Expr::Select(cond, then_val, else_val)));
+      return;
+    }
+    const Type& type = then_val->type();
+    std::string tmp = NewTemp();
+    out.push_back(Stmt::Decl(tmp, type, nullptr));
+    stmts_then.push_back(Stmt::Assign(Expr::Var(tmp, type), then_val));
+    stmts_else.push_back(Stmt::Assign(Expr::Var(tmp, type), else_val));
+    out.push_back(Stmt::If(cond, Stmt::Block(std::move(stmts_then)),
+                           Stmt::Block(std::move(stmts_else))));
+    stack.push_back(SymValue::OfExpr(Expr::Var(tmp, type)));
+    return;
+  }
+  throw Unsupported(
+      "b2c: branches leave inconsistent values on the operand stack");
+}
+
+void Compiler::InlineCall(MethodCtx& ctx, const Insn& insn,
+                          std::vector<SymValue>& stack,
+                          std::vector<StmtPtr>& out) {
+  if (jvm::ClassPool::IsMathIntrinsic(insn.owner, insn.member)) {
+    const bool binary = insn.member == "pow" || insn.member == "max" ||
+                        insn.member == "min";
+    ExprPtr b = binary ? PopExpr(stack) : nullptr;
+    ExprPtr a = PopExpr(stack);
+    if (insn.member == "max" || insn.member == "min") {
+      stack.push_back(SymValue::OfExpr(Expr::Binary(
+          insn.member == "max" ? BinaryOp::kMax : BinaryOp::kMin, a, b)));
+      return;
+    }
+    kir::Intrinsic fn = kir::Intrinsic::kExp;
+    if (insn.member == "log") fn = kir::Intrinsic::kLog;
+    if (insn.member == "sqrt") fn = kir::Intrinsic::kSqrt;
+    if (insn.member == "abs") fn = kir::Intrinsic::kAbs;
+    if (insn.member == "pow") fn = kir::Intrinsic::kPow;
+    std::vector<ExprPtr> args{a};
+    if (fn == kir::Intrinsic::kPow) args.push_back(b);
+    stack.push_back(
+        SymValue::OfExpr(Expr::Call(fn, std::move(args), Type::Double())));
+    return;
+  }
+  if (insn.member == "<init>") {
+    throw Unsupported(
+        "b2c: constructors are not modeled; build objects with new + "
+        "putfield");
+  }
+  if (!pool_.Has(insn.owner)) {
+    // Paper §3.3: library calls are unsupported because their bytecode may
+    // lack type information.
+    throw Unsupported("b2c: call to library class " + insn.owner +
+                      " (library calls unsupported)");
+  }
+  const jvm::Method& callee = pool_.Get(insn.owner).GetMethod(insn.member);
+  if (++inline_depth_ > kMaxInlineDepth) {
+    throw Unsupported("b2c: inline depth exceeded (recursive kernel?)");
+  }
+
+  MethodCtx sub;
+  sub.method = &callee;
+  sub.prefix = "f" + std::to_string(inline_counter_++) + "_";
+  sub.locals.resize(static_cast<std::size_t>(callee.max_locals));
+
+  // Bind arguments right-to-left into parameter slots.
+  int slot = callee.ParamSlotCount();
+  for (auto it = callee.signature.params.rbegin();
+       it != callee.signature.params.rend(); ++it) {
+    slot -= it->is_wide() ? 2 : 1;
+    SymValue arg = Pop(stack);
+    if (arg.kind == SymValue::Kind::kCmp) {
+      stack.push_back(arg);
+      arg = SymValue::OfExpr(PopExpr(stack));
+    }
+    if (arg.kind == SymValue::Kind::kExpr &&
+        arg.expr->kind() != kir::ExprKind::kVar &&
+        arg.expr->kind() != kir::ExprKind::kIntLit &&
+        arg.expr->kind() != kir::ExprKind::kFloatLit) {
+      // Evaluate non-trivial arguments once, into a temporary.
+      std::string tmp = NewTemp();
+      out.push_back(Stmt::Decl(tmp, *it, arg.expr));
+      arg = SymValue::OfExpr(Expr::Var(tmp, *it));
+    }
+    // Parameter slots are bound symbolically (Java call-by-value): a later
+    // store to the slot creates a fresh callee-local variable rather than
+    // mutating the caller's value.
+    sub.locals[static_cast<std::size_t>(slot)] = std::move(arg);
+  }
+  if (insn.invoke_kind != jvm::InvokeKind::kStatic) {
+    sub.locals[0] = Pop(stack);
+  }
+
+  std::vector<SymValue> sub_stack;
+  CompileRange(sub, 0, callee.code.size(), sub_stack, out,
+               /*top_level=*/true);
+  --inline_depth_;
+  if (!callee.signature.ret.is_void()) {
+    if (!sub.saw_return) {
+      throw Unsupported("b2c: inlined method " + insn.member +
+                        " has no tail return");
+    }
+    stack.push_back(sub.ret);
+  }
+}
+
+void Compiler::CompileRange(MethodCtx& ctx, std::size_t begin,
+                            std::size_t end, std::vector<SymValue>& stack,
+                            std::vector<StmtPtr>& out, bool top_level) {
+  const auto& code = ctx.method->code;
+  std::size_t pc = begin;
+  std::size_t stmt_start = begin;
+  while (pc < end) {
+    const Insn& insn = code[pc];
+    switch (insn.op) {
+      case Opcode::kConst: {
+        ExprPtr lit;
+        if (insn.type.is_floating()) {
+          lit = Expr::FloatLit(insn.const_f, insn.type);
+        } else {
+          lit = Expr::IntLit(insn.const_i, insn.type);
+        }
+        stack.push_back(SymValue::OfExpr(lit));
+        break;
+      }
+      case Opcode::kLoad: {
+        const SymValue& local = ctx.locals.at(static_cast<std::size_t>(insn.slot));
+        if (insn.type.is_reference()) {
+          if (local.kind != SymValue::Kind::kBuffer &&
+              local.kind != SymValue::Kind::kObject) {
+            throw Unsupported("b2c: load of uninitialized reference local " +
+                              std::to_string(insn.slot));
+          }
+          stack.push_back(local);
+        } else {
+          if (local.kind == SymValue::Kind::kExpr) {
+            stack.push_back(local);
+          } else {
+            throw Unsupported("b2c: load of uninitialized local " +
+                              std::to_string(insn.slot));
+          }
+        }
+        break;
+      }
+      case Opcode::kStore: {
+        SymValue v = Pop(stack);
+        const std::size_t slot = static_cast<std::size_t>(insn.slot);
+        if (insn.type.is_reference()) {
+          if (v.kind != SymValue::Kind::kBuffer &&
+              v.kind != SymValue::Kind::kObject) {
+            throw Unsupported("b2c: reference store of non-reference value");
+          }
+          ctx.locals[slot] = std::move(v);  // purely symbolic
+          break;
+        }
+        if (v.kind != SymValue::Kind::kExpr &&
+            v.kind != SymValue::Kind::kCmp) {
+          throw Unsupported("b2c: primitive store of reference value");
+        }
+        ExprPtr value;
+        if (v.kind == SymValue::Kind::kCmp) {
+          stack.push_back(v);
+          value = PopExpr(stack);
+        } else {
+          value = v.expr;
+        }
+        std::string name = LocalName(ctx, insn.slot);
+        if (ctx.declared.count(insn.slot) == 0) {
+          ctx.declared.insert(insn.slot);
+          ctx.var_types[insn.slot] = insn.type;
+          out.push_back(Stmt::Decl(name, insn.type, value));
+        } else {
+          out.push_back(Stmt::Assign(Expr::Var(name, insn.type), value));
+        }
+        ctx.locals[slot] =
+            SymValue::OfExpr(Expr::Var(name, ctx.var_types[insn.slot]));
+        break;
+      }
+      case Opcode::kIInc: {
+        std::string name = LocalName(ctx, insn.slot);
+        if (ctx.declared.count(insn.slot) == 0) {
+          throw Unsupported("b2c: iinc of undeclared local");
+        }
+        auto var = Expr::Var(name, Type::Int());
+        out.push_back(Stmt::Assign(
+            var, Expr::Binary(BinaryOp::kAdd, var,
+                              Expr::IntLit(insn.const_i))));
+        break;
+      }
+      case Opcode::kArrayLoad: {
+        ExprPtr index = PopExpr(stack);
+        SymValue arr = Pop(stack);
+        if (arr.kind != SymValue::Kind::kBuffer) {
+          throw Unsupported("b2c: array load on non-buffer reference");
+        }
+        stack.push_back(SymValue::OfExpr(
+            Expr::ArrayRef(arr.buffer, arr.elem, AddBase(arr.base, index))));
+        break;
+      }
+      case Opcode::kArrayStore: {
+        ExprPtr value = PopExpr(stack);
+        ExprPtr index = PopExpr(stack);
+        SymValue arr = Pop(stack);
+        if (arr.kind != SymValue::Kind::kBuffer) {
+          throw Unsupported("b2c: array store on non-buffer reference");
+        }
+        out.push_back(Stmt::Assign(
+            Expr::ArrayRef(arr.buffer, arr.elem, AddBase(arr.base, index)),
+            value));
+        break;
+      }
+      case Opcode::kNewArray: {
+        ExprPtr length = PopExpr(stack);
+        if (length->kind() != kir::ExprKind::kIntLit) {
+          throw Unsupported(
+              "b2c: `new` with non-constant size (paper 3.3 restriction)");
+        }
+        stack.push_back(NewLocalBuffer(insn.type, length->int_value(), out));
+        break;
+      }
+      case Opcode::kArrayLength: {
+        SymValue arr = Pop(stack);
+        if (arr.kind != SymValue::Kind::kBuffer) {
+          throw Unsupported("b2c: arraylength on non-buffer reference");
+        }
+        stack.push_back(SymValue::OfExpr(Expr::IntLit(arr.length)));
+        break;
+      }
+      case Opcode::kBinOp: {
+        ExprPtr b = PopExpr(stack);
+        ExprPtr a = PopExpr(stack);
+        stack.push_back(
+            SymValue::OfExpr(Expr::Binary(MapBinOp(insn.bin_op), a, b)));
+        break;
+      }
+      case Opcode::kNeg: {
+        ExprPtr a = PopExpr(stack);
+        stack.push_back(
+            SymValue::OfExpr(Expr::Unary(kir::UnaryOp::kNeg, a)));
+        break;
+      }
+      case Opcode::kConvert: {
+        ExprPtr a = PopExpr(stack);
+        if (insn.type2 == a->type()) {
+          stack.push_back(SymValue::OfExpr(a));
+        } else {
+          stack.push_back(SymValue::OfExpr(Expr::Cast(insn.type2, a)));
+        }
+        break;
+      }
+      case Opcode::kCmp: {
+        ExprPtr b = PopExpr(stack);
+        ExprPtr a = PopExpr(stack);
+        SymValue v;
+        v.kind = SymValue::Kind::kCmp;
+        v.expr = a;
+        v.expr2 = b;
+        stack.push_back(std::move(v));
+        break;
+      }
+      case Opcode::kIf:
+      case Opcode::kIfICmp: {
+        const std::size_t T = insn.target;
+        if (T <= pc || T > end) {
+          throw Unsupported("b2c: backward or escaping branch (unstructured "
+                            "control flow)");
+        }
+        // Loop backedge? `goto stmt_start` just before the branch target.
+        if (T >= 2 && T - 1 < end && code[T - 1].op == Opcode::kGoto &&
+            code[T - 1].target == stmt_start) {
+          CompileCountedLoop(ctx, pc, T, stack, out);
+          pc = T;
+          stmt_start = pc;
+          continue;
+        }
+        std::size_t next_pc = 0;
+        CompileIf(ctx, pc, end, stack, out, next_pc);
+        pc = next_pc;
+        if (stack.empty()) stmt_start = pc;
+        continue;
+      }
+      case Opcode::kGoto:
+        throw Unsupported("b2c: unstructured goto at " + std::to_string(pc));
+      case Opcode::kGetField: {
+        SymValue obj = Pop(stack);
+        if (obj.kind != SymValue::Kind::kObject) {
+          throw Unsupported("b2c: getfield on unsupported reference (only "
+                            "flattened objects)");
+        }
+        const jvm::Klass& k = pool_.Get(insn.owner);
+        std::size_t index = k.FieldIndex(insn.member);
+        const SymValue& field = obj.object->fields.at(index);
+        if (field.kind == SymValue::Kind::kNone) {
+          throw Unsupported("b2c: read of unset field " + insn.owner + "." +
+                            insn.member);
+        }
+        stack.push_back(field);
+        break;
+      }
+      case Opcode::kPutField: {
+        SymValue value = Pop(stack);
+        SymValue obj = Pop(stack);
+        if (obj.kind != SymValue::Kind::kObject) {
+          throw Unsupported("b2c: putfield on unsupported reference");
+        }
+        const jvm::Klass& k = pool_.Get(insn.owner);
+        std::size_t index = k.FieldIndex(insn.member);
+        if (value.kind == SymValue::Kind::kCmp) {
+          stack.push_back(value);
+          value = SymValue::OfExpr(PopExpr(stack));
+        }
+        obj.object->fields.at(index) = std::move(value);
+        break;
+      }
+      case Opcode::kNew: {
+        const jvm::Klass& k = pool_.Get(insn.owner);
+        SymValue v;
+        v.kind = SymValue::Kind::kObject;
+        v.object = std::make_shared<SymObject>();
+        v.object->klass = insn.owner;
+        v.object->fields.resize(k.fields().size());
+        stack.push_back(std::move(v));
+        break;
+      }
+      case Opcode::kInvoke:
+        InlineCall(ctx, insn, stack, out);
+        break;
+      case Opcode::kReturn: {
+        if (!top_level || pc != end - 1) {
+          throw Unsupported("b2c: early return (only a single tail return is "
+                            "supported)");
+        }
+        if (!insn.type.is_void()) {
+          ctx.ret = Pop(stack);
+        }
+        ctx.saw_return = true;
+        pc = end;
+        continue;
+      }
+      case Opcode::kDup: {
+        if (stack.empty()) throw InternalError("b2c: dup on empty stack");
+        stack.push_back(stack.back());
+        break;
+      }
+      case Opcode::kPop:
+        Pop(stack);
+        break;
+      case Opcode::kSwap: {
+        SymValue b = Pop(stack);
+        SymValue a = Pop(stack);
+        stack.push_back(std::move(b));
+        stack.push_back(std::move(a));
+        break;
+      }
+    }
+    ++pc;
+    if (stack.empty()) stmt_start = pc;
+  }
+}
+
+SymValue Compiler::BindParameter(const IoSpec& io, bool is_input,
+                                 const std::string& buffer_prefix,
+                                 std::vector<StmtPtr>& prologue) {
+  std::size_t leaf_counter = 0;
+  auto buffer_name = [&](std::size_t k) {
+    return buffer_prefix + std::to_string(k + 1);
+  };
+  auto task_index = Expr::Var(kTaskVar, Type::Int());
+  std::function<SymValue(const FieldSpec&)> bind_any;
+  auto bind_field = [&](const FieldSpec& f, std::size_t k) -> SymValue {
+    const std::string name = buffer_name(k);
+    if (f.broadcast) {
+      // Shared per-invocation data: burst into an on-chip cache once,
+      // before the task loop, and serve every task from BRAM.
+      if (!f.is_array) {
+        std::string var = "bc" + std::to_string(k + 1);
+        prologue.push_back(Stmt::Decl(
+            var, f.element,
+            Expr::ArrayRef(name, f.element, Expr::IntLit(0))));
+        return SymValue::OfExpr(Expr::Var(var, f.element));
+      }
+      std::string cache = "bc" + std::to_string(k + 1);
+      Buffer local;
+      local.name = cache;
+      local.element = f.element;
+      local.length = f.length;
+      local.kind = BufferKind::kLocal;
+      kernel_.buffers.push_back(local);
+      int id = NextLoopId();
+      std::string var = "b" + std::to_string(id);
+      auto idx = Expr::Var(var, Type::Int());
+      prologue.push_back(Stmt::For(
+          id, var, f.length,
+          Stmt::Block({Stmt::Assign(
+              Expr::ArrayRef(cache, f.element, idx),
+              Expr::ArrayRef(name, f.element, idx))})));
+      return SymValue::OfBuffer(cache, f.element, nullptr, f.length);
+    }
+    if (f.is_array) {
+      ExprPtr base =
+          f.length == 1
+              ? ExprPtr(task_index)
+              : Expr::Binary(BinaryOp::kMul, task_index,
+                             Expr::IntLit(f.length));
+      return SymValue::OfBuffer(name, f.element, base, f.length);
+    }
+    // Scalar field: one element per task.
+    return SymValue::OfExpr(Expr::ArrayRef(name, f.element, task_index));
+  };
+
+  (void)is_input;
+  // Recursive binding: composites become symbolic objects whose members
+  // bind depth-first, consuming buffer indices in flattening order.
+  bind_any = [&](const FieldSpec& f) -> SymValue {
+    if (f.is_composite()) {
+      S2FA_REQUIRE(pool_.Has(f.klass),
+                   "nested composite field " << f.name
+                                             << " names unknown class "
+                                             << f.klass);
+      S2FA_REQUIRE(pool_.Get(f.klass).fields().size() == f.members.size(),
+                   "nested composite " << f.klass
+                                       << " member count mismatch");
+      SymValue v;
+      v.kind = SymValue::Kind::kObject;
+      v.object = std::make_shared<SymObject>();
+      v.object->klass = f.klass;
+      v.object->fields.reserve(f.members.size());
+      for (const FieldSpec& m : f.members) {
+        v.object->fields.push_back(bind_any(m));
+      }
+      return v;
+    }
+    return bind_field(f, leaf_counter++);
+  };
+
+  if (io.type.is_class()) {
+    SymValue v;
+    v.kind = SymValue::Kind::kObject;
+    v.object = std::make_shared<SymObject>();
+    v.object->klass = io.type.class_name();
+    v.object->fields.reserve(io.fields.size());
+    for (const FieldSpec& f : io.fields) {
+      v.object->fields.push_back(bind_any(f));
+    }
+    return v;
+  }
+  S2FA_REQUIRE(io.fields.size() == 1,
+               "non-class parameter must have exactly one field spec");
+  return bind_any(io.fields[0]);
+}
+
+void Compiler::AppendMapOutputBinding(const SymValue& ret,
+                                      std::vector<StmtPtr>& out) {
+  auto task_index = Expr::Var(kTaskVar, Type::Int());
+  auto bind_field = [&](const FieldSpec& f, std::size_t k,
+                        const SymValue& value) {
+    const std::string out_name = OutputBufferName(k);
+    if (value.kind == SymValue::Kind::kExpr) {
+      S2FA_REQUIRE(!f.is_array || f.length == 1,
+                   "scalar value bound to array output field " << f.name);
+      out.push_back(Stmt::Assign(
+          Expr::ArrayRef(out_name, f.element, task_index), value.expr));
+      return;
+    }
+    if (value.kind == SymValue::Kind::kBuffer) {
+      S2FA_REQUIRE(value.length >= f.length,
+                   "returned array shorter than output field " << f.name);
+      // Copy (burst) the local result into the output buffer region.
+      int id = NextLoopId();
+      std::string var = "c" + std::to_string(id);
+      ExprPtr dst_index = AddBase(
+          f.length == 1 ? ExprPtr(task_index)
+                        : Expr::Binary(BinaryOp::kMul, task_index,
+                                       Expr::IntLit(f.length)),
+          Expr::Var(var, Type::Int()));
+      ExprPtr src_index =
+          AddBase(value.base, Expr::Var(var, Type::Int()));
+      out.push_back(Stmt::For(
+          id, var, f.length,
+          Stmt::Block({Stmt::Assign(
+              Expr::ArrayRef(out_name, f.element, dst_index),
+              Expr::ArrayRef(value.buffer, value.elem, src_index))})));
+      return;
+    }
+    throw Unsupported("b2c: unsupported value returned in field " + f.name);
+  };
+
+  // Recursive decomposition mirrors BindParameter's flattening order.
+  std::size_t leaf_counter = 0;
+  std::function<void(const FieldSpec&, const SymValue&)> bind_any =
+      [&](const FieldSpec& f, const SymValue& value) {
+        if (f.is_composite()) {
+          if (value.kind != SymValue::Kind::kObject) {
+            throw Unsupported("b2c: field " + f.name +
+                              " must hold a " + f.klass + " instance");
+          }
+          S2FA_REQUIRE(value.object->fields.size() == f.members.size(),
+                       "nested object field count mismatch in " << f.name);
+          for (std::size_t m = 0; m < f.members.size(); ++m) {
+            bind_any(f.members[m], value.object->fields[m]);
+          }
+          return;
+        }
+        bind_field(f, leaf_counter++, value);
+      };
+
+  if (spec_.output.type.is_class()) {
+    if (ret.kind != SymValue::Kind::kObject) {
+      throw Unsupported("b2c: kernel must return a " +
+                        spec_.output.type.class_name() + " instance");
+    }
+    S2FA_REQUIRE(ret.object->fields.size() == spec_.output.fields.size(),
+                 "returned object field count mismatch");
+    for (std::size_t k = 0; k < spec_.output.fields.size(); ++k) {
+      bind_any(spec_.output.fields[k], ret.object->fields[k]);
+    }
+    return;
+  }
+  bind_any(spec_.output.fields[0], ret);
+}
+
+void Compiler::AppendReduceTemplate(MethodCtx& ctx,
+                                    std::vector<StmtPtr>& kernel_stmts,
+                                    std::vector<StmtPtr>& body_stmts) {
+  // Fold the per-task return back into the scalar accumulators, through
+  // temporaries so later accumulators see the pre-update values.
+  const SymValue& ret = ctx.ret;
+  std::vector<ExprPtr> new_values;
+  if (spec_.output.type.is_class()) {
+    if (ret.kind != SymValue::Kind::kObject) {
+      throw Unsupported("b2c: reduce kernel must return its tuple type");
+    }
+    for (std::size_t k = 0; k < spec_.output.fields.size(); ++k) {
+      if (spec_.output.fields[k].is_composite()) {
+        throw Unsupported("b2c: reduce outputs must be flat scalar fields");
+      }
+      const SymValue& field = ret.object->fields[k];
+      if (field.kind != SymValue::Kind::kExpr) {
+        throw Unsupported(
+            "b2c: reduce outputs must be scalar fields (array-typed "
+            "accumulators unsupported)");
+      }
+      new_values.push_back(field.expr);
+    }
+  } else {
+    if (ret.kind != SymValue::Kind::kExpr) {
+      throw Unsupported("b2c: reduce kernel must return a scalar");
+    }
+    new_values.push_back(ret.expr);
+  }
+
+  if (new_values.size() == 1) {
+    const Type& t = spec_.output.fields[0].element;
+    body_stmts.push_back(
+        Stmt::Assign(Expr::Var(acc_vars_[0], t), new_values[0]));
+  } else {
+    std::vector<std::string> temps;
+    for (std::size_t k = 0; k < new_values.size(); ++k) {
+      std::string tmp = NewTemp();
+      temps.push_back(tmp);
+      body_stmts.push_back(Stmt::Decl(
+          tmp, spec_.output.fields[k].element, new_values[k]));
+    }
+    for (std::size_t k = 0; k < new_values.size(); ++k) {
+      const Type& t = spec_.output.fields[k].element;
+      body_stmts.push_back(Stmt::Assign(Expr::Var(acc_vars_[k], t),
+                                        Expr::Var(temps[k], t)));
+    }
+  }
+
+  // Wrap in the task loop and flush accumulators to the output buffers.
+  // A short final batch is zero-padded by the runtime; padded tasks must
+  // not touch the accumulators, so the body is guarded by `i < N`.
+  auto guard = Expr::Binary(BinaryOp::kLt, Expr::Var(kTaskVar, Type::Int()),
+                            Expr::Var("N", Type::Int()));
+  StmtPtr guarded =
+      Stmt::If(guard, Stmt::Block(std::move(body_stmts)), nullptr);
+  body_stmts = {guarded};
+  int task_id = NextLoopId();
+  auto task_loop =
+      Stmt::For(task_id, kTaskVar, spec_.batch, Stmt::Block(body_stmts));
+  task_loop->set_inserted_by_template(true);
+  // The template loop is a reduction only when every accumulator update is
+  // associative (checked by the post-pass below like any other loop).
+  kernel_.task_loop_id = task_id;
+  kernel_stmts.push_back(task_loop);
+  for (std::size_t k = 0; k < acc_vars_.size(); ++k) {
+    const Type& t = spec_.output.fields[k].element;
+    kernel_stmts.push_back(
+        Stmt::Assign(Expr::ArrayRef(OutputBufferName(k), t, Expr::IntLit(0)),
+                     Expr::Var(acc_vars_[k], t)));
+  }
+}
+
+kir::Kernel Compiler::Run() {
+  const jvm::Klass& klass = pool_.Get(spec_.klass);
+  const jvm::Method& method = klass.GetMethod(spec_.method);
+  jvm::VerifyOrThrow(pool_, method);
+
+  S2FA_REQUIRE(!spec_.input.fields.empty() && !spec_.output.fields.empty(),
+               "kernel spec needs input and output field layouts");
+  S2FA_REQUIRE(spec_.batch >= 1, "batch must be >= 1");
+
+  kernel_.name = spec_.kernel_name.empty() ? spec_.klass : spec_.kernel_name;
+  kernel_.pattern = spec_.pattern;
+  kernel_.scalars.push_back({"N", Type::Int()});
+
+  // Off-chip interface buffers.
+  const bool is_reduce = spec_.pattern == ParallelPattern::kReduce;
+  {
+    std::size_t k = 0;
+    ForEachLeaf(spec_.input.fields, "",
+                [&](const FieldSpec& f, const std::string& path) {
+                  Buffer b;
+                  b.name = InputBufferName(k++);
+                  b.element = f.element;
+                  b.length = f.broadcast ? f.length : spec_.batch * f.length;
+                  b.per_task = f.length;
+                  b.kind = BufferKind::kInput;
+                  b.source_field = (f.broadcast ? "bcast." : "in.") + path;
+                  kernel_.buffers.push_back(b);
+                });
+  }
+  {
+    std::size_t k = 0;
+    ForEachLeaf(spec_.output.fields, "",
+                [&](const FieldSpec& f, const std::string& path) {
+                  S2FA_REQUIRE(!f.broadcast,
+                               "output fields cannot be broadcast");
+                  Buffer b;
+                  b.name = OutputBufferName(k++);
+                  b.element = f.element;
+                  b.length = is_reduce ? f.length : spec_.batch * f.length;
+                  b.per_task = f.length;
+                  b.kind = BufferKind::kOutput;
+                  b.source_field = "ret." + path;
+                  kernel_.buffers.push_back(b);
+                });
+  }
+
+  MethodCtx ctx;
+  ctx.method = &method;
+  ctx.locals.resize(static_cast<std::size_t>(method.max_locals));
+  int slot = 0;
+  if (!method.is_static) {
+    ctx.locals[0].kind = SymValue::Kind::kNone;  // `this`: unsupported uses
+    slot = 1;
+  }
+
+  std::vector<StmtPtr> kernel_stmts;  // before the task loop
+  std::vector<StmtPtr> body_stmts;    // inside the task loop
+
+  if (is_reduce) {
+    S2FA_REQUIRE(method.signature.params.size() == 2,
+                 "reduce kernel method must take (acc, element)");
+    // Accumulators: one scalar variable per output field, zero-initialized
+    // (the reduce template assumes a zero identity).
+    SymValue acc;
+    if (spec_.output.type.is_class()) {
+      acc.kind = SymValue::Kind::kObject;
+      acc.object = std::make_shared<SymObject>();
+      acc.object->klass = spec_.output.type.class_name();
+    }
+    for (std::size_t k = 0; k < spec_.output.fields.size(); ++k) {
+      const FieldSpec& f = spec_.output.fields[k];
+      if (f.is_array) {
+        throw Unsupported("b2c: reduce with array-typed fields unsupported");
+      }
+      std::string name = "acc" + std::to_string(k + 1);
+      acc_vars_.push_back(name);
+      kernel_stmts.push_back(Stmt::Decl(name, f.element, ZeroOf(f.element)));
+      SymValue field = SymValue::OfExpr(Expr::Var(name, f.element));
+      if (acc.kind == SymValue::Kind::kObject) {
+        acc.object->fields.push_back(field);
+      } else {
+        acc = field;
+      }
+    }
+    ctx.locals[static_cast<std::size_t>(slot)] = acc;
+    slot += method.signature.params[0].is_wide() ? 2 : 1;
+    ctx.locals[static_cast<std::size_t>(slot)] =
+        BindParameter(spec_.input, /*is_input=*/true, "in_", kernel_stmts);
+  } else {
+    S2FA_REQUIRE(method.signature.params.size() == 1,
+                 "map kernel method must take exactly the input element");
+    ctx.locals[static_cast<std::size_t>(slot)] =
+        BindParameter(spec_.input, /*is_input=*/true, "in_", kernel_stmts);
+  }
+
+  std::vector<SymValue> stack;
+  CompileRange(ctx, 0, method.code.size(), stack, body_stmts,
+               /*top_level=*/true);
+  if (!ctx.saw_return) {
+    throw Unsupported("b2c: kernel method has no reachable tail return");
+  }
+
+  if (is_reduce) {
+    AppendReduceTemplate(ctx, kernel_stmts, body_stmts);
+  } else {
+    AppendMapOutputBinding(ctx.ret, body_stmts);
+    int task_id = NextLoopId();
+    auto task_loop =
+        Stmt::For(task_id, kTaskVar, spec_.batch, Stmt::Block(body_stmts));
+    task_loop->set_inserted_by_template(true);
+    kernel_.task_loop_id = task_id;
+    kernel_stmts.push_back(task_loop);
+  }
+
+  kernel_.body = Stmt::Block(std::move(kernel_stmts));
+
+  // Mark reduction loops for the Merlin tree-reduction transform: every
+  // carrier must be a scalar updated in associative-reduction form
+  // (`acc = acc + x`); first-order recurrences like `acc = (acc + x) * n`
+  // keep their serial initiation interval.
+  for (Stmt* loop : kernel_.Loops()) {
+    kir::LoopRecurrence rec = kir::AnalyzeRecurrence(*loop);
+    if (rec.carried && !rec.carriers.empty()) {
+      bool reducible = true;
+      for (const auto& carrier : rec.carriers) {
+        if (kernel_.FindBuffer(carrier) != nullptr ||
+            !kir::IsAssociativeReduction(*loop, carrier)) {
+          reducible = false;
+          continue;
+        }
+        // Merlin's tree rewrite reorders floating-point addition; the flow
+        // allows that for single precision (relaxed-FP) but keeps strict
+        // IEEE ordering for double-precision accumulators, whose serial
+        // add chain then floors the initiation interval (the paper's LR:
+        // "the minimal initiation interval is still 13").
+        bool is_double = false;
+        kir::VisitStmt(
+            loop->body(),
+            std::function<void(const kir::Stmt&)>([&](const kir::Stmt& s) {
+              if (s.kind() == kir::StmtKind::kAssign &&
+                  s.lhs()->kind() == kir::ExprKind::kVar &&
+                  s.lhs()->name() == carrier &&
+                  s.lhs()->type().kind() == kir::TypeKind::kDouble) {
+                is_double = true;
+              }
+            }));
+        if (is_double) reducible = false;
+      }
+      if (reducible) loop->set_is_reduction(true);
+    }
+  }
+
+  kernel_.Validate();
+  return kernel_;
+}
+
+}  // namespace
+
+std::string InputBufferName(std::size_t field_index) {
+  return "in_" + std::to_string(field_index + 1);
+}
+
+std::string OutputBufferName(std::size_t field_index) {
+  return "out_" + std::to_string(field_index + 1);
+}
+
+kir::Kernel CompileKernel(const jvm::ClassPool& pool, const KernelSpec& spec) {
+  return Compiler(pool, spec).Run();
+}
+
+}  // namespace s2fa::b2c

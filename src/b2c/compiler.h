@@ -1,0 +1,38 @@
+// The bytecode-to-C compiler (paper §3.2).
+//
+// Lowers a verified kernel method from bytecode to a kir::Kernel:
+//
+//   * abstract interpretation of the JVM operand stack builds expression
+//     trees; locals holding primitives become C variables, locals holding
+//     references stay symbolic;
+//   * composite types are flattened: getfield on the kernel parameter
+//     resolves to a flat input buffer, output objects are decomposed into
+//     flat output buffers (Challenge 1);
+//   * user method calls are inlined (HLS C has no call stack to speak of);
+//   * structured control flow is reconstructed from the canonical branch
+//     patterns scalac emits: counted loops and if/else diamonds, including
+//     value-producing conditionals (merged through a temporary);
+//   * the RDD transformation template (map/reduce) wraps the body in the
+//     outermost task loop (Code 3).
+//
+// Everything outside those canonical patterns throws Unsupported with a
+// diagnostic — the same contract the paper states in §3.3.
+#pragma once
+
+#include "b2c/spec.h"
+#include "jvm/klass.h"
+#include "kir/kernel.h"
+
+namespace s2fa::b2c {
+
+// Compiles `spec.klass.method` from `pool` into a kernel. Verifies the
+// bytecode first. Throws MalformedInput / Unsupported on violations.
+kir::Kernel CompileKernel(const jvm::ClassPool& pool, const KernelSpec& spec);
+
+// Buffer naming used by the flattener (shared with the Blaze glue):
+// input field k -> "in_<k+1>", output field k -> "out_<k+1>",
+// local arrays -> "loc<n>".
+std::string InputBufferName(std::size_t field_index);
+std::string OutputBufferName(std::size_t field_index);
+
+}  // namespace s2fa::b2c

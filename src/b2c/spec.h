@@ -1,0 +1,94 @@
+// Kernel compilation specification.
+//
+// Blaze kernels are classes implementing `call(in: T): U` (paper Code 1).
+// The KernelSpec tells the bytecode-to-C compiler how T and U flatten into
+// accelerator buffers: one FieldSpec per flattened field, in field order.
+// Per-task lengths are compile-time constants, mirroring the paper's §3.3
+// restriction that all allocation sizes are constant (Code 2 uses 128-char
+// strings and 256-char outputs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/type.h"
+#include "kir/kernel.h"
+
+namespace s2fa::b2c {
+
+// One field of the kernel's input or output type. A field is either a
+// *leaf* (primitive scalar or primitive array) or a nested *composite*
+// (a tuple class whose members flatten recursively — the "more
+// object-oriented constructs" extension of the paper's future work).
+struct FieldSpec {
+  // Source name for diagnostics and serialization glue, e.g. "_1".
+  std::string name;
+  // Element type. For a scalar field this is the scalar's type.
+  jvm::Type element;
+  // Elements per task; 1 for scalar fields.
+  std::int64_t length = 1;
+
+  bool is_scalar() const { return length == 1 && !is_array; }
+  // True when the JVM-level field is an array (even of length 1).
+  bool is_array = false;
+  // Broadcast fields carry per-invocation data shared by every task (e.g.
+  // KMeans centroids, AES round keys) instead of per-task data. The
+  // generated kernel bursts them into on-chip buffers before the task loop.
+  bool broadcast = false;
+
+  // Non-empty for a nested composite: the member layout, in the same order
+  // as the fields of `klass` in the ClassPool. element/length/is_array are
+  // ignored for composite fields.
+  std::vector<FieldSpec> members;
+  // Class name of the nested composite (must be defined in the pool).
+  std::string klass;
+
+  bool is_composite() const { return !members.empty(); }
+};
+
+// Invokes `fn(leaf, dotted_path)` for every leaf field reachable from
+// `fields`, in declaration order — the flattening walk shared by the
+// compiler, the serialization plan, and the JVM baseline.
+template <typename Fn>
+void ForEachLeaf(const std::vector<FieldSpec>& fields,
+                 const std::string& prefix, Fn&& fn) {
+  for (const FieldSpec& f : fields) {
+    const std::string path = prefix.empty() ? f.name : prefix + "." + f.name;
+    if (f.is_composite()) {
+      ForEachLeaf(f.members, path, fn);
+    } else {
+      fn(f, path);
+    }
+  }
+}
+
+// Flattened layout of a composite (or primitive) type.
+struct IoSpec {
+  // The JVM-level type of the parameter/return value. For a tuple class,
+  // `fields` lists its fields in declaration order; for an array or
+  // primitive, exactly one field describes it.
+  jvm::Type type;
+  std::vector<FieldSpec> fields;
+
+  std::int64_t ElementsPerTask() const {
+    std::int64_t total = 0;
+    for (const auto& f : fields) total += f.length;
+    return total;
+  }
+};
+
+struct KernelSpec {
+  std::string kernel_name;       // generated C function name
+  std::string klass;             // kernel class in the ClassPool
+  std::string method = "call";   // the RDD lambda body
+  kir::ParallelPattern pattern = kir::ParallelPattern::kMap;
+  IoSpec input;
+  IoSpec output;
+  // Tasks per accelerator invocation: the trip count of the template-
+  // inserted outermost loop (constant so the design space has exact trip
+  // counts, matching Table 1's TC(L)).
+  std::int64_t batch = 256;
+};
+
+}  // namespace s2fa::b2c

@@ -1,0 +1,69 @@
+#include "blaze/dataset.h"
+
+#include "support/error.h"
+
+namespace s2fa::blaze {
+
+void Dataset::AddColumn(Column column) {
+  S2FA_REQUIRE(!column.field.empty(), "column needs a field name");
+  S2FA_REQUIRE(column.per_record >= 1, "per_record must be >= 1");
+  S2FA_REQUIRE(column.data.size() % static_cast<std::size_t>(
+                                        column.per_record) ==
+                   0,
+               "column " << column.field << " data size "
+                         << column.data.size()
+                         << " is not a multiple of per_record "
+                         << column.per_record);
+  std::size_t records =
+      column.data.size() / static_cast<std::size_t>(column.per_record);
+  if (has_columns_) {
+    S2FA_REQUIRE(records == num_records_,
+                 "column " << column.field << " has " << records
+                           << " records, dataset has " << num_records_);
+  } else {
+    num_records_ = records;
+    has_columns_ = true;
+  }
+  for (const auto& existing : columns_) {
+    S2FA_REQUIRE(existing.field != column.field,
+                 "duplicate column field " << column.field);
+  }
+  columns_.push_back(std::move(column));
+}
+
+const Column& Dataset::column(std::size_t index) const {
+  S2FA_REQUIRE(index < columns_.size(), "column index out of range");
+  return columns_[index];
+}
+
+const Column& Dataset::ColumnByField(const std::string& field) const {
+  for (const auto& c : columns_) {
+    if (c.field == field) return c;
+  }
+  throw InvalidArgument("no column for field " + field);
+}
+
+Column& Dataset::MutableColumnByField(const std::string& field) {
+  for (auto& c : columns_) {
+    if (c.field == field) return c;
+  }
+  throw InvalidArgument("no column for field " + field);
+}
+
+bool Dataset::HasField(const std::string& field) const {
+  for (const auto& c : columns_) {
+    if (c.field == field) return true;
+  }
+  return false;
+}
+
+double Dataset::TotalBytes() const {
+  double bytes = 0;
+  for (const auto& c : columns_) {
+    bytes += static_cast<double>(c.data.size()) *
+             (c.element.bit_width() / 8.0);
+  }
+  return bytes;
+}
+
+}  // namespace s2fa::blaze

@@ -1,0 +1,50 @@
+// Column-oriented record datasets: the RDD stand-in.
+//
+// A Dataset holds N records of a flattened composite type: one column per
+// flattened field, each record contributing `per_record` consecutive
+// elements (1 for scalar fields). This mirrors what Blaze ships across the
+// JVM/FPGA boundary after (de)serialization, and lets the runtime slice
+// batches without touching a JVM heap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/value.h"
+
+namespace s2fa::blaze {
+
+struct Column {
+  std::string field;             // source field name, e.g. "_1"
+  jvm::Type element;             // primitive element type
+  std::int64_t per_record = 1;   // elements per record
+  std::vector<jvm::Value> data;  // num_records * per_record values
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Adds a column; all columns must agree on the record count.
+  void AddColumn(Column column);
+
+  std::size_t num_records() const { return num_records_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(std::size_t index) const;
+  // Finds by field name; throws InvalidArgument if absent.
+  const Column& ColumnByField(const std::string& field) const;
+  Column& MutableColumnByField(const std::string& field);
+  bool HasField(const std::string& field) const;
+
+  // Total payload bytes across all columns.
+  double TotalBytes() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::size_t num_records_ = 0;
+  bool has_columns_ = false;
+};
+
+}  // namespace s2fa::blaze

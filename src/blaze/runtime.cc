@@ -1,0 +1,167 @@
+#include "blaze/runtime.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace s2fa::blaze {
+
+void AcceleratorManager::Register(const std::string& id,
+                                  RegisteredAccelerator accelerator) {
+  S2FA_REQUIRE(!id.empty(), "accelerator id must be non-empty");
+  S2FA_REQUIRE(accelerators_.count(id) == 0,
+               "accelerator " << id << " already registered");
+  S2FA_REQUIRE(accelerator.hls.feasible,
+               "cannot register an infeasible design for " << id);
+  accelerators_.emplace(id, std::move(accelerator));
+}
+
+bool AcceleratorManager::Has(const std::string& id) const {
+  return accelerators_.count(id) != 0;
+}
+
+const RegisteredAccelerator& AcceleratorManager::Get(
+    const std::string& id) const {
+  auto it = accelerators_.find(id);
+  if (it == accelerators_.end()) {
+    throw InvalidArgument("no accelerator registered as " + id);
+  }
+  return it->second;
+}
+
+BlazeRuntime::BlazeRuntime(OffloadCostModel model) : model_(model) {}
+
+ExecutionStats BlazeRuntime::InvocationCost(
+    const RegisteredAccelerator& accel) const {
+  ExecutionStats stats;
+  double bytes = 0;
+  for (const auto& buf : accel.design.buffers) {
+    if (buf.kind == kir::BufferKind::kLocal) continue;
+    bytes += static_cast<double>(buf.byte_size());
+  }
+  stats.serialize_us = bytes * model_.jvm_pack_ns_per_byte / 1000.0;
+  stats.transfer_us = bytes / (model_.pcie_gbps * 1e3);  // GB/s -> B/us
+  stats.compute_us = accel.hls.exec_us;
+  stats.overhead_us = model_.invoke_overhead_us;
+  stats.total_us = stats.serialize_us + stats.transfer_us +
+                   stats.compute_us + stats.overhead_us;
+  stats.invocations = 1;
+  return stats;
+}
+
+Dataset BlazeRuntime::Map(const std::string& accel_id, const Dataset& input,
+                          const Dataset* broadcast, ExecutionStats* stats) {
+  const RegisteredAccelerator& accel = manager_.Get(accel_id);
+  const SerializationPlan& plan = accel.plan;
+  S2FA_REQUIRE(plan.batch > 0, "bad serialization plan");
+
+  Dataset out = MakeOutputShell(plan, input.num_records());
+  kir::Evaluator evaluator(accel.design);
+  ExecutionStats total;
+  const ExecutionStats per_invocation = InvocationCost(accel);
+
+  const std::size_t batch = static_cast<std::size_t>(plan.batch);
+  for (std::size_t first = 0; first < input.num_records(); first += batch) {
+    const std::size_t count =
+        std::min(batch, input.num_records() - first);
+    kir::BufferMap buffers;
+    SerializeBatch(plan, input, first, count, buffers, broadcast);
+    evaluator.Run(
+        {{"N", jvm::Value::OfInt(static_cast<std::int32_t>(count))}},
+        buffers);
+    DeserializeBatch(plan, buffers, first, count, out);
+    ++total.invocations;
+    total.serialize_us += per_invocation.serialize_us;
+    total.transfer_us += per_invocation.transfer_us;
+    total.compute_us += per_invocation.compute_us;
+    total.overhead_us += per_invocation.overhead_us;
+  }
+  total.total_us = total.serialize_us + total.transfer_us +
+                   total.compute_us + total.overhead_us;
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
+Dataset BlazeRuntime::Reduce(const std::string& accel_id,
+                             const Dataset& input, const Dataset* broadcast,
+                             ExecutionStats* stats) {
+  const RegisteredAccelerator& accel = manager_.Get(accel_id);
+  const SerializationPlan& plan = accel.plan;
+  S2FA_REQUIRE(accel.design.pattern == kir::ParallelPattern::kReduce,
+               accel_id << " is not a reduce accelerator");
+
+  kir::Evaluator evaluator(accel.design);
+  ExecutionStats total;
+  const ExecutionStats per_invocation = InvocationCost(accel);
+  const std::size_t batch = static_cast<std::size_t>(plan.batch);
+
+  Dataset result = MakeOutputShell(plan, 1);
+  std::vector<double> partials;  // additive accumulators, one per column elem
+  bool first_invocation = true;
+
+  for (std::size_t first = 0; first < input.num_records(); first += batch) {
+    const std::size_t count = std::min(batch, input.num_records() - first);
+    kir::BufferMap buffers;
+    SerializeBatch(plan, input, first, count, buffers, broadcast);
+    evaluator.Run(
+        {{"N", jvm::Value::OfInt(static_cast<std::int32_t>(count))}},
+        buffers);
+    // Combine invocation partials additively on the host.
+    std::size_t cursor = 0;
+    for (const auto& entry : plan.entries) {
+      if (entry.is_input) continue;
+      const auto& buf = buffers.at(entry.buffer);
+      for (std::size_t e = 0;
+           e < static_cast<std::size_t>(entry.per_task); ++e, ++cursor) {
+        double value = buf[e].is_double()
+                           ? buf[e].AsDouble()
+                           : buf[e].is_float()
+                                 ? buf[e].AsFloat()
+                                 : buf[e].is_long()
+                                       ? static_cast<double>(buf[e].AsLong())
+                                       : buf[e].AsInt();
+        if (first_invocation) {
+          partials.push_back(value);
+        } else {
+          partials[cursor] += value;
+        }
+      }
+    }
+    first_invocation = false;
+    ++total.invocations;
+    total.serialize_us += per_invocation.serialize_us;
+    total.transfer_us += per_invocation.transfer_us;
+    total.compute_us += per_invocation.compute_us;
+    total.overhead_us += per_invocation.overhead_us;
+  }
+
+  std::size_t cursor = 0;
+  for (const auto& entry : plan.entries) {
+    if (entry.is_input) continue;
+    Column& col = result.MutableColumnByField(entry.source_field);
+    for (std::size_t e = 0;
+         e < static_cast<std::size_t>(entry.per_task); ++e, ++cursor) {
+      double v = cursor < partials.size() ? partials[cursor] : 0.0;
+      switch (entry.element.kind()) {
+        case jvm::TypeKind::kDouble:
+          col.data[e] = jvm::Value::OfDouble(v);
+          break;
+        case jvm::TypeKind::kFloat:
+          col.data[e] = jvm::Value::OfFloat(static_cast<float>(v));
+          break;
+        case jvm::TypeKind::kLong:
+          col.data[e] = jvm::Value::OfLong(static_cast<std::int64_t>(v));
+          break;
+        default:
+          col.data[e] = jvm::Value::OfInt(static_cast<std::int32_t>(v));
+          break;
+      }
+    }
+  }
+  total.total_us = total.serialize_us + total.transfer_us +
+                   total.compute_us + total.overhead_us;
+  if (stats != nullptr) *stats = total;
+  return result;
+}
+
+}  // namespace s2fa::blaze

@@ -1,0 +1,203 @@
+#include "dse/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/thread_pool.h"
+
+namespace s2fa::dse {
+
+namespace {
+
+using tuner::DesignSpace;
+using tuner::EvalFn;
+using tuner::Point;
+using tuner::TracePoint;
+using tuner::TuneOptions;
+using tuner::TuneResult;
+
+std::function<bool(const tuner::ResultDatabase&)> MakeStop(
+    const ExplorerOptions& options, std::size_t num_factors) {
+  switch (options.stop) {
+    case StopKind::kEntropy:
+      return MakeEntropyStop(num_factors, options.entropy);
+    case StopKind::kNoImprovement:
+      return MakeNoImprovementStop(options.no_improvement_stale);
+    case StopKind::kTimeOnly:
+      return nullptr;
+  }
+  S2FA_UNREACHABLE("bad stop kind");
+}
+
+const char* StopLabel(StopKind stop) {
+  switch (stop) {
+    case StopKind::kEntropy: return "entropy criterion";
+    case StopKind::kNoImprovement: return "no-improvement criterion";
+    case StopKind::kTimeOnly: return "time limit";
+  }
+  S2FA_UNREACHABLE("bad stop kind");
+}
+
+}  // namespace
+
+DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
+                     const EvalFn& evaluate, const ExplorerOptions& options) {
+  S2FA_REQUIRE(options.num_cores >= 1, "need at least one core");
+  Rng rng(options.seed);
+
+  DseResult result;
+  result.log10_space_size = space.Log10Cardinality();
+
+  // --- 1. Partitioning (offline rule training; not charged to the clock).
+  std::vector<Partition> partitions;
+  if (options.enable_partitioning) {
+    auto candidates = RuleCandidateFactors(space, kernel);
+    auto train_eval = [&](const Point& p) {
+      tuner::EvalOutcome out = evaluate(space.ToConfig(p));
+      return out.feasible ? std::log(std::max(1e-9, out.cost))
+                          : options.partition.infeasible_log_cost;
+    };
+    Rng train_rng = rng.Fork();
+    auto samples = DrawTrainingSamples(space, options.training_samples,
+                                       train_eval, train_rng);
+    partitions = BuildPartitions(space, candidates, samples,
+                                 options.partition);
+  } else {
+    partitions.push_back({space, "full space"});
+  }
+
+  // --- 2. Per-partition tuning (full budget; clipped by the schedule).
+  const bool single = partitions.size() == 1;
+  std::vector<TuneResult> tune_results(partitions.size());
+  {
+    ThreadPool pool(static_cast<std::size_t>(
+        std::max(1, std::min<int>(options.num_cores,
+                                  static_cast<int>(partitions.size())))));
+    std::vector<std::future<TuneResult>> futures;
+    futures.reserve(partitions.size());
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      const Partition& partition = partitions[i];
+      TuneOptions topt;
+      topt.time_limit_minutes = options.time_limit_minutes;
+      // One core per partition; a lone partition gets the whole machine
+      // (that is the no-partitioning ablation and the vanilla setup).
+      topt.parallel = single ? options.num_cores : 1;
+      topt.seed = options.seed * 1000003ULL + i * 7919ULL + 1;
+      if (options.enable_seeds) {
+        topt.seeds.push_back(
+            MakePerformanceSeed(partition.space, options.seed_values));
+        topt.seeds.push_back(MakeAreaSeed(partition.space));
+      }
+      topt.should_stop = MakeStop(options, partition.space.num_factors());
+      topt.stop_reason_label = StopLabel(options.stop);
+      futures.push_back(pool.Submit([&partition, topt, &evaluate] {
+        return tuner::Tune(partition.space, evaluate, topt);
+      }));
+    }
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      tune_results[i] = futures[i].get();
+    }
+  }
+
+  // --- 3. Deterministic FCFS schedule of partitions onto cores.
+  std::vector<double> core_clock(
+      static_cast<std::size_t>(options.num_cores), 0.0);
+  std::vector<TracePoint> merged;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    PartitionOutcome outcome;
+    outcome.description = partitions[i].description;
+    outcome.result = tune_results[i];
+
+    auto core = std::min_element(core_clock.begin(), core_clock.end());
+    outcome.start_minutes = *core;
+    const double allowed = options.time_limit_minutes - outcome.start_minutes;
+    if (allowed <= 0) {
+      outcome.scheduled = false;
+      result.partitions.push_back(std::move(outcome));
+      continue;
+    }
+    double used = tune_results[i].elapsed_minutes;
+    if (used > allowed) {
+      used = allowed;
+      outcome.truncated = true;
+    }
+    outcome.end_minutes = outcome.start_minutes + used;
+    *core = outcome.end_minutes;
+
+    // Clip the partition's contribution to its scheduled span.
+    for (const TracePoint& tp : tune_results[i].trace) {
+      if (tp.time_minutes > used) break;
+      merged.push_back({outcome.start_minutes + tp.time_minutes,
+                        tp.best_cost});
+      outcome.clipped_best_cost = tp.best_cost;
+    }
+    if (outcome.clipped_best_cost < result.best_cost) {
+      result.best_cost = outcome.clipped_best_cost;
+      result.found_feasible = true;
+      // The partition's final best config is reported even when the clip
+      // cut the run short of it; the *cost* stays the clipped value, so a
+      // truncated partition never claims quality it didn't have time for.
+      result.best_config = tune_results[i].best_config;
+    }
+    // Clipped evaluation estimate, proportional to granted time.
+    double fraction =
+        tune_results[i].elapsed_minutes > 0
+            ? std::min(1.0, used / tune_results[i].elapsed_minutes)
+            : 1.0;
+    result.evaluations += static_cast<std::size_t>(
+        std::ceil(static_cast<double>(tune_results[i].evaluations) *
+                  fraction));
+    result.partitions.push_back(std::move(outcome));
+  }
+
+  std::sort(merged.begin(), merged.end(),
+            [](const TracePoint& a, const TracePoint& b) {
+              return a.time_minutes < b.time_minutes;
+            });
+  double best = tuner::kInfeasibleCost;
+  for (const TracePoint& tp : merged) {
+    if (tp.best_cost < best) {
+      best = tp.best_cost;
+      result.trace.push_back({tp.time_minutes, best});
+    }
+  }
+  for (const auto& outcome : result.partitions) {
+    result.elapsed_minutes =
+        std::max(result.elapsed_minutes, outcome.end_minutes);
+  }
+  return result;
+}
+
+DseResult RunVanillaOpenTuner(const DesignSpace& space,
+                              const EvalFn& evaluate,
+                              double time_limit_minutes, int num_cores,
+                              std::uint64_t seed) {
+  TuneOptions topt;
+  topt.time_limit_minutes = time_limit_minutes;
+  topt.parallel = num_cores;
+  topt.homogeneous_batches = true;  // footnote 3: one technique's top-8
+  topt.seed = seed;
+  TuneResult tuned = tuner::Tune(space, evaluate, topt);
+
+  DseResult result;
+  result.log10_space_size = space.Log10Cardinality();
+  result.found_feasible = tuned.found_feasible;
+  result.best_config = tuned.best_config;
+  result.best_cost = tuned.best_cost;
+  result.elapsed_minutes = tuned.elapsed_minutes;
+  result.evaluations = tuned.evaluations;
+  result.trace = tuned.trace;
+  PartitionOutcome outcome;
+  outcome.description = "full space (vanilla OpenTuner)";
+  outcome.start_minutes = 0;
+  outcome.end_minutes = tuned.elapsed_minutes;
+  outcome.result = std::move(tuned);
+  outcome.clipped_best_cost = result.best_cost;
+  result.partitions.push_back(std::move(outcome));
+  return result;
+}
+
+}  // namespace s2fa::dse

@@ -1,0 +1,79 @@
+// The S2FA parallel DSE orchestrator (paper Fig. 2).
+//
+// Pipeline: offline rule training → decision-tree partitioning → per-
+// partition seed generation → FCFS scheduling of partitions onto CPU
+// cores, each partition tuned by the bandit/technique stack with the
+// Shannon-entropy early-stop → merged best-so-far trace on a simulated
+// global clock.
+//
+// Every partition runs with the full remaining budget and is then clipped
+// to the span the FCFS schedule actually grants it; this keeps the whole
+// exploration deterministic while the partition tunings execute on real
+// threads.
+//
+// Ablation switches (partitioning / seeds / stopping criterion) feed the
+// §5.2 analyses.
+#pragma once
+
+#include "dse/partition.h"
+#include "dse/seeds.h"
+#include "dse/stopping.h"
+#include "tuner/driver.h"
+
+namespace s2fa::dse {
+
+enum class StopKind { kEntropy, kNoImprovement, kTimeOnly };
+
+struct ExplorerOptions {
+  double time_limit_minutes = 240;  // the paper's 4-hour ceiling
+  int num_cores = 8;                // f1.2xlarge host CPU
+  std::uint64_t seed = 1;
+  int training_samples = 320;
+  PartitionOptions partition;
+  SeedOptions seed_values;
+  EntropyStopOptions entropy;
+  StopKind stop = StopKind::kEntropy;
+  std::size_t no_improvement_stale = 10;
+  // Ablation switches.
+  bool enable_partitioning = true;
+  bool enable_seeds = true;
+};
+
+struct PartitionOutcome {
+  std::string description;
+  double start_minutes = 0;
+  double end_minutes = 0;
+  bool scheduled = true;    // false if the budget ran out before its turn
+  bool truncated = false;   // clipped by the global time limit
+  tuner::TuneResult result; // full (unclipped) tuning result
+  double clipped_best_cost = tuner::kInfeasibleCost;
+};
+
+struct DseResult {
+  bool found_feasible = false;
+  merlin::DesignConfig best_config;
+  double best_cost = tuner::kInfeasibleCost;
+  double elapsed_minutes = 0;   // when the last scheduled partition ended
+  std::size_t evaluations = 0;  // total across partitions (clipped estimate)
+  std::vector<tuner::TracePoint> trace;  // merged best-so-far, global time
+  std::vector<PartitionOutcome> partitions;
+  double log10_space_size = 0;
+};
+
+// Runs the full S2FA DSE for `kernel`'s design space. `evaluate` is the
+// Merlin+HLS black box; it is also used (uncharged) for offline rule
+// training.
+DseResult RunS2faDse(const tuner::DesignSpace& space,
+                     const kir::Kernel& kernel,
+                     const tuner::EvalFn& evaluate,
+                     const ExplorerOptions& options = {});
+
+// The vanilla-OpenTuner baseline on the same clock (footnote 3: eight
+// cores evaluate the top-8 candidates per iteration; no partitioning, no
+// seeds, stop on the time limit only).
+DseResult RunVanillaOpenTuner(const tuner::DesignSpace& space,
+                              const tuner::EvalFn& evaluate,
+                              double time_limit_minutes, int num_cores,
+                              std::uint64_t seed);
+
+}  // namespace s2fa::dse

@@ -1,0 +1,317 @@
+#include "dse/partition.h"
+
+#include "kir/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/error.h"
+
+namespace s2fa::dse {
+
+namespace {
+
+using tuner::Factor;
+using tuner::FactorKind;
+
+double Variance(const std::vector<const TrainingSample*>& samples) {
+  if (samples.size() < 2) return 0.0;
+  double mean = 0;
+  for (const auto* s : samples) mean += s->log_cost;
+  mean /= static_cast<double>(samples.size());
+  double var = 0;
+  for (const auto* s : samples) {
+    var += (s->log_cost - mean) * (s->log_cost - mean);
+  }
+  return var / static_cast<double>(samples.size());
+}
+
+// A growing tree leaf: the sub-space (value-index masks per factor), its
+// samples, and its description.
+struct Leaf {
+  // Allowed value indices (into the *original* factor value lists).
+  std::vector<std::vector<std::size_t>> allowed;
+  std::vector<const TrainingSample*> samples;
+  std::string description = "full space";
+};
+
+struct SplitChoice {
+  bool valid = false;
+  std::size_t factor = 0;
+  std::size_t cut = 0;      // position within the leaf's allowed list
+  double gain = 0;
+};
+
+// Best variance-impurity split of `leaf` over the candidate factors
+// (Eq. 1 of the paper).
+SplitChoice BestSplit(const DesignSpace& space, const Leaf& leaf,
+                      const std::vector<std::size_t>& candidates,
+                      int min_samples) {
+  SplitChoice best;
+  const double total_var = Variance(leaf.samples);
+  const double n = static_cast<double>(leaf.samples.size());
+  if (leaf.samples.size() < 2 * static_cast<std::size_t>(min_samples)) {
+    return best;
+  }
+  for (std::size_t f : candidates) {
+    const auto& allowed = leaf.allowed[f];
+    if (allowed.size() < 2) continue;
+    // Cut between allowed[cut-1] and allowed[cut].
+    for (std::size_t cut = 1; cut < allowed.size(); ++cut) {
+      std::vector<const TrainingSample*> left, right;
+      for (const auto* s : leaf.samples) {
+        // Position of the sample's value index within the allowed list.
+        std::size_t value_index = s->point[f];
+        auto it = std::find(allowed.begin(), allowed.end(), value_index);
+        S2FA_CHECK(it != allowed.end(), "sample escaped its leaf");
+        if (static_cast<std::size_t>(it - allowed.begin()) < cut) {
+          left.push_back(s);
+        } else {
+          right.push_back(s);
+        }
+      }
+      if (left.size() < static_cast<std::size_t>(min_samples) ||
+          right.size() < static_cast<std::size_t>(min_samples)) {
+        continue;
+      }
+      double gain = total_var -
+                    (static_cast<double>(left.size()) / n) * Variance(left) -
+                    (static_cast<double>(right.size()) / n) * Variance(right);
+      if (gain > best.gain + 1e-12) {
+        best.valid = true;
+        best.factor = f;
+        best.cut = cut;
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+std::string RuleText(const DesignSpace& space, std::size_t factor,
+                     const std::vector<std::size_t>& allowed,
+                     std::size_t cut, bool left) {
+  const Factor& f = space.factors[factor];
+  if (left) {
+    return f.name + " < " +
+           std::to_string(f.values[allowed[cut]]);
+  }
+  return f.name + " >= " + std::to_string(f.values[allowed[cut]]);
+}
+
+}  // namespace
+
+std::vector<std::size_t> RuleCandidateFactors(const DesignSpace& space,
+                                              const kir::Kernel& kernel) {
+  // Loop depth map from the kernel.
+  std::map<int, int> depth;
+  for (const kir::Stmt* loop : kernel.Loops()) depth[loop->loop_id()] = 0;
+  {
+    // Recompute depths from the loop tree.
+    std::function<void(const kir::Stmt&, int)> walk = [&](const kir::Stmt& s,
+                                                          int d) {
+      if (s.kind() == kir::StmtKind::kFor) {
+        depth[s.loop_id()] = d;
+        walk(*s.body(), d + 1);
+        return;
+      }
+      if (s.kind() == kir::StmtKind::kIf) {
+        walk(*s.then_stmt(), d);
+        if (s.else_stmt()) walk(*s.else_stmt(), d);
+      } else if (s.kind() == kir::StmtKind::kBlock) {
+        for (const auto& st : s.stmts()) walk(*st, d);
+      }
+    };
+    walk(*kernel.body, 0);
+  }
+
+  struct Scored {
+    std::size_t index;
+    int priority;  // lower = earlier
+  };
+  std::vector<Scored> scored;
+  for (std::size_t i = 0; i < space.factors.size(); ++i) {
+    const Factor& f = space.factors[i];
+    if (f.kind != FactorKind::kLoopPipeline &&
+        f.kind != FactorKind::kLoopParallel) {
+      continue;  // the rule methodologies only involve loop scheduling
+    }
+    int d = depth.count(f.loop_id) != 0 ? depth[f.loop_id] : 99;
+    // Methodology 2: the template-inserted outermost loop comes first.
+    int priority = (f.loop_id == kernel.task_loop_id ? 0 : 10) + d * 2 +
+                   (f.kind == FactorKind::kLoopPipeline ? 0 : 1);
+    scored.push_back({i, priority});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.priority < b.priority;
+                   });
+  std::vector<std::size_t> out;
+  out.reserve(scored.size());
+  for (const auto& s : scored) out.push_back(s.index);
+  return out;
+}
+
+std::vector<TrainingSample> DrawTrainingSamples(
+    const DesignSpace& space, int count,
+    const std::function<double(const Point&)>& eval_log_cost, Rng& rng) {
+  S2FA_REQUIRE(count > 0, "need at least one training sample");
+  S2FA_REQUIRE(eval_log_cost != nullptr, "no training evaluator");
+  std::vector<TrainingSample> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TrainingSample s;
+    s.point = space.RandomPoint(rng);
+    s.log_cost = eval_log_cost(s.point);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+std::vector<Partition> BuildPartitions(
+    const DesignSpace& space, const std::vector<std::size_t>& candidates,
+    const std::vector<TrainingSample>& samples,
+    const PartitionOptions& options) {
+  S2FA_REQUIRE(options.target_partitions >= 1, "need at least one partition");
+
+  Leaf root;
+  root.allowed.resize(space.num_factors());
+  for (std::size_t i = 0; i < space.num_factors(); ++i) {
+    for (std::size_t v = 0; v < space.factors[i].values.size(); ++v) {
+      root.allowed[i].push_back(v);
+    }
+  }
+  for (const auto& s : samples) {
+    space.ValidatePoint(s.point);
+    root.samples.push_back(&s);
+  }
+
+  std::vector<Leaf> leaves{std::move(root)};
+  // Best-first growth until the target leaf count (or no useful split).
+  while (static_cast<int>(leaves.size()) < options.target_partitions) {
+    double best_gain = 0;
+    std::size_t best_leaf = 0;
+    SplitChoice best_choice;
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+      SplitChoice choice = BestSplit(space, leaves[l], candidates,
+                                     options.min_samples_per_leaf);
+      if (choice.valid && choice.gain > best_gain) {
+        best_gain = choice.gain;
+        best_leaf = l;
+        best_choice = choice;
+      }
+    }
+    if (!best_choice.valid) {
+      // No information-gain split left. The paper still needs at least as
+      // many partitions as CPU cores ("some-for-all"), so fall back to
+      // splitting the most-populated leaf at the median of the highest-
+      // priority rule factor that still has multiple values.
+      bool forced = false;
+      std::size_t fallback_leaf = 0;
+      std::size_t best_count = 0;
+      for (std::size_t l = 0; l < leaves.size(); ++l) {
+        if (leaves[l].samples.size() > best_count) {
+          best_count = leaves[l].samples.size();
+          fallback_leaf = l;
+        }
+      }
+      for (std::size_t f : candidates) {
+        if (leaves[fallback_leaf].allowed[f].size() >= 2) {
+          best_choice.valid = true;
+          best_choice.factor = f;
+          best_choice.cut = leaves[fallback_leaf].allowed[f].size() / 2;
+          best_choice.gain = 0;
+          best_leaf = fallback_leaf;
+          forced = true;
+          break;
+        }
+      }
+      if (!forced) break;
+      // Re-partition samples permissively (a forced split may be lopsided).
+    }
+
+    Leaf& leaf = leaves[best_leaf];
+    Leaf left = leaf;
+    Leaf right = leaf;
+    const auto& allowed = leaf.allowed[best_choice.factor];
+    left.allowed[best_choice.factor] =
+        std::vector<std::size_t>(allowed.begin(),
+                                 allowed.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         best_choice.cut));
+    right.allowed[best_choice.factor] =
+        std::vector<std::size_t>(allowed.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         best_choice.cut),
+                                 allowed.end());
+    left.samples.clear();
+    right.samples.clear();
+    for (const auto* s : leaf.samples) {
+      std::size_t value_index = s->point[best_choice.factor];
+      auto it = std::find(allowed.begin(), allowed.end(), value_index);
+      if (static_cast<std::size_t>(it - allowed.begin()) < best_choice.cut) {
+        left.samples.push_back(s);
+      } else {
+        right.samples.push_back(s);
+      }
+    }
+    std::string base = leaf.description == "full space"
+                           ? ""
+                           : leaf.description + " && ";
+    left.description =
+        base + RuleText(space, best_choice.factor, allowed, best_choice.cut,
+                        /*left=*/true);
+    right.description =
+        base + RuleText(space, best_choice.factor, allowed, best_choice.cut,
+                        /*left=*/false);
+    leaves[best_leaf] = std::move(left);
+    leaves.push_back(std::move(right));
+  }
+
+  // Materialize leaves as sub-spaces.
+  std::vector<Partition> partitions;
+  partitions.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    Partition p;
+    p.description = leaf.description;
+    p.space.factors.reserve(space.num_factors());
+    for (std::size_t i = 0; i < space.num_factors(); ++i) {
+      Factor f = space.factors[i];
+      std::vector<std::int64_t> values;
+      values.reserve(leaf.allowed[i].size());
+      for (std::size_t v : leaf.allowed[i]) {
+        values.push_back(space.factors[i].values[v]);
+      }
+      f.values = std::move(values);
+      p.space.factors.push_back(std::move(f));
+    }
+    partitions.push_back(std::move(p));
+  }
+  return partitions;
+}
+
+bool PartitionsDisjointAndCovering(const DesignSpace& space,
+                                   const std::vector<Partition>& partitions,
+                                   int trials, Rng& rng) {
+  for (int t = 0; t < trials; ++t) {
+    Point p = space.RandomPoint(rng);
+    int members = 0;
+    for (const auto& partition : partitions) {
+      bool inside = true;
+      for (std::size_t i = 0; i < space.num_factors(); ++i) {
+        std::int64_t value = space.factors[i].values[p[i]];
+        const auto& vals = partition.space.factors[i].values;
+        if (std::find(vals.begin(), vals.end(), value) == vals.end()) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) ++members;
+    }
+    if (members != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace s2fa::dse

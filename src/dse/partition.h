@@ -1,0 +1,76 @@
+// Design-space partitioning via a binary decision tree (paper §4.3.1).
+//
+// "Some-for-all" static partitioning: rule candidates come from the two
+// methodologies the paper gives —
+//   1. loop hierarchy: pipeline/parallel factors of loops, outer levels
+//      first (similar loop levels behave similarly across applications);
+//   2. RDD transformation semantics: factors of the template-inserted
+//      outermost loop (its scheduling is what map/reduce fixes).
+// A regression decision tree over offline training samples (variance
+// impurity, information-gain splits, Eq. 1) ranks and combines the rules;
+// each root-to-leaf path is one partition. Partitions are disjoint and
+// cover the space, so optimality is preserved.
+//
+// A partition is materialized as a sub-DesignSpace: same factors, value
+// lists restricted by the path constraints — so the generic tuner runs on
+// a partition unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kir/kernel.h"
+#include "tuner/space.h"
+
+namespace s2fa::dse {
+
+using tuner::DesignSpace;
+using tuner::Point;
+
+struct TrainingSample {
+  Point point;
+  double log_cost = 0;  // log latency; infeasible samples use a penalty
+};
+
+struct Partition {
+  DesignSpace space;           // restricted value lists
+  std::string description;     // conjunction of path rules
+};
+
+struct PartitionOptions {
+  int target_partitions = 12;
+  int min_samples_per_leaf = 6;
+  // Penalty log-cost assigned to infeasible training samples (clusters the
+  // infeasible region into its own partitions).
+  double infeasible_log_cost = 30.0;
+};
+
+// Candidate split factors per the two rule methodologies, most-preferred
+// first. `kernel` supplies loop depths and the task loop id.
+std::vector<std::size_t> RuleCandidateFactors(const DesignSpace& space,
+                                              const kir::Kernel& kernel);
+
+// Trains the tree on `samples` and returns the leaf partitions (disjoint,
+// covering). If no split gains information the whole space is returned as
+// a single partition.
+std::vector<Partition> BuildPartitions(
+    const DesignSpace& space, const std::vector<std::size_t>& candidates,
+    const std::vector<TrainingSample>& samples,
+    const PartitionOptions& options = {});
+
+// Draws `count` uniform training samples, scoring each with `eval_log_cost`
+// (offline: not charged to the DSE clock — the paper trains its rules on
+// pre-collected data from applications with similar loop hierarchies).
+std::vector<TrainingSample> DrawTrainingSamples(
+    const DesignSpace& space, int count,
+    const std::function<double(const Point&)>& eval_log_cost, Rng& rng);
+
+// Checks the partition invariant: every point of `space` lies in exactly
+// one partition (probabilistically, via `trials` random points).
+bool PartitionsDisjointAndCovering(const DesignSpace& space,
+                                   const std::vector<Partition>& partitions,
+                                   int trials, Rng& rng);
+
+}  // namespace s2fa::dse

@@ -1,0 +1,28 @@
+// Seed generation (paper §4.3.2).
+//
+// Two seeds per partition:
+//   * performance-driven: pipeline every loop, parallel factor 32, buffer
+//     bit-width 512 — may fail synthesis, but slashes iterations when it
+//     doesn't;
+//   * area-driven (conservative): everything off/minimal — guaranteed-ish
+//     feasible, so the learner starts inside the feasible region.
+// Each desired value is projected onto the nearest value the partition
+// still allows.
+#pragma once
+
+#include "tuner/driver.h"
+#include "tuner/space.h"
+
+namespace s2fa::dse {
+
+struct SeedOptions {
+  std::int64_t performance_parallel = 32;
+  int performance_bits = 512;
+};
+
+// Builds the seed within `space` (which may be a partition sub-space).
+tuner::SeedPoint MakePerformanceSeed(const tuner::DesignSpace& space,
+                                     const SeedOptions& options = {});
+tuner::SeedPoint MakeAreaSeed(const tuner::DesignSpace& space);
+
+}  // namespace s2fa::dse

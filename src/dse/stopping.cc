@@ -1,0 +1,86 @@
+#include "dse/stopping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "support/error.h"
+
+namespace s2fa::dse {
+
+double UphillEntropy(const tuner::ResultDatabase& db,
+                     std::size_t num_factors) {
+  const auto& records = db.records();
+  std::vector<double> mutated(num_factors, 0.0);
+  std::vector<double> uphill(num_factors, 0.0);
+  for (std::size_t k = 1; k < records.size(); ++k) {
+    const auto& rec = records[k];
+    const auto& prev = records[k - 1];
+    // Uphill: strictly better than the previous consecutive result.
+    const bool is_uphill =
+        rec.feasible && (!prev.feasible || rec.cost < prev.cost);
+    for (std::size_t f : rec.changed_factors) {
+      if (f >= num_factors) continue;
+      mutated[f] += 1;
+      if (is_uphill) uphill[f] += 1;
+    }
+  }
+  double entropy = 0;
+  for (std::size_t f = 0; f < num_factors; ++f) {
+    if (mutated[f] <= 0) continue;
+    double p = uphill[f] / mutated[f];
+    if (p > 0) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+std::function<bool(const tuner::ResultDatabase&)> MakeEntropyStop(
+    std::size_t num_factors, const EntropyStopOptions& options) {
+  S2FA_REQUIRE(options.theta >= 0, "theta must be non-negative");
+  S2FA_REQUIRE(options.patience >= 1, "patience must be >= 1");
+  struct State {
+    double last_entropy = -1;
+    int stable = 0;
+  };
+  auto state = std::make_shared<State>();
+  return [num_factors, options, state](const tuner::ResultDatabase& db) {
+    double h = UphillEntropy(db, num_factors);
+    if (state->last_entropy >= 0 &&
+        std::fabs(h - state->last_entropy) <= options.theta) {
+      ++state->stable;
+    } else {
+      state->stable = 0;  // a pulse resets the window (paper: avoid pulses)
+    }
+    state->last_entropy = h;
+    const std::size_t min_records = std::max(
+        options.min_records,
+        static_cast<std::size_t>(options.min_records_per_factor *
+                                 static_cast<double>(num_factors)));
+    return db.size() >= min_records && state->stable >= options.patience;
+  };
+}
+
+std::function<bool(const tuner::ResultDatabase&)> MakeNoImprovementStop(
+    std::size_t max_stale) {
+  S2FA_REQUIRE(max_stale >= 1, "max_stale must be >= 1");
+  struct State {
+    std::size_t last_improvement_count = 0;
+    std::size_t stale = 0;
+    std::size_t last_size = 0;
+  };
+  auto state = std::make_shared<State>();
+  return [max_stale, state](const tuner::ResultDatabase& db) {
+    std::size_t improvements = db.trace().size();
+    if (improvements > state->last_improvement_count) {
+      state->last_improvement_count = improvements;
+      state->stale = 0;
+    } else if (db.size() > state->last_size) {
+      ++state->stale;
+    }
+    state->last_size = db.size();
+    return state->stale >= max_stale;
+  };
+}
+
+}  // namespace s2fa::dse

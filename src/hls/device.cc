@@ -1,0 +1,98 @@
+#include "hls/device.h"
+
+#include "support/error.h"
+
+namespace s2fa::hls {
+
+namespace {
+
+using kir::BinaryOp;
+using kir::Type;
+using kir::TypeKind;
+
+bool IsDouble(const Type& t) { return t.kind() == TypeKind::kDouble; }
+
+// Integer operator widths scale with the element width (LUT-carry adders).
+double IntWidth(const Type& t) {
+  return t.is_integral() ? static_cast<double>(t.bit_width()) : 32.0;
+}
+
+}  // namespace
+
+OpCost BinaryOpCost(BinaryOp op, const Type& type) {
+  const bool fp = type.is_floating();
+  const bool dbl = IsDouble(type);
+  if (kir::IsComparison(op) || op == BinaryOp::kLAnd ||
+      op == BinaryOp::kLOr) {
+    if (fp) return {2, 0, 100, dbl ? 180.0 : 100.0};
+    double w = IntWidth(type);
+    return {1, 0, w, w};
+  }
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      if (fp) {
+        return dbl ? OpCost{13, 3, 700, 650} : OpCost{7, 2, 350, 300};
+      }
+      return {1, 0, IntWidth(type), IntWidth(type)};
+    case BinaryOp::kMul:
+      if (fp) {
+        return dbl ? OpCost{9, 11, 550, 300} : OpCost{5, 3, 250, 150};
+      }
+      // 32x32 int multiply: 3 DSP48s.
+      return {3, type.bit_width() > 32 ? 12.0 : 3.0, 150, 80};
+    case BinaryOp::kDiv:
+    case BinaryOp::kRem:
+      if (fp) {
+        return dbl ? OpCost{40, 0, 1800, 1600} : OpCost{28, 0, 850, 750};
+      }
+      return {35, 0, 900, 1000};
+    case BinaryOp::kShl:
+    case BinaryOp::kShr:
+    case BinaryOp::kUShr:
+      return {1, 0, IntWidth(type), IntWidth(type) * 1.5};
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+    case BinaryOp::kXor:
+      return {1, 0, IntWidth(type) / 2, IntWidth(type)};
+    case BinaryOp::kMin:
+    case BinaryOp::kMax:
+      if (fp) {
+        return dbl ? OpCost{3, 0, 250, 300} : OpCost{2, 0, 150, 180};
+      }
+      return {1, 0, IntWidth(type), IntWidth(type) * 2};
+    default:
+      S2FA_UNREACHABLE("unhandled binary op in operator library");
+  }
+}
+
+OpCost UnaryOpCost(kir::UnaryOp op, const Type& type) {
+  (void)op;
+  if (type.is_floating()) return {1, 0, 40, 40};  // sign flip
+  return {1, 0, IntWidth(type), IntWidth(type)};
+}
+
+OpCost IntrinsicCost(kir::Intrinsic fn, const Type& type) {
+  const bool dbl = IsDouble(type);
+  switch (fn) {
+    case kir::Intrinsic::kExp:
+    case kir::Intrinsic::kLog:
+      return dbl ? OpCost{26, 26, 2600, 3000} : OpCost{20, 7, 1200, 1500};
+    case kir::Intrinsic::kPow:
+      // exp(log(x)*y): two cores plus a multiplier.
+      return dbl ? OpCost{58, 60, 5500, 6000} : OpCost{45, 17, 2700, 3200};
+    case kir::Intrinsic::kSqrt:
+      return dbl ? OpCost{28, 0, 1200, 1100} : OpCost{16, 0, 600, 550};
+    case kir::Intrinsic::kAbs:
+      return {1, 0, 40, 40};
+  }
+  S2FA_UNREACHABLE("bad intrinsic");
+}
+
+OpCost CastCost(const Type& from, const Type& to) {
+  const bool fp_involved = from.is_floating() || to.is_floating();
+  if (fp_involved) return {4, 0, 200, 200};  // fp convert core
+  return {1, 0, 0, IntWidth(to) / 2};        // resize wires
+}
+
+}  // namespace s2fa::hls

@@ -1,0 +1,52 @@
+// FPGA device and operator-library models.
+//
+// The evaluation platform of the paper is an AWS F1 (f1.2xlarge) with one
+// Xilinx Virtex UltraScale+ VU9P. The device model carries that part's
+// resource totals and the paper's 75% usable cap (§5.2 footnote 5: the rest
+// is vendor shell logic). The operator library holds per-operation
+// latency/resource costs representative of Xilinx HLS cores at the 250 MHz
+// target.
+#pragma once
+
+#include <string>
+
+#include "kir/expr.h"
+
+namespace s2fa::hls {
+
+struct DeviceModel {
+  std::string name = "xcvu9p-flgb2104";
+  // Raw totals for the VU9P (18Kb BRAM blocks).
+  double bram_18k = 4320;
+  double dsp = 6840;
+  double ff = 2364480;
+  double lut = 1182240;
+  // Fraction usable by the accelerator (paper: 75%, rest is shell).
+  double usable_fraction = 0.75;
+  // Synthesis target clock.
+  double target_mhz = 250.0;
+
+  static DeviceModel VU9P() { return DeviceModel{}; }
+};
+
+// Cost of one hardware operator instance.
+struct OpCost {
+  double latency = 1;  // pipeline depth in cycles at the target clock
+  double dsp = 0;
+  double ff = 0;
+  double lut = 0;
+};
+
+// Operator library lookups. `type` selects the precision/width variant.
+OpCost BinaryOpCost(kir::BinaryOp op, const kir::Type& type);
+OpCost UnaryOpCost(kir::UnaryOp op, const kir::Type& type);
+OpCost IntrinsicCost(kir::Intrinsic fn, const kir::Type& type);
+OpCost CastCost(const kir::Type& from, const kir::Type& to);
+
+// Memory access latencies (cycles).
+inline constexpr double kLocalReadLatency = 2;   // BRAM read
+inline constexpr double kLocalWriteLatency = 1;
+inline constexpr double kAxiReadLatency = 3;     // burst FIFO pop
+inline constexpr double kAxiWriteLatency = 1;
+
+}  // namespace s2fa::hls

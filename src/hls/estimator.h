@@ -1,0 +1,81 @@
+// The HLS estimator: s2fa's stand-in for Xilinx SDx synthesis (paper §3.2,
+// Impediment 1).
+//
+// Given a Merlin-transformed kernel (loop pragmas + interface bit-widths),
+// produces the quantities the DSE needs from a black-box HLS run:
+//   * execution cycles for one accelerator invocation (whole batch),
+//   * post-synthesis resource utilization (BRAM/DSP/FF/LUT),
+//   * achieved clock frequency (degrades with congestion / deep unrolling),
+//   * feasibility (resource cap, timing),
+//   * a simulated synthesis wall-time ("minutes to an hour", §4.3.3) that
+//     drives the DSE's exploration-time axis.
+//
+// The model is analytic but physically grounded: pipelined loops get
+// II = max(recurrence II, memory-port II); unrolling replicates operators
+// and pressures ports; off-chip throughput scales with interface bit-width;
+// tree reduction breaks accumulation recurrences. These are exactly the
+// landscape features the paper's DSE strategies are designed around.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/device.h"
+#include "kir/kernel.h"
+
+namespace s2fa::hls {
+
+struct Utilization {
+  double bram = 0, dsp = 0, ff = 0, lut = 0;  // used (raw units)
+  // Fractions of the device's raw totals.
+  double bram_frac = 0, dsp_frac = 0, ff_frac = 0, lut_frac = 0;
+
+  double MaxFraction() const;
+};
+
+struct HlsResult {
+  bool feasible = true;
+  std::string infeasible_reason;
+
+  double cycles = 0;       // one invocation over the whole batch
+  double freq_mhz = 0;     // achieved clock
+  double exec_us = 0;      // cycles / freq
+  Utilization util;
+  double eval_minutes = 0; // simulated HLS synthesis wall time
+  std::vector<std::string> notes;
+};
+
+struct EstimatorOptions {
+  DeviceModel device = DeviceModel::VU9P();
+
+  // Fixed control/shell-adjacent overhead inside the usable region.
+  double base_lut = 5000, base_ff = 8000, base_bram = 16;
+
+  // Frequency model coefficients (see hls::EstimateHls implementation).
+  double lut_congestion_knee = 0.25;
+  double lut_congestion_slope = 0.9;
+  double ff_congestion_knee = 0.30;
+  double ff_congestion_slope = 0.5;
+  double unroll_slowdown = 0.018;      // x log2(max parallel factor)
+  // Routing-complexity wall: slowdown += (max_parallel/knee)^power. The
+  // paper: "coarse-grained parallelism with factor 256 ... might be
+  // infeasible for most designs due to high routing complexity, but it
+  // could be an optimal choice for certain designs" (4.3.2).
+  double routing_knee = 256.0;
+  double routing_power = 1.5;
+  double wavefront_slowdown = 1.3;     // unrolled buffer-carried recurrence
+  double min_feasible_mhz = 60.0;
+
+  // Synthesis-time model: minutes = a + b * sqrt(spatial kops) (+/- 25%
+  // deterministic jitter), clamped to [min, max].
+  double synth_base_min = 2.0;
+  double synth_scale = 0.55;
+  double synth_min = 1.5;
+  double synth_max = 45.0;
+};
+
+// Estimates a transformed kernel. The kernel must validate.
+HlsResult EstimateHls(const kir::Kernel& kernel,
+                      const EstimatorOptions& options = {});
+
+}  // namespace s2fa::hls

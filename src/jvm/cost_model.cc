@@ -1,0 +1,74 @@
+#include "jvm/cost_model.h"
+
+#include "jvm/klass.h"
+
+namespace s2fa::jvm {
+
+double CostModel::InsnCost(const Insn& insn) const {
+  double base = dispatch;
+  switch (insn.op) {
+    case Opcode::kConst:
+      return base + local_access;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return base + local_access;
+    case Opcode::kIInc:
+      return base + local_access + int_alu;
+    case Opcode::kArrayLoad:
+    case Opcode::kArrayStore:
+      return base + array_access;
+    case Opcode::kNewArray:
+    case Opcode::kNew:
+      return base;  // AllocCost added by the interpreter with the real size
+    case Opcode::kArrayLength:
+      return base + field_access;
+    case Opcode::kBinOp: {
+      const bool fp = insn.type.is_floating();
+      switch (insn.bin_op) {
+        case BinOp::kMul:
+          return base + (fp ? fp_mul : int_mul);
+        case BinOp::kDiv:
+        case BinOp::kRem:
+          return base + (fp ? fp_div : int_div);
+        case BinOp::kMin:
+        case BinOp::kMax:
+          return base + math_simple;
+        default:
+          return base + (fp ? fp_add : int_alu);
+      }
+    }
+    case Opcode::kNeg:
+      return base + (insn.type.is_floating() ? fp_add : int_alu);
+    case Opcode::kConvert:
+      return base + convert;
+    case Opcode::kCmp:
+      return base + compare;
+    case Opcode::kIf:
+    case Opcode::kIfICmp:
+    case Opcode::kGoto:
+      return base + branch;
+    case Opcode::kGetField:
+    case Opcode::kPutField:
+      return base + field_access;
+    case Opcode::kInvoke: {
+      if (ClassPool::IsMathIntrinsic(insn.owner, insn.member)) {
+        if (insn.member == "exp" || insn.member == "log" ||
+            insn.member == "pow") {
+          return base + math_exp;
+        }
+        if (insn.member == "sqrt") return base + math_sqrt;
+        return base + math_simple;
+      }
+      return base + invoke;
+    }
+    case Opcode::kReturn:
+      return base + branch;
+    case Opcode::kDup:
+    case Opcode::kPop:
+    case Opcode::kSwap:
+      return base + local_access;
+  }
+  return base;
+}
+
+}  // namespace s2fa::jvm

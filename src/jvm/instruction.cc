@@ -1,0 +1,147 @@
+#include "jvm/instruction.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace s2fa::jvm {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kConst: return "const";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kArrayLoad: return "aload_elem";
+    case Opcode::kArrayStore: return "astore_elem";
+    case Opcode::kNewArray: return "newarray";
+    case Opcode::kArrayLength: return "arraylength";
+    case Opcode::kBinOp: return "binop";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kConvert: return "convert";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kIf: return "if";
+    case Opcode::kIfICmp: return "if_icmp";
+    case Opcode::kGoto: return "goto";
+    case Opcode::kIInc: return "iinc";
+    case Opcode::kGetField: return "getfield";
+    case Opcode::kPutField: return "putfield";
+    case Opcode::kNew: return "new";
+    case Opcode::kInvoke: return "invoke";
+    case Opcode::kReturn: return "return";
+    case Opcode::kDup: return "dup";
+    case Opcode::kPop: return "pop";
+    case Opcode::kSwap: return "swap";
+  }
+  S2FA_UNREACHABLE("bad opcode");
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kDiv: return "div";
+    case BinOp::kRem: return "rem";
+    case BinOp::kShl: return "shl";
+    case BinOp::kShr: return "shr";
+    case BinOp::kUShr: return "ushr";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+    case BinOp::kXor: return "xor";
+    case BinOp::kMin: return "min";
+    case BinOp::kMax: return "max";
+  }
+  S2FA_UNREACHABLE("bad binop");
+}
+
+const char* CondName(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kGe: return "ge";
+    case Cond::kGt: return "gt";
+    case Cond::kLe: return "le";
+  }
+  S2FA_UNREACHABLE("bad cond");
+}
+
+bool IsBranch(Opcode op) {
+  return op == Opcode::kIf || op == Opcode::kIfICmp || op == Opcode::kGoto;
+}
+
+bool IsTerminator(Opcode op) {
+  return op == Opcode::kGoto || op == Opcode::kReturn;
+}
+
+std::string Insn::ToString() const {
+  std::ostringstream oss;
+  oss << OpcodeName(op);
+  switch (op) {
+    case Opcode::kConst:
+      if (type.is_floating()) {
+        oss << " " << type.ToString() << " " << const_f;
+      } else {
+        oss << " " << type.ToString() << " " << const_i;
+      }
+      break;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      oss << " " << type.ToString() << " slot=" << slot;
+      break;
+    case Opcode::kArrayLoad:
+    case Opcode::kArrayStore:
+    case Opcode::kNewArray:
+    case Opcode::kNeg:
+    case Opcode::kReturn:
+      oss << " " << type.ToString();
+      break;
+    case Opcode::kBinOp:
+      oss << " " << type.ToString() << " " << BinOpName(bin_op);
+      break;
+    case Opcode::kConvert:
+      oss << " " << type.ToString() << "->" << type2.ToString();
+      break;
+    case Opcode::kCmp:
+      oss << " " << type.ToString() << (nan_is_less ? " l" : " g");
+      break;
+    case Opcode::kIf:
+    case Opcode::kIfICmp:
+      oss << " " << CondName(cond) << " ->" << target;
+      break;
+    case Opcode::kGoto:
+      oss << " ->" << target;
+      break;
+    case Opcode::kIInc:
+      oss << " slot=" << slot << " +" << const_i;
+      break;
+    case Opcode::kGetField:
+    case Opcode::kPutField:
+      oss << " " << owner << "." << member;
+      break;
+    case Opcode::kNew:
+      oss << " " << owner;
+      break;
+    case Opcode::kInvoke:
+      oss << (invoke_kind == InvokeKind::kStatic
+                  ? " static "
+                  : invoke_kind == InvokeKind::kSpecial ? " special "
+                                                        : " virtual ")
+          << owner << "." << member;
+      break;
+    default:
+      break;
+  }
+  return oss.str();
+}
+
+std::string Disassemble(const std::vector<Insn>& code) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    oss << (i < 10 ? "   " : i < 100 ? "  " : " ") << i << ": "
+        << code[i].ToString() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace s2fa::jvm

@@ -1,0 +1,87 @@
+// The bytecode instruction set.
+//
+// This is a structured, typed subset of the JVM instruction set: exactly the
+// opcodes scalac emits for the kernel style s2fa supports (paper §3.3 —
+// primitive arithmetic, arrays, Tuple2-style composites, constant-size new,
+// no library calls except java/lang/Math intrinsics). Where the real JVM has
+// per-type opcode families (iadd/fadd/dadd), we store one opcode
+// parameterized by a Type — semantically identical and much easier to
+// analyze. Branch targets are instruction indices resolved by the Assembler
+// instead of byte offsets; the mapping is bijective.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/type.h"
+
+namespace s2fa::jvm {
+
+enum class Opcode {
+  kConst,        // push immediate constant          (type, const_i / const_f)
+  kLoad,         // push local slot                  (type, slot)
+  kStore,        // pop into local slot              (type, slot)
+  kArrayLoad,    // ..., ref, idx -> value           (type = element type)
+  kArrayStore,   // ..., ref, idx, value ->          (type = element type)
+  kNewArray,     // ..., length -> ref               (type = element type)
+  kArrayLength,  // ..., ref -> int
+  kBinOp,        // ..., a, b -> a op b              (type, bin_op)
+  kNeg,          // ..., a -> -a                     (type)
+  kConvert,      // ..., a -> (to)a                  (type = from, type2 = to)
+  kCmp,          // ..., a, b -> int {-1,0,1}        (type, nan_is_less)
+  kIf,           // pop int, branch if cond vs 0     (cond, target)
+  kIfICmp,       // pop 2 ints, branch if cond       (cond, target)
+  kGoto,         // unconditional                    (target)
+  kIInc,         // locals[slot] += const_i          (slot, const_i)
+  kGetField,     // ..., ref -> value                (owner, member)
+  kPutField,     // ..., ref, value ->               (owner, member)
+  kNew,          // -> ref                           (owner)
+  kInvoke,       // call; args popped, ret pushed    (invoke_kind, owner, member)
+  kReturn,       // return ToS (or void)             (type; kVoid for void)
+  kDup,          // ..., a -> a, a
+  kPop,          // ..., a ->
+  kSwap,         // ..., a, b -> b, a
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kShl, kShr, kUShr, kAnd, kOr, kXor,
+  kMin, kMax,  // from Math.min/max intrinsics, materialized by the assembler
+};
+
+enum class Cond { kEq, kNe, kLt, kGe, kGt, kLe };
+
+enum class InvokeKind { kVirtual, kStatic, kSpecial };
+
+struct Insn {
+  Opcode op;
+  Type type;             // primary type parameter
+  Type type2;            // conversion target type
+  BinOp bin_op = BinOp::kAdd;
+  Cond cond = Cond::kEq;
+  InvokeKind invoke_kind = InvokeKind::kVirtual;
+  int slot = 0;          // local-variable index
+  std::int64_t const_i = 0;
+  double const_f = 0.0;
+  std::size_t target = 0;     // branch target: instruction index
+  bool nan_is_less = true;    // fcmpl/dcmpl vs fcmpg/dcmpg
+  std::string owner;          // class name for field/method/new
+  std::string member;         // field or method name
+
+  std::string ToString() const;
+};
+
+const char* OpcodeName(Opcode op);
+const char* BinOpName(BinOp op);
+const char* CondName(Cond cond);
+
+// True if `op` transfers control (affects fall-through analysis).
+bool IsBranch(Opcode op);
+// True if `op` ends a basic block unconditionally (goto/return).
+bool IsTerminator(Opcode op);
+
+// Pretty-prints a code array with indices and branch targets.
+std::string Disassemble(const std::vector<Insn>& code);
+
+}  // namespace s2fa::jvm

@@ -1,0 +1,62 @@
+// Bytecode interpreter.
+//
+// Executes verified methods against a Heap and ClassPool. Serves two roles:
+//   1. Golden semantics — every app kernel's interpreted result is compared
+//      against its native C++ reference and against the generated C design.
+//   2. The JVM performance baseline of Fig. 4, via the CostModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/cost_model.h"
+#include "jvm/klass.h"
+#include "jvm/value.h"
+
+namespace s2fa::jvm {
+
+struct ExecResult {
+  Value ret;                 // undefined for void methods
+  std::uint64_t steps = 0;   // instructions executed
+  double cost_ns = 0.0;      // modeled JVM time
+};
+
+class Interpreter {
+ public:
+  // `heap` outlives the interpreter; arguments and results may reference it.
+  Interpreter(const ClassPool& pool, Heap& heap);
+
+  // Replaces the default cost model (e.g. to model a slower interpreter).
+  void set_cost_model(const CostModel& model) { cost_model_ = model; }
+
+  // Hard cap on executed instructions per top-level call (runaway guard).
+  void set_max_steps(std::uint64_t max_steps) { max_steps_ = max_steps; }
+
+  // Invokes `owner.method` with `args` (receiver first for instance
+  // methods). Throws MalformedInput/InternalError on bad bytecode — run the
+  // verifier first for friendlier diagnostics.
+  ExecResult Invoke(const std::string& owner, const std::string& method,
+                    std::vector<Value> args);
+
+  Heap& heap() { return *heap_; }
+
+ private:
+  struct CallOutcome {
+    Value ret;
+    bool has_ret = false;
+  };
+
+  CallOutcome Execute(const Method& method, std::vector<Value> locals,
+                      int depth);
+  Value CallMathIntrinsic(const std::string& member, std::vector<Value>& args);
+
+  const ClassPool& pool_;
+  Heap* heap_;
+  CostModel cost_model_;
+  std::uint64_t max_steps_ = 5'000'000'000ULL;
+  std::uint64_t steps_ = 0;
+  double cost_ns_ = 0.0;
+};
+
+}  // namespace s2fa::jvm

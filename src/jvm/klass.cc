@@ -1,0 +1,93 @@
+#include "jvm/klass.h"
+
+#include "support/error.h"
+
+namespace s2fa::jvm {
+
+int Method::ParamSlotCount() const {
+  int slots = is_static ? 0 : 1;
+  for (const auto& p : signature.params) slots += p.is_wide() ? 2 : 1;
+  return slots;
+}
+
+std::size_t Klass::AddField(Field field) {
+  for (const auto& f : fields_) {
+    S2FA_REQUIRE(f.name != field.name,
+                 "duplicate field " << name_ << "." << field.name);
+  }
+  fields_.push_back(std::move(field));
+  return fields_.size() - 1;
+}
+
+std::size_t Klass::FieldIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  throw MalformedInput("no field " + name_ + "." + name);
+}
+
+const Field& Klass::FieldAt(std::size_t index) const {
+  S2FA_REQUIRE(index < fields_.size(),
+               "field index " << index << " out of range in " << name_);
+  return fields_[index];
+}
+
+void Klass::AddMethod(Method method) {
+  for (const auto& m : methods_) {
+    S2FA_REQUIRE(m.name != method.name,
+                 "duplicate method " << name_ << "." << method.name
+                                     << " (overloading unsupported)");
+  }
+  methods_.push_back(std::move(method));
+}
+
+const Method& Klass::GetMethod(const std::string& name) const {
+  for (const auto& m : methods_) {
+    if (m.name == name) return m;
+  }
+  throw MalformedInput("no method " + name_ + "." + name);
+}
+
+bool Klass::HasMethod(const std::string& name) const {
+  for (const auto& m : methods_) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+ClassPool::ClassPool() {
+  // java/lang/Math: intrinsics only; bodies resolved by the runtime.
+  Define("java/lang/Math");
+}
+
+Klass& ClassPool::Define(std::string name) {
+  S2FA_REQUIRE(!Has(name), "class " << name << " already defined");
+  auto klass = std::make_unique<Klass>(name);
+  Klass& ref = *klass;
+  classes_.emplace(std::move(name), std::move(klass));
+  return ref;
+}
+
+bool ClassPool::Has(const std::string& name) const {
+  return classes_.count(name) != 0;
+}
+
+Klass& ClassPool::Get(const std::string& name) {
+  auto it = classes_.find(name);
+  if (it == classes_.end()) throw MalformedInput("unresolved class " + name);
+  return *it->second;
+}
+
+const Klass& ClassPool::Get(const std::string& name) const {
+  return const_cast<ClassPool*>(this)->Get(name);
+}
+
+bool ClassPool::IsMathIntrinsic(const std::string& owner,
+                                const std::string& member) {
+  if (owner != "java/lang/Math") return false;
+  return member == "exp" || member == "log" || member == "sqrt" ||
+         member == "abs" || member == "max" || member == "min" ||
+         member == "pow";
+}
+
+}  // namespace s2fa::jvm

@@ -1,0 +1,86 @@
+// Class, method, and field model plus the class pool.
+//
+// A Klass mirrors what s2fa reads out of a .class file: field layout (the
+// flattening source for composite types like Tuple2) and method bodies. The
+// ClassPool is the resolution context shared by the verifier, interpreter,
+// and the bytecode-to-C compiler; it is pre-populated with the builtin
+// composite classes the paper mentions (Tuple2, Tuple3) and java/lang/Math.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jvm/instruction.h"
+#include "jvm/type.h"
+
+namespace s2fa::jvm {
+
+struct Field {
+  std::string name;
+  Type type;
+};
+
+struct Method {
+  std::string name;
+  MethodSignature signature;
+  bool is_static = false;
+  int max_locals = 0;        // local-variable slot count (includes params/this)
+  std::vector<Insn> code;    // empty for intrinsics resolved by the runtime
+
+  // Total slots consumed by the receiver (if any) plus parameters.
+  int ParamSlotCount() const;
+};
+
+class Klass {
+ public:
+  explicit Klass(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Appends a field; returns its index (field storage order).
+  std::size_t AddField(Field field);
+  const std::vector<Field>& fields() const { return fields_; }
+  // Index of field `name`; throws MalformedInput if absent.
+  std::size_t FieldIndex(const std::string& name) const;
+  const Field& FieldAt(std::size_t index) const;
+
+  void AddMethod(Method method);
+  // Finds a method by name; throws MalformedInput if absent.
+  const Method& GetMethod(const std::string& name) const;
+  bool HasMethod(const std::string& name) const;
+  const std::vector<Method>& methods() const { return methods_; }
+
+ private:
+  std::string name_;
+  std::vector<Field> fields_;
+  std::vector<Method> methods_;
+};
+
+// Registry of all classes visible to a kernel.
+class ClassPool {
+ public:
+  // Creates a pool with builtin classes: scala/Tuple2 {_1,_2},
+  // scala/Tuple3 {_1,_2,_3} (field types erased to double; actual kernels
+  // define their own concrete tuples), java/lang/Math (intrinsics).
+  ClassPool();
+
+  // Registers a class; name must be unique.
+  Klass& Define(std::string name);
+
+  bool Has(const std::string& name) const;
+  Klass& Get(const std::string& name);
+  const Klass& Get(const std::string& name) const;
+
+  // True if owner.member resolves to a math intrinsic handled natively
+  // (java/lang/Math.{exp,log,sqrt,abs,max,min,pow}).
+  static bool IsMathIntrinsic(const std::string& owner,
+                              const std::string& member);
+
+ private:
+  std::map<std::string, std::unique_ptr<Klass>> classes_;
+};
+
+}  // namespace s2fa::jvm

@@ -1,0 +1,78 @@
+#include "jvm/value.h"
+
+#include <sstream>
+
+namespace s2fa::jvm {
+
+std::string Value::ToString() const {
+  std::ostringstream oss;
+  if (is_int()) {
+    oss << AsInt() << "i";
+  } else if (is_long()) {
+    oss << AsLong() << "l";
+  } else if (is_float()) {
+    oss << AsFloat() << "f";
+  } else if (is_double()) {
+    oss << AsDouble() << "d";
+  } else {
+    oss << "ref#" << AsRef();
+  }
+  return oss.str();
+}
+
+Value DefaultValue(const Type& type) {
+  switch (type.kind()) {
+    case TypeKind::kBoolean:
+    case TypeKind::kByte:
+    case TypeKind::kChar:
+    case TypeKind::kShort:
+    case TypeKind::kInt:
+      return Value::OfInt(0);
+    case TypeKind::kLong:
+      return Value::OfLong(0);
+    case TypeKind::kFloat:
+      return Value::OfFloat(0.0f);
+    case TypeKind::kDouble:
+      return Value::OfDouble(0.0);
+    case TypeKind::kArray:
+    case TypeKind::kClass:
+      return Value::OfRef(kNullRef);
+    case TypeKind::kVoid:
+      break;
+  }
+  throw InvalidArgument("no default value for type " + type.ToString());
+}
+
+Ref Heap::NewArray(const Type& array_type, std::size_t length) {
+  S2FA_REQUIRE(array_type.is_array(),
+               "NewArray needs an array type, got " << array_type.ToString());
+  Object obj;
+  obj.kind = Object::Kind::kArray;
+  obj.type = array_type;
+  obj.slots.assign(length, DefaultValue(array_type.element()));
+  objects_.push_back(std::move(obj));
+  return static_cast<Ref>(objects_.size() - 1);
+}
+
+Ref Heap::NewInstance(const Type& class_type, std::size_t num_fields) {
+  S2FA_REQUIRE(class_type.is_class(), "NewInstance needs a class type, got "
+                                          << class_type.ToString());
+  Object obj;
+  obj.kind = Object::Kind::kInstance;
+  obj.type = class_type;
+  obj.slots.assign(num_fields, Value());
+  objects_.push_back(std::move(obj));
+  return static_cast<Ref>(objects_.size() - 1);
+}
+
+Object& Heap::Get(Ref ref) {
+  S2FA_REQUIRE(ref != kNullRef, "null reference dereference");
+  S2FA_REQUIRE(ref < objects_.size(), "dangling reference " << ref);
+  return objects_[ref];
+}
+
+const Object& Heap::Get(Ref ref) const {
+  return const_cast<Heap*>(this)->Get(ref);
+}
+
+}  // namespace s2fa::jvm

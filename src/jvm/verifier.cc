@@ -1,0 +1,418 @@
+#include "jvm/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace s2fa::jvm {
+
+namespace {
+
+// Abstract stack cell: a Type, with small integral types widened to int
+// (JVM operand-stack semantics).
+Type WidenToStack(const Type& t) {
+  if (t.is_integral() && !(t.kind() == TypeKind::kLong)) return Type::Int();
+  return t;
+}
+
+bool SameCell(const Type& a, const Type& b) {
+  if (a == b) return true;
+  // References unify by kind only: the flattener cares about exact classes,
+  // but at merge points a null-like ref may meet a concrete one.
+  if (a.is_reference() && b.is_reference()) return true;
+  return false;
+}
+
+struct Frame {
+  std::vector<Type> stack;
+};
+
+class VerifierImpl {
+ public:
+  VerifierImpl(const ClassPool& pool, const Method& method)
+      : pool_(pool), method_(method) {}
+
+  VerifyResult Run();
+
+ private:
+  void Fail(std::size_t pc, const std::string& message) {
+    std::ostringstream oss;
+    oss << method_.name << "@" << pc << " (" << method_.code[pc].ToString()
+        << "): " << message;
+    result_.errors.push_back(oss.str());
+    result_.ok = false;
+  }
+
+  // Pops a cell; reports and returns nullopt on underflow.
+  std::optional<Type> PopCell(Frame& frame, std::size_t pc) {
+    if (frame.stack.empty()) {
+      Fail(pc, "operand stack underflow");
+      return std::nullopt;
+    }
+    Type t = frame.stack.back();
+    frame.stack.pop_back();
+    return t;
+  }
+
+  bool PopExpect(Frame& frame, std::size_t pc, const Type& want,
+                 const char* role) {
+    auto got = PopCell(frame, pc);
+    if (!got) return false;
+    if (!SameCell(WidenToStack(want), WidenToStack(*got))) {
+      Fail(pc, std::string(role) + " has type " + got->ToString() +
+                   ", expected " + want.ToString());
+      return false;
+    }
+    return true;
+  }
+
+  // Transfers `frame` through instruction `pc`; appends successor pcs.
+  void Step(std::size_t pc, Frame frame);
+
+  // Merges `frame` into the recorded in-state of `pc`; enqueues on change.
+  void MergeInto(std::size_t pc, const Frame& frame, std::size_t from_pc);
+
+  const ClassPool& pool_;
+  const Method& method_;
+  VerifyResult result_;
+  std::vector<std::optional<Frame>> in_state_;
+  std::deque<std::size_t> worklist_;
+};
+
+void VerifierImpl::MergeInto(std::size_t pc, const Frame& frame,
+                             std::size_t from_pc) {
+  if (pc >= method_.code.size()) {
+    Fail(from_pc, "control falls past end of code");
+    return;
+  }
+  auto& slot = in_state_[pc];
+  if (!slot) {
+    slot = frame;
+    worklist_.push_back(pc);
+    return;
+  }
+  if (slot->stack.size() != frame.stack.size()) {
+    Fail(pc, "inconsistent stack depth at merge: " +
+                 std::to_string(slot->stack.size()) + " vs " +
+                 std::to_string(frame.stack.size()));
+    return;
+  }
+  bool changed = false;
+  for (std::size_t i = 0; i < frame.stack.size(); ++i) {
+    if (!SameCell(slot->stack[i], frame.stack[i])) {
+      Fail(pc, "inconsistent stack cell " + std::to_string(i) + " at merge: " +
+                   slot->stack[i].ToString() + " vs " +
+                   frame.stack[i].ToString());
+      return;
+    }
+    // Prefer the more specific class type if one side is generic.
+    if (slot->stack[i] != frame.stack[i] && frame.stack[i].is_class()) {
+      slot->stack[i] = frame.stack[i];
+      changed = true;
+    }
+  }
+  if (changed) worklist_.push_back(pc);
+}
+
+void VerifierImpl::Step(std::size_t pc, Frame frame) {
+  const Insn& insn = method_.code[pc];
+  const std::size_t error_count = result_.errors.size();
+
+  auto push = [&](const Type& t) { frame.stack.push_back(WidenToStack(t)); };
+  auto check_slot = [&](int slot) {
+    if (slot < 0 || slot >= method_.max_locals) {
+      Fail(pc, "local slot " + std::to_string(slot) + " out of range [0, " +
+                   std::to_string(method_.max_locals) + ")");
+      return false;
+    }
+    return true;
+  };
+
+  switch (insn.op) {
+    case Opcode::kConst:
+      push(insn.type);
+      break;
+    case Opcode::kLoad:
+      if (!check_slot(insn.slot)) return;
+      push(insn.type);
+      break;
+    case Opcode::kStore:
+      if (!check_slot(insn.slot)) return;
+      PopExpect(frame, pc, insn.type, "stored value");
+      break;
+    case Opcode::kIInc:
+      check_slot(insn.slot);
+      break;
+    case Opcode::kArrayLoad: {
+      PopExpect(frame, pc, Type::Int(), "array index");
+      auto arr = PopCell(frame, pc);
+      if (arr && !arr->is_reference()) {
+        Fail(pc, "array load on non-reference " + arr->ToString());
+      }
+      push(insn.type);
+      break;
+    }
+    case Opcode::kArrayStore: {
+      PopExpect(frame, pc, insn.type, "stored element");
+      PopExpect(frame, pc, Type::Int(), "array index");
+      auto arr = PopCell(frame, pc);
+      if (arr && !arr->is_reference()) {
+        Fail(pc, "array store on non-reference " + arr->ToString());
+      }
+      break;
+    }
+    case Opcode::kNewArray:
+      PopExpect(frame, pc, Type::Int(), "array length");
+      push(Type::Array(insn.type));
+      break;
+    case Opcode::kArrayLength: {
+      auto arr = PopCell(frame, pc);
+      if (arr && !arr->is_reference()) {
+        Fail(pc, "arraylength on non-reference " + arr->ToString());
+      }
+      push(Type::Int());
+      break;
+    }
+    case Opcode::kBinOp: {
+      const bool shift = insn.bin_op == BinOp::kShl ||
+                         insn.bin_op == BinOp::kShr ||
+                         insn.bin_op == BinOp::kUShr;
+      PopExpect(frame, pc, shift ? Type::Int() : insn.type, "rhs");
+      PopExpect(frame, pc, insn.type, "lhs");
+      if (insn.type.is_floating() &&
+          (insn.bin_op == BinOp::kShl || insn.bin_op == BinOp::kShr ||
+           insn.bin_op == BinOp::kUShr || insn.bin_op == BinOp::kAnd ||
+           insn.bin_op == BinOp::kOr || insn.bin_op == BinOp::kXor)) {
+        Fail(pc, "bitwise op on floating type");
+      }
+      push(insn.type);
+      break;
+    }
+    case Opcode::kNeg:
+      PopExpect(frame, pc, insn.type, "operand");
+      push(insn.type);
+      break;
+    case Opcode::kConvert:
+      PopExpect(frame, pc, insn.type, "operand");
+      push(insn.type2);
+      break;
+    case Opcode::kCmp:
+      PopExpect(frame, pc, insn.type, "rhs");
+      PopExpect(frame, pc, insn.type, "lhs");
+      push(Type::Int());
+      break;
+    case Opcode::kIf:
+      PopExpect(frame, pc, Type::Int(), "condition");
+      break;
+    case Opcode::kIfICmp:
+      PopExpect(frame, pc, Type::Int(), "rhs");
+      PopExpect(frame, pc, Type::Int(), "lhs");
+      break;
+    case Opcode::kGoto:
+      break;
+    case Opcode::kGetField: {
+      auto obj = PopCell(frame, pc);
+      if (obj && !obj->is_reference()) {
+        Fail(pc, "getfield on non-reference " + obj->ToString());
+      }
+      if (!pool_.Has(insn.owner)) {
+        Fail(pc, "unresolved class " + insn.owner);
+        push(Type::Int());
+        break;
+      }
+      const Klass& k = pool_.Get(insn.owner);
+      try {
+        push(k.FieldAt(k.FieldIndex(insn.member)).type);
+      } catch (const Error& e) {
+        Fail(pc, e.what());
+        push(Type::Int());
+      }
+      break;
+    }
+    case Opcode::kPutField: {
+      if (!pool_.Has(insn.owner)) {
+        Fail(pc, "unresolved class " + insn.owner);
+        return;
+      }
+      const Klass& k = pool_.Get(insn.owner);
+      try {
+        const Type& ft = k.FieldAt(k.FieldIndex(insn.member)).type;
+        PopExpect(frame, pc, ft, "field value");
+      } catch (const Error& e) {
+        Fail(pc, e.what());
+        PopCell(frame, pc);
+      }
+      auto obj = PopCell(frame, pc);
+      if (obj && !obj->is_reference()) {
+        Fail(pc, "putfield on non-reference " + obj->ToString());
+      }
+      break;
+    }
+    case Opcode::kNew:
+      if (!pool_.Has(insn.owner)) Fail(pc, "unresolved class " + insn.owner);
+      push(Type::Class(insn.owner));
+      break;
+    case Opcode::kInvoke: {
+      if (ClassPool::IsMathIntrinsic(insn.owner, insn.member)) {
+        // Math intrinsics: pow/max/min take two doubles, others one; all
+        // return double (kernels convert as needed).
+        const int arity =
+            (insn.member == "pow" || insn.member == "max" ||
+             insn.member == "min")
+                ? 2
+                : 1;
+        for (int i = 0; i < arity; ++i) {
+          PopExpect(frame, pc, Type::Double(), "math intrinsic arg");
+        }
+        push(Type::Double());
+        break;
+      }
+      if (!pool_.Has(insn.owner)) {
+        Fail(pc, "unresolved class " + insn.owner);
+        return;
+      }
+      const Klass& k = pool_.Get(insn.owner);
+      if (!k.HasMethod(insn.member)) {
+        Fail(pc, "unresolved method " + insn.owner + "." + insn.member);
+        return;
+      }
+      const Method& callee = k.GetMethod(insn.member);
+      const bool callee_static = insn.invoke_kind == InvokeKind::kStatic;
+      if (callee.is_static != callee_static) {
+        Fail(pc, "invoke kind does not match method staticness");
+      }
+      for (auto it = callee.signature.params.rbegin();
+           it != callee.signature.params.rend(); ++it) {
+        PopExpect(frame, pc, *it, "argument");
+      }
+      if (!callee_static) {
+        auto recv = PopCell(frame, pc);
+        if (recv && !recv->is_reference()) {
+          Fail(pc, "receiver is not a reference: " + recv->ToString());
+        }
+      }
+      if (!callee.signature.ret.is_void()) push(callee.signature.ret);
+      break;
+    }
+    case Opcode::kReturn: {
+      if (insn.type.is_void()) {
+        if (!method_.signature.ret.is_void()) {
+          Fail(pc, "void return in non-void method");
+        }
+      } else {
+        PopExpect(frame, pc, insn.type, "return value");
+        if (!SameCell(WidenToStack(insn.type),
+                      WidenToStack(method_.signature.ret))) {
+          Fail(pc, "return type " + insn.type.ToString() +
+                       " does not match declared " +
+                       method_.signature.ret.ToString());
+        }
+      }
+      if (!frame.stack.empty()) {
+        // Not a hard JVM error, but our compiler assumes clean returns.
+        Fail(pc, "stack not empty at return (" +
+                     std::to_string(frame.stack.size()) + " residual values)");
+      }
+      return;  // no successor
+    }
+    case Opcode::kDup: {
+      if (frame.stack.empty()) {
+        Fail(pc, "dup on empty stack");
+        return;
+      }
+      frame.stack.push_back(frame.stack.back());
+      break;
+    }
+    case Opcode::kPop:
+      PopCell(frame, pc);
+      break;
+    case Opcode::kSwap: {
+      if (frame.stack.size() < 2) {
+        Fail(pc, "swap needs two operands");
+        return;
+      }
+      std::swap(frame.stack[frame.stack.size() - 1],
+                frame.stack[frame.stack.size() - 2]);
+      break;
+    }
+  }
+
+  // Don't propagate frames that already failed locally — avoids cascades.
+  if (result_.errors.size() != error_count) return;
+
+  result_.max_stack =
+      std::max(result_.max_stack, static_cast<int>(frame.stack.size()));
+
+  if (insn.op == Opcode::kGoto) {
+    MergeInto(insn.target, frame, pc);
+    return;
+  }
+  if (insn.op == Opcode::kIf || insn.op == Opcode::kIfICmp) {
+    MergeInto(insn.target, frame, pc);
+    MergeInto(pc + 1, frame, pc);
+    return;
+  }
+  MergeInto(pc + 1, frame, pc);
+}
+
+VerifyResult VerifierImpl::Run() {
+  if (method_.code.empty()) {
+    result_.ok = false;
+    result_.errors.push_back(method_.name + ": empty code");
+    return result_;
+  }
+  // Check all branch targets up front.
+  for (std::size_t pc = 0; pc < method_.code.size(); ++pc) {
+    const Insn& insn = method_.code[pc];
+    if (IsBranch(insn.op) && insn.target >= method_.code.size()) {
+      Fail(pc, "branch target " + std::to_string(insn.target) +
+                   " out of range");
+    }
+  }
+  if (!result_.ok) return result_;
+
+  in_state_.assign(method_.code.size(), std::nullopt);
+  in_state_[0] = Frame{};
+  worklist_.push_back(0);
+  // Bound iterations defensively: dataflow converges in O(n^2) merges here.
+  std::size_t budget = method_.code.size() * method_.code.size() + 1024;
+  while (!worklist_.empty() && budget-- > 0) {
+    std::size_t pc = worklist_.front();
+    worklist_.pop_front();
+    Step(pc, *in_state_[pc]);
+    if (result_.errors.size() > 64) break;  // enough diagnostics
+  }
+  if (budget == 0) {
+    result_.ok = false;
+    result_.errors.push_back(method_.name + ": verifier did not converge");
+  }
+
+  // Every reachable non-terminator must have a reachable successor ending in
+  // return; approximate by requiring the last reachable instruction path to
+  // be a terminator: check that no reachable instruction falls off the end.
+  const Insn& last = method_.code.back();
+  if (in_state_[method_.code.size() - 1].has_value() &&
+      !IsTerminator(last.op)) {
+    Fail(method_.code.size() - 1, "control can fall off end of method");
+  }
+  return result_;
+}
+
+}  // namespace
+
+VerifyResult Verify(const ClassPool& pool, const Method& method) {
+  return VerifierImpl(pool, method).Run();
+}
+
+void VerifyOrThrow(const ClassPool& pool, const Method& method) {
+  VerifyResult r = Verify(pool, method);
+  if (r.ok) return;
+  std::string all = "bytecode verification failed:\n";
+  for (const auto& e : r.errors) all += "  " + e + "\n";
+  throw MalformedInput(all);
+}
+
+}  // namespace s2fa::jvm

@@ -1,0 +1,33 @@
+// Structural bytecode verifier.
+//
+// Performs abstract interpretation of the operand stack over the control-
+// flow graph (worklist dataflow): checks branch targets, local-slot bounds,
+// stack discipline (no underflow, consistent shapes at merge points), type
+// agreement of operands, and that every path ends in a return of the
+// declared type. The bytecode-to-C compiler assumes verified input; running
+// the verifier first turns its internal errors into actionable diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jvm/klass.h"
+
+namespace s2fa::jvm {
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  // Maximum operand stack depth observed (for diagnostics / cost model).
+  int max_stack = 0;
+};
+
+// Verifies `method` against `pool`. Never throws for verification failures
+// (they are reported in the result); throws only on API misuse.
+VerifyResult Verify(const ClassPool& pool, const Method& method);
+
+// Convenience: throws MalformedInput with all messages if verification fails.
+void VerifyOrThrow(const ClassPool& pool, const Method& method);
+
+}  // namespace s2fa::jvm

@@ -1,0 +1,448 @@
+#include "kir/analysis.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "support/error.h"
+
+namespace s2fa::kir {
+
+// ------------------------------------------------------------ loop tree
+
+namespace {
+
+void BuildTreeFrom(const Stmt& stmt, int depth,
+                   std::vector<LoopTreeNode>& siblings) {
+  switch (stmt.kind()) {
+    case StmtKind::kFor: {
+      LoopTreeNode node;
+      node.loop = &stmt;
+      node.depth = depth;
+      BuildTreeFrom(*stmt.body(), depth + 1, node.children);
+      siblings.push_back(std::move(node));
+      break;
+    }
+    case StmtKind::kIf:
+      BuildTreeFrom(*stmt.then_stmt(), depth, siblings);
+      if (stmt.else_stmt()) BuildTreeFrom(*stmt.else_stmt(), depth, siblings);
+      break;
+    case StmtKind::kBlock:
+      for (const auto& st : stmt.stmts()) BuildTreeFrom(*st, depth, siblings);
+      break;
+    default:
+      break;
+  }
+}
+
+void CollectPreOrder(const std::vector<LoopTreeNode>& nodes,
+                     std::vector<const LoopTreeNode*>& out) {
+  for (const auto& node : nodes) {
+    out.push_back(&node);
+    CollectPreOrder(node.children, out);
+  }
+}
+
+}  // namespace
+
+LoopTree BuildLoopTree(const Kernel& kernel) {
+  S2FA_REQUIRE(kernel.body != nullptr, "kernel has no body");
+  LoopTree tree;
+  BuildTreeFrom(*kernel.body, 0, tree.roots);
+  return tree;
+}
+
+std::size_t LoopTree::size() const { return PreOrder().size(); }
+
+int LoopTree::max_depth() const {
+  int depth = -1;
+  for (const LoopTreeNode* node : PreOrder()) {
+    depth = std::max(depth, node->depth);
+  }
+  return depth;
+}
+
+std::vector<const LoopTreeNode*> LoopTree::PreOrder() const {
+  std::vector<const LoopTreeNode*> out;
+  CollectPreOrder(roots, out);
+  return out;
+}
+
+const LoopTreeNode* LoopTree::Find(int loop_id) const {
+  for (const LoopTreeNode* node : PreOrder()) {
+    if (node->loop->loop_id() == loop_id) return node;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------ op census
+
+OpCounts& OpCounts::operator+=(const OpCounts& other) {
+  int_alu += other.int_alu;
+  int_mul += other.int_mul;
+  int_div += other.int_div;
+  fp_add += other.fp_add;
+  fp_mul += other.fp_mul;
+  fp_div += other.fp_div;
+  exp_like += other.exp_like;
+  sqrt_like += other.sqrt_like;
+  mem_read += other.mem_read;
+  mem_write += other.mem_write;
+  for (const auto& [name, n] : other.buffer_reads) buffer_reads[name] += n;
+  for (const auto& [name, n] : other.buffer_writes) buffer_writes[name] += n;
+  return *this;
+}
+
+OpCounts CountExprOps(const ExprPtr& expr) {
+  OpCounts counts;
+  VisitExpr(expr, [&counts](const Expr& node) {
+    switch (node.kind()) {
+      case ExprKind::kArrayRef:
+        ++counts.mem_read;
+        ++counts.buffer_reads[node.name()];
+        break;
+      case ExprKind::kBinary: {
+        const bool fp = node.operands()[0]->type().is_floating();
+        switch (node.binary_op()) {
+          case BinaryOp::kMul:
+            ++(fp ? counts.fp_mul : counts.int_mul);
+            break;
+          case BinaryOp::kDiv:
+          case BinaryOp::kRem:
+            ++(fp ? counts.fp_div : counts.int_div);
+            break;
+          default:
+            ++(fp ? counts.fp_add : counts.int_alu);
+            break;
+        }
+        break;
+      }
+      case ExprKind::kUnary:
+        ++(node.operands()[0]->type().is_floating() ? counts.fp_add
+                                                    : counts.int_alu);
+        break;
+      case ExprKind::kCall:
+        if (node.intrinsic() == Intrinsic::kSqrt) {
+          ++counts.sqrt_like;
+        } else if (node.intrinsic() == Intrinsic::kAbs) {
+          ++counts.fp_add;
+        } else {
+          ++counts.exp_like;
+        }
+        break;
+      case ExprKind::kSelect:
+        ++counts.int_alu;  // the mux
+        break;
+      default:
+        break;
+    }
+  });
+  return counts;
+}
+
+namespace {
+
+OpCounts CountAssign(const Stmt& s) {
+  OpCounts counts = CountExprOps(s.rhs());
+  if (s.lhs()->kind() == ExprKind::kArrayRef) {
+    // The LHS index is computed; the element access is a write, not a read.
+    counts += CountExprOps(s.lhs()->operands()[0]);
+    ++counts.mem_write;
+    ++counts.buffer_writes[s.lhs()->name()];
+  }
+  return counts;
+}
+
+OpCounts CountStmt(const Stmt& stmt, bool include_loops, bool weighted) {
+  OpCounts counts;
+  switch (stmt.kind()) {
+    case StmtKind::kAssign:
+      counts += CountAssign(stmt);
+      break;
+    case StmtKind::kDecl:
+      if (stmt.init()) counts += CountExprOps(stmt.init());
+      break;
+    case StmtKind::kIf:
+      counts += CountExprOps(stmt.cond());
+      counts += CountStmt(*stmt.then_stmt(), include_loops, weighted);
+      if (stmt.else_stmt()) {
+        counts += CountStmt(*stmt.else_stmt(), include_loops, weighted);
+      }
+      break;
+    case StmtKind::kFor: {
+      if (!include_loops) break;
+      OpCounts body = CountStmt(*stmt.body(), include_loops, weighted);
+      if (weighted) {
+        const std::int64_t trip = stmt.trip_count();
+        OpCounts scaled;
+        auto mul = [trip](int v) {
+          return static_cast<int>(std::min<std::int64_t>(
+              static_cast<std::int64_t>(v) * trip, INT32_MAX));
+        };
+        scaled.int_alu = mul(body.int_alu);
+        scaled.int_mul = mul(body.int_mul);
+        scaled.int_div = mul(body.int_div);
+        scaled.fp_add = mul(body.fp_add);
+        scaled.fp_mul = mul(body.fp_mul);
+        scaled.fp_div = mul(body.fp_div);
+        scaled.exp_like = mul(body.exp_like);
+        scaled.sqrt_like = mul(body.sqrt_like);
+        scaled.mem_read = mul(body.mem_read);
+        scaled.mem_write = mul(body.mem_write);
+        for (const auto& [name, n] : body.buffer_reads) {
+          scaled.buffer_reads[name] = mul(n);
+        }
+        for (const auto& [name, n] : body.buffer_writes) {
+          scaled.buffer_writes[name] = mul(n);
+        }
+        counts += scaled;
+      } else {
+        counts += body;
+      }
+      break;
+    }
+    case StmtKind::kBlock:
+      for (const auto& st : stmt.stmts()) {
+        counts += CountStmt(*st, include_loops, weighted);
+      }
+      break;
+  }
+  return counts;
+}
+
+}  // namespace
+
+OpCounts CountStraightLineOps(const Stmt& stmt) {
+  // Statements directly under `stmt`, not entering nested loops. If `stmt`
+  // itself is a loop, analyze its body.
+  const Stmt& root = stmt.kind() == StmtKind::kFor ? *stmt.body() : stmt;
+  return CountStmt(root, /*include_loops=*/false, /*weighted=*/false);
+}
+
+OpCounts CountTotalOps(const Stmt& stmt) {
+  return CountStmt(stmt, /*include_loops=*/true, /*weighted=*/true);
+}
+
+// ----------------------------------------------------------- recurrence
+
+namespace {
+
+// Collects names declared by kDecl inside `stmt` (loop-private scalars) and
+// loop variables of nested loops.
+void CollectPrivateNames(const Stmt& stmt, std::set<std::string>& names) {
+  if (stmt.kind() == StmtKind::kDecl) {
+    names.insert(stmt.decl_name());
+  } else if (stmt.kind() == StmtKind::kFor) {
+    names.insert(stmt.loop_var());
+    CollectPrivateNames(*stmt.body(), names);
+  } else if (stmt.kind() == StmtKind::kIf) {
+    CollectPrivateNames(*stmt.then_stmt(), names);
+    if (stmt.else_stmt()) CollectPrivateNames(*stmt.else_stmt(), names);
+  } else if (stmt.kind() == StmtKind::kBlock) {
+    for (const auto& st : stmt.stmts()) CollectPrivateNames(*st, names);
+  }
+}
+
+void CollectVarReads(const ExprPtr& expr, std::set<std::string>& vars) {
+  VisitExpr(expr, [&vars](const Expr& node) {
+    if (node.kind() == ExprKind::kVar) vars.insert(node.name());
+  });
+}
+
+struct AccessRecord {
+  const Stmt* assign = nullptr;
+  std::set<std::string> reads_vars;        // scalar variables read
+  std::map<std::string, std::vector<std::string>> buffer_read_indices;
+  std::string written_var;                 // non-empty for scalar writes
+  std::string written_buffer;              // non-empty for buffer writes
+  std::string written_index;               // textual form of the index
+};
+
+void CollectAssigns(const Stmt& stmt, std::vector<AccessRecord>& out) {
+  switch (stmt.kind()) {
+    case StmtKind::kAssign: {
+      AccessRecord rec;
+      rec.assign = &stmt;
+      CollectVarReads(stmt.rhs(), rec.reads_vars);
+      VisitExpr(stmt.rhs(), [&rec](const Expr& node) {
+        if (node.kind() == ExprKind::kArrayRef) {
+          rec.buffer_read_indices[node.name()].push_back(
+              node.operands()[0]->ToString());
+        }
+      });
+      if (stmt.lhs()->kind() == ExprKind::kVar) {
+        rec.written_var = stmt.lhs()->name();
+      } else {
+        rec.written_buffer = stmt.lhs()->name();
+        rec.written_index = stmt.lhs()->operands()[0]->ToString();
+        CollectVarReads(stmt.lhs()->operands()[0], rec.reads_vars);
+        // Reads that feed the LHS index do not form a value recurrence, but
+        // buffer reads inside the index expression do count as reads.
+        VisitExpr(stmt.lhs()->operands()[0], [&rec](const Expr& node) {
+          if (node.kind() == ExprKind::kArrayRef) {
+            rec.buffer_read_indices[node.name()].push_back(
+                node.operands()[0]->ToString());
+          }
+        });
+      }
+      out.push_back(std::move(rec));
+      break;
+    }
+    case StmtKind::kIf:
+      CollectAssigns(*stmt.then_stmt(), out);
+      if (stmt.else_stmt()) CollectAssigns(*stmt.else_stmt(), out);
+      break;
+    case StmtKind::kFor:
+      CollectAssigns(*stmt.body(), out);
+      break;
+    case StmtKind::kBlock:
+      for (const auto& st : stmt.stmts()) CollectAssigns(*st, out);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+bool ContainsVar(const ExprPtr& expr, const std::string& name) {
+  bool found = false;
+  VisitExpr(expr, [&](const Expr& node) {
+    if (node.kind() == ExprKind::kVar && node.name() == name) found = true;
+  });
+  return found;
+}
+
+bool IsAssociativeOp(BinaryOp op) {
+  return op == BinaryOp::kAdd || op == BinaryOp::kMul ||
+         op == BinaryOp::kMin || op == BinaryOp::kMax;
+}
+
+}  // namespace
+
+bool IsAssociativeReduction(const Stmt& loop, const std::string& carrier) {
+  S2FA_REQUIRE(loop.kind() == StmtKind::kFor, "needs a loop");
+  bool all_associative = true;
+  bool any_assignment = false;
+  std::function<void(const Stmt&)> walk = [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kAssign &&
+        s.lhs()->kind() == ExprKind::kVar && s.lhs()->name() == carrier) {
+      any_assignment = true;
+      const ExprPtr& rhs = s.rhs();
+      if (rhs->kind() != ExprKind::kBinary ||
+          !IsAssociativeOp(rhs->binary_op())) {
+        all_associative = false;
+        return;
+      }
+      const ExprPtr& a = rhs->operands()[0];
+      const ExprPtr& b = rhs->operands()[1];
+      const bool a_is_carrier =
+          a->kind() == ExprKind::kVar && a->name() == carrier;
+      const bool b_is_carrier =
+          b->kind() == ExprKind::kVar && b->name() == carrier;
+      if (a_is_carrier == b_is_carrier) {  // zero or both sides
+        all_associative = false;
+        return;
+      }
+      const ExprPtr& other = a_is_carrier ? b : a;
+      if (ContainsVar(other, carrier)) all_associative = false;
+      return;
+    }
+    if (s.kind() == StmtKind::kIf) {
+      walk(*s.then_stmt());
+      if (s.else_stmt()) walk(*s.else_stmt());
+    } else if (s.kind() == StmtKind::kFor) {
+      walk(*s.body());
+    } else if (s.kind() == StmtKind::kBlock) {
+      for (const auto& st : s.stmts()) walk(*st);
+    }
+  };
+  walk(*loop.body());
+  return any_assignment && all_associative;
+}
+
+LoopRecurrence AnalyzeRecurrence(const Stmt& loop) {
+  S2FA_REQUIRE(loop.kind() == StmtKind::kFor, "recurrence needs a loop");
+  LoopRecurrence result;
+
+  std::set<std::string> private_names;
+  private_names.insert(loop.loop_var());
+  CollectPrivateNames(*loop.body(), private_names);
+
+  std::vector<AccessRecord> assigns;
+  CollectAssigns(*loop.body(), assigns);
+
+  // Scalar accumulators: a non-private scalar that is both written and read
+  // across the body.
+  std::set<std::string> written_scalars;
+  for (const auto& rec : assigns) {
+    if (!rec.written_var.empty() && private_names.count(rec.written_var) == 0) {
+      written_scalars.insert(rec.written_var);
+    }
+  }
+  for (const auto& rec : assigns) {
+    for (const auto& v : rec.reads_vars) {
+      if (written_scalars.count(v) != 0) {
+        result.carried = true;
+        if (std::find(result.carriers.begin(), result.carriers.end(), v) ==
+            result.carriers.end()) {
+          result.carriers.push_back(v);
+        }
+      }
+    }
+  }
+  if (result.carried) {
+    for (const auto& rec : assigns) {
+      if (!rec.written_var.empty() &&
+          std::find(result.carriers.begin(), result.carriers.end(),
+                    rec.written_var) != result.carriers.end()) {
+        result.cycle_exprs.push_back(rec.assign->rhs());
+      }
+    }
+  }
+
+  // Buffer wavefronts: buffer written at one index and read at a different
+  // index expression within the same body.
+  for (const auto& rec : assigns) {
+    if (rec.written_buffer.empty()) continue;
+    for (const auto& other : assigns) {
+      auto it = other.buffer_read_indices.find(rec.written_buffer);
+      if (it == other.buffer_read_indices.end()) continue;
+      for (const auto& read_index : it->second) {
+        if (read_index != rec.written_index) {
+          result.carried = true;
+          if (std::find(result.carriers.begin(), result.carriers.end(),
+                        rec.written_buffer) == result.carriers.end()) {
+            result.carriers.push_back(rec.written_buffer);
+            result.cycle_exprs.push_back(rec.assign->rhs());
+          }
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+// ----------------------------------------------------- expression depth
+
+int ExprDepth(const ExprPtr& expr) {
+  S2FA_REQUIRE(expr != nullptr, "null expression");
+  int max_child = 0;
+  for (const auto& operand : expr->operands()) {
+    max_child = std::max(max_child, ExprDepth(operand));
+  }
+  switch (expr->kind()) {
+    case ExprKind::kBinary:
+    case ExprKind::kUnary:
+    case ExprKind::kCall:
+    case ExprKind::kSelect:
+      return max_child + 1;
+    default:
+      return max_child;
+  }
+}
+
+}  // namespace s2fa::kir

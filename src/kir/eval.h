@@ -1,0 +1,52 @@
+// Kernel IR functional evaluator.
+//
+// Executes a kernel on concrete data with the same numeric semantics as the
+// generated C. Used to prove functional equivalence: interpreted bytecode ==
+// compiled IR == Merlin-transformed IR, the end-to-end correctness
+// obligation of the bytecode-to-C compiler.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jvm/value.h"
+#include "kir/kernel.h"
+
+namespace s2fa::kir {
+
+using jvm::Value;
+
+// Buffer contents keyed by buffer name. Inputs must be pre-sized to the
+// buffer's declared length times the task count where applicable; outputs
+// and locals are zero-initialized by Run if absent.
+using BufferMap = std::map<std::string, std::vector<Value>>;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Kernel& kernel);
+
+  // Runs the kernel. `scalars` provides values for every declared scalar
+  // parameter. `buffers` provides inputs and receives outputs. Missing
+  // output/local entries are created zero-filled with the declared length;
+  // off-chip buffers may be larger than declared (task-batched).
+  void Run(const std::map<std::string, Value>& scalars, BufferMap& buffers);
+
+  // Instruction-ish step count of the last Run (sanity/runaway guard).
+  std::uint64_t last_steps() const { return steps_; }
+
+ private:
+  struct Env {
+    std::map<std::string, Value> vars;
+    BufferMap* buffers = nullptr;
+  };
+
+  Value Eval(const ExprPtr& expr, Env& env);
+  void Exec(const Stmt& stmt, Env& env);
+
+  const Kernel& kernel_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t max_steps_ = 2'000'000'000ULL;
+};
+
+}  // namespace s2fa::kir

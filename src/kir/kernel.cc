@@ -1,0 +1,131 @@
+#include "kir/kernel.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace s2fa::kir {
+
+const char* PatternName(ParallelPattern pattern) {
+  switch (pattern) {
+    case ParallelPattern::kMap: return "map";
+    case ParallelPattern::kReduce: return "reduce";
+  }
+  S2FA_UNREACHABLE("bad pattern");
+}
+
+const Buffer* Kernel::FindBuffer(const std::string& buffer_name) const {
+  for (const auto& b : buffers) {
+    if (b.name == buffer_name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<const Buffer*> Kernel::InputBuffers() const {
+  std::vector<const Buffer*> out;
+  for (const auto& b : buffers) {
+    if (b.kind == BufferKind::kInput) out.push_back(&b);
+  }
+  return out;
+}
+
+std::vector<const Buffer*> Kernel::OutputBuffers() const {
+  std::vector<const Buffer*> out;
+  for (const auto& b : buffers) {
+    if (b.kind == BufferKind::kOutput) out.push_back(&b);
+  }
+  return out;
+}
+
+std::vector<const Buffer*> Kernel::LocalBuffers() const {
+  std::vector<const Buffer*> out;
+  for (const auto& b : buffers) {
+    if (b.kind == BufferKind::kLocal) out.push_back(&b);
+  }
+  return out;
+}
+
+int Kernel::MaxLoopId() const {
+  int max_id = -1;
+  for (const Stmt* loop : Loops()) {
+    max_id = std::max(max_id, loop->loop_id());
+  }
+  return max_id;
+}
+
+Kernel Kernel::Clone() const {
+  Kernel k;
+  k.name = name;
+  k.pattern = pattern;
+  k.scalars = scalars;
+  k.buffers = buffers;
+  k.task_loop_id = task_loop_id;
+  if (body) k.body = body->Clone();
+  return k;
+}
+
+void Kernel::Validate() const {
+  if (name.empty()) throw MalformedInput("kernel has no name");
+  if (!body) throw MalformedInput("kernel " + name + " has no body");
+
+  std::set<std::string> buffer_names;
+  for (const auto& b : buffers) {
+    if (!b.element.is_primitive()) {
+      throw MalformedInput("buffer " + b.name + " has non-primitive element " +
+                           b.element.ToString());
+    }
+    if (b.length <= 0) {
+      throw MalformedInput("buffer " + b.name + " has non-positive length");
+    }
+    if (!buffer_names.insert(b.name).second) {
+      throw MalformedInput("duplicate buffer name " + b.name);
+    }
+  }
+
+  std::set<int> loop_ids;
+  for (const Stmt* loop : Loops()) {
+    if (!loop_ids.insert(loop->loop_id()).second) {
+      throw MalformedInput("duplicate loop id " +
+                           std::to_string(loop->loop_id()) + " in kernel " +
+                           name);
+    }
+  }
+  if (task_loop_id >= 0 && loop_ids.count(task_loop_id) == 0) {
+    throw MalformedInput("task loop id " + std::to_string(task_loop_id) +
+                         " not present in kernel " + name);
+  }
+
+  // Every array reference must target a declared buffer.
+  std::vector<std::string> errors;
+  VisitStmt(body, std::function<void(const Stmt&)>([&](const Stmt& s) {
+              auto check_expr = [&](const ExprPtr& e) {
+                if (!e) return;
+                VisitExpr(e, [&](const Expr& node) {
+                  if (node.kind() == ExprKind::kArrayRef &&
+                      FindBuffer(node.name()) == nullptr) {
+                    errors.push_back("array reference to undeclared buffer " +
+                                     node.name());
+                  }
+                });
+              };
+              switch (s.kind()) {
+                case StmtKind::kAssign:
+                  check_expr(s.lhs());
+                  check_expr(s.rhs());
+                  break;
+                case StmtKind::kDecl:
+                  check_expr(s.init());
+                  break;
+                case StmtKind::kIf:
+                  check_expr(s.cond());
+                  break;
+                default:
+                  break;
+              }
+            }));
+  if (!errors.empty()) {
+    throw MalformedInput("kernel " + name + ": " + errors.front());
+  }
+}
+
+}  // namespace s2fa::kir

@@ -1,0 +1,88 @@
+// The kernel: a complete HLS-C translation unit in IR form.
+//
+// A Kernel is what the bytecode-to-C compiler emits (paper Code 3): flat
+// scalar parameters, flat input/output buffers (the flattened composite
+// types), local buffers (constant-size `new` lowered to static arrays), and
+// a body whose outermost loop realizes the RDD transformation template.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kir/stmt.h"
+
+namespace s2fa::kir {
+
+enum class BufferKind {
+  kInput,   // off-chip, read by the kernel
+  kOutput,  // off-chip, written by the kernel
+  kLocal,   // on-chip scratch (BRAM)
+};
+
+struct Buffer {
+  std::string name;
+  Type element;              // primitive element type
+  std::int64_t length = 0;   // total elements (batch * per_task for args)
+  BufferKind kind = BufferKind::kInput;
+
+  // For kInput/kOutput: which flattened source field this buffer carries,
+  // e.g. "in._1" — consumed by the Blaze serialization generator.
+  std::string source_field;
+
+  // Elements per task for interface buffers; 0 for locals.
+  std::int64_t per_task = 0;
+
+  // Off-chip interface bit-width chosen by the design point (0 = the
+  // element's natural width). Set by the Merlin transform.
+  int interface_bits = 0;
+
+  std::int64_t byte_size() const {
+    return length * (element.bit_width() / 8);
+  }
+};
+
+struct ScalarParam {
+  std::string name;
+  Type type;
+};
+
+// The RDD transformation the kernel template realizes (paper §3.2).
+enum class ParallelPattern { kMap, kReduce };
+
+const char* PatternName(ParallelPattern pattern);
+
+struct Kernel {
+  std::string name;
+  ParallelPattern pattern = ParallelPattern::kMap;
+  std::vector<ScalarParam> scalars;   // e.g. the task count N
+  std::vector<Buffer> buffers;
+  StmtPtr body;                       // a Block
+
+  // Loop id of the template-inserted outermost task loop (-1 if none).
+  int task_loop_id = -1;
+
+  const Buffer* FindBuffer(const std::string& name) const;
+  std::vector<const Buffer*> InputBuffers() const;
+  std::vector<const Buffer*> OutputBuffers() const;
+  std::vector<const Buffer*> LocalBuffers() const;
+
+  // All loops, pre-order.
+  std::vector<Stmt*> Loops() { return CollectLoops(body); }
+  std::vector<const Stmt*> Loops() const { return CollectLoops(body.get()); }
+
+  // Largest loop id in the body (-1 when no loops); new transform-created
+  // loops use ids above this.
+  int MaxLoopId() const;
+
+  // Deep copy (buffers/scalars copied, body cloned).
+  Kernel Clone() const;
+
+  // Structural sanity checks: body present, buffer names unique, every
+  // ArrayRef targets a declared buffer, loop ids unique. Throws
+  // MalformedInput on violation.
+  void Validate() const;
+};
+
+}  // namespace s2fa::kir

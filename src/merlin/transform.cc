@@ -1,0 +1,210 @@
+#include "merlin/transform.h"
+
+#include <algorithm>
+
+#include "kir/analysis.h"
+#include "support/error.h"
+
+namespace s2fa::merlin {
+
+namespace {
+
+using kir::Expr;
+using kir::ExprPtr;
+using kir::Stmt;
+using kir::StmtPtr;
+
+bool IsPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+std::vector<std::string> ValidateConfig(const kir::Kernel& kernel,
+                                        const DesignConfig& config) {
+  std::vector<std::string> errors;
+  for (const auto& [id, cfg] : config.loops) {
+    const Stmt* loop = kir::FindLoop(kernel.body, id);
+    if (loop == nullptr) {
+      errors.push_back("no loop with id " + std::to_string(id));
+      continue;
+    }
+    const std::int64_t trip = loop->trip_count();
+    if (cfg.tile < 1) {
+      errors.push_back("L" + std::to_string(id) + ": tile factor " +
+                       std::to_string(cfg.tile) + " < 1");
+    } else if (cfg.tile > 1 &&
+               (cfg.tile >= trip || trip % cfg.tile != 0)) {
+      errors.push_back("L" + std::to_string(id) + ": tile factor " +
+                       std::to_string(cfg.tile) +
+                       " must divide the trip count " + std::to_string(trip) +
+                       " and be smaller than it");
+    }
+    if (cfg.parallel < 1 || cfg.parallel > trip) {
+      errors.push_back("L" + std::to_string(id) + ": parallel factor " +
+                       std::to_string(cfg.parallel) + " outside [1, " +
+                       std::to_string(trip) + "]");
+    }
+    if (cfg.tile > 1 && cfg.parallel > cfg.tile) {
+      errors.push_back("L" + std::to_string(id) +
+                       ": parallel factor exceeds the point-loop trip (tile "
+                       "factor)");
+    }
+  }
+  for (const auto& [name, bits] : config.buffer_bits) {
+    const kir::Buffer* buf = kernel.FindBuffer(name);
+    if (buf == nullptr) {
+      errors.push_back("no buffer named " + name);
+      continue;
+    }
+    if (buf->kind == kir::BufferKind::kLocal) {
+      errors.push_back("buffer " + name +
+                       " is on-chip; bit-width applies to interface buffers");
+      continue;
+    }
+    if (!IsPowerOfTwo(bits) || bits < buf->element.bit_width() ||
+        bits > 512) {
+      errors.push_back("buffer " + name + ": bit-width " +
+                       std::to_string(bits) +
+                       " must be a power of two in [element width, 512]");
+    }
+  }
+  return errors;
+}
+
+TransformResult ApplyDesign(const kir::Kernel& kernel,
+                            const DesignConfig& config) {
+  std::vector<std::string> violations = ValidateConfig(kernel, config);
+  if (!violations.empty()) {
+    throw InvalidArgument("illegal design config: " + violations.front() +
+                          (violations.size() > 1
+                               ? " (+" + std::to_string(violations.size() - 1) +
+                                     " more)"
+                               : ""));
+  }
+
+  TransformResult result;
+  result.kernel = kernel.Clone();
+  kir::Kernel& k = result.kernel;
+  int next_loop_id = k.MaxLoopId() + 1;
+
+  // Interface bit-widths.
+  for (auto& buf : k.buffers) {
+    auto it = config.buffer_bits.find(buf.name);
+    if (it != config.buffer_bits.end()) {
+      buf.interface_bits = it->second;
+    } else if (buf.kind != kir::BufferKind::kLocal) {
+      buf.interface_bits = buf.element.bit_width();  // area-conservative
+    }
+  }
+
+  // Loop factors. Tiling first (it creates the point loops the parallel
+  // factors land on), one original loop at a time.
+  for (const auto& [id, cfg] : config.loops) {
+    Stmt* loop = kir::FindLoop(k.body, id);
+    S2FA_CHECK(loop != nullptr, "validated loop disappeared");
+    Stmt* target = loop;  // loop receiving parallel pragma
+
+    if (cfg.tile > 1) {
+      const std::int64_t trip = loop->trip_count();
+      const std::int64_t tiles = trip / cfg.tile;
+      const std::string var = loop->loop_var();
+      const std::string tile_var = var + "_t";
+      const std::string point_var = var + "_p";
+      // Re-derive the original index inside the body: v = v_t*tile + v_p.
+      StmtPtr body = loop->body();
+      auto derived = Expr::Binary(
+          kir::BinaryOp::kAdd,
+          Expr::Binary(kir::BinaryOp::kMul,
+                       Expr::Var(tile_var, kir::Type::Int()),
+                       Expr::IntLit(cfg.tile)),
+          Expr::Var(point_var, kir::Type::Int()));
+      kir::RewriteAllExprs(body, [&](const ExprPtr& e) {
+        return kir::SubstituteVar(e, var, derived);
+      });
+      StmtPtr point_loop =
+          Stmt::For(next_loop_id++, point_var, cfg.tile, body);
+      point_loop->set_is_reduction(loop->is_reduction());
+      point_loop->annotations()[kPragmaTile] =
+          "point factor=" + std::to_string(cfg.tile);
+      // The original Stmt object morphs into the tile loop (keeps id).
+      Stmt tile_loop = *Stmt::For(loop->loop_id(), tile_var, tiles,
+                                  Stmt::Block({point_loop}));
+      tile_loop.set_inserted_by_template(loop->inserted_by_template());
+      tile_loop.annotations()[kPragmaTile] =
+          "factor=" + std::to_string(cfg.tile);
+      *loop = tile_loop;
+      target = point_loop.get();
+    }
+
+    if (cfg.parallel > 1) {
+      target->annotations()[kPragmaParallel] =
+          "factor=" + std::to_string(cfg.parallel);
+    }
+    if (cfg.pipeline != PipelineMode::kOff) {
+      loop->annotations()[kPragmaPipeline] =
+          cfg.pipeline == PipelineMode::kFlatten ? "flatten" : "";
+    }
+    if (target->is_reduction() &&
+        (cfg.parallel > 1 || cfg.pipeline != PipelineMode::kOff)) {
+      // Partial-sum tree (rotating accumulators when not unrolled) so the
+      // reduction pipelines at II 1 instead of the add-chain latency.
+      target->annotations()[kPragmaReduction] = "tree";
+    }
+  }
+
+  // Flatten invalidation pass: every loop nested under a flattened loop is
+  // fully unrolled; its own factors are overridden (Impediment 2).
+  for (Stmt* loop : k.Loops()) {
+    if (PipelineModeOf(*loop) != PipelineMode::kFlatten) continue;
+    std::vector<Stmt*> descendants;
+    kir::VisitStmt(loop->body(), std::function<void(Stmt&)>(
+                                     [&](Stmt& s) {
+                                       if (s.kind() == kir::StmtKind::kFor) {
+                                         descendants.push_back(&s);
+                                       }
+                                     }));
+    for (Stmt* sub : descendants) {
+      const auto before = sub->annotations();
+      sub->annotations()[kPragmaParallel] =
+          "factor=" + std::to_string(sub->trip_count());
+      sub->annotations().erase(kPragmaPipeline);
+      if (sub->is_reduction()) {
+        sub->annotations()[kPragmaReduction] = "tree";
+      }
+      if (before.count(kPragmaParallel) != 0 &&
+          before.at(kPragmaParallel) !=
+              sub->annotations().at(kPragmaParallel)) {
+        result.notes.push_back(
+            "L" + std::to_string(sub->loop_id()) +
+            ": parallel factor overridden by flatten on ancestor L" +
+            std::to_string(loop->loop_id()));
+      }
+    }
+  }
+
+  k.Validate();
+  return result;
+}
+
+std::int64_t ParallelFactorOf(const kir::Stmt& loop) {
+  auto it = loop.annotations().find(kPragmaParallel);
+  if (it == loop.annotations().end()) return 1;
+  const std::string& v = it->second;
+  const std::string prefix = "factor=";
+  std::size_t pos = v.find(prefix);
+  S2FA_CHECK(pos != std::string::npos, "malformed parallel pragma: " << v);
+  return std::stoll(v.substr(pos + prefix.size()));
+}
+
+PipelineMode PipelineModeOf(const kir::Stmt& loop) {
+  auto it = loop.annotations().find(kPragmaPipeline);
+  if (it == loop.annotations().end()) return PipelineMode::kOff;
+  return it->second == "flatten" ? PipelineMode::kFlatten
+                                 : PipelineMode::kOn;
+}
+
+bool HasTreeReduction(const kir::Stmt& loop) {
+  auto it = loop.annotations().find(kPragmaReduction);
+  return it != loop.annotations().end() && it->second == "tree";
+}
+
+}  // namespace s2fa::merlin

@@ -1,0 +1,53 @@
+// The Merlin code-transformation library (paper §3.2, [9][10]).
+//
+// Applies a DesignConfig to a kernel:
+//   * loop tiling is a structural rewrite (L splits into a tile loop that
+//     keeps L's id and a new point loop; body indices are re-derived), so
+//     downstream consumers see real loops with real trip counts;
+//   * parallel/pipeline/tree-reduction become pragma annotations consumed
+//     by the HLS estimator — mirroring how the real Merlin compiler passes
+//     directives to the vendor HLS;
+//   * `flatten` pipelining marks every nested sub-loop fully unrolled,
+//     which *invalidates* those loops' own factors (the paper's
+//     Impediment 2);
+//   * interface buffer bit-widths are recorded on the buffers.
+//
+// Transformed kernels remain functionally equivalent to their source —
+// enforced by tests via the IR evaluator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kir/kernel.h"
+#include "merlin/design.h"
+
+namespace s2fa::merlin {
+
+struct TransformResult {
+  kir::Kernel kernel;
+  // Factors silently adjusted or ignored (e.g. sub-loop factors invalidated
+  // by a flatten on an ancestor).
+  std::vector<std::string> notes;
+};
+
+// Validates `config` against `kernel`'s loop/buffer inventory. Returns an
+// empty vector when legal; otherwise one message per violation.
+std::vector<std::string> ValidateConfig(const kir::Kernel& kernel,
+                                        const DesignConfig& config);
+
+// Applies the config. Throws InvalidArgument if ValidateConfig reports
+// violations.
+TransformResult ApplyDesign(const kir::Kernel& kernel,
+                            const DesignConfig& config);
+
+// --- annotation readers (used by the HLS estimator) ---
+
+// Unroll factor of a transformed loop (1 when absent).
+std::int64_t ParallelFactorOf(const kir::Stmt& loop);
+// Pipeline mode of a transformed loop (kOff when absent).
+PipelineMode PipelineModeOf(const kir::Stmt& loop);
+// True if the loop's reduction is rewritten as a balanced tree.
+bool HasTreeReduction(const kir::Stmt& loop);
+
+}  // namespace s2fa::merlin

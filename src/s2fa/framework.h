@@ -1,0 +1,85 @@
+// S2FA public API: the end-to-end automation flow of paper Fig. 1.
+//
+//   bytecode-to-C compile  →  design-space identification  →  parallel
+//   learning-based DSE (Merlin + HLS in the loop)  →  best design +
+//   serialization glue  →  Blaze registration.
+//
+// BuildAccelerator runs the whole pipeline; BuildWithConfig skips the DSE
+// and applies a user-chosen configuration (how the paper's "manual" HLS
+// designs are expressed in this codebase).
+#pragma once
+
+#include <string>
+
+#include "b2c/compiler.h"
+#include "blaze/runtime.h"
+#include "dse/explorer.h"
+#include "hls/estimator.h"
+#include "merlin/transform.h"
+#include "tuner/driver.h"
+
+namespace s2fa {
+
+struct FrameworkOptions {
+  dse::ExplorerOptions dse;
+  hls::EstimatorOptions hls;
+};
+
+// Everything the framework produces for one kernel.
+struct Artifact {
+  // Front end.
+  kir::Kernel generated_kernel;   // functional, untransformed (Code 3)
+  std::string c_source;           // its HLS C rendering
+  tuner::DesignSpace space;       // Table-1 space
+
+  // Exploration.
+  dse::DseResult exploration;
+  merlin::DesignConfig best_config;
+
+  // Back end.
+  kir::Kernel best_design;        // transformed with best_config
+  hls::HlsResult best_hls;
+  std::string best_c_source;
+
+  // Integration.
+  blaze::SerializationPlan plan;
+  std::string scala_helper;       // generated (de)serialization methods
+};
+
+// How the DSE objective accounts for the clock (paper future work: "we
+// plan to model the impact of design factors on frequency during the DSE
+// process").
+enum class FrequencyModel {
+  // The published flow: HLS reports cycles, and the DSE assumes the
+  // synthesis target clock; frequency misses (paper Table 2: S-W at
+  // 100 MHz) only surface after place and route.
+  kAssumeTarget,
+  // The future-work extension (default here): the estimator's predicted
+  // frequency feeds the objective, so clock-hostile designs lose.
+  kEstimated,
+};
+
+// Wraps Merlin + the HLS estimator as the DSE's black-box evaluator.
+// Illegal factor combinations evaluate as fast failures (the HLS run the
+// real flow would abort).
+tuner::EvalFn MakeHlsEvaluator(
+    const kir::Kernel& kernel, const hls::EstimatorOptions& options = {},
+    FrequencyModel frequency = FrequencyModel::kEstimated);
+
+// Full flow. Throws if the DSE finds no feasible design.
+Artifact BuildAccelerator(const jvm::ClassPool& pool,
+                          const b2c::KernelSpec& spec,
+                          const FrameworkOptions& options = {});
+
+// Compiles and applies `config` without exploring. Throws if the design is
+// infeasible.
+Artifact BuildWithConfig(const jvm::ClassPool& pool,
+                         const b2c::KernelSpec& spec,
+                         const merlin::DesignConfig& config,
+                         const hls::EstimatorOptions& options = {});
+
+// Registers an artifact's best design with a Blaze runtime under `id`.
+void RegisterWithBlaze(blaze::BlazeRuntime& runtime, const std::string& id,
+                       const Artifact& artifact);
+
+}  // namespace s2fa

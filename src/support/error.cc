@@ -1,0 +1,16 @@
+#include "support/error.h"
+
+namespace s2fa::detail {
+
+[[noreturn]] void ThrowCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& message) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": " << kind << " failed (" << expr << "): "
+      << message;
+  if (std::string(kind) == "precondition") throw InvalidArgument(oss.str());
+  if (std::string(kind) == "unreachable") throw InternalError(oss.str());
+  throw InternalError(oss.str());
+}
+
+}  // namespace s2fa::detail

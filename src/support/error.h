@@ -1,0 +1,79 @@
+// Error handling primitives shared by every s2fa module.
+//
+// The library reports unrecoverable misuse (precondition violations,
+// malformed inputs) via exceptions derived from s2fa::Error so that callers
+// can distinguish library failures from std:: failures. Hot paths use the
+// S2FA_CHECK family which formats a diagnostic with source location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace s2fa {
+
+// Root of the s2fa exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Input that violates a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// Structurally malformed bytecode, IR, or configuration.
+class MalformedInput : public Error {
+ public:
+  explicit MalformedInput(const std::string& what) : Error(what) {}
+};
+
+// A feature the framework deliberately does not support (paper §3.3).
+class Unsupported : public Error {
+ public:
+  explicit Unsupported(const std::string& what) : Error(what) {}
+};
+
+// Internal invariant broken: always a bug in s2fa itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void ThrowCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& message);
+
+}  // namespace detail
+
+}  // namespace s2fa
+
+// Precondition check on public API boundaries; throws InvalidArgument.
+#define S2FA_REQUIRE(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::ostringstream s2fa_oss_;                                       \
+      s2fa_oss_ << msg;                                                     \
+      ::s2fa::detail::ThrowCheckFailure("precondition", #cond, __FILE__,    \
+                                        __LINE__, s2fa_oss_.str());         \
+    }                                                                       \
+  } while (0)
+
+// Internal invariant check; throws InternalError.
+#define S2FA_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::ostringstream s2fa_oss_;                                       \
+      s2fa_oss_ << msg;                                                     \
+      ::s2fa::detail::ThrowCheckFailure("invariant", #cond, __FILE__,       \
+                                        __LINE__, s2fa_oss_.str());         \
+    }                                                                       \
+  } while (0)
+
+#define S2FA_UNREACHABLE(msg)                                               \
+  ::s2fa::detail::ThrowCheckFailure("unreachable", "false", __FILE__,       \
+                                    __LINE__, (msg))

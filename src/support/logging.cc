@@ -1,0 +1,45 @@
+#include "support/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace s2fa {
+
+namespace {
+
+LogLevel InitialLevel() {
+  if (const char* env = std::getenv("S2FA_LOG_LEVEL")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kOff;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel Logger::level_ = InitialLevel();
+std::mutex Logger::mutex_;
+
+void Logger::SetLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::GetLevel() { return level_; }
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[s2fa " << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace s2fa

@@ -1,0 +1,42 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// enable with Logger::SetLevel or the S2FA_LOG_LEVEL environment variable
+// (0=off, 1=error, 2=warn, 3=info, 4=debug).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace s2fa {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  // Writes one line to stderr under a global mutex (thread-safe).
+  static void Write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+  static std::mutex mutex_;
+};
+
+}  // namespace s2fa
+
+#define S2FA_LOG(level, msg)                                              \
+  do {                                                                    \
+    if (static_cast<int>(::s2fa::Logger::GetLevel()) >=                   \
+        static_cast<int>(level)) {                                        \
+      ::std::ostringstream s2fa_log_oss_;                                 \
+      s2fa_log_oss_ << msg;                                               \
+      ::s2fa::Logger::Write(level, s2fa_log_oss_.str());                  \
+    }                                                                     \
+  } while (0)
+
+#define S2FA_LOG_ERROR(msg) S2FA_LOG(::s2fa::LogLevel::kError, msg)
+#define S2FA_LOG_WARN(msg) S2FA_LOG(::s2fa::LogLevel::kWarn, msg)
+#define S2FA_LOG_INFO(msg) S2FA_LOG(::s2fa::LogLevel::kInfo, msg)
+#define S2FA_LOG_DEBUG(msg) S2FA_LOG(::s2fa::LogLevel::kDebug, msg)

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in s2fa (search techniques, workload
+// generators, noise models) draws from an explicitly seeded Rng so that a
+// whole DSE run is reproducible from a single seed. The generator is
+// xoshiro256**, which is fast, has 256 bits of state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace s2fa {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Seed(seed); }
+
+  // Re-seeds via splitmix64 expansion so nearby seeds give unrelated streams.
+  void Seed(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform integer in the inclusive range [lo, hi].
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double NextGaussian();
+
+  // Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+  // Picks a uniformly random element index of a non-empty container size.
+  std::size_t NextIndex(std::size_t size);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = NextIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child stream (for per-thread RNGs).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace s2fa

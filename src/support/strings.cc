@@ -1,0 +1,86 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace s2fa {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string PadLeft(std::string_view text, std::size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.insert(0, width - out.size(), ' ');
+  return out;
+}
+
+std::string PadRight(std::string_view text, std::size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatDouble(fraction * 100.0, digits) + "%";
+}
+
+std::string FormatSpeedup(double ratio, int digits) {
+  return FormatDouble(ratio, digits) + "x";
+}
+
+std::string Indent(std::string_view block, int spaces) {
+  std::string pad(static_cast<std::size_t>(spaces), ' ');
+  std::string out;
+  std::size_t start = 0;
+  while (start <= block.size()) {
+    std::size_t nl = block.find('\n', start);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? block.substr(start)
+                                : block.substr(start, nl - start);
+    if (!line.empty()) out += pad;
+    out += line;
+    if (nl == std::string_view::npos) break;
+    out += '\n';
+    start = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace s2fa

@@ -1,0 +1,51 @@
+// Small string utilities used across modules (formatting HLS reports,
+// emitting C code, rendering benchmark tables).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s2fa {
+
+// Joins elements with `sep`; elements are stringified via operator<<.
+template <typename Container>
+std::string Join(const Container& items, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    if constexpr (std::is_convertible_v<decltype(item), std::string_view>) {
+      out += std::string_view(item);
+    } else {
+      out += std::to_string(item);
+    }
+  }
+  return out;
+}
+
+// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Left/right pads with spaces to `width` (no-op if already wider).
+std::string PadLeft(std::string_view text, std::size_t width);
+std::string PadRight(std::string_view text, std::size_t width);
+
+// Formats a double with `digits` places after the point.
+std::string FormatDouble(double value, int digits);
+
+// Renders "12.3%", "4.0x" style strings used in benchmark tables.
+std::string FormatPercent(double fraction, int digits = 1);
+std::string FormatSpeedup(double ratio, int digits = 1);
+
+// Indents every line of a multi-line block by `spaces` spaces.
+std::string Indent(std::string_view block, int spaces);
+
+}  // namespace s2fa

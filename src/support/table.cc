@@ -1,0 +1,49 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace s2fa {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  S2FA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  S2FA_REQUIRE(row.size() == header_.size(),
+               "row has " << row.size() << " cells, expected "
+                          << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + PadRight(row[c], widths[c]) + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace s2fa

@@ -1,0 +1,28 @@
+// ASCII table rendering for benchmark harness output. Produces aligned,
+// pipe-separated rows like the tables in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace s2fa {
+
+class TextTable {
+ public:
+  // Sets the header row; defines the column count.
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds one row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column alignment and a separator under the header.
+  std::string Render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s2fa

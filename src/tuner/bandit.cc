@@ -1,0 +1,83 @@
+#include "tuner/bandit.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace s2fa::tuner {
+
+AucBandit::AucBandit(
+    std::vector<std::unique_ptr<SearchTechnique>> techniques,
+    double exploration, std::size_t window)
+    : exploration_(exploration), window_(window) {
+  S2FA_REQUIRE(!techniques.empty(), "bandit needs at least one technique");
+  S2FA_REQUIRE(window >= 2, "window too small");
+  for (auto& t : techniques) {
+    S2FA_REQUIRE(t != nullptr, "null technique");
+    Arm arm;
+    arm.technique = std::move(t);
+    arms_.push_back(std::move(arm));
+  }
+}
+
+SearchTechnique& AucBandit::technique(std::size_t index) {
+  S2FA_REQUIRE(index < arms_.size(), "technique index out of range");
+  return *arms_[index].technique;
+}
+
+double AucBandit::AucOf(std::size_t index) const {
+  S2FA_REQUIRE(index < arms_.size(), "technique index out of range");
+  const auto& history = arms_[index].history;
+  if (history.empty()) return 0.0;
+  // Area under the hit curve, weighting recent hits more (OpenTuner's
+  // formulation): sum of i*v_i normalized by n(n+1)/2.
+  double num = 0;
+  std::size_t i = 1;
+  for (bool hit : history) {
+    if (hit) num += static_cast<double>(i);
+    ++i;
+  }
+  const double n = static_cast<double>(history.size());
+  return num / (n * (n + 1) / 2.0);
+}
+
+std::size_t AucBandit::UsesOf(std::size_t index) const {
+  S2FA_REQUIRE(index < arms_.size(), "technique index out of range");
+  return arms_[index].uses;
+}
+
+std::size_t AucBandit::Select(Rng& rng) {
+  // Any unused arm goes first (uniformly among them).
+  std::vector<std::size_t> unused;
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (arms_[i].uses == 0) unused.push_back(i);
+  }
+  if (!unused.empty()) return unused[rng.NextIndex(unused.size())];
+
+  double best_score = -1;
+  std::vector<std::size_t> best_arms;
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    double ucb = exploration_ *
+                 std::sqrt(2.0 * std::log(static_cast<double>(total_uses_)) /
+                           static_cast<double>(arms_[i].uses));
+    double score = AucOf(i) + ucb;
+    if (score > best_score + 1e-12) {
+      best_score = score;
+      best_arms = {i};
+    } else if (score > best_score - 1e-12) {
+      best_arms.push_back(i);
+    }
+  }
+  return best_arms[rng.NextIndex(best_arms.size())];
+}
+
+void AucBandit::ReportOutcome(std::size_t index, bool new_global_best) {
+  S2FA_REQUIRE(index < arms_.size(), "technique index out of range");
+  Arm& arm = arms_[index];
+  arm.history.push_back(new_global_best);
+  if (arm.history.size() > window_) arm.history.pop_front();
+  ++arm.uses;
+  ++total_uses_;
+}
+
+}  // namespace s2fa::tuner

@@ -1,0 +1,51 @@
+// Multi-armed bandit technique arbitration (paper §4.2, [13]).
+//
+// OpenTuner's AUC bandit: each technique's recent history (a sliding
+// window of "did this use produce a new global best?") is scored by the
+// area under its cumulative-hit curve, plus a UCB-style exploration term.
+// Techniques that keep finding better designs get more proposals.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+#include "tuner/technique.h"
+
+namespace s2fa::tuner {
+
+class AucBandit {
+ public:
+  // Takes ownership of the techniques. `exploration` is the UCB constant,
+  // `window` the per-technique history length.
+  AucBandit(std::vector<std::unique_ptr<SearchTechnique>> techniques,
+            double exploration = 0.1, std::size_t window = 200);
+
+  std::size_t num_techniques() const { return arms_.size(); }
+  SearchTechnique& technique(std::size_t index);
+
+  // Picks the technique to propose the next point (ties broken randomly).
+  std::size_t Select(Rng& rng);
+
+  // Records whether use #n of `index` produced a new global best.
+  void ReportOutcome(std::size_t index, bool new_global_best);
+
+  // Current AUC score of a technique (exploration term excluded).
+  double AucOf(std::size_t index) const;
+  std::size_t UsesOf(std::size_t index) const;
+
+ private:
+  struct Arm {
+    std::unique_ptr<SearchTechnique> technique;
+    std::deque<bool> history;  // sliding window, oldest first
+    std::size_t uses = 0;
+  };
+
+  std::vector<Arm> arms_;
+  double exploration_;
+  std::size_t window_;
+  std::size_t total_uses_ = 0;
+};
+
+}  // namespace s2fa::tuner

@@ -1,0 +1,93 @@
+#include "tuner/driver.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace s2fa::tuner {
+
+TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
+                const TuneOptions& options) {
+  S2FA_REQUIRE(evaluate != nullptr, "no evaluation function");
+  S2FA_REQUIRE(options.parallel >= 1, "need at least one evaluator");
+  S2FA_REQUIRE(options.time_limit_minutes > 0, "time limit must be positive");
+
+  Rng rng(options.seed);
+  AucBandit bandit(DefaultTechniques(&space, options.seed));
+  ResultDatabase db;
+  double clock_minutes = 0;
+  std::string stop_reason;
+
+  // Seed evaluations first (one batch; they occupy the parallel evaluators).
+  if (!options.seeds.empty()) {
+    double batch_minutes = 0;
+    for (const auto& seed : options.seeds) {
+      space.ValidatePoint(seed.point);
+      EvalOutcome outcome = evaluate(space.ToConfig(seed.point));
+      batch_minutes = std::max(batch_minutes, outcome.eval_minutes);
+      db.Add(seed.point, outcome.cost, outcome.feasible,
+             clock_minutes + outcome.eval_minutes, /*technique=*/0);
+      // Every technique starts from the seed knowledge.
+      for (std::size_t t = 0; t < bandit.num_techniques(); ++t) {
+        bandit.technique(t).SeedWith(seed.point, outcome.cost,
+                                     outcome.feasible);
+      }
+      S2FA_LOG_DEBUG("seed '" << seed.label << "' cost="
+                              << outcome.cost << " feasible="
+                              << outcome.feasible);
+    }
+    clock_minutes += batch_minutes;
+  }
+
+  while (clock_minutes < options.time_limit_minutes) {
+    // Propose one batch.
+    struct Pending {
+      std::size_t technique;
+      Point point;
+    };
+    std::vector<Pending> batch;
+    batch.reserve(static_cast<std::size_t>(options.parallel));
+    std::size_t batch_technique = bandit.Select(rng);
+    for (int i = 0; i < options.parallel; ++i) {
+      std::size_t t = options.homogeneous_batches ? batch_technique
+                                                  : bandit.Select(rng);
+      batch.push_back({t, bandit.technique(t).Propose(rng)});
+    }
+    // Evaluate; the batch runs on `parallel` cores, so the clock advances
+    // by the slowest member.
+    double batch_minutes = 0;
+    for (const auto& pending : batch) {
+      EvalOutcome outcome = evaluate(space.ToConfig(pending.point));
+      batch_minutes = std::max(batch_minutes, outcome.eval_minutes);
+      bool new_best = db.Add(pending.point, outcome.cost, outcome.feasible,
+                             clock_minutes + outcome.eval_minutes,
+                             pending.technique);
+      bandit.technique(pending.technique)
+          .Report(pending.point, outcome.cost, outcome.feasible);
+      bandit.ReportOutcome(pending.technique, new_best);
+    }
+    clock_minutes += batch_minutes;
+
+    if (options.should_stop && options.should_stop(db)) {
+      stop_reason = options.stop_reason_label;
+      break;
+    }
+  }
+  if (stop_reason.empty()) stop_reason = "time limit";
+
+  TuneResult result;
+  result.found_feasible = db.has_best();
+  if (db.has_best()) {
+    result.best = db.best();
+    result.best_config = space.ToConfig(db.best());
+    result.best_cost = db.best_cost();
+  }
+  result.elapsed_minutes = std::min(clock_minutes, options.time_limit_minutes);
+  result.evaluations = db.size();
+  result.stop_reason = stop_reason;
+  result.trace = db.trace();
+  return result;
+}
+
+}  // namespace s2fa::tuner

@@ -1,0 +1,67 @@
+// The vanilla "OpenTuner" driver (paper §4.2 + §5.2 footnote 3).
+//
+// One shared result database, a bandit over the four techniques, and a
+// simulated wall clock: each iteration proposes `parallel` candidates
+// (vanilla OpenTuner evaluates the top-8 on 8 cores), evaluates them, and
+// advances the clock by the slowest evaluation in the batch. The only
+// stopping criteria are the time limit and an optional plug-in predicate —
+// which is exactly where S2FA's entropy criterion hooks in.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "merlin/design.h"
+#include "tuner/bandit.h"
+#include "tuner/result.h"
+#include "tuner/space.h"
+
+namespace s2fa::tuner {
+
+// One black-box evaluation of a design config (Merlin + HLS downstream).
+struct EvalOutcome {
+  bool feasible = false;
+  double cost = kInfeasibleCost;   // objective: accelerator time (us)
+  double eval_minutes = 5.0;       // simulated HLS synthesis time
+};
+
+using EvalFn = std::function<EvalOutcome(const merlin::DesignConfig&)>;
+
+struct SeedPoint {
+  Point point;
+  std::string label;  // e.g. "performance-driven", "area-driven"
+};
+
+struct TuneOptions {
+  double time_limit_minutes = 240;  // the paper's fixed 4-hour budget
+  int parallel = 8;                 // evaluations per iteration
+  // When true, one bandit selection per iteration proposes the whole batch
+  // (the paper's footnote 3: vanilla OpenTuner evaluates one technique's
+  // top-`parallel` candidates per iteration — "not scalable in terms of
+  // the efficiency"). When false, each candidate gets its own selection.
+  bool homogeneous_batches = false;
+  std::uint64_t seed = 1;
+  std::vector<SeedPoint> seeds;     // evaluated before any proposals
+  // Called after every iteration; return true to stop (reason reported).
+  std::function<bool(const ResultDatabase&)> should_stop;
+  std::string stop_reason_label = "custom criterion";
+};
+
+struct TuneResult {
+  bool found_feasible = false;
+  Point best;
+  merlin::DesignConfig best_config;
+  double best_cost = kInfeasibleCost;
+  double elapsed_minutes = 0;
+  std::size_t evaluations = 0;
+  std::string stop_reason;
+  std::vector<TracePoint> trace;    // best-so-far cost over simulated time
+};
+
+// Runs the tuning loop. `evaluate` must be pure w.r.t. the config.
+TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
+                const TuneOptions& options);
+
+}  // namespace s2fa::tuner

@@ -1,0 +1,38 @@
+#include "tuner/result.h"
+
+#include "support/error.h"
+
+namespace s2fa::tuner {
+
+const Point& ResultDatabase::best() const {
+  S2FA_REQUIRE(has_best_, "no feasible result recorded yet");
+  return best_;
+}
+
+bool ResultDatabase::Add(Point point, double cost, bool feasible,
+                         double time_minutes, std::size_t technique) {
+  Record rec;
+  rec.cost = feasible ? cost : kInfeasibleCost;
+  rec.feasible = feasible;
+  rec.time_minutes = time_minutes;
+  rec.technique = technique;
+  if (!records_.empty()) {
+    const Point& prev = records_.back().point;
+    for (std::size_t i = 0; i < point.size() && i < prev.size(); ++i) {
+      if (point[i] != prev[i]) rec.changed_factors.push_back(i);
+    }
+  }
+  bool new_best = feasible && (!has_best_ || cost < best_cost_);
+  rec.improved = new_best;
+  rec.point = point;
+  records_.push_back(rec);
+  if (new_best) {
+    has_best_ = true;
+    best_ = std::move(point);
+    best_cost_ = cost;
+    trace_.push_back({time_minutes, cost});
+  }
+  return new_best;
+}
+
+}  // namespace s2fa::tuner

@@ -1,0 +1,61 @@
+// Shared result database for one tuning run.
+//
+// Every evaluated design point is recorded with its cost, feasibility,
+// simulated timestamp, the proposing technique, and which factors changed
+// relative to the previous evaluation — the inputs both the bandit's credit
+// assignment and S2FA's Shannon-entropy stopping criterion (§4.3.3) need.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tuner/space.h"
+
+namespace s2fa::tuner {
+
+inline constexpr double kInfeasibleCost =
+    std::numeric_limits<double>::infinity();
+
+struct Record {
+  Point point;
+  double cost = kInfeasibleCost;   // objective (accelerator exec time, us)
+  bool feasible = false;
+  double time_minutes = 0;         // simulated wall clock when finished
+  std::size_t technique = 0;       // index of the proposing technique
+  std::vector<std::size_t> changed_factors;  // vs the previous record
+  bool improved = false;           // strictly better than best-so-far
+};
+
+struct TracePoint {
+  double time_minutes = 0;
+  double best_cost = kInfeasibleCost;
+};
+
+class ResultDatabase {
+ public:
+  // Appends a result; computes changed_factors/improved. Returns whether
+  // this record set a new global best.
+  bool Add(Point point, double cost, bool feasible, double time_minutes,
+           std::size_t technique);
+
+  bool has_best() const { return has_best_; }
+  const Point& best() const;
+  double best_cost() const { return best_cost_; }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  // Best-so-far cost over time (one entry per improvement).
+  const std::vector<TracePoint>& trace() const { return trace_; }
+
+ private:
+  std::vector<Record> records_;
+  std::vector<TracePoint> trace_;
+  bool has_best_ = false;
+  Point best_;
+  double best_cost_ = kInfeasibleCost;
+};
+
+}  // namespace s2fa::tuner

@@ -1,0 +1,253 @@
+#include "tuner/technique.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "tuner/result.h"
+
+namespace s2fa::tuner {
+
+SearchTechnique::SearchTechnique(const DesignSpace* space) : space_(space) {
+  S2FA_REQUIRE(space != nullptr, "technique needs a design space");
+  S2FA_REQUIRE(space->num_factors() > 0, "design space is empty");
+}
+
+bool SearchTechnique::UpdateBest(const Point& point, double cost,
+                                 bool feasible) {
+  if (!feasible) return false;
+  if (!has_best_ || cost < best_cost_) {
+    has_best_ = true;
+    best_ = point;
+    best_cost_ = cost;
+    return true;
+  }
+  return false;
+}
+
+void SearchTechnique::SeedWith(const Point& point, double cost,
+                               bool feasible) {
+  UpdateBest(point, cost, feasible);
+}
+
+// ---------------------------------------------------------------- greedy
+
+UniformGreedyMutation::UniformGreedyMutation(const DesignSpace* space,
+                                             int max_mutations)
+    : SearchTechnique(space), max_mutations_(max_mutations) {
+  S2FA_REQUIRE(max_mutations >= 1, "need at least one mutation");
+}
+
+Point UniformGreedyMutation::Propose(Rng& rng) {
+  if (!has_best_) return space_->RandomPoint(rng);
+  int n = static_cast<int>(rng.NextInt(1, max_mutations_));
+  return space_->Mutate(best_, rng, n);
+}
+
+void UniformGreedyMutation::Report(const Point& point, double cost,
+                                   bool feasible) {
+  UpdateBest(point, cost, feasible);
+}
+
+// -------------------------------------------------------------------- DE
+
+DifferentialEvolution::DifferentialEvolution(const DesignSpace* space,
+                                             std::size_t population,
+                                             double f, double cr)
+    : SearchTechnique(space),
+      population_size_(population),
+      f_(f),
+      cr_(cr) {
+  S2FA_REQUIRE(population >= 4, "DE needs a population of at least 4");
+}
+
+Point DifferentialEvolution::Propose(Rng& rng) {
+  if (population_.size() < population_size_) {
+    return space_->RandomPoint(rng);
+  }
+  // rand/1/bin in index space over three distinct members.
+  std::size_t r1 = rng.NextIndex(population_.size());
+  std::size_t r2 = rng.NextIndex(population_.size());
+  std::size_t r3 = rng.NextIndex(population_.size());
+  while (r2 == r1) r2 = rng.NextIndex(population_.size());
+  while (r3 == r1 || r3 == r2) r3 = rng.NextIndex(population_.size());
+  const Point& a = population_[r1].point;
+  const Point& b = population_[r2].point;
+  const Point& c = population_[r3].point;
+  const Point& target =
+      population_[rng.NextIndex(population_.size())].point;
+
+  Point trial(space_->num_factors());
+  std::size_t forced = rng.NextIndex(space_->num_factors());
+  for (std::size_t i = 0; i < trial.size(); ++i) {
+    if (i == forced || rng.NextBool(cr_)) {
+      double v = static_cast<double>(a[i]) +
+                 f_ * (static_cast<double>(b[i]) - static_cast<double>(c[i]));
+      double hi = static_cast<double>(space_->factors[i].values.size() - 1);
+      trial[i] = static_cast<std::size_t>(
+          std::llround(std::clamp(v, 0.0, hi)));
+    } else {
+      trial[i] = target[i];
+    }
+  }
+  return trial;
+}
+
+void DifferentialEvolution::Report(const Point& point, double cost,
+                                   bool feasible) {
+  UpdateBest(point, cost, feasible);
+  const double effective = feasible ? cost : kInfeasibleCost;
+  if (population_.size() < population_size_) {
+    population_.push_back({point, effective});
+    return;
+  }
+  // Steady-state: replace the worst member if the trial beats it.
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < population_.size(); ++i) {
+    if (population_[i].cost > population_[worst].cost) worst = i;
+  }
+  if (effective < population_[worst].cost) {
+    population_[worst] = {point, effective};
+  }
+}
+
+// ------------------------------------------------------------------- PSO
+
+ParticleSwarm::ParticleSwarm(const DesignSpace* space, std::size_t swarm,
+                             double inertia, double c_personal,
+                             double c_global)
+    : SearchTechnique(space),
+      swarm_size_(swarm),
+      inertia_(inertia),
+      c_personal_(c_personal),
+      c_global_(c_global) {
+  S2FA_REQUIRE(swarm >= 2, "PSO needs at least two particles");
+}
+
+Point ParticleSwarm::Snap(const std::vector<double>& position) const {
+  Point p(position.size());
+  for (std::size_t i = 0; i < position.size(); ++i) {
+    double hi = static_cast<double>(space_->factors[i].values.size() - 1);
+    p[i] = static_cast<std::size_t>(
+        std::llround(std::clamp(position[i], 0.0, hi)));
+  }
+  return p;
+}
+
+Point ParticleSwarm::Propose(Rng& rng) {
+  if (particles_.size() < swarm_size_) {
+    Particle particle;
+    Point p = space_->RandomPoint(rng);
+    particle.position.resize(p.size());
+    particle.velocity.assign(p.size(), 0.0);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      particle.position[i] = static_cast<double>(p[i]);
+      particle.velocity[i] = rng.NextDouble(-1.0, 1.0);
+    }
+    particle.personal_cost = kInfeasibleCost;
+    particles_.push_back(std::move(particle));
+    pending_.push_back(particles_.size() - 1);
+    return p;
+  }
+  std::size_t index = next_particle_;
+  next_particle_ = (next_particle_ + 1) % particles_.size();
+  Particle& particle = particles_[index];
+  for (std::size_t i = 0; i < particle.position.size(); ++i) {
+    double toward_personal =
+        particle.has_personal
+            ? static_cast<double>(particle.personal_best[i]) -
+                  particle.position[i]
+            : 0.0;
+    double toward_global =
+        has_best_
+            ? static_cast<double>(best_[i]) - particle.position[i]
+            : 0.0;
+    particle.velocity[i] = inertia_ * particle.velocity[i] +
+                           c_personal_ * rng.NextDouble() * toward_personal +
+                           c_global_ * rng.NextDouble() * toward_global;
+    // Velocity clamp keeps particles inside a couple of steps per move.
+    double vmax =
+        std::max(1.0, static_cast<double>(space_->factors[i].values.size()) /
+                          3.0);
+    particle.velocity[i] = std::clamp(particle.velocity[i], -vmax, vmax);
+    particle.position[i] += particle.velocity[i];
+    double hi = static_cast<double>(space_->factors[i].values.size() - 1);
+    particle.position[i] = std::clamp(particle.position[i], 0.0, hi);
+  }
+  pending_.push_back(index);
+  return Snap(particle.position);
+}
+
+void ParticleSwarm::Report(const Point& point, double cost, bool feasible) {
+  UpdateBest(point, cost, feasible);
+  if (pending_.empty()) return;  // seed injection or external report
+  std::size_t index = pending_.front();
+  pending_.erase(pending_.begin());
+  Particle& particle = particles_[index];
+  if (feasible &&
+      (!particle.has_personal || cost < particle.personal_cost)) {
+    particle.has_personal = true;
+    particle.personal_best = point;
+    particle.personal_cost = cost;
+  }
+}
+
+// -------------------------------------------------------------------- SA
+
+SimulatedAnnealing::SimulatedAnnealing(const DesignSpace* space,
+                                       std::uint64_t seed,
+                                       double initial_temp, double cooling)
+    : SearchTechnique(space),
+      accept_rng_(seed),
+      temperature_(initial_temp),
+      cooling_(cooling) {
+  S2FA_REQUIRE(cooling > 0 && cooling < 1, "cooling must be in (0, 1)");
+}
+
+Point SimulatedAnnealing::Propose(Rng& rng) {
+  if (!has_current_) return space_->RandomPoint(rng);
+  return space_->Mutate(current_, rng, 1);
+}
+
+void SimulatedAnnealing::Report(const Point& point, double cost,
+                                bool feasible) {
+  UpdateBest(point, cost, feasible);
+  temperature_ *= cooling_;
+  if (!feasible) return;
+  if (!has_current_ || cost < current_cost_) {
+    has_current_ = true;
+    current_ = point;
+    current_cost_ = cost;
+    return;
+  }
+  // Metropolis on log-cost (scale-free objective).
+  double delta = std::log(cost) - std::log(current_cost_);
+  double accept = std::exp(-delta / std::max(1e-6, temperature_));
+  if (accept_rng_.NextDouble() < accept) {
+    current_ = point;
+    current_cost_ = cost;
+  }
+}
+
+void SimulatedAnnealing::SeedWith(const Point& point, double cost,
+                                  bool feasible) {
+  SearchTechnique::SeedWith(point, cost, feasible);
+  if (feasible && (!has_current_ || cost < current_cost_)) {
+    has_current_ = true;
+    current_ = point;
+    current_cost_ = cost;
+  }
+}
+
+std::vector<std::unique_ptr<SearchTechnique>> DefaultTechniques(
+    const DesignSpace* space, std::uint64_t seed) {
+  std::vector<std::unique_ptr<SearchTechnique>> techniques;
+  techniques.push_back(std::make_unique<UniformGreedyMutation>(space));
+  techniques.push_back(std::make_unique<DifferentialEvolution>(space));
+  techniques.push_back(std::make_unique<ParticleSwarm>(space));
+  techniques.push_back(
+      std::make_unique<SimulatedAnnealing>(space, seed ^ 0xD1CEB00CULL));
+  return techniques;
+}
+
+}  // namespace s2fa::tuner

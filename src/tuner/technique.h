@@ -1,0 +1,116 @@
+// Search techniques (paper §4.2): the reinforcement-learning algorithms
+// OpenTuner multiplexes — uniform greedy mutation, differential-evolution
+// GA, particle swarm optimization, and simulated annealing.
+//
+// Each technique proposes one point at a time and receives feedback for
+// every evaluated point (its own and, via the shared database, everyone
+// else's global best). Infeasible evaluations arrive with +inf cost.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "tuner/space.h"
+
+namespace s2fa::tuner {
+
+class SearchTechnique {
+ public:
+  explicit SearchTechnique(const DesignSpace* space);
+  virtual ~SearchTechnique() = default;
+
+  virtual std::string name() const = 0;
+  virtual Point Propose(Rng& rng) = 0;
+  virtual void Report(const Point& point, double cost, bool feasible) = 0;
+
+  // Injects an externally chosen starting point (seed generation, §4.3.2).
+  virtual void SeedWith(const Point& point, double cost, bool feasible);
+
+ protected:
+  bool UpdateBest(const Point& point, double cost, bool feasible);
+
+  const DesignSpace* space_;
+  bool has_best_ = false;
+  Point best_;
+  double best_cost_ = 0;
+};
+
+class UniformGreedyMutation final : public SearchTechnique {
+ public:
+  UniformGreedyMutation(const DesignSpace* space, int max_mutations = 3);
+  std::string name() const override { return "UniformGreedyMutation"; }
+  Point Propose(Rng& rng) override;
+  void Report(const Point& point, double cost, bool feasible) override;
+
+ private:
+  int max_mutations_;
+};
+
+class DifferentialEvolution final : public SearchTechnique {
+ public:
+  DifferentialEvolution(const DesignSpace* space, std::size_t population = 20,
+                        double f = 0.6, double cr = 0.8);
+  std::string name() const override { return "DifferentialEvolution"; }
+  Point Propose(Rng& rng) override;
+  void Report(const Point& point, double cost, bool feasible) override;
+
+ private:
+  struct Member {
+    Point point;
+    double cost;
+  };
+  std::size_t population_size_;
+  double f_, cr_;
+  std::vector<Member> population_;
+};
+
+class ParticleSwarm final : public SearchTechnique {
+ public:
+  ParticleSwarm(const DesignSpace* space, std::size_t swarm = 12,
+                double inertia = 0.55, double c_personal = 1.3,
+                double c_global = 1.3);
+  std::string name() const override { return "ParticleSwarm"; }
+  Point Propose(Rng& rng) override;
+  void Report(const Point& point, double cost, bool feasible) override;
+
+ private:
+  struct Particle {
+    std::vector<double> position;
+    std::vector<double> velocity;
+    Point personal_best;
+    double personal_cost;
+    bool has_personal = false;
+  };
+  Point Snap(const std::vector<double>& position) const;
+
+  std::size_t swarm_size_;
+  double inertia_, c_personal_, c_global_;
+  std::vector<Particle> particles_;
+  std::vector<std::size_t> pending_;  // FIFO of proposing particle indices
+  std::size_t next_particle_ = 0;
+};
+
+class SimulatedAnnealing final : public SearchTechnique {
+ public:
+  SimulatedAnnealing(const DesignSpace* space, std::uint64_t seed,
+                     double initial_temp = 1.0, double cooling = 0.985);
+  std::string name() const override { return "SimulatedAnnealing"; }
+  Point Propose(Rng& rng) override;
+  void Report(const Point& point, double cost, bool feasible) override;
+  void SeedWith(const Point& point, double cost, bool feasible) override;
+
+ private:
+  Rng accept_rng_;
+  double temperature_, cooling_;
+  bool has_current_ = false;
+  Point current_;
+  double current_cost_ = 0;
+};
+
+// The full default roster the paper lists.
+std::vector<std::unique_ptr<SearchTechnique>> DefaultTechniques(
+    const DesignSpace* space, std::uint64_t seed);
+
+}  // namespace s2fa::tuner

@@ -1,0 +1,624 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "b2c/compiler.h"
+#include "jvm/assembler.h"
+#include "jvm/interpreter.h"
+#include "kir/analysis.h"
+#include "kir/eval.h"
+#include "kir/printer.h"
+#include "support/rng.h"
+
+namespace s2fa::b2c {
+namespace {
+
+using jvm::Assembler;
+using jvm::ClassPool;
+using jvm::Cond;
+using jvm::Heap;
+using jvm::Interpreter;
+using jvm::MakeMethod;
+using jvm::MethodSignature;
+using jvm::Ref;
+using jvm::Value;
+using kir::Type;
+
+// =====================================================================
+// Kernel builders (the "scalac output" of small Scala lambdas)
+// =====================================================================
+
+// double call(double x) { return exp(x) * 2.0 + x; }
+void DefineExpKernel(ClassPool& pool) {
+  Assembler a;
+  a.Load(Type::Double(), 0);
+  a.InvokeStatic("java/lang/Math", "exp");
+  a.DConst(2.0).DMul();
+  a.Load(Type::Double(), 0).DAdd();
+  a.Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("ExpKernel")
+      .AddMethod(MakeMethod("call", sig, /*is_static=*/true, 2, a.Finish()));
+}
+
+// float call(FPair in) { float s = 0; for (j < 8) s += in._1[j] * in._2[j];
+//                        return s; }   (dot product of two length-8 arrays)
+void DefineDotKernel(ClassPool& pool) {
+  jvm::Klass& pair = pool.Define("FPair");
+  pair.AddField({"_1", Type::Array(Type::Float())});
+  pair.AddField({"_2", Type::Array(Type::Float())});
+
+  Assembler a;
+  // locals: 0=in(ref), 1=s, 2=j, 3=v1(ref), 4=v2(ref)
+  a.Load(Type::Class("FPair"), 0).GetField("FPair", "_1");
+  a.Store(Type::Array(Type::Float()), 3);
+  a.Load(Type::Class("FPair"), 0).GetField("FPair", "_2");
+  a.Store(Type::Array(Type::Float()), 4);
+  a.FConst(0.0f).Store(Type::Float(), 1);
+  a.IConst(0).Store(Type::Int(), 2);
+  auto head = a.NewLabel();
+  auto exit = a.NewLabel();
+  a.Bind(head);
+  a.Load(Type::Int(), 2).IConst(8).IfICmp(Cond::kGe, exit);
+  a.Load(Type::Float(), 1);
+  a.Load(Type::Array(Type::Float()), 3).Load(Type::Int(), 2)
+      .ALoadElem(Type::Float());
+  a.Load(Type::Array(Type::Float()), 4).Load(Type::Int(), 2)
+      .ALoadElem(Type::Float());
+  a.FMul().FAdd().Store(Type::Float(), 1);
+  a.IInc(2, 1);
+  a.Goto(head);
+  a.Bind(exit);
+  a.Load(Type::Float(), 1).Ret(Type::Float());
+
+  MethodSignature sig;
+  sig.params = {Type::Class("FPair")};
+  sig.ret = Type::Float();
+  pool.Define("DotKernel")
+      .AddMethod(MakeMethod("call", sig, true, 5, a.Finish()));
+}
+
+// IPair call(IPair in):   out = new IPair; out._1 = max(in._1, in._2);
+//                         out._2 = (in._1 < in._2) ? in._1 : in._2;
+void DefineMinMaxKernel(ClassPool& pool) {
+  jvm::Klass& pair = pool.Define("IPair");
+  pair.AddField({"_1", Type::Int()});
+  pair.AddField({"_2", Type::Int()});
+
+  Assembler a;
+  // locals: 0=in, 1=a, 2=b, 3=out(ref)
+  a.Load(Type::Class("IPair"), 0).GetField("IPair", "_1")
+      .Store(Type::Int(), 1);
+  a.Load(Type::Class("IPair"), 0).GetField("IPair", "_2")
+      .Store(Type::Int(), 2);
+  a.New("IPair").Store(Type::Class("IPair"), 3);
+  a.Load(Type::Class("IPair"), 3);
+  a.Load(Type::Int(), 1).Load(Type::Int(), 2)
+      .Bin(Type::Int(), jvm::BinOp::kMax);
+  a.PutField("IPair", "_1");
+  // Value-producing if: (a < b) ? a : b.
+  a.Load(Type::Class("IPair"), 3);
+  auto use_b = a.NewLabel();
+  auto done = a.NewLabel();
+  a.Load(Type::Int(), 1).Load(Type::Int(), 2).IfICmp(Cond::kGe, use_b);
+  a.Load(Type::Int(), 1).Goto(done);
+  a.Bind(use_b);
+  a.Load(Type::Int(), 2);
+  a.Bind(done);
+  a.PutField("IPair", "_2");
+  a.Load(Type::Class("IPair"), 3).Ret(Type::Class("IPair"));
+
+  MethodSignature sig;
+  sig.params = {Type::Class("IPair")};
+  sig.ret = Type::Class("IPair");
+  pool.Define("MinMaxKernel")
+      .AddMethod(MakeMethod("call", sig, true, 4, a.Finish()));
+}
+
+// Array-returning kernel with a helper method (exercises inlining and the
+// local-buffer copy-out path):
+//   float[] call(float[] in) {
+//     float[] out = new float[8];
+//     for (j < 8) out[j] = helper(in[j]);
+//     return out;
+//   }
+//   static float helper(float x) { float y = x * x; return y + 1.0f; }
+void DefineSquareKernel(ClassPool& pool) {
+  jvm::Klass& k = pool.Define("SquareKernel");
+  {
+    Assembler a;
+    a.Load(Type::Float(), 0).Load(Type::Float(), 0).FMul()
+        .Store(Type::Float(), 1);
+    a.Load(Type::Float(), 1).FConst(1.0f).FAdd().Ret(Type::Float());
+    MethodSignature sig;
+    sig.params = {Type::Float()};
+    sig.ret = Type::Float();
+    k.AddMethod(MakeMethod("helper", sig, true, 2, a.Finish()));
+  }
+  {
+    Assembler a;
+    // locals: 0=in(ref), 1=out(ref), 2=j
+    a.IConst(8).NewArray(Type::Float()).Store(Type::Array(Type::Float()), 1);
+    a.IConst(0).Store(Type::Int(), 2);
+    auto head = a.NewLabel();
+    auto exit = a.NewLabel();
+    a.Bind(head);
+    a.Load(Type::Int(), 2).IConst(8).IfICmp(Cond::kGe, exit);
+    a.Load(Type::Array(Type::Float()), 1).Load(Type::Int(), 2);
+    a.Load(Type::Array(Type::Float()), 0).Load(Type::Int(), 2)
+        .ALoadElem(Type::Float());
+    a.InvokeStatic("SquareKernel", "helper");
+    a.AStoreElem(Type::Float());
+    a.IInc(2, 1);
+    a.Goto(head);
+    a.Bind(exit);
+    a.Load(Type::Array(Type::Float()), 1).Ret(Type::Array(Type::Float()));
+    MethodSignature sig;
+    sig.params = {Type::Array(Type::Float())};
+    sig.ret = Type::Array(Type::Float());
+    k.AddMethod(MakeMethod("call", sig, true, 3, a.Finish()));
+  }
+}
+
+// Reduce kernel: double call(double acc, double x) { return acc + x * x; }
+void DefineSumSqKernel(ClassPool& pool) {
+  Assembler a;
+  a.Load(Type::Double(), 0);
+  a.Load(Type::Double(), 2).Load(Type::Double(), 2).DMul();
+  a.DAdd().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double(), Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("SumSqKernel")
+      .AddMethod(MakeMethod("call", sig, true, 4, a.Finish()));
+}
+
+// =====================================================================
+// Spec helpers
+// =====================================================================
+
+KernelSpec ExpSpec(std::int64_t batch = 16) {
+  KernelSpec spec;
+  spec.kernel_name = "exp_kernel";
+  spec.klass = "ExpKernel";
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"ret", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+KernelSpec DotSpec(std::int64_t batch = 8) {
+  KernelSpec spec;
+  spec.kernel_name = "dot_kernel";
+  spec.klass = "DotKernel";
+  spec.input.type = Type::Class("FPair");
+  spec.input.fields = {{"_1", Type::Float(), 8, true},
+                       {"_2", Type::Float(), 8, true}};
+  spec.output.type = Type::Float();
+  spec.output.fields = {{"ret", Type::Float(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+KernelSpec MinMaxSpec(std::int64_t batch = 8) {
+  KernelSpec spec;
+  spec.kernel_name = "minmax_kernel";
+  spec.klass = "MinMaxKernel";
+  spec.input.type = Type::Class("IPair");
+  spec.input.fields = {{"_1", Type::Int(), 1, false},
+                       {"_2", Type::Int(), 1, false}};
+  spec.output.type = Type::Class("IPair");
+  spec.output.fields = {{"_1", Type::Int(), 1, false},
+                        {"_2", Type::Int(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+KernelSpec SquareSpec(std::int64_t batch = 4) {
+  KernelSpec spec;
+  spec.kernel_name = "square_kernel";
+  spec.klass = "SquareKernel";
+  spec.input.type = Type::Array(Type::Float());
+  spec.input.fields = {{"in", Type::Float(), 8, true}};
+  spec.output.type = Type::Array(Type::Float());
+  spec.output.fields = {{"ret", Type::Float(), 8, true}};
+  spec.batch = batch;
+  return spec;
+}
+
+KernelSpec SumSqSpec(std::int64_t batch = 32) {
+  KernelSpec spec;
+  spec.kernel_name = "sumsq_kernel";
+  spec.klass = "SumSqKernel";
+  spec.pattern = kir::ParallelPattern::kReduce;
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"ret", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+// =====================================================================
+// Structural tests
+// =====================================================================
+
+TEST(B2CTest, ScalarMapKernelStructure) {
+  ClassPool pool;
+  DefineExpKernel(pool);
+  kir::Kernel k = CompileKernel(pool, ExpSpec());
+  EXPECT_EQ(k.name, "exp_kernel");
+  EXPECT_EQ(k.pattern, kir::ParallelPattern::kMap);
+  ASSERT_EQ(k.InputBuffers().size(), 1u);
+  ASSERT_EQ(k.OutputBuffers().size(), 1u);
+  EXPECT_EQ(k.InputBuffers()[0]->name, "in_1");
+  EXPECT_EQ(k.InputBuffers()[0]->length, 16);
+  EXPECT_EQ(k.InputBuffers()[0]->per_task, 1);
+  EXPECT_GE(k.task_loop_id, 0);
+  const kir::Stmt* task = kir::FindLoop(k.body, k.task_loop_id);
+  ASSERT_NE(task, nullptr);
+  EXPECT_TRUE(task->inserted_by_template());
+  EXPECT_EQ(task->trip_count(), 16);
+}
+
+TEST(B2CTest, GeneratedCLooksLikePaperCode3) {
+  ClassPool pool;
+  DefineExpKernel(pool);
+  kir::Kernel k = CompileKernel(pool, ExpSpec());
+  std::string c = kir::EmitC(k);
+  EXPECT_NE(c.find("void exp_kernel(int N, double *in_1, double *out_1)"),
+            std::string::npos)
+      << c;
+  EXPECT_NE(c.find("for (int i = 0; i < 16; i++)"), std::string::npos) << c;
+  EXPECT_NE(c.find("exp("), std::string::npos) << c;
+}
+
+TEST(B2CTest, TupleFlatteningCreatesOneBufferPerField) {
+  ClassPool pool;
+  DefineDotKernel(pool);
+  kir::Kernel k = CompileKernel(pool, DotSpec());
+  ASSERT_EQ(k.InputBuffers().size(), 2u);
+  EXPECT_EQ(k.InputBuffers()[0]->source_field, "in._1");
+  EXPECT_EQ(k.InputBuffers()[1]->source_field, "in._2");
+  EXPECT_EQ(k.InputBuffers()[0]->length, 8 * 8);
+  EXPECT_EQ(k.InputBuffers()[0]->per_task, 8);
+}
+
+TEST(B2CTest, InnerLoopIsMarkedReduction) {
+  ClassPool pool;
+  DefineDotKernel(pool);
+  kir::Kernel k = CompileKernel(pool, DotSpec());
+  // Two loops: task loop + the dot loop; the dot loop carries `s`.
+  bool found_reduction = false;
+  for (const kir::Stmt* loop : k.Loops()) {
+    if (loop->loop_id() != k.task_loop_id && loop->is_reduction()) {
+      found_reduction = true;
+    }
+  }
+  EXPECT_TRUE(found_reduction);
+}
+
+TEST(B2CTest, LocalArrayBecomesLocalBufferWithZeroInit) {
+  ClassPool pool;
+  DefineSquareKernel(pool);
+  kir::Kernel k = CompileKernel(pool, SquareSpec());
+  ASSERT_EQ(k.LocalBuffers().size(), 1u);
+  EXPECT_EQ(k.LocalBuffers()[0]->length, 8);
+  std::string c = kir::EmitC(k);
+  EXPECT_NE(c.find("static float loc1[8];"), std::string::npos) << c;
+}
+
+TEST(B2CTest, ReduceTemplateAccumulatesIntoScalar) {
+  ClassPool pool;
+  DefineSumSqKernel(pool);
+  kir::Kernel k = CompileKernel(pool, SumSqSpec());
+  ASSERT_EQ(k.OutputBuffers().size(), 1u);
+  EXPECT_EQ(k.OutputBuffers()[0]->length, 1);  // one reduced value
+  const kir::Stmt* task = kir::FindLoop(k.body, k.task_loop_id);
+  ASSERT_NE(task, nullptr);
+  // The accumulator is a double: strict IEEE ordering forbids the tree
+  // rewrite, so the loop is carried but NOT marked as a reduction.
+  EXPECT_FALSE(task->is_reduction());
+  kir::LoopRecurrence rec = kir::AnalyzeRecurrence(*task);
+  EXPECT_TRUE(rec.carried);
+  std::string c = kir::EmitC(k);
+  EXPECT_NE(c.find("double acc1 = 0"), std::string::npos) << c;
+}
+
+// =====================================================================
+// Unsupported-pattern diagnostics (paper 3.3 contract)
+// =====================================================================
+
+TEST(B2CTest, NonConstantNewThrows) {
+  ClassPool pool;
+  Assembler a;
+  // float[] call(float[] in) { return new float[in.length*2... ] } — here:
+  // new with a runtime length (the input's first element).
+  a.Load(Type::Array(Type::Float()), 0).IConst(0).ALoadElem(Type::Float());
+  a.Convert(Type::Float(), Type::Int());
+  a.NewArray(Type::Float());
+  a.Ret(Type::Array(Type::Float()));
+  MethodSignature sig;
+  sig.params = {Type::Array(Type::Float())};
+  sig.ret = Type::Array(Type::Float());
+  pool.Define("BadAlloc")
+      .AddMethod(MakeMethod("call", sig, true, 1, a.Finish()));
+
+  KernelSpec spec = SquareSpec();
+  spec.klass = "BadAlloc";
+  EXPECT_THROW(CompileKernel(pool, spec), Unsupported);
+}
+
+TEST(B2CTest, NonConstantLoopBoundThrows) {
+  ClassPool pool;
+  Assembler a;
+  // for (j < in[0]) {...} — runtime bound.
+  // locals: 0=in, 1=j, 2=s
+  a.FConst(0.0f).Store(Type::Float(), 2);
+  a.IConst(0).Store(Type::Int(), 1);
+  auto head = a.NewLabel();
+  auto exit = a.NewLabel();
+  a.Bind(head);
+  a.Load(Type::Int(), 1);
+  a.Load(Type::Array(Type::Float()), 0).IConst(0).ALoadElem(Type::Float());
+  a.Convert(Type::Float(), Type::Int());
+  a.IfICmp(Cond::kGe, exit);
+  a.IInc(1, 1);
+  a.Goto(head);
+  a.Bind(exit);
+  a.Load(Type::Float(), 2).Ret(Type::Float());
+  MethodSignature sig;
+  sig.params = {Type::Array(Type::Float())};
+  sig.ret = Type::Float();
+  pool.Define("BadLoop")
+      .AddMethod(MakeMethod("call", sig, true, 3, a.Finish()));
+
+  KernelSpec spec;
+  spec.kernel_name = "bad";
+  spec.klass = "BadLoop";
+  spec.input.type = Type::Array(Type::Float());
+  spec.input.fields = {{"in", Type::Float(), 8, true}};
+  spec.output.type = Type::Float();
+  spec.output.fields = {{"ret", Type::Float(), 1, false}};
+  EXPECT_THROW(CompileKernel(pool, spec), Unsupported);
+}
+
+TEST(B2CTest, LibraryCallThrows) {
+  ClassPool pool;
+  Assembler a;
+  a.Load(Type::Double(), 0);
+  a.InvokeStatic("java/util/SomeLib", "frob");
+  a.Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("LibCall")
+      .AddMethod(MakeMethod("call", sig, true, 2, a.Finish()));
+  KernelSpec spec = ExpSpec();
+  spec.klass = "LibCall";
+  // The verifier rejects the unresolvable library class before the compiler
+  // can report its own Unsupported; either way the contract is an s2fa
+  // Error, never a miscompile.
+  EXPECT_THROW(CompileKernel(pool, spec), Error);
+}
+
+TEST(B2CTest, EarlyReturnThrows) {
+  ClassPool pool;
+  Assembler a;
+  auto neg = a.NewLabel();
+  a.Load(Type::Double(), 0).DConst(0.0).Cmp(Type::Double());
+  a.If(Cond::kLt, neg);
+  a.Load(Type::Double(), 0).Ret(Type::Double());  // early return
+  a.Bind(neg);
+  a.Load(Type::Double(), 0).Neg(Type::Double()).Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("EarlyRet")
+      .AddMethod(MakeMethod("call", sig, true, 2, a.Finish()));
+  KernelSpec spec = ExpSpec();
+  spec.klass = "EarlyRet";
+  EXPECT_THROW(CompileKernel(pool, spec), Unsupported);
+}
+
+// =====================================================================
+// Functional equivalence: interpreter (JVM semantics) vs compiled IR
+// =====================================================================
+
+TEST(B2CTest, ExpKernelMatchesInterpreter) {
+  ClassPool pool;
+  DefineExpKernel(pool);
+  KernelSpec spec = ExpSpec(16);
+  kir::Kernel k = CompileKernel(pool, spec);
+  kir::Evaluator ev(k);
+
+  Rng rng(42);
+  kir::BufferMap buffers;
+  std::vector<double> xs;
+  for (int t = 0; t < 16; ++t) {
+    double x = rng.NextDouble(-2, 2);
+    xs.push_back(x);
+    buffers["in_1"].push_back(Value::OfDouble(x));
+  }
+  ev.Run({{"N", Value::OfInt(16)}}, buffers);
+
+  Heap heap;
+  Interpreter interp(pool, heap);
+  for (int t = 0; t < 16; ++t) {
+    double expect =
+        interp
+            .Invoke("ExpKernel", "call",
+                    {Value::OfDouble(xs[static_cast<std::size_t>(t)])})
+            .ret.AsDouble();
+    EXPECT_DOUBLE_EQ(
+        buffers["out_1"][static_cast<std::size_t>(t)].AsDouble(), expect);
+  }
+}
+
+TEST(B2CTest, DotKernelMatchesInterpreter) {
+  ClassPool pool;
+  DefineDotKernel(pool);
+  KernelSpec spec = DotSpec(8);
+  kir::Kernel k = CompileKernel(pool, spec);
+  kir::Evaluator ev(k);
+
+  Rng rng(7);
+  kir::BufferMap buffers;
+  std::vector<std::vector<float>> v1(8), v2(8);
+  for (int t = 0; t < 8; ++t) {
+    for (int j = 0; j < 8; ++j) {
+      float a = static_cast<float>(rng.NextDouble(-1, 1));
+      float b = static_cast<float>(rng.NextDouble(-1, 1));
+      v1[static_cast<std::size_t>(t)].push_back(a);
+      v2[static_cast<std::size_t>(t)].push_back(b);
+      buffers["in_1"].push_back(Value::OfFloat(a));
+      buffers["in_2"].push_back(Value::OfFloat(b));
+    }
+  }
+  ev.Run({{"N", Value::OfInt(8)}}, buffers);
+
+  Heap heap;
+  Interpreter interp(pool, heap);
+  for (int t = 0; t < 8; ++t) {
+    // Build the Tuple2-like object for the interpreter.
+    Ref a1 = heap.NewArray(Type::Array(Type::Float()), 8);
+    Ref a2 = heap.NewArray(Type::Array(Type::Float()), 8);
+    for (int j = 0; j < 8; ++j) {
+      heap.Get(a1).slots[static_cast<std::size_t>(j)] =
+          Value::OfFloat(v1[static_cast<std::size_t>(t)]
+                           [static_cast<std::size_t>(j)]);
+      heap.Get(a2).slots[static_cast<std::size_t>(j)] =
+          Value::OfFloat(v2[static_cast<std::size_t>(t)]
+                           [static_cast<std::size_t>(j)]);
+    }
+    Ref pair = heap.NewInstance(Type::Class("FPair"), 2);
+    heap.Get(pair).slots[0] = Value::OfRef(a1);
+    heap.Get(pair).slots[1] = Value::OfRef(a2);
+    float expect =
+        interp.Invoke("DotKernel", "call", {Value::OfRef(pair)}).ret.AsFloat();
+    EXPECT_FLOAT_EQ(
+        buffers["out_1"][static_cast<std::size_t>(t)].AsFloat(), expect)
+        << "task " << t;
+  }
+}
+
+TEST(B2CTest, MinMaxKernelMatchesInterpreter) {
+  ClassPool pool;
+  DefineMinMaxKernel(pool);
+  KernelSpec spec = MinMaxSpec(8);
+  kir::Kernel k = CompileKernel(pool, spec);
+  kir::Evaluator ev(k);
+
+  Rng rng(99);
+  kir::BufferMap buffers;
+  std::vector<std::pair<int, int>> inputs;
+  for (int t = 0; t < 8; ++t) {
+    int x = static_cast<int>(rng.NextInt(-100, 100));
+    int y = static_cast<int>(rng.NextInt(-100, 100));
+    inputs.emplace_back(x, y);
+    buffers["in_1"].push_back(Value::OfInt(x));
+    buffers["in_2"].push_back(Value::OfInt(y));
+  }
+  ev.Run({{"N", Value::OfInt(8)}}, buffers);
+
+  Heap heap;
+  Interpreter interp(pool, heap);
+  for (int t = 0; t < 8; ++t) {
+    Ref pair = heap.NewInstance(Type::Class("IPair"), 2);
+    heap.Get(pair).slots[0] =
+        Value::OfInt(inputs[static_cast<std::size_t>(t)].first);
+    heap.Get(pair).slots[1] =
+        Value::OfInt(inputs[static_cast<std::size_t>(t)].second);
+    Ref out = interp.Invoke("MinMaxKernel", "call", {Value::OfRef(pair)})
+                  .ret.AsRef();
+    EXPECT_EQ(buffers["out_1"][static_cast<std::size_t>(t)].AsInt(),
+              heap.Get(out).slots[0].AsInt());
+    EXPECT_EQ(buffers["out_2"][static_cast<std::size_t>(t)].AsInt(),
+              heap.Get(out).slots[1].AsInt());
+  }
+}
+
+TEST(B2CTest, SquareKernelWithInliningMatchesInterpreter) {
+  ClassPool pool;
+  DefineSquareKernel(pool);
+  KernelSpec spec = SquareSpec(4);
+  kir::Kernel k = CompileKernel(pool, spec);
+  kir::Evaluator ev(k);
+
+  Rng rng(3);
+  kir::BufferMap buffers;
+  std::vector<float> data;
+  for (int t = 0; t < 4 * 8; ++t) {
+    float v = static_cast<float>(rng.NextDouble(-3, 3));
+    data.push_back(v);
+    buffers["in_1"].push_back(Value::OfFloat(v));
+  }
+  ev.Run({{"N", Value::OfInt(4)}}, buffers);
+
+  for (int t = 0; t < 4; ++t) {
+    for (int j = 0; j < 8; ++j) {
+      float x = data[static_cast<std::size_t>(t * 8 + j)];
+      EXPECT_FLOAT_EQ(
+          buffers["out_1"][static_cast<std::size_t>(t * 8 + j)].AsFloat(),
+          x * x + 1.0f);
+    }
+  }
+}
+
+TEST(B2CTest, ReduceKernelMatchesNativeSum) {
+  ClassPool pool;
+  DefineSumSqKernel(pool);
+  KernelSpec spec = SumSqSpec(32);
+  kir::Kernel k = CompileKernel(pool, spec);
+  kir::Evaluator ev(k);
+
+  Rng rng(11);
+  kir::BufferMap buffers;
+  double expect = 0.0;
+  for (int t = 0; t < 32; ++t) {
+    double x = rng.NextDouble(-1, 1);
+    expect += x * x;
+    buffers["in_1"].push_back(Value::OfDouble(x));
+  }
+  ev.Run({{"N", Value::OfInt(32)}}, buffers);
+  EXPECT_NEAR(buffers["out_1"][0].AsDouble(), expect, 1e-12);
+}
+
+// Property sweep: the minmax kernel agrees with the interpreter over many
+// random batches (several seeds).
+class MinMaxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinMaxSweep, AgreesWithInterpreter) {
+  ClassPool pool;
+  DefineMinMaxKernel(pool);
+  kir::Kernel k = CompileKernel(pool, MinMaxSpec(16));
+  kir::Evaluator ev(k);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003 + 17);
+
+  kir::BufferMap buffers;
+  std::vector<std::pair<int, int>> inputs;
+  for (int t = 0; t < 16; ++t) {
+    int x = static_cast<int>(rng.NextInt(INT32_MIN / 2, INT32_MAX / 2));
+    int y = static_cast<int>(rng.NextInt(INT32_MIN / 2, INT32_MAX / 2));
+    inputs.emplace_back(x, y);
+    buffers["in_1"].push_back(Value::OfInt(x));
+    buffers["in_2"].push_back(Value::OfInt(y));
+  }
+  ev.Run({{"N", Value::OfInt(16)}}, buffers);
+  for (int t = 0; t < 16; ++t) {
+    auto [x, y] = inputs[static_cast<std::size_t>(t)];
+    EXPECT_EQ(buffers["out_1"][static_cast<std::size_t>(t)].AsInt(),
+              std::max(x, y));
+    EXPECT_EQ(buffers["out_2"][static_cast<std::size_t>(t)].AsInt(),
+              std::min(x, y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinMaxSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace s2fa::b2c

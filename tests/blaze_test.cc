@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "b2c/compiler.h"
+#include "blaze/runtime.h"
+#include "blaze/serialization.h"
+#include "jvm/assembler.h"
+#include "s2fa/framework.h"
+#include "support/rng.h"
+
+namespace s2fa::blaze {
+namespace {
+
+using jvm::Assembler;
+using jvm::MethodSignature;
+using jvm::Type;
+using jvm::Value;
+
+// ---------------------------------------------------------------- dataset
+
+TEST(DatasetTest, ColumnsMustAgreeOnRecordCount) {
+  Dataset d;
+  Column a;
+  a.field = "x";
+  a.element = Type::Float();
+  a.per_record = 2;
+  a.data.assign(8, Value::OfFloat(0));  // 4 records
+  d.AddColumn(a);
+  Column b;
+  b.field = "y";
+  b.element = Type::Int();
+  b.per_record = 1;
+  b.data.assign(3, Value::OfInt(0));  // 3 records: mismatch
+  EXPECT_THROW(d.AddColumn(b), InvalidArgument);
+  EXPECT_EQ(d.num_records(), 4u);
+}
+
+TEST(DatasetTest, RejectsDuplicateFields) {
+  Dataset d;
+  Column a;
+  a.field = "x";
+  a.element = Type::Int();
+  a.data.assign(2, Value::OfInt(0));
+  d.AddColumn(a);
+  EXPECT_THROW(d.AddColumn(a), InvalidArgument);
+}
+
+TEST(DatasetTest, RejectsRaggedColumn) {
+  Dataset d;
+  Column a;
+  a.field = "x";
+  a.element = Type::Int();
+  a.per_record = 3;
+  a.data.assign(7, Value::OfInt(0));  // not a multiple of 3
+  EXPECT_THROW(d.AddColumn(a), InvalidArgument);
+}
+
+TEST(DatasetTest, TotalBytesSumsColumnWidths) {
+  Dataset d;
+  Column a;
+  a.field = "f";
+  a.element = Type::Float();  // 4 bytes
+  a.data.assign(10, Value::OfFloat(0));
+  d.AddColumn(a);
+  Column b;
+  b.field = "b";
+  b.element = Type::Byte();  // 1 byte
+  b.data.assign(10, Value::OfInt(0));
+  d.AddColumn(b);
+  EXPECT_DOUBLE_EQ(d.TotalBytes(), 40.0 + 10.0);
+}
+
+// ------------------------------------------------- serialization plan
+
+// Simple map kernel for plan tests: double in, double out.
+jvm::ClassPool MakePool() {
+  jvm::ClassPool pool;
+  Assembler a;
+  a.Load(Type::Double(), 0).DConst(2.0).DMul().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("Doubler").AddMethod(
+      jvm::MakeMethod("call", sig, true, 2, a.Finish()));
+  return pool;
+}
+
+b2c::KernelSpec MakeSpec(std::int64_t batch = 8) {
+  b2c::KernelSpec spec;
+  spec.kernel_name = "doubler";
+  spec.klass = "Doubler";
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"y", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+TEST(SerializationTest, PlanReflectsInterface) {
+  jvm::ClassPool pool = MakePool();
+  kir::Kernel k = b2c::CompileKernel(pool, MakeSpec());
+  SerializationPlan plan = MakeSerializationPlan(k);
+  EXPECT_EQ(plan.batch, 8);
+  ASSERT_EQ(plan.entries.size(), 2u);
+  EXPECT_TRUE(plan.entries[0].is_input);
+  EXPECT_EQ(plan.entries[0].source_field, "x");
+  EXPECT_FALSE(plan.entries[1].is_input);
+  EXPECT_EQ(plan.entries[1].source_field, "y");
+  EXPECT_NE(plan.FindBuffer("in_1"), nullptr);
+  EXPECT_EQ(plan.FindBuffer("nope"), nullptr);
+}
+
+TEST(SerializationTest, RoundTripWithPadding) {
+  jvm::ClassPool pool = MakePool();
+  kir::Kernel k = b2c::CompileKernel(pool, MakeSpec(8));
+  SerializationPlan plan = MakeSerializationPlan(k);
+
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  for (int i = 0; i < 5; ++i) x.data.push_back(Value::OfDouble(i + 0.5));
+  input.AddColumn(x);
+
+  kir::BufferMap buffers;
+  SerializeBatch(plan, input, 0, 5, buffers);
+  // Zero-padded to the batch size.
+  ASSERT_EQ(buffers["in_1"].size(), 8u);
+  EXPECT_DOUBLE_EQ(buffers["in_1"][4].AsDouble(), 4.5);
+  EXPECT_DOUBLE_EQ(buffers["in_1"][5].AsDouble(), 0.0);
+
+  buffers["out_1"].assign(8, Value::OfDouble(7.0));
+  Dataset out = MakeOutputShell(plan, 5);
+  DeserializeBatch(plan, buffers, 0, 5, out);
+  EXPECT_DOUBLE_EQ(out.ColumnByField("y").data[4].AsDouble(), 7.0);
+}
+
+TEST(SerializationTest, ScalaHelperMentionsBuffersAndReflection) {
+  jvm::ClassPool pool = MakePool();
+  kir::Kernel k = b2c::CompileKernel(pool, MakeSpec());
+  SerializationPlan plan = MakeSerializationPlan(k);
+  std::string scala = RenderScalaHelper(plan);
+  EXPECT_NE(scala.find("object doublerSerde"), std::string::npos);
+  EXPECT_NE(scala.find("in_1"), std::string::npos);
+  EXPECT_NE(scala.find("reflect"), std::string::npos);
+}
+
+TEST(SerializationTest, MissingBroadcastThrows) {
+  jvm::ClassPool pool;
+  Assembler a;
+  // call(P in) where P = {x: double, w: double broadcast}: return x * w.
+  jvm::Klass& p = pool.Define("P");
+  p.AddField({"x", Type::Double()});
+  p.AddField({"w", Type::Double()});
+  a.Load(Type::Class("P"), 0).GetField("P", "x");
+  a.Load(Type::Class("P"), 0).GetField("P", "w");
+  a.DMul().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Class("P")};
+  sig.ret = Type::Double();
+  pool.Define("WMul").AddMethod(
+      jvm::MakeMethod("call", sig, true, 1, a.Finish()));
+
+  b2c::KernelSpec spec;
+  spec.kernel_name = "wmul";
+  spec.klass = "WMul";
+  spec.input.type = Type::Class("P");
+  b2c::FieldSpec fx{"x", Type::Double(), 1, false};
+  b2c::FieldSpec fw{"w", Type::Double(), 1, false};
+  fw.broadcast = true;
+  spec.input.fields = {fx, fw};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"y", Type::Double(), 1, false}};
+  spec.batch = 4;
+  kir::Kernel k = b2c::CompileKernel(pool, spec);
+  SerializationPlan plan = MakeSerializationPlan(k);
+
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  x.data.assign(4, Value::OfDouble(1.0));
+  input.AddColumn(x);
+  kir::BufferMap buffers;
+  EXPECT_THROW(SerializeBatch(plan, input, 0, 4, buffers, nullptr),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------- runtime
+
+TEST(RuntimeTest, MapAcrossMultipleBatches) {
+  jvm::ClassPool pool = MakePool();
+  Artifact artifact =
+      BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+  BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "doubler", artifact);
+
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  for (int i = 0; i < 21; ++i) x.data.push_back(Value::OfDouble(i));
+  input.AddColumn(x);
+
+  ExecutionStats stats;
+  Dataset out = runtime.Map("doubler", input, nullptr, &stats);
+  EXPECT_EQ(stats.invocations, 3u);  // ceil(21 / 8)
+  EXPECT_GT(stats.total_us, 0.0);
+  for (int i = 0; i < 21; ++i) {
+    EXPECT_DOUBLE_EQ(
+        out.ColumnByField("y").data[static_cast<std::size_t>(i)].AsDouble(),
+        2.0 * i);
+  }
+}
+
+TEST(RuntimeTest, UnknownAcceleratorThrows) {
+  BlazeRuntime runtime;
+  Dataset empty;
+  EXPECT_THROW(runtime.Map("nope", empty), InvalidArgument);
+}
+
+TEST(RuntimeTest, DuplicateRegistrationThrows) {
+  jvm::ClassPool pool = MakePool();
+  Artifact artifact =
+      BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+  BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "doubler", artifact);
+  EXPECT_THROW(RegisterWithBlaze(runtime, "doubler", artifact),
+               InvalidArgument);
+  EXPECT_TRUE(runtime.manager().Has("doubler"));
+  EXPECT_EQ(runtime.manager().size(), 1u);
+}
+
+TEST(RuntimeTest, StatsBreakdownSumsToTotal) {
+  jvm::ClassPool pool = MakePool();
+  Artifact artifact =
+      BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+  BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "doubler", artifact);
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  x.data.assign(16, Value::OfDouble(1.0));
+  input.AddColumn(x);
+  ExecutionStats stats;
+  runtime.Map("doubler", input, nullptr, &stats);
+  EXPECT_NEAR(stats.total_us,
+              stats.serialize_us + stats.transfer_us + stats.compute_us +
+                  stats.overhead_us,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace s2fa::blaze

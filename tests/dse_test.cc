@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/explorer.h"
+#include "hls/estimator.h"
+#include "merlin/transform.h"
+
+namespace s2fa::dse {
+namespace {
+
+using kir::BinaryOp;
+using kir::BufferKind;
+using kir::Expr;
+using kir::Stmt;
+using kir::Type;
+using tuner::DesignSpace;
+using tuner::EvalOutcome;
+using tuner::FactorKind;
+using tuner::Point;
+
+// The same nested reduce kernel used across tuner tests.
+kir::Kernel NestedKernel() {
+  kir::Kernel k;
+  k.name = "nested";
+  k.buffers.push_back({"in", Type::Float(), 4096, BufferKind::kInput, ""});
+  k.buffers.push_back({"out", Type::Float(), 64, BufferKind::kOutput, ""});
+  auto i = Expr::Var("i", Type::Int());
+  auto j = Expr::Var("j", Type::Int());
+  auto acc = Expr::Var("acc", Type::Float());
+  auto inner = Stmt::For(
+      1, "j", 64,
+      Stmt::Block({Stmt::Assign(
+          acc,
+          Expr::Binary(
+              BinaryOp::kAdd, acc,
+              Expr::Binary(
+                  BinaryOp::kMul,
+                  Expr::ArrayRef(
+                      "in", Type::Float(),
+                      Expr::Binary(BinaryOp::kAdd,
+                                   Expr::Binary(BinaryOp::kMul, i,
+                                                Expr::IntLit(64)),
+                                   j)),
+                  Expr::FloatLit(1.5f))))}));
+  inner->set_is_reduction(true);
+  auto outer = Stmt::For(
+      0, "i", 64,
+      Stmt::Block({Stmt::Decl("acc", Type::Float(), Expr::FloatLit(0.0f)),
+                   inner,
+                   Stmt::Assign(Expr::ArrayRef("out", Type::Float(), i),
+                                acc)}));
+  outer->set_inserted_by_template(true);
+  k.body = Stmt::Block({outer});
+  k.task_loop_id = 0;
+  return k;
+}
+
+// Real Merlin+HLS evaluation chain.
+tuner::EvalFn HlsEval(const kir::Kernel& kernel) {
+  return [kernel](const merlin::DesignConfig& cfg) -> EvalOutcome {
+    EvalOutcome out;
+    try {
+      merlin::TransformResult t = merlin::ApplyDesign(kernel, cfg);
+      hls::HlsResult r = hls::EstimateHls(t.kernel);
+      out.feasible = r.feasible;
+      out.cost = r.exec_us;
+      out.eval_minutes = r.eval_minutes;
+    } catch (const InvalidArgument&) {
+      out.feasible = false;  // illegal factor combination: HLS run fails
+      out.cost = tuner::kInfeasibleCost;
+      out.eval_minutes = 3.0;
+    }
+    return out;
+  };
+}
+
+// ------------------------------------------------------------ candidates
+
+TEST(RulesTest, TaskLoopSchedulingComesFirst) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  auto candidates = RuleCandidateFactors(space, k);
+  ASSERT_FALSE(candidates.empty());
+  const auto& first = space.factors[candidates[0]];
+  EXPECT_EQ(first.loop_id, k.task_loop_id);
+  EXPECT_EQ(first.kind, FactorKind::kLoopPipeline);
+  // Only pipeline/parallel factors are rule candidates.
+  for (std::size_t c : candidates) {
+    FactorKind kind = space.factors[c].kind;
+    EXPECT_TRUE(kind == FactorKind::kLoopPipeline ||
+                kind == FactorKind::kLoopParallel);
+  }
+}
+
+// ------------------------------------------------------------ partitions
+
+TEST(PartitionTest, SplitsOnInformativeFactor) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  std::size_t pipe0 = space.FactorIndex("L0.pipeline");
+  // Synthetic: cost is entirely determined by L0.pipeline.
+  Rng rng(3);
+  std::vector<TrainingSample> samples;
+  for (int n = 0; n < 200; ++n) {
+    TrainingSample s;
+    s.point = space.RandomPoint(rng);
+    s.log_cost = s.point[pipe0] == 0 ? 10.0 : 2.0;
+    samples.push_back(std::move(s));
+  }
+  PartitionOptions options;
+  options.target_partitions = 2;
+  auto partitions = BuildPartitions(space, RuleCandidateFactors(space, k),
+                                    samples, options);
+  ASSERT_EQ(partitions.size(), 2u);
+  // The split must be on L0.pipeline: the two partitions' allowed pipeline
+  // values differ.
+  EXPECT_NE(partitions[0].space.factors[pipe0].values,
+            partitions[1].space.factors[pipe0].values);
+  EXPECT_NE(partitions[0].description.find("L0.pipeline"),
+            std::string::npos);
+}
+
+TEST(PartitionTest, DisjointAndCovering) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  auto log_cost = [&](const Point& p) {
+    EvalOutcome out = eval(space.ToConfig(p));
+    return out.feasible ? std::log(out.cost) : 30.0;
+  };
+  Rng rng(11);
+  auto samples = DrawTrainingSamples(space, 150, log_cost, rng);
+  PartitionOptions options;
+  options.target_partitions = 8;
+  auto partitions = BuildPartitions(space, RuleCandidateFactors(space, k),
+                                    samples, options);
+  EXPECT_GE(partitions.size(), 2u);
+  EXPECT_LE(partitions.size(), 8u);
+  Rng check_rng(99);
+  EXPECT_TRUE(
+      PartitionsDisjointAndCovering(space, partitions, 500, check_rng));
+}
+
+TEST(PartitionTest, FlatCostsStillYieldCoreCoverage) {
+  // With flat costs no split carries information gain, but the "some-for-
+  // all" scheme still needs at least as many partitions as CPU cores, so
+  // the builder falls back to median splits on the rule factors.
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  Rng rng(5);
+  std::vector<TrainingSample> samples;
+  for (int n = 0; n < 100; ++n) {
+    samples.push_back({space.RandomPoint(rng), 1.0});  // constant cost
+  }
+  PartitionOptions options;
+  options.target_partitions = 8;
+  auto partitions = BuildPartitions(space, RuleCandidateFactors(space, k),
+                                    samples, options);
+  EXPECT_EQ(partitions.size(), 8u);
+  Rng check(77);
+  EXPECT_TRUE(PartitionsDisjointAndCovering(space, partitions, 300, check));
+}
+
+// ----------------------------------------------------------------- seeds
+
+TEST(SeedTest, PerformanceSeedMatchesPaper) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::SeedPoint seed = MakePerformanceSeed(space);
+  merlin::DesignConfig cfg = space.ToConfig(seed.point);
+  // All loops pipelined, parallel factor 32, 512-bit buffers (paper 4.3.2).
+  for (const auto& [id, lc] : cfg.loops) {
+    EXPECT_EQ(lc.pipeline, merlin::PipelineMode::kOn) << "L" << id;
+    EXPECT_EQ(lc.parallel, 32) << "L" << id;
+  }
+  for (const auto& [name, bits] : cfg.buffer_bits) {
+    EXPECT_EQ(bits, 512) << name;
+  }
+  EXPECT_EQ(seed.label, "performance-driven");
+}
+
+TEST(SeedTest, AreaSeedIsFullyConservative) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::SeedPoint seed = MakeAreaSeed(space);
+  merlin::DesignConfig cfg = space.ToConfig(seed.point);
+  for (const auto& [id, lc] : cfg.loops) {
+    EXPECT_EQ(lc.pipeline, merlin::PipelineMode::kOff);
+    EXPECT_EQ(lc.parallel, 1);
+    EXPECT_EQ(lc.tile, 1);
+  }
+  for (const auto& [name, bits] : cfg.buffer_bits) {
+    EXPECT_EQ(bits, 32);  // element width
+  }
+}
+
+TEST(SeedTest, AreaSeedIsFeasibleUnderHls) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::SeedPoint seed = MakeAreaSeed(space);
+  EvalOutcome out = HlsEval(k)(space.ToConfig(seed.point));
+  EXPECT_TRUE(out.feasible);  // the paper's guarantee for the conservative seed
+}
+
+TEST(SeedTest, SeedsProjectIntoRestrictedPartition) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  // Restrict L0.parallel to {8, 16} to force projection.
+  DesignSpace restricted = space;
+  std::size_t par0 = space.FactorIndex("L0.parallel");
+  restricted.factors[par0].values = {8, 16};
+  tuner::SeedPoint perf = MakePerformanceSeed(restricted);
+  merlin::DesignConfig cfg = restricted.ToConfig(perf.point);
+  EXPECT_EQ(cfg.loops.at(0).parallel, 16);  // nearest to 32
+  tuner::SeedPoint area = MakeAreaSeed(restricted);
+  merlin::DesignConfig acfg = restricted.ToConfig(area.point);
+  EXPECT_EQ(acfg.loops.at(0).parallel, 8);  // nearest to 1
+}
+
+// -------------------------------------------------------------- stopping
+
+TEST(StoppingTest, EntropyOfEmptyDatabaseIsZero) {
+  tuner::ResultDatabase db;
+  EXPECT_EQ(UphillEntropy(db, 4), 0.0);
+}
+
+TEST(StoppingTest, EntropyReflectsUphillDistribution) {
+  tuner::ResultDatabase db;
+  // Mutating factor 0 always improves, factor 1 never: low entropy.
+  Point base{0, 0};
+  db.Add(base, 100.0, true, 1.0, 0);
+  double cost = 100.0;
+  for (int k = 0; k < 10; ++k) {
+    cost -= 5;
+    Point p = base;
+    p[0] = static_cast<std::size_t>(k % 2);
+    base = p;
+    db.Add(p, cost, true, 1.0 + k, 0);
+  }
+  double h = UphillEntropy(db, 2);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LT(h, 1.0);
+}
+
+TEST(StoppingTest, EntropyStopFiresOnConvergedSearch) {
+  auto stop = MakeEntropyStop(3, {.theta = 0.05, .patience = 3,
+                                  .min_records = 8});
+  tuner::ResultDatabase db;
+  // A search that stopped improving: entropy stays constant.
+  Point p{0, 0, 0};
+  db.Add(p, 10.0, true, 1.0, 0);
+  bool fired = false;
+  for (int k = 0; k < 30 && !fired; ++k) {
+    Point q = p;
+    q[static_cast<std::size_t>(k) % 3] ^= 1u;
+    db.Add(q, 50.0, true, 2.0 + k, 0);  // never uphill
+    fired = stop(db);
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(StoppingTest, EntropyStopWaitsForMinRecords) {
+  auto stop = MakeEntropyStop(3, {.theta = 1.0, .patience = 1,
+                                  .min_records = 50});
+  tuner::ResultDatabase db;
+  db.Add({0, 0, 0}, 10.0, true, 1.0, 0);
+  db.Add({1, 0, 0}, 9.0, true, 2.0, 0);
+  EXPECT_FALSE(stop(db));
+}
+
+TEST(StoppingTest, NoImprovementStopCountsStaleIterations) {
+  auto stop = MakeNoImprovementStop(3);
+  tuner::ResultDatabase db;
+  db.Add({0}, 10.0, true, 1.0, 0);
+  EXPECT_FALSE(stop(db));
+  db.Add({1}, 20.0, true, 2.0, 0);  // stale 1
+  EXPECT_FALSE(stop(db));
+  db.Add({0}, 20.0, true, 3.0, 0);  // stale 2
+  EXPECT_FALSE(stop(db));
+  db.Add({1}, 20.0, true, 4.0, 0);  // stale 3
+  EXPECT_TRUE(stop(db));
+}
+
+TEST(StoppingTest, NoImprovementResetOnNewBest) {
+  auto stop = MakeNoImprovementStop(2);
+  tuner::ResultDatabase db;
+  db.Add({0}, 10.0, true, 1.0, 0);
+  stop(db);
+  db.Add({1}, 20.0, true, 2.0, 0);
+  stop(db);
+  db.Add({0}, 5.0, true, 3.0, 0);  // new best: reset
+  EXPECT_FALSE(stop(db));
+  db.Add({1}, 20.0, true, 4.0, 0);
+  EXPECT_FALSE(stop(db));
+  db.Add({1}, 20.0, true, 5.0, 0);
+  EXPECT_TRUE(stop(db));
+}
+
+// -------------------------------------------------------------- explorer
+
+TEST(ExplorerTest, S2faCompetitiveWithVanillaAndEntropyStops) {
+  // NOTE: this kernel's space is tiny (~10^5.6 points), which favors the
+  // vanilla tuner — the paper-scale gaps appear on the app spaces in the
+  // Fig. 3 bench. Here we check sanity: S2FA lands in the same cost
+  // regime and its partitions terminate themselves via entropy.
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+
+  ExplorerOptions options;
+  options.time_limit_minutes = 240;
+  options.num_cores = 8;
+  options.seed = 7;
+  DseResult s2fa = RunS2faDse(space, k, eval, options);
+  DseResult vanilla = RunVanillaOpenTuner(space, eval, 240, 8, 7);
+
+  ASSERT_TRUE(s2fa.found_feasible);
+  ASSERT_TRUE(vanilla.found_feasible);
+  EXPECT_LE(s2fa.best_cost, vanilla.best_cost * 5.0);
+  EXPECT_NEAR(vanilla.elapsed_minutes, 240.0, 30);  // vanilla runs to the cap
+  EXPECT_GT(s2fa.partitions.size(), 1u);
+  int entropy_stops = 0;
+  for (const auto& p : s2fa.partitions) {
+    if (p.result.stop_reason == "entropy criterion") ++entropy_stops;
+  }
+  EXPECT_GE(entropy_stops, static_cast<int>(s2fa.partitions.size()) / 2);
+}
+
+TEST(ExplorerTest, DeterministicAcrossRuns) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 3;
+  DseResult a = RunS2faDse(space, k, eval, options);
+  DseResult b = RunS2faDse(space, k, eval, options);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.elapsed_minutes, b.elapsed_minutes);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST(ExplorerTest, AblationSwitchesChangeBehaviour) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+
+  ExplorerOptions no_partition;
+  no_partition.time_limit_minutes = 120;
+  no_partition.enable_partitioning = false;
+  DseResult r = RunS2faDse(space, k, eval, no_partition);
+  EXPECT_EQ(r.partitions.size(), 1u);
+
+  ExplorerOptions no_seeds;
+  no_seeds.time_limit_minutes = 120;
+  no_seeds.enable_seeds = false;
+  DseResult r2 = RunS2faDse(space, k, eval, no_seeds);
+  EXPECT_TRUE(r2.found_feasible);
+}
+
+TEST(ExplorerTest, SeededRunStartsFromGoodPoint) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  ExplorerOptions options;
+  options.time_limit_minutes = 240;
+  options.seed = 13;
+  DseResult with_seeds = RunS2faDse(space, k, eval, options);
+  options.enable_seeds = false;
+  DseResult without = RunS2faDse(space, k, eval, options);
+  ASSERT_TRUE(with_seeds.found_feasible);
+  ASSERT_FALSE(with_seeds.trace.empty());
+  ASSERT_FALSE(without.trace.empty());
+  // Paper §5.2: "the QoR difference of the first explored point illustrates
+  // the effectiveness of our seed generation" — the seeded run's first
+  // feasible design is already far better than an unseeded random draw.
+  EXPECT_LT(with_seeds.trace.front().best_cost,
+            without.trace.front().best_cost);
+  // Final quality stays in the same ballpark (the seeds' benefit is the
+  // head start, not a guaranteed better endpoint on a tiny space).
+  EXPECT_LE(with_seeds.best_cost, without.best_cost * 1.15);
+}
+
+TEST(ExplorerTest, FcfsScheduleRespectsCoreBudget) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  ExplorerOptions options;
+  options.time_limit_minutes = 60;  // tight budget forces truncation
+  options.num_cores = 4;
+  options.seed = 21;
+  DseResult r = RunS2faDse(space, k, eval, options);
+
+  double total_span = 0;
+  for (const auto& p : r.partitions) {
+    if (!p.scheduled) continue;
+    EXPECT_GE(p.start_minutes, 0.0);
+    EXPECT_LE(p.end_minutes, options.time_limit_minutes + 1e-9);
+    EXPECT_LE(p.start_minutes, p.end_minutes);
+    if (p.truncated) {
+      EXPECT_NEAR(p.end_minutes, options.time_limit_minutes, 1e-9);
+    }
+    total_span += p.end_minutes - p.start_minutes;
+  }
+  // The schedule can never use more core-minutes than exist.
+  EXPECT_LE(total_span,
+            options.num_cores * options.time_limit_minutes + 1e-9);
+  EXPECT_LE(r.elapsed_minutes, options.time_limit_minutes + 1e-9);
+}
+
+TEST(ExplorerTest, TraceIsMonotone) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  DseResult r = RunS2faDse(space, k, eval, options);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GE(r.trace[i - 1].best_cost, r.trace[i].best_cost);
+    EXPECT_LE(r.trace[i - 1].time_minutes, r.trace[i].time_minutes);
+  }
+}
+
+}  // namespace
+}  // namespace s2fa::dse

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "s2fa/framework.h"
+
+namespace s2fa {
+namespace {
+
+// End-to-end framework tests on a real app (SVM is small and fast).
+
+FrameworkOptions FastOptions() {
+  FrameworkOptions options;
+  options.dse.time_limit_minutes = 90;
+  options.dse.num_cores = 8;
+  options.dse.seed = 5;
+  options.dse.training_samples = 120;
+  return options;
+}
+
+TEST(FrameworkTest, BuildAcceleratorProducesAllArtifacts) {
+  apps::App app = apps::FindApp("SVM");
+  Artifact artifact = BuildAccelerator(*app.pool, app.spec, FastOptions());
+
+  // Front end.
+  EXPECT_EQ(artifact.generated_kernel.name, "svm_kernel");
+  EXPECT_NE(artifact.c_source.find("void svm_kernel"), std::string::npos);
+  EXPECT_GT(artifact.space.num_factors(), 5u);
+
+  // Exploration.
+  EXPECT_TRUE(artifact.exploration.found_feasible);
+  EXPECT_GT(artifact.exploration.evaluations, 10u);
+  EXPECT_FALSE(artifact.exploration.partitions.empty());
+
+  // Back end.
+  EXPECT_TRUE(artifact.best_hls.feasible);
+  EXPECT_GT(artifact.best_hls.freq_mhz, 60.0);
+  EXPECT_NE(artifact.best_c_source.find("#pragma"), std::string::npos);
+
+  // Integration glue.
+  EXPECT_FALSE(artifact.plan.entries.empty());
+  EXPECT_NE(artifact.scala_helper.find("Serde"), std::string::npos);
+}
+
+TEST(FrameworkTest, BestDesignNotWorseThanConservative) {
+  apps::App app = apps::FindApp("SVM");
+  Artifact tuned = BuildAccelerator(*app.pool, app.spec, FastOptions());
+  Artifact conservative =
+      BuildWithConfig(*app.pool, app.spec, merlin::DesignConfig{});
+  EXPECT_LE(tuned.best_hls.exec_us, conservative.best_hls.exec_us);
+}
+
+TEST(FrameworkTest, EvaluatorTreatsIllegalConfigsAsInfeasible) {
+  apps::App app = apps::FindApp("SVM");
+  kir::Kernel kernel = b2c::CompileKernel(*app.pool, app.spec);
+  tuner::EvalFn eval = MakeHlsEvaluator(kernel);
+  merlin::DesignConfig illegal;
+  illegal.loops[0] = {1, 9999, merlin::PipelineMode::kOff};  // par > trip
+  tuner::EvalOutcome outcome = eval(illegal);
+  EXPECT_FALSE(outcome.feasible);
+  EXPECT_GT(outcome.eval_minutes, 0.0);
+}
+
+TEST(FrameworkTest, EvaluatorIsDeterministic) {
+  apps::App app = apps::FindApp("SVM");
+  kir::Kernel kernel = b2c::CompileKernel(*app.pool, app.spec);
+  tuner::EvalFn eval = MakeHlsEvaluator(kernel);
+  merlin::DesignConfig cfg;
+  cfg.loops[1] = {1, 4, merlin::PipelineMode::kOn};
+  tuner::EvalOutcome a = eval(cfg);
+  tuner::EvalOutcome b = eval(cfg);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.eval_minutes, b.eval_minutes);
+}
+
+TEST(FrameworkTest, BuildWithInfeasibleConfigThrows) {
+  apps::App app = apps::FindApp("LR");
+  merlin::DesignConfig monster;
+  // Fully unroll everything: blows the resource cap.
+  monster.loops[2] = {1, 64, merlin::PipelineMode::kOn};
+  monster.loops[3] = {1, 1024, merlin::PipelineMode::kOn};
+  EXPECT_THROW(BuildWithConfig(*app.pool, app.spec, monster), Error);
+}
+
+TEST(FrameworkTest, GeneratedCMatchesPaperShape) {
+  // The motivating example's shape (paper Code 3): flat pointers in, a
+  // task loop, and per-field buffers for the tuple.
+  apps::App app = apps::FindApp("S-W");
+  Artifact artifact =
+      BuildWithConfig(*app.pool, app.spec, merlin::DesignConfig{});
+  const std::string& c = artifact.c_source;
+  EXPECT_NE(c.find("char *in_1"), std::string::npos) << c;
+  EXPECT_NE(c.find("char *in_2"), std::string::npos);
+  EXPECT_NE(c.find("int *out_1"), std::string::npos);
+  EXPECT_NE(c.find("for (int i = 0; i < 256; i++)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s2fa

@@ -1,0 +1,419 @@
+// Differential fuzzing of the whole front end.
+//
+// A generator produces random *structured* kernels at the bytecode level —
+// tuple inputs with array/scalar fields, canonical counted loops, if/else
+// over float comparisons, arithmetic with guarded divisions, math
+// intrinsics, and helper-method calls — exactly the shape the supported
+// Scala subset lowers to. Each kernel is then pinned three ways:
+//
+//   1. the bytecode interpreter (JVM semantics),
+//   2. the b2c-compiled kernel IR run through the IR evaluator,
+//   3. the IR evaluator again after a random legal Merlin transform.
+//
+// All three must agree bit-for-bit on random inputs: the compiler's
+// end-to-end correctness obligation (paper Challenge 1), probed over many
+// random programs instead of hand-picked ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "b2c/compiler.h"
+#include "jvm/assembler.h"
+#include "jvm/interpreter.h"
+#include "jvm/verifier.h"
+#include "kir/eval.h"
+#include "merlin/transform.h"
+#include "support/rng.h"
+
+namespace s2fa {
+namespace {
+
+using jvm::Assembler;
+using jvm::Cond;
+using jvm::MethodSignature;
+using jvm::Type;
+using jvm::Value;
+
+constexpr int kNumArrays = 2;   // float-array fields of the input tuple
+constexpr int kArrayLen = 8;    // per-task elements of each array field
+
+// Local variable slots of the generated `call(FuzzIn in)` method:
+//   0 = in (ref), 1..kNumArrays = array refs, 3 = scalar field,
+//   4 = accumulator, 5 = loop index, 6 = scratch temp.
+constexpr int kScalarSlot = 3;
+constexpr int kAccSlot = 4;
+constexpr int kLoopSlot = 5;
+constexpr int kTempSlot = 6;
+
+// Emits bytecode that leaves one float on the operand stack.
+class ExprGen {
+ public:
+  ExprGen(Assembler& a, Rng& rng, bool allow_acc)
+      : a_(a), rng_(rng), allow_acc_(allow_acc) {}
+
+  void Emit(int depth) {
+    const int max_choice = depth <= 0 ? 3 : 9;
+    switch (rng_.NextInt(0, max_choice)) {
+      case 0:
+        a_.FConst(static_cast<float>(rng_.NextDouble(-2.0, 2.0)));
+        break;
+      case 1:
+        a_.Load(Type::Float(), kScalarSlot);
+        break;
+      case 2: {
+        int arr = 1 + static_cast<int>(rng_.NextIndex(kNumArrays));
+        a_.Load(Type::Array(Type::Float()), arr);
+        a_.Load(Type::Int(), kLoopSlot);
+        a_.ALoadElem(Type::Float());
+        break;
+      }
+      case 3:
+        if (allow_acc_) {
+          a_.Load(Type::Float(), kAccSlot);
+        } else {
+          a_.FConst(0.75f);
+        }
+        break;
+      case 4:
+      case 5: {
+        Emit(depth - 1);
+        Emit(depth - 1);
+        switch (rng_.NextInt(0, 3)) {
+          case 0: a_.FAdd(); break;
+          case 1: a_.FSub(); break;
+          case 2: a_.FMul(); break;
+          default:
+            // a / (|b| + 0.5): keeps the divisor away from zero.
+            a_.Convert(Type::Float(), Type::Double());
+            a_.InvokeStatic("java/lang/Math", "abs");
+            a_.Convert(Type::Double(), Type::Float());
+            a_.FConst(0.5f).FAdd();
+            a_.FDiv();
+            break;
+        }
+        break;
+      }
+      case 6:
+        Emit(depth - 1);
+        a_.Neg(Type::Float());
+        break;
+      case 7:
+        Emit(depth - 1);
+        Emit(depth - 1);
+        a_.Bin(Type::Float(),
+               rng_.NextBool() ? jvm::BinOp::kMin : jvm::BinOp::kMax);
+        break;
+      case 8:
+        // sqrt(|x|) via Math intrinsics (domain stays valid).
+        Emit(depth - 1);
+        a_.Convert(Type::Float(), Type::Double());
+        a_.InvokeStatic("java/lang/Math", "abs");
+        a_.InvokeStatic("java/lang/Math", "sqrt");
+        a_.Convert(Type::Double(), Type::Float());
+        break;
+      default:
+        // Helper call (exercises the inliner).
+        Emit(depth - 1);
+        a_.InvokeStatic("FuzzKernel", "helper");
+        break;
+    }
+  }
+
+ private:
+  Assembler& a_;
+  Rng& rng_;
+  bool allow_acc_;
+};
+
+// Emits one random statement updating the accumulator (inside the loop).
+void EmitLoopStatement(Assembler& a, Rng& rng) {
+  switch (rng.NextInt(0, 2)) {
+    case 0: {
+      // acc = acc + <expr>
+      a.Load(Type::Float(), kAccSlot);
+      ExprGen(a, rng, /*allow_acc=*/false).Emit(2);
+      a.FAdd().Store(Type::Float(), kAccSlot);
+      break;
+    }
+    case 1: {
+      // t = <expr>; acc = acc + t * t   (private temp)
+      ExprGen(a, rng, false).Emit(2);
+      a.Store(Type::Float(), kTempSlot);
+      a.Load(Type::Float(), kAccSlot);
+      a.Load(Type::Float(), kTempSlot).Load(Type::Float(), kTempSlot).FMul();
+      a.FAdd().Store(Type::Float(), kAccSlot);
+      break;
+    }
+    default: {
+      // if (<e1> < <e2>) acc = acc + <e3>  [else acc = acc - <e4>]
+      auto skip = a.NewLabel();
+      ExprGen(a, rng, false).Emit(1);
+      ExprGen(a, rng, false).Emit(1);
+      a.Cmp(Type::Float());
+      const bool has_else = rng.NextBool();
+      if (!has_else) {
+        a.If(Cond::kGe, skip);
+        a.Load(Type::Float(), kAccSlot);
+        ExprGen(a, rng, false).Emit(1);
+        a.FAdd().Store(Type::Float(), kAccSlot);
+        a.Bind(skip);
+      } else {
+        auto done = a.NewLabel();
+        a.If(Cond::kGe, skip);
+        a.Load(Type::Float(), kAccSlot);
+        ExprGen(a, rng, false).Emit(1);
+        a.FAdd().Store(Type::Float(), kAccSlot);
+        a.Goto(done);
+        a.Bind(skip);
+        a.Load(Type::Float(), kAccSlot);
+        ExprGen(a, rng, false).Emit(1);
+        a.FSub().Store(Type::Float(), kAccSlot);
+        a.Bind(done);
+      }
+      break;
+    }
+  }
+}
+
+struct FuzzCase {
+  std::shared_ptr<jvm::ClassPool> pool;
+  b2c::KernelSpec spec;
+};
+
+FuzzCase GenerateKernel(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fc;
+  fc.pool = std::make_shared<jvm::ClassPool>();
+
+  jvm::Klass& in = fc.pool->Define("FuzzIn");
+  in.AddField({"_1", Type::Array(Type::Float())});
+  in.AddField({"_2", Type::Array(Type::Float())});
+  in.AddField({"_3", Type::Float()});
+
+  jvm::Klass& k = fc.pool->Define("FuzzKernel");
+  {
+    // static float helper(float x) { return x * 0.5f + 1.0f; }
+    Assembler a;
+    a.Load(Type::Float(), 0).FConst(0.5f).FMul().FConst(1.0f).FAdd();
+    a.Ret(Type::Float());
+    MethodSignature sig;
+    sig.params = {Type::Float()};
+    sig.ret = Type::Float();
+    k.AddMethod(jvm::MakeMethod("helper", sig, true, 1, a.Finish()));
+  }
+  {
+    Assembler a;
+    const Type fa = Type::Array(Type::Float());
+    a.Load(Type::Class("FuzzIn"), 0).GetField("FuzzIn", "_1").Store(fa, 1);
+    a.Load(Type::Class("FuzzIn"), 0).GetField("FuzzIn", "_2").Store(fa, 2);
+    a.Load(Type::Class("FuzzIn"), 0).GetField("FuzzIn", "_3")
+        .Store(Type::Float(), kScalarSlot);
+    a.FConst(0.0f).Store(Type::Float(), kAccSlot);
+    // One or two canonical counted loops, 1-3 statements each.
+    const int loops = static_cast<int>(rng.NextInt(1, 2));
+    for (int l = 0; l < loops; ++l) {
+      a.IConst(0).Store(Type::Int(), kLoopSlot);
+      auto head = a.NewLabel();
+      auto exit = a.NewLabel();
+      a.Bind(head);
+      a.Load(Type::Int(), kLoopSlot).IConst(kArrayLen)
+          .IfICmp(Cond::kGe, exit);
+      const int stmts = static_cast<int>(rng.NextInt(1, 3));
+      for (int s = 0; s < stmts; ++s) EmitLoopStatement(a, rng);
+      a.IInc(kLoopSlot, 1);
+      a.Goto(head);
+      a.Bind(exit);
+    }
+    a.Load(Type::Float(), kAccSlot).Ret(Type::Float());
+    MethodSignature sig;
+    sig.params = {Type::Class("FuzzIn")};
+    sig.ret = Type::Float();
+    k.AddMethod(jvm::MakeMethod("call", sig, true, 7, a.Finish()));
+  }
+
+  fc.spec.kernel_name = "fuzz_kernel";
+  fc.spec.klass = "FuzzKernel";
+  fc.spec.input.type = Type::Class("FuzzIn");
+  fc.spec.input.fields = {{"_1", Type::Float(), kArrayLen, true},
+                          {"_2", Type::Float(), kArrayLen, true},
+                          {"_3", Type::Float(), 1, false}};
+  fc.spec.output.type = Type::Float();
+  fc.spec.output.fields = {{"ret", Type::Float(), 1, false}};
+  fc.spec.batch = 16;
+  return fc;
+}
+
+// Draws a random legal Merlin config for `kernel`.
+merlin::DesignConfig RandomLegalConfig(const kir::Kernel& kernel, Rng& rng) {
+  merlin::DesignConfig cfg;
+  for (const kir::Stmt* loop : kernel.Loops()) {
+    merlin::LoopConfig lc;
+    std::vector<std::int64_t> tiles{1};
+    for (std::int64_t t = 2; t < loop->trip_count(); ++t) {
+      if (loop->trip_count() % t == 0) tiles.push_back(t);
+    }
+    lc.tile = tiles[rng.NextIndex(tiles.size())];
+    std::int64_t max_par = lc.tile > 1 ? lc.tile : loop->trip_count();
+    lc.parallel = rng.NextInt(1, max_par);
+    lc.pipeline = static_cast<merlin::PipelineMode>(rng.NextInt(0, 2));
+    cfg.loops[loop->loop_id()] = lc;
+  }
+  for (const auto& buf : kernel.buffers) {
+    if (buf.kind == kir::BufferKind::kLocal) continue;
+    const std::int64_t widths[] = {32, 64, 128, 256, 512};
+    cfg.buffer_bits[buf.name] =
+        static_cast<int>(widths[rng.NextIndex(5)]);
+  }
+  return cfg;
+}
+
+// Runs one fuzz case: interpreter vs compiled IR vs transformed IR.
+void RunDifferential(std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  FuzzCase fc = GenerateKernel(seed);
+
+  // The generator must only produce verifiable bytecode.
+  jvm::VerifyOrThrow(*fc.pool,
+                     fc.pool->Get("FuzzKernel").GetMethod("call"));
+
+  kir::Kernel kernel = b2c::CompileKernel(*fc.pool, fc.spec);
+
+  // Random inputs for one batch.
+  Rng drng(seed ^ 0xDA7AULL);
+  const std::size_t batch = static_cast<std::size_t>(fc.spec.batch);
+  std::vector<float> a1(batch * kArrayLen), a2(batch * kArrayLen);
+  std::vector<float> s(batch);
+  for (auto& v : a1) v = static_cast<float>(drng.NextDouble(-3, 3));
+  for (auto& v : a2) v = static_cast<float>(drng.NextDouble(-3, 3));
+  for (auto& v : s) v = static_cast<float>(drng.NextDouble(-3, 3));
+
+  // 1. Interpreter, record by record.
+  jvm::Heap heap;
+  jvm::Interpreter interp(*fc.pool, heap);
+  std::vector<float> expect(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    jvm::Ref v1 = heap.NewArray(Type::Array(Type::Float()), kArrayLen);
+    jvm::Ref v2 = heap.NewArray(Type::Array(Type::Float()), kArrayLen);
+    for (int e = 0; e < kArrayLen; ++e) {
+      heap.Get(v1).slots[static_cast<std::size_t>(e)] =
+          Value::OfFloat(a1[r * kArrayLen + static_cast<std::size_t>(e)]);
+      heap.Get(v2).slots[static_cast<std::size_t>(e)] =
+          Value::OfFloat(a2[r * kArrayLen + static_cast<std::size_t>(e)]);
+    }
+    jvm::Ref obj = heap.NewInstance(Type::Class("FuzzIn"), 3);
+    heap.Get(obj).slots[0] = Value::OfRef(v1);
+    heap.Get(obj).slots[1] = Value::OfRef(v2);
+    heap.Get(obj).slots[2] = Value::OfFloat(s[r]);
+    expect[r] = interp.Invoke("FuzzKernel", "call", {Value::OfRef(obj)})
+                    .ret.AsFloat();
+  }
+
+  // 2. Compiled IR through the evaluator.
+  auto run_ir = [&](const kir::Kernel& k) {
+    kir::BufferMap buffers;
+    for (float v : a1) buffers["in_1"].push_back(Value::OfFloat(v));
+    for (float v : a2) buffers["in_2"].push_back(Value::OfFloat(v));
+    for (float v : s) buffers["in_3"].push_back(Value::OfFloat(v));
+    kir::Evaluator(k).Run(
+        {{"N", Value::OfInt(static_cast<std::int32_t>(batch))}}, buffers);
+    std::vector<float> out(batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+      out[r] = buffers["out_1"][r].AsFloat();
+    }
+    return out;
+  };
+
+  std::vector<float> compiled = run_ir(kernel);
+  for (std::size_t r = 0; r < batch; ++r) {
+    ASSERT_EQ(compiled[r], expect[r]) << "record " << r;
+  }
+
+  // 3. Three random Merlin transforms of the same kernel.
+  Rng crng(seed ^ 0xC0F1ULL);
+  for (int t = 0; t < 3; ++t) {
+    merlin::DesignConfig cfg = RandomLegalConfig(kernel, crng);
+    ASSERT_TRUE(merlin::ValidateConfig(kernel, cfg).empty())
+        << cfg.ToString();
+    kir::Kernel transformed = merlin::ApplyDesign(kernel, cfg).kernel;
+    std::vector<float> got = run_ir(transformed);
+    for (std::size_t r = 0; r < batch; ++r) {
+      ASSERT_EQ(got[r], expect[r])
+          << "record " << r << " config " << cfg.ToString();
+    }
+  }
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzz, InterpreterCompilerAndMerlinAgree) {
+  // 8 random kernels per gtest parameter.
+  for (int k = 0; k < 8; ++k) {
+    RunDifferential(static_cast<std::uint64_t>(GetParam()) * 1000 +
+                    static_cast<std::uint64_t>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 12));
+
+TEST(FuzzGeneratorTest, ProducesVerifiableKernels) {
+  for (std::uint64_t seed = 500; seed < 540; ++seed) {
+    FuzzCase fc = GenerateKernel(seed);
+    jvm::VerifyResult r = jvm::Verify(
+        *fc.pool, fc.pool->Get("FuzzKernel").GetMethod("call"));
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": "
+                      << (r.errors.empty() ? "" : r.errors[0]);
+  }
+}
+
+// Negative fuzzing: corrupting structural invariants of valid bytecode
+// (branch targets, local slots) must be caught by the verifier — never
+// silently mis-verified.
+class CorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionFuzz, VerifierRejectsStructuralCorruption) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 5);
+  for (int k = 0; k < 10; ++k) {
+    FuzzCase fc = GenerateKernel(800 + static_cast<std::uint64_t>(
+                                           GetParam() * 10 + k));
+    jvm::Method method = fc.pool->Get("FuzzKernel").GetMethod("call");
+    // Corrupt one instruction structurally.
+    std::size_t pc = rng.NextIndex(method.code.size());
+    jvm::Insn& insn = method.code[pc];
+    switch (rng.NextInt(0, 2)) {
+      case 0:  // branch target out of range
+        if (!jvm::IsBranch(insn.op)) continue;
+        insn.target = method.code.size() + 17;
+        break;
+      case 1:  // local slot out of range
+        if (insn.op != jvm::Opcode::kLoad &&
+            insn.op != jvm::Opcode::kStore) {
+          continue;
+        }
+        insn.slot = method.max_locals + 3;
+        break;
+      default:  // truncate the method (drops the return / splits blocks)
+        if (method.code.size() < 4) continue;
+        method.code.resize(method.code.size() / 2);
+        break;
+    }
+    jvm::VerifyResult r = jvm::Verify(*fc.pool, method);
+    EXPECT_FALSE(r.ok) << "seed " << GetParam() << " case " << k
+                       << " pc " << pc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionFuzz, ::testing::Range(0, 6));
+
+TEST(FuzzGeneratorTest, KernelsAreDeterministicPerSeed) {
+  FuzzCase a = GenerateKernel(42);
+  FuzzCase b = GenerateKernel(42);
+  const auto& ca = a.pool->Get("FuzzKernel").GetMethod("call").code;
+  const auto& cb = b.pool->Get("FuzzKernel").GetMethod("call").code;
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].ToString(), cb[i].ToString()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace s2fa

@@ -1,0 +1,287 @@
+// Cross-module invariants that the experiment results rely on. Each test
+// pins a behaviour that, if silently changed, would invalidate a claim in
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "b2c/compiler.h"
+#include "hls/device.h"
+#include "hls/estimator.h"
+#include "jvm/assembler.h"
+#include "jvm/interpreter.h"
+#include "kir/analysis.h"
+#include "merlin/transform.h"
+#include "s2fa/framework.h"
+
+namespace s2fa {
+namespace {
+
+using kir::BinaryOp;
+using kir::BufferKind;
+using kir::Expr;
+using kir::Stmt;
+using kir::Type;
+
+// ---------------------------------------------------- operator library
+
+TEST(OpLibraryTest, DoubleAddLatencyIsThirteen) {
+  // The paper's LR analysis hinges on "the minimal initiation interval is
+  // still 13": the strict-IEEE double accumulation chain.
+  hls::OpCost dadd = hls::BinaryOpCost(BinaryOp::kAdd, Type::Double());
+  EXPECT_EQ(dadd.latency, 13);
+}
+
+TEST(OpLibraryTest, DoublePrecisionCostsMoreThanSingle) {
+  for (BinaryOp op : {BinaryOp::kAdd, BinaryOp::kMul, BinaryOp::kDiv}) {
+    hls::OpCost f = hls::BinaryOpCost(op, Type::Float());
+    hls::OpCost d = hls::BinaryOpCost(op, Type::Double());
+    EXPECT_GE(d.latency, f.latency);
+    EXPECT_GE(d.lut + d.ff + d.dsp * 100, f.lut + f.ff + f.dsp * 100);
+  }
+}
+
+TEST(OpLibraryTest, TranscendentalsDominateArithmetic) {
+  hls::OpCost exp_cost = hls::IntrinsicCost(kir::Intrinsic::kExp,
+                                            Type::Float());
+  hls::OpCost add_cost = hls::BinaryOpCost(BinaryOp::kAdd, Type::Float());
+  EXPECT_GT(exp_cost.latency, add_cost.latency);
+  EXPECT_GT(exp_cost.lut, add_cost.lut);
+}
+
+// ------------------------------------------------- associativity gate
+
+Stmt* SingleLoop(kir::Kernel& k) { return k.Loops().front(); }
+
+kir::Kernel AccumKernel(kir::ExprPtr update_rhs) {
+  kir::Kernel k;
+  k.name = "acc";
+  k.buffers.push_back({"in", Type::Float(), 64, BufferKind::kInput, ""});
+  k.buffers.push_back({"out", Type::Float(), 1, BufferKind::kOutput, ""});
+  auto acc = Expr::Var("acc", Type::Float());
+  auto loop = Stmt::For(0, "i", 64,
+                        Stmt::Block({Stmt::Assign(acc, update_rhs)}));
+  k.body = Stmt::Block(
+      {Stmt::Decl("acc", Type::Float(), Expr::FloatLit(0.0f)), loop,
+       Stmt::Assign(Expr::ArrayRef("out", Type::Float(), Expr::IntLit(0)),
+                    acc)});
+  k.task_loop_id = 0;
+  return k;
+}
+
+kir::ExprPtr InElem() {
+  return Expr::ArrayRef("in", Type::Float(), Expr::Var("i", Type::Int()));
+}
+
+TEST(AssociativityTest, PlainSumIsReduction) {
+  auto acc = Expr::Var("acc", Type::Float());
+  kir::Kernel k = AccumKernel(Expr::Binary(BinaryOp::kAdd, acc, InElem()));
+  EXPECT_TRUE(kir::IsAssociativeReduction(*SingleLoop(k), "acc"));
+}
+
+TEST(AssociativityTest, MinMaxMulAreReductions) {
+  for (BinaryOp op : {BinaryOp::kMin, BinaryOp::kMax, BinaryOp::kMul}) {
+    auto acc = Expr::Var("acc", Type::Float());
+    kir::Kernel k = AccumKernel(Expr::Binary(op, acc, InElem()));
+    EXPECT_TRUE(kir::IsAssociativeReduction(*SingleLoop(k), "acc"))
+        << kir::BinaryOpName(op);
+  }
+}
+
+TEST(AssociativityTest, FirstOrderChainIsNotAReduction) {
+  // acc = (acc + x) * y — the LR normalized chain.
+  auto acc = Expr::Var("acc", Type::Float());
+  auto rhs = Expr::Binary(BinaryOp::kMul,
+                          Expr::Binary(BinaryOp::kAdd, acc, InElem()),
+                          Expr::FloatLit(0.99f));
+  kir::Kernel k = AccumKernel(rhs);
+  EXPECT_FALSE(kir::IsAssociativeReduction(*SingleLoop(k), "acc"));
+}
+
+TEST(AssociativityTest, CarrierOnBothSidesIsNotAReduction) {
+  auto acc = Expr::Var("acc", Type::Float());
+  kir::Kernel k = AccumKernel(Expr::Binary(BinaryOp::kAdd, acc, acc));
+  EXPECT_FALSE(kir::IsAssociativeReduction(*SingleLoop(k), "acc"));
+}
+
+TEST(AssociativityTest, CarrierInsideOperandIsNotAReduction) {
+  // acc = acc + acc * x.
+  auto acc = Expr::Var("acc", Type::Float());
+  auto rhs = Expr::Binary(BinaryOp::kAdd, acc,
+                          Expr::Binary(BinaryOp::kMul, acc, InElem()));
+  kir::Kernel k = AccumKernel(rhs);
+  EXPECT_FALSE(kir::IsAssociativeReduction(*SingleLoop(k), "acc"));
+}
+
+TEST(AssociativityTest, SubtractionIsNotAReduction) {
+  auto acc = Expr::Var("acc", Type::Float());
+  kir::Kernel k = AccumKernel(Expr::Binary(BinaryOp::kSub, acc, InElem()));
+  EXPECT_FALSE(kir::IsAssociativeReduction(*SingleLoop(k), "acc"));
+}
+
+// -------------------------------------------------- frequency/routing
+
+kir::Kernel StreamKernelWithPar(std::int64_t par,
+                                merlin::DesignConfig* cfg_out) {
+  kir::Kernel k;
+  k.name = "stream";
+  k.buffers.push_back({"in", Type::Int(), 1024, BufferKind::kInput, ""});
+  k.buffers.push_back({"out", Type::Int(), 1024, BufferKind::kOutput, ""});
+  auto i = Expr::Var("i", Type::Int());
+  k.body = Stmt::Block({Stmt::For(
+      0, "i", 1024,
+      Stmt::Block({Stmt::Assign(
+          Expr::ArrayRef("out", Type::Int(), i),
+          Expr::Binary(BinaryOp::kAdd, Expr::ArrayRef("in", Type::Int(), i),
+                       Expr::IntLit(1)))}))});
+  k.task_loop_id = 0;
+  merlin::DesignConfig cfg;
+  cfg.loops[0] = {1, par, merlin::PipelineMode::kOn};
+  *cfg_out = cfg;
+  return k;
+}
+
+TEST(RoutingWallTest, FrequencyDropsSuperlinearlyPastTheKnee) {
+  merlin::DesignConfig c128, c512;
+  kir::Kernel k = StreamKernelWithPar(128, &c128);
+  StreamKernelWithPar(512, &c512);
+  double f128 =
+      hls::EstimateHls(merlin::ApplyDesign(k, c128).kernel).freq_mhz;
+  double f512 =
+      hls::EstimateHls(merlin::ApplyDesign(k, c512).kernel).freq_mhz;
+  EXPECT_GT(f128, f512);
+  EXPECT_LT(f512, 130.0);  // well past the 256 knee
+}
+
+TEST(RoutingWallTest, FullUnrollOfHugeLoopFailsTiming) {
+  merlin::DesignConfig cfg;
+  kir::Kernel k = StreamKernelWithPar(1024, &cfg);
+  hls::HlsResult r = hls::EstimateHls(merlin::ApplyDesign(k, cfg).kernel);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(ConstantMultiplyTest, StrengthReductionUsesNoDsp) {
+  // x * 27 (constant) vs x * y (variable): only the latter takes DSPs.
+  auto make = [&](bool constant) {
+    kir::Kernel k;
+    k.name = "mul";
+    k.buffers.push_back({"in", Type::Int(), 64, BufferKind::kInput, ""});
+    k.buffers.push_back({"out", Type::Int(), 64, BufferKind::kOutput, ""});
+    auto i = Expr::Var("i", Type::Int());
+    auto lhs = Expr::ArrayRef("in", Type::Int(), i);
+    auto rhs = constant
+                   ? Expr::IntLit(27)
+                   : kir::ExprPtr(Expr::ArrayRef(
+                         "in", Type::Int(),
+                         Expr::Binary(BinaryOp::kXor, i, Expr::IntLit(1))));
+    k.body = Stmt::Block({Stmt::For(
+        0, "i", 64,
+        Stmt::Block({Stmt::Assign(Expr::ArrayRef("out", Type::Int(), i),
+                                  Expr::Binary(BinaryOp::kMul, lhs, rhs))}))});
+    k.task_loop_id = 0;
+    return hls::EstimateHls(k);
+  };
+  EXPECT_EQ(make(true).util.dsp, 0.0);
+  EXPECT_GT(make(false).util.dsp, 0.0);
+}
+
+// ------------------------------------------------ frequency-aware DSE
+
+TEST(FrequencyModelTest, AssumeTargetIgnoresClockMisses) {
+  merlin::DesignConfig cfg;
+  kir::Kernel k = StreamKernelWithPar(256, &cfg);  // clock-hostile design
+  tuner::EvalFn aware = MakeHlsEvaluator(k, {}, FrequencyModel::kEstimated);
+  tuner::EvalFn naive =
+      MakeHlsEvaluator(k, {}, FrequencyModel::kAssumeTarget);
+  tuner::EvalOutcome a = aware(cfg);
+  tuner::EvalOutcome n = naive(cfg);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(n.feasible);
+  // The naive objective scores the design as if it met 250 MHz; the
+  // frequency-aware one charges the real (lower) clock.
+  EXPECT_GT(a.cost, n.cost);
+}
+
+// --------------------------------------------------- JVM cost sanity
+
+TEST(JvmCostTest, TranscendentalsDominateOnTheJvmToo) {
+  jvm::CostModel model;
+  jvm::Insn exp_call{};
+  exp_call.op = jvm::Opcode::kInvoke;
+  exp_call.invoke_kind = jvm::InvokeKind::kStatic;
+  exp_call.owner = "java/lang/Math";
+  exp_call.member = "exp";
+  jvm::Insn add{};
+  add.op = jvm::Opcode::kBinOp;
+  add.type = jvm::Type::Double();
+  add.bin_op = jvm::BinOp::kAdd;
+  EXPECT_GT(model.InsnCost(exp_call), 10 * model.InsnCost(add));
+}
+
+TEST(JvmCostTest, ArrayAccessCostsMoreThanLocals) {
+  jvm::CostModel model;
+  jvm::Insn aload{};
+  aload.op = jvm::Opcode::kArrayLoad;
+  aload.type = jvm::Type::Float();
+  jvm::Insn load{};
+  load.op = jvm::Opcode::kLoad;
+  load.type = jvm::Type::Float();
+  EXPECT_GT(model.InsnCost(aload), model.InsnCost(load));
+}
+
+// --------------------------------------------- interpreter edge cases
+
+TEST(InterpreterEdgeTest, VirtualDispatchReadsReceiverFields) {
+  jvm::ClassPool pool;
+  jvm::Klass& point = pool.Define("Point");
+  point.AddField({"x", Type::Int()});
+  {
+    // int doubled() { return this.x * 2; }  (instance method)
+    jvm::Assembler a;
+    a.Load(Type::Class("Point"), 0).GetField("Point", "x");
+    a.IConst(2).IMul().Ret(Type::Int());
+    jvm::MethodSignature sig;
+    sig.ret = Type::Int();
+    point.AddMethod(
+        jvm::MakeMethod("doubled", sig, /*is_static=*/false, 1, a.Finish()));
+  }
+  jvm::Klass& k = pool.Define("T");
+  {
+    jvm::Assembler a;
+    a.Load(Type::Class("Point"), 0).InvokeVirtual("Point", "doubled");
+    a.Ret(Type::Int());
+    jvm::MethodSignature sig;
+    sig.params = {Type::Class("Point")};
+    sig.ret = Type::Int();
+    k.AddMethod(jvm::MakeMethod("call", sig, true, 1, a.Finish()));
+  }
+  jvm::Heap heap;
+  jvm::Ref p = heap.NewInstance(Type::Class("Point"), 1);
+  heap.Get(p).slots[0] = jvm::Value::OfInt(21);
+  jvm::Interpreter interp(pool, heap);
+  EXPECT_EQ(interp.Invoke("T", "call", {jvm::Value::OfRef(p)}).ret.AsInt(),
+            42);
+}
+
+TEST(InterpreterEdgeTest, HeapGuardsNullAndDangling) {
+  jvm::Heap heap;
+  EXPECT_THROW(heap.Get(jvm::kNullRef), InvalidArgument);
+  EXPECT_THROW(heap.Get(999), InvalidArgument);
+}
+
+TEST(InterpreterEdgeTest, UnsignedShiftOfNegativeInt) {
+  jvm::ClassPool pool;
+  jvm::Assembler a;
+  a.Load(Type::Int(), 0).IConst(28).Bin(Type::Int(), jvm::BinOp::kUShr);
+  a.Ret(Type::Int());
+  jvm::MethodSignature sig;
+  sig.params = {Type::Int()};
+  sig.ret = Type::Int();
+  pool.Define("T").AddMethod(
+      jvm::MakeMethod("ushr", sig, true, 1, a.Finish()));
+  jvm::Heap heap;
+  jvm::Interpreter interp(pool, heap);
+  EXPECT_EQ(interp.Invoke("T", "ushr", {jvm::Value::OfInt(-1)}).ret.AsInt(),
+            0xF);  // logical shift fills with zeros
+}
+
+}  // namespace
+}  // namespace s2fa

@@ -1,0 +1,501 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kir/analysis.h"
+#include "kir/eval.h"
+#include "kir/kernel.h"
+#include "kir/printer.h"
+#include "support/rng.h"
+
+namespace s2fa::kir {
+namespace {
+
+using jvm::Value;
+
+// ----------------------------------------------------------------- expr
+
+TEST(ExprTest, LiteralFactoriesEnforceTypes) {
+  EXPECT_NO_THROW(Expr::IntLit(5));
+  EXPECT_NO_THROW(Expr::FloatLit(2.5, Type::Double()));
+  EXPECT_THROW(Expr::IntLit(5, Type::Float()), InvalidArgument);
+  EXPECT_THROW(Expr::FloatLit(2.5, Type::Int()), InvalidArgument);
+}
+
+TEST(ExprTest, BinaryResultTypes) {
+  auto f = Expr::Var("x", Type::Float());
+  auto cmp = Expr::Binary(BinaryOp::kLt, f, Expr::FloatLit(1.0f));
+  EXPECT_EQ(cmp->type(), Type::Int());
+  auto add = Expr::Binary(BinaryOp::kAdd, f, Expr::FloatLit(1.0f));
+  EXPECT_EQ(add->type(), Type::Float());
+}
+
+TEST(ExprTest, SubstituteVarReplacesAllUses) {
+  auto i = Expr::Var("i", Type::Int());
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Binary(BinaryOp::kMul, i, i),
+                        Expr::Var("j", Type::Int()));
+  auto r = SubstituteVar(e, "i", Expr::IntLit(3));
+  EXPECT_EQ(r->ToString(), "((3 * 3) + j)");
+  // Original untouched (immutability).
+  EXPECT_EQ(e->ToString(), "((i * i) + j)");
+}
+
+TEST(ExprTest, TransformSharesUnchangedSubtrees) {
+  auto a = Expr::Var("a", Type::Int());
+  auto b = Expr::Var("b", Type::Int());
+  auto e = Expr::Binary(BinaryOp::kAdd, a, b);
+  auto same = TransformExpr(
+      e, [](const Expr&, const std::vector<ExprPtr>&) { return ExprPtr(); });
+  EXPECT_EQ(same.get(), e.get());  // no change -> same node
+}
+
+TEST(ExprTest, VisitCountsNodes) {
+  auto e = Expr::Binary(
+      BinaryOp::kAdd, Expr::Var("x", Type::Int()),
+      Expr::ArrayRef("buf", Type::Int(), Expr::Var("i", Type::Int())));
+  int nodes = 0;
+  VisitExpr(e, [&nodes](const Expr&) { ++nodes; });
+  EXPECT_EQ(nodes, 4);
+}
+
+TEST(ExprTest, CallArityChecked) {
+  EXPECT_THROW(
+      Expr::Call(Intrinsic::kPow, {Expr::FloatLit(1.0f)}, Type::Float()),
+      InvalidArgument);
+  EXPECT_NO_THROW(Expr::Call(Intrinsic::kExp, {Expr::FloatLit(1.0f)},
+                             Type::Float()));
+}
+
+// ----------------------------------------------------------------- stmt
+
+TEST(StmtTest, AssignRequiresLValue) {
+  auto lit = Expr::IntLit(5);
+  EXPECT_THROW(Stmt::Assign(lit, lit), InvalidArgument);
+  EXPECT_NO_THROW(Stmt::Assign(Expr::Var("x", Type::Int()), lit));
+}
+
+TEST(StmtTest, ForRejectsBadTripCount) {
+  auto body = Stmt::Block({});
+  EXPECT_THROW(Stmt::For(0, "i", 0, body), InvalidArgument);
+  EXPECT_NO_THROW(Stmt::For(0, "i", 1, body));
+}
+
+TEST(StmtTest, CloneIsDeep) {
+  auto inner = Stmt::For(1, "j", 4, Stmt::Block({}));
+  auto outer = Stmt::For(0, "i", 8, Stmt::Block({inner}));
+  outer->annotations()["ACCEL"] = "PIPELINE";
+  auto copy = outer->Clone();
+  copy->set_trip_count(99);
+  copy->annotations()["ACCEL"] = "changed";
+  FindLoop(copy, 1)->set_trip_count(77);
+  EXPECT_EQ(outer->trip_count(), 8);
+  EXPECT_EQ(outer->annotations().at("ACCEL"), "PIPELINE");
+  EXPECT_EQ(FindLoop(outer, 1), inner.get());
+  EXPECT_EQ(inner->trip_count(), 4);
+}
+
+TEST(StmtTest, CollectLoopsPreOrder) {
+  auto l2 = Stmt::For(2, "k", 2, Stmt::Block({}));
+  auto l1 = Stmt::For(1, "j", 3, Stmt::Block({l2}));
+  auto l0 = Stmt::For(0, "i", 4, Stmt::Block({l1}));
+  auto root = Stmt::Block({l0});
+  auto loops = CollectLoops(root);
+  ASSERT_EQ(loops.size(), 3u);
+  EXPECT_EQ(loops[0]->loop_id(), 0);
+  EXPECT_EQ(loops[1]->loop_id(), 1);
+  EXPECT_EQ(loops[2]->loop_id(), 2);
+  EXPECT_EQ(FindLoop(root, 5), nullptr);
+}
+
+// --------------------------------------------------------------- kernel
+
+// Builds kernel: out[i] = in[i] * 2 + 1 for i in [0, 16).
+Kernel MakeScaleKernel() {
+  Kernel k;
+  k.name = "scale";
+  k.pattern = ParallelPattern::kMap;
+  k.scalars.push_back({"N", Type::Int()});
+  k.buffers.push_back({"in", Type::Float(), 16, BufferKind::kInput, "in._1"});
+  k.buffers.push_back(
+      {"out", Type::Float(), 16, BufferKind::kOutput, "ret._1"});
+  auto i = Expr::Var("i", Type::Int());
+  auto body = Stmt::Assign(
+      Expr::ArrayRef("out", Type::Float(), i),
+      Expr::Binary(BinaryOp::kAdd,
+                   Expr::Binary(BinaryOp::kMul,
+                                Expr::ArrayRef("in", Type::Float(), i),
+                                Expr::FloatLit(2.0f)),
+                   Expr::FloatLit(1.0f)));
+  auto loop = Stmt::For(0, "i", 16, Stmt::Block({body}));
+  loop->set_inserted_by_template(true);
+  k.body = Stmt::Block({loop});
+  k.task_loop_id = 0;
+  return k;
+}
+
+TEST(KernelTest, ValidatePasses) {
+  EXPECT_NO_THROW(MakeScaleKernel().Validate());
+}
+
+TEST(KernelTest, ValidateCatchesUndeclaredBuffer) {
+  Kernel k = MakeScaleKernel();
+  k.buffers.pop_back();  // drop "out"
+  EXPECT_THROW(k.Validate(), MalformedInput);
+}
+
+TEST(KernelTest, ValidateCatchesDuplicateLoopIds) {
+  Kernel k = MakeScaleKernel();
+  auto extra = Stmt::For(0, "j", 2, Stmt::Block({}));
+  k.body->stmts().push_back(extra);
+  EXPECT_THROW(k.Validate(), MalformedInput);
+}
+
+TEST(KernelTest, BufferQueries) {
+  Kernel k = MakeScaleKernel();
+  EXPECT_NE(k.FindBuffer("in"), nullptr);
+  EXPECT_EQ(k.FindBuffer("nope"), nullptr);
+  EXPECT_EQ(k.InputBuffers().size(), 1u);
+  EXPECT_EQ(k.OutputBuffers().size(), 1u);
+  EXPECT_EQ(k.LocalBuffers().size(), 0u);
+  EXPECT_EQ(k.MaxLoopId(), 0);
+  EXPECT_EQ(k.FindBuffer("in")->byte_size(), 64);
+}
+
+TEST(KernelTest, CloneIsIndependent) {
+  Kernel k = MakeScaleKernel();
+  Kernel c = k.Clone();
+  FindLoop(c.body, 0)->set_trip_count(999);
+  EXPECT_EQ(FindLoop(k.body, 0)->trip_count(), 16);
+}
+
+// -------------------------------------------------------------- printer
+
+TEST(PrinterTest, EmitsCompilableLookingC) {
+  std::string c = EmitC(MakeScaleKernel());
+  EXPECT_NE(c.find("void scale(int N, float *in, float *out)"),
+            std::string::npos);
+  EXPECT_NE(c.find("for (int i = 0; i < 16; i++)"), std::string::npos);
+  EXPECT_NE(c.find("out[i] = ((in[i] * 2.0f) + 1.0f);"), std::string::npos);
+  EXPECT_NE(c.find("#include <math.h>"), std::string::npos);
+}
+
+TEST(PrinterTest, EmitsPragmas) {
+  Kernel k = MakeScaleKernel();
+  FindLoop(k.body, 0)->annotations()["ACCEL"] = "PIPELINE flatten";
+  std::string c = EmitC(k);
+  EXPECT_NE(c.find("#pragma ACCEL PIPELINE flatten"), std::string::npos);
+}
+
+TEST(PrinterTest, LocalBuffersBecomeStaticArrays) {
+  Kernel k = MakeScaleKernel();
+  k.buffers.push_back({"scratch", Type::Int(), 64, BufferKind::kLocal, ""});
+  std::string c = EmitC(k);
+  EXPECT_NE(c.find("static int scratch[64];"), std::string::npos);
+}
+
+TEST(PrinterTest, UnsignedShiftExpansion) {
+  auto e = Expr::Binary(BinaryOp::kUShr, Expr::Var("x", Type::Int()),
+                        Expr::IntLit(3));
+  std::string c = EmitExprC(e);
+  EXPECT_NE(c.find("unsigned int"), std::string::npos);
+}
+
+TEST(PrinterTest, MinMaxUseMacros) {
+  auto e = Expr::Binary(BinaryOp::kMax, Expr::Var("x", Type::Int()),
+                        Expr::IntLit(0));
+  EXPECT_EQ(EmitExprC(e), "S2FA_MAX(x, 0)");
+}
+
+TEST(PrinterTest, FloatIntrinsicsGetSuffix) {
+  auto e = Expr::Call(Intrinsic::kExp, {Expr::Var("x", Type::Float())},
+                      Type::Float());
+  EXPECT_EQ(EmitExprC(e), "expf(x)");
+  auto d = Expr::Call(Intrinsic::kExp, {Expr::Var("x", Type::Double())},
+                      Type::Double());
+  EXPECT_EQ(EmitExprC(d), "exp(x)");
+}
+
+// ------------------------------------------------------------ evaluator
+
+TEST(EvalTest, RunsMapKernel) {
+  Kernel k = MakeScaleKernel();
+  Evaluator ev(k);
+  BufferMap buffers;
+  for (int i = 0; i < 16; ++i) {
+    buffers["in"].push_back(Value::OfFloat(static_cast<float>(i)));
+  }
+  ev.Run({{"N", Value::OfInt(16)}}, buffers);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(buffers["out"][static_cast<std::size_t>(i)].AsFloat(),
+                    2.0f * i + 1.0f);
+  }
+}
+
+TEST(EvalTest, MissingInputThrows) {
+  Kernel k = MakeScaleKernel();
+  Evaluator ev(k);
+  BufferMap buffers;
+  EXPECT_THROW(ev.Run({{"N", Value::OfInt(16)}}, buffers), InvalidArgument);
+}
+
+TEST(EvalTest, MissingScalarThrows) {
+  Kernel k = MakeScaleKernel();
+  Evaluator ev(k);
+  BufferMap buffers;
+  buffers["in"].assign(16, Value::OfFloat(0.0f));
+  EXPECT_THROW(ev.Run({}, buffers), InvalidArgument);
+}
+
+TEST(EvalTest, OutOfBoundsWriteThrows) {
+  Kernel k = MakeScaleKernel();
+  FindLoop(k.body, 0)->set_trip_count(32);  // runs past the buffers
+  Evaluator ev(k);
+  BufferMap buffers;
+  buffers["in"].assign(16, Value::OfFloat(0.0f));
+  EXPECT_THROW(ev.Run({{"N", Value::OfInt(16)}}, buffers), InvalidArgument);
+}
+
+TEST(EvalTest, ConditionalAndSelectAgree) {
+  // out[i] = (in[i] > 0) ? in[i] : -in[i]  both as If and as Select.
+  auto i = Expr::Var("i", Type::Int());
+  auto in_i = Expr::ArrayRef("in", Type::Float(), i);
+  auto out_i = Expr::ArrayRef("out", Type::Float(), i);
+  auto cond = Expr::Binary(BinaryOp::kGt, in_i, Expr::FloatLit(0.0f));
+
+  Kernel k_if;
+  k_if.name = "abs_if";
+  k_if.buffers.push_back({"in", Type::Float(), 8, BufferKind::kInput, ""});
+  k_if.buffers.push_back({"out", Type::Float(), 8, BufferKind::kOutput, ""});
+  auto then_s = Stmt::Assign(out_i, in_i);
+  auto else_s = Stmt::Assign(out_i, Expr::Unary(UnaryOp::kNeg, in_i));
+  k_if.body = Stmt::Block({Stmt::For(0, "i", 8,
+                                     Stmt::Block({Stmt::If(cond, then_s,
+                                                           else_s)}))});
+
+  Kernel k_sel;
+  k_sel.name = "abs_sel";
+  k_sel.buffers = k_if.buffers;
+  k_sel.body = Stmt::Block({Stmt::For(
+      0, "i", 8,
+      Stmt::Block({Stmt::Assign(
+          out_i, Expr::Select(cond, in_i, Expr::Unary(UnaryOp::kNeg, in_i)))}))});
+
+  Rng rng(5);
+  BufferMap b1, b2;
+  for (int t = 0; t < 8; ++t) {
+    float v = static_cast<float>(rng.NextDouble(-5, 5));
+    b1["in"].push_back(Value::OfFloat(v));
+    b2["in"].push_back(Value::OfFloat(v));
+  }
+  Evaluator(k_if).Run({}, b1);
+  Evaluator(k_sel).Run({}, b2);
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(b1["out"][static_cast<std::size_t>(t)].AsFloat(),
+              b2["out"][static_cast<std::size_t>(t)].AsFloat());
+    EXPECT_EQ(b1["out"][static_cast<std::size_t>(t)].AsFloat(),
+              std::fabs(b1["in"][static_cast<std::size_t>(t)].AsFloat()));
+  }
+}
+
+TEST(EvalTest, IntegerNarrowingOnByteBuffer) {
+  Kernel k;
+  k.name = "bytes";
+  k.buffers.push_back({"out", Type::Byte(), 1, BufferKind::kOutput, ""});
+  k.body = Stmt::Block({Stmt::Assign(
+      Expr::ArrayRef("out", Type::Byte(), Expr::IntLit(0)),
+      Expr::IntLit(300))});
+  BufferMap buffers;
+  Evaluator(k).Run({}, buffers);
+  EXPECT_EQ(buffers["out"][0].AsInt(), 44);  // 300 mod 256
+}
+
+// ------------------------------------------------------------- analysis
+
+Kernel MakeNestedKernel() {
+  // for i in 8: { acc = 0; for j in 4: acc += a[i*4+j] * b[j]; out[i] = acc }
+  Kernel k;
+  k.name = "dot";
+  k.buffers.push_back({"a", Type::Float(), 32, BufferKind::kInput, ""});
+  k.buffers.push_back({"b", Type::Float(), 4, BufferKind::kInput, ""});
+  k.buffers.push_back({"out", Type::Float(), 8, BufferKind::kOutput, ""});
+  auto i = Expr::Var("i", Type::Int());
+  auto j = Expr::Var("j", Type::Int());
+  auto acc = Expr::Var("acc", Type::Float());
+  auto prod = Expr::Binary(
+      BinaryOp::kMul,
+      Expr::ArrayRef("a", Type::Float(),
+                     Expr::Binary(BinaryOp::kAdd,
+                                  Expr::Binary(BinaryOp::kMul, i,
+                                               Expr::IntLit(4)),
+                                  j)),
+      Expr::ArrayRef("b", Type::Float(), j));
+  auto inner_body =
+      Stmt::Block({Stmt::Assign(acc, Expr::Binary(BinaryOp::kAdd, acc, prod))});
+  auto inner = Stmt::For(1, "j", 4, inner_body);
+  inner->set_is_reduction(true);
+  auto outer_body = Stmt::Block(
+      {Stmt::Decl("acc", Type::Float(), Expr::FloatLit(0.0f)), inner,
+       Stmt::Assign(Expr::ArrayRef("out", Type::Float(), i), acc)});
+  auto outer = Stmt::For(0, "i", 8, outer_body);
+  outer->set_inserted_by_template(true);
+  k.body = Stmt::Block({outer});
+  k.task_loop_id = 0;
+  return k;
+}
+
+TEST(AnalysisTest, LoopTreeShape) {
+  Kernel k = MakeNestedKernel();
+  LoopTree tree = BuildLoopTree(k);
+  ASSERT_EQ(tree.roots.size(), 1u);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.max_depth(), 1);
+  EXPECT_EQ(tree.roots[0].loop->loop_id(), 0);
+  ASSERT_EQ(tree.roots[0].children.size(), 1u);
+  EXPECT_EQ(tree.roots[0].children[0].loop->loop_id(), 1);
+  EXPECT_NE(tree.Find(1), nullptr);
+  EXPECT_EQ(tree.Find(9), nullptr);
+}
+
+TEST(AnalysisTest, StraightLineOpsExcludeInnerLoops) {
+  Kernel k = MakeNestedKernel();
+  const Stmt* outer = FindLoop(k.body, 0);
+  OpCounts counts = CountStraightLineOps(*outer);
+  // Straight-line part of the outer body: decl init + the out[i] store.
+  EXPECT_EQ(counts.mem_write, 1);
+  EXPECT_EQ(counts.fp_mul, 0);  // the multiply is inside the inner loop
+}
+
+TEST(AnalysisTest, TotalOpsScaleByTripCount) {
+  Kernel k = MakeNestedKernel();
+  OpCounts counts = CountTotalOps(*k.body);
+  // Inner loop: 1 fp mul per iteration * 4 iterations * 8 outer = 32.
+  EXPECT_EQ(counts.fp_mul, 32);
+  // out[i] writes: 8.
+  EXPECT_EQ(counts.buffer_writes.at("out"), 8);
+  EXPECT_EQ(counts.buffer_reads.at("a"), 32);
+}
+
+TEST(AnalysisTest, ReductionRecurrenceDetected) {
+  Kernel k = MakeNestedKernel();
+  const Stmt* inner = FindLoop(k.body, 1);
+  LoopRecurrence rec = AnalyzeRecurrence(*inner);
+  EXPECT_TRUE(rec.carried);
+  ASSERT_FALSE(rec.carriers.empty());
+  EXPECT_EQ(rec.carriers[0], "acc");
+  ASSERT_FALSE(rec.cycle_exprs.empty());
+}
+
+TEST(AnalysisTest, OuterLoopNotCarriedWhenAccIsPrivate) {
+  Kernel k = MakeNestedKernel();
+  const Stmt* outer = FindLoop(k.body, 0);
+  // acc is declared inside the outer body -> private to each i iteration.
+  LoopRecurrence rec = AnalyzeRecurrence(*outer);
+  EXPECT_FALSE(rec.carried);
+}
+
+TEST(AnalysisTest, WavefrontRecurrenceDetected) {
+  // for i in 16: h[i] = max(h[i-0... different index], x) — model S-W row:
+  // h[i] = h[i-1] + 1 (read index differs from write index).
+  Kernel k;
+  k.name = "wave";
+  k.buffers.push_back({"h", Type::Int(), 17, BufferKind::kLocal, ""});
+  auto i = Expr::Var("i", Type::Int());
+  auto write_index = Expr::Binary(BinaryOp::kAdd, i, Expr::IntLit(1));
+  auto body = Stmt::Block({Stmt::Assign(
+      Expr::ArrayRef("h", Type::Int(), write_index),
+      Expr::Binary(BinaryOp::kAdd, Expr::ArrayRef("h", Type::Int(), i),
+                   Expr::IntLit(1)))});
+  auto loop = Stmt::For(0, "i", 16, body);
+  k.body = Stmt::Block({loop});
+  LoopRecurrence rec = AnalyzeRecurrence(*loop);
+  EXPECT_TRUE(rec.carried);
+  EXPECT_EQ(rec.carriers[0], "h");
+}
+
+TEST(AnalysisTest, IndependentElementwiseLoopNotCarried) {
+  Kernel k = MakeScaleKernel();
+  LoopRecurrence rec = AnalyzeRecurrence(*FindLoop(k.body, 0));
+  EXPECT_FALSE(rec.carried);
+}
+
+TEST(AnalysisTest, ExprDepthCountsComputeNodes) {
+  auto x = Expr::Var("x", Type::Float());
+  EXPECT_EQ(ExprDepth(x), 0);
+  auto e1 = Expr::Binary(BinaryOp::kAdd, x, x);
+  EXPECT_EQ(ExprDepth(e1), 1);
+  auto e2 = Expr::Call(Intrinsic::kExp, {e1}, Type::Float());
+  EXPECT_EQ(ExprDepth(e2), 2);
+  auto leaf_heavy = Expr::ArrayRef(
+      "buf", Type::Float(), Expr::Binary(BinaryOp::kAdd, x, x));
+  EXPECT_EQ(ExprDepth(leaf_heavy), 1);  // index math counts, ref itself not
+}
+
+TEST(PrinterTest, IfElseEmission) {
+  auto x = Expr::Var("x", Type::Int());
+  auto cond = Expr::Binary(BinaryOp::kLt, x, Expr::IntLit(0));
+  auto then_s = Stmt::Assign(x, Expr::IntLit(0));
+  auto else_s = Stmt::Assign(x, Expr::Binary(BinaryOp::kAdd, x,
+                                             Expr::IntLit(1)));
+  std::string c = EmitStmtC(Stmt::If(cond, Stmt::Block({then_s}),
+                                     Stmt::Block({else_s})));
+  EXPECT_NE(c.find("if ((x < 0)) {"), std::string::npos) << c;
+  EXPECT_NE(c.find("} else {"), std::string::npos) << c;
+  EXPECT_NE(c.find("x = 0;"), std::string::npos);
+  EXPECT_NE(c.find("x = (x + 1);"), std::string::npos);
+}
+
+TEST(PrinterTest, SelectEmitsTernary) {
+  auto x = Expr::Var("x", Type::Float());
+  auto sel = Expr::Select(
+      Expr::Binary(BinaryOp::kGt, x, Expr::FloatLit(0.0f)), x,
+      Expr::Unary(UnaryOp::kNeg, x));
+  EXPECT_EQ(EmitExprC(sel), "((x > 0.0f) ? x : -(x))");
+}
+
+TEST(PrinterTest, DeclWithoutInitializer) {
+  std::string c = EmitStmtC(Stmt::Decl("t", Type::Double(), nullptr));
+  EXPECT_EQ(c, "double t;\n");
+}
+
+TEST(PrinterTest, IndentedStatements) {
+  auto s = Stmt::Assign(Expr::Var("x", Type::Int()), Expr::IntLit(1));
+  EXPECT_EQ(EmitStmtC(s, 4), "    x = 1;\n");
+}
+
+TEST(PrinterTest, CTypeNames) {
+  EXPECT_EQ(CTypeName(Type::Byte()), "char");
+  EXPECT_EQ(CTypeName(Type::Long()), "long long");
+  EXPECT_EQ(CTypeName(Type::Char()), "unsigned short");
+  EXPECT_THROW(CTypeName(Type::Array(Type::Int())), InvalidArgument);
+}
+
+// Property sweep: evaluator on the dot kernel matches a native dot product
+// across random inputs and several sizes.
+class DotEvalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DotEvalTest, MatchesNativeDot) {
+  Kernel k = MakeNestedKernel();
+  Evaluator ev(k);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  BufferMap buffers;
+  std::vector<float> a(32), b(4);
+  for (auto& v : a) v = static_cast<float>(rng.NextDouble(-2, 2));
+  for (auto& v : b) v = static_cast<float>(rng.NextDouble(-2, 2));
+  for (float v : a) buffers["a"].push_back(Value::OfFloat(v));
+  for (float v : b) buffers["b"].push_back(Value::OfFloat(v));
+  ev.Run({}, buffers);
+  for (int i = 0; i < 8; ++i) {
+    float expect = 0.0f;
+    for (int j = 0; j < 4; ++j) {
+      expect += a[static_cast<std::size_t>(i * 4 + j)] *
+                b[static_cast<std::size_t>(j)];
+    }
+    EXPECT_FLOAT_EQ(
+        buffers["out"][static_cast<std::size_t>(i)].AsFloat(), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DotEvalTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace s2fa::kir

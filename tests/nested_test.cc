@@ -1,0 +1,220 @@
+// Nested composite types (the paper's future-work extension: "more
+// object-oriented constructs"): tuples containing tuples flatten
+// recursively into the accelerator interface, on both the input and the
+// output side, and the whole pipeline — compiler, serialization plan,
+// Blaze runtime, JVM baseline — agrees on the dotted-path layout.
+#include <gtest/gtest.h>
+
+#include "apps/app.h"
+#include "apps/jvm_baseline.h"
+#include "b2c/compiler.h"
+#include "blaze/runtime.h"
+#include "jvm/assembler.h"
+#include "jvm/interpreter.h"
+#include "kir/eval.h"
+#include "s2fa/framework.h"
+#include "support/rng.h"
+
+namespace s2fa {
+namespace {
+
+using jvm::Assembler;
+using jvm::MethodSignature;
+using jvm::Type;
+using jvm::Value;
+
+constexpr int kVecLen = 4;
+
+// Input:  Outer { _1: Inner { _1: float[4], _2: float }, _2: float }
+// Output: OutT  { _1: Pair  { _1: float,    _2: float } }
+//
+// call(in) = { s = sum(in._1._1) * in._1._2;
+//              OutT(Pair(s + in._2, s - in._2)) }
+apps::App MakeNestedApp() {
+  apps::App app;
+  app.name = "Nested";
+  app.pool = std::make_shared<jvm::ClassPool>();
+  jvm::ClassPool& pool = *app.pool;
+
+  jvm::Klass& inner = pool.Define("Inner");
+  inner.AddField({"_1", Type::Array(Type::Float())});
+  inner.AddField({"_2", Type::Float()});
+  jvm::Klass& outer = pool.Define("Outer");
+  outer.AddField({"_1", Type::Class("Inner")});
+  outer.AddField({"_2", Type::Float()});
+  jvm::Klass& pair = pool.Define("Pair");
+  pair.AddField({"_1", Type::Float()});
+  pair.AddField({"_2", Type::Float()});
+  jvm::Klass& out_t = pool.Define("OutT");
+  out_t.AddField({"_1", Type::Class("Pair")});
+
+  Assembler a;
+  // locals: 0=in, 1=inner(ref), 2=vec(ref), 3=w, 4=bias, 5=s, 6=j,
+  //         7=pair(ref), 8=out(ref)
+  a.Load(Type::Class("Outer"), 0).GetField("Outer", "_1")
+      .Store(Type::Class("Inner"), 1);
+  a.Load(Type::Class("Inner"), 1).GetField("Inner", "_1")
+      .Store(Type::Array(Type::Float()), 2);
+  a.Load(Type::Class("Inner"), 1).GetField("Inner", "_2")
+      .Store(Type::Float(), 3);
+  a.Load(Type::Class("Outer"), 0).GetField("Outer", "_2")
+      .Store(Type::Float(), 4);
+  a.FConst(0.0f).Store(Type::Float(), 5);
+  a.IConst(0).Store(Type::Int(), 6);
+  auto head = a.NewLabel();
+  auto exit = a.NewLabel();
+  a.Bind(head);
+  a.Load(Type::Int(), 6).IConst(kVecLen).IfICmp(jvm::Cond::kGe, exit);
+  a.Load(Type::Float(), 5);
+  a.Load(Type::Array(Type::Float()), 2).Load(Type::Int(), 6)
+      .ALoadElem(Type::Float());
+  a.FAdd().Store(Type::Float(), 5);
+  a.IInc(6, 1);
+  a.Goto(head);
+  a.Bind(exit);
+  a.Load(Type::Float(), 5).Load(Type::Float(), 3).FMul()
+      .Store(Type::Float(), 5);
+  // pair = new Pair; pair._1 = s + bias; pair._2 = s - bias
+  a.New("Pair").Store(Type::Class("Pair"), 7);
+  a.Load(Type::Class("Pair"), 7);
+  a.Load(Type::Float(), 5).Load(Type::Float(), 4).FAdd();
+  a.PutField("Pair", "_1");
+  a.Load(Type::Class("Pair"), 7);
+  a.Load(Type::Float(), 5).Load(Type::Float(), 4).FSub();
+  a.PutField("Pair", "_2");
+  // out = new OutT; out._1 = pair; return out
+  a.New("OutT").Store(Type::Class("OutT"), 8);
+  a.Load(Type::Class("OutT"), 8).Load(Type::Class("Pair"), 7)
+      .PutField("OutT", "_1");
+  a.Load(Type::Class("OutT"), 8).Ret(Type::Class("OutT"));
+
+  MethodSignature sig;
+  sig.params = {Type::Class("Outer")};
+  sig.ret = Type::Class("OutT");
+  pool.Define("NestedKernel")
+      .AddMethod(jvm::MakeMethod("call", sig, true, 9, a.Finish()));
+
+  app.spec.kernel_name = "nested_kernel";
+  app.spec.klass = "NestedKernel";
+  app.spec.input.type = Type::Class("Outer");
+  {
+    b2c::FieldSpec vec{"_1", Type::Float(), kVecLen, true};
+    b2c::FieldSpec w{"_2", Type::Float(), 1, false};
+    b2c::FieldSpec inner_f{"_1", Type::Float(), 1, false};
+    inner_f.klass = "Inner";
+    inner_f.members = {vec, w};
+    b2c::FieldSpec bias{"_2", Type::Float(), 1, false};
+    app.spec.input.fields = {inner_f, bias};
+  }
+  app.spec.output.type = Type::Class("OutT");
+  {
+    b2c::FieldSpec p1{"_1", Type::Float(), 1, false};
+    b2c::FieldSpec p2{"_2", Type::Float(), 1, false};
+    b2c::FieldSpec pair_f{"_1", Type::Float(), 1, false};
+    pair_f.klass = "Pair";
+    pair_f.members = {p1, p2};
+    app.spec.output.fields = {pair_f};
+  }
+  app.spec.batch = 8;
+
+  app.make_input = [](std::size_t records, Rng& rng) {
+    std::vector<float> vec, w, bias;
+    for (std::size_t r = 0; r < records; ++r) {
+      for (int j = 0; j < kVecLen; ++j) {
+        vec.push_back(static_cast<float>(rng.NextDouble(-1, 1)));
+      }
+      w.push_back(static_cast<float>(rng.NextDouble(-2, 2)));
+      bias.push_back(static_cast<float>(rng.NextDouble(-1, 1)));
+    }
+    blaze::Dataset d;
+    blaze::Column c1;
+    c1.field = "_1._1";
+    c1.element = Type::Float();
+    c1.per_record = kVecLen;
+    for (float v : vec) c1.data.push_back(Value::OfFloat(v));
+    d.AddColumn(std::move(c1));
+    blaze::Column c2;
+    c2.field = "_1._2";
+    c2.element = Type::Float();
+    for (float v : w) c2.data.push_back(Value::OfFloat(v));
+    d.AddColumn(std::move(c2));
+    blaze::Column c3;
+    c3.field = "_2";
+    c3.element = Type::Float();
+    for (float v : bias) c3.data.push_back(Value::OfFloat(v));
+    d.AddColumn(std::move(c3));
+    return d;
+  };
+  return app;
+}
+
+TEST(NestedTupleTest, FlattensToDottedInterface) {
+  apps::App app = MakeNestedApp();
+  kir::Kernel k = b2c::CompileKernel(*app.pool, app.spec);
+  ASSERT_EQ(k.InputBuffers().size(), 3u);
+  EXPECT_EQ(k.InputBuffers()[0]->source_field, "in._1._1");
+  EXPECT_EQ(k.InputBuffers()[0]->per_task, kVecLen);
+  EXPECT_EQ(k.InputBuffers()[1]->source_field, "in._1._2");
+  EXPECT_EQ(k.InputBuffers()[2]->source_field, "in._2");
+  ASSERT_EQ(k.OutputBuffers().size(), 2u);
+  EXPECT_EQ(k.OutputBuffers()[0]->source_field, "ret._1._1");
+  EXPECT_EQ(k.OutputBuffers()[1]->source_field, "ret._1._2");
+}
+
+TEST(NestedTupleTest, EndToEndMatchesJvmBaseline) {
+  apps::App app = MakeNestedApp();
+  Artifact artifact =
+      BuildWithConfig(*app.pool, app.spec, merlin::DesignConfig{});
+  blaze::BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "nested", artifact);
+
+  Rng rng(31);
+  blaze::Dataset input = app.make_input(19, rng);  // short final batch
+  blaze::Dataset got = runtime.Map("nested", input);
+  apps::JvmRunResult jvm = apps::RunOnJvm(app, input, nullptr);
+
+  for (const char* field : {"_1._1", "_1._2"}) {
+    const auto& g = got.ColumnByField(field).data;
+    const auto& w = jvm.output.ColumnByField(field).data;
+    ASSERT_EQ(g.size(), w.size());
+    for (std::size_t n = 0; n < g.size(); ++n) {
+      EXPECT_EQ(g[n].AsFloat(), w[n].AsFloat()) << field << "[" << n << "]";
+    }
+  }
+}
+
+TEST(NestedTupleTest, NativeCrossCheck) {
+  apps::App app = MakeNestedApp();
+  Rng rng(77);
+  blaze::Dataset input = app.make_input(12, rng);
+  apps::JvmRunResult jvm = apps::RunOnJvm(app, input, nullptr);
+  for (std::size_t r = 0; r < 12; ++r) {
+    float s = 0.0f;
+    for (int j = 0; j < kVecLen; ++j) {
+      s += input.ColumnByField("_1._1")
+               .data[r * kVecLen + static_cast<std::size_t>(j)]
+               .AsFloat();
+    }
+    s *= input.ColumnByField("_1._2").data[r].AsFloat();
+    float bias = input.ColumnByField("_2").data[r].AsFloat();
+    EXPECT_FLOAT_EQ(jvm.output.ColumnByField("_1._1").data[r].AsFloat(),
+                    s + bias);
+    EXPECT_FLOAT_EQ(jvm.output.ColumnByField("_1._2").data[r].AsFloat(),
+                    s - bias);
+  }
+}
+
+TEST(NestedTupleTest, UnknownNestedClassThrows) {
+  apps::App app = MakeNestedApp();
+  app.spec.input.fields[0].klass = "NoSuchClass";
+  EXPECT_THROW(b2c::CompileKernel(*app.pool, app.spec), Error);
+}
+
+TEST(NestedTupleTest, MemberCountMismatchThrows) {
+  apps::App app = MakeNestedApp();
+  app.spec.input.fields[0].members.pop_back();
+  EXPECT_THROW(b2c::CompileKernel(*app.pool, app.spec), Error);
+}
+
+}  // namespace
+}  // namespace s2fa

@@ -1,0 +1,237 @@
+// s2fa — command-line driver for the framework.
+//
+//   s2fa list
+//       The bundled evaluation kernels.
+//   s2fa compile <app>
+//       Bytecode-to-C only: print the generated HLS C, the interface, the
+//       generated Scala glue, and the design-space inventory.
+//   s2fa explore <app> [--minutes N] [--cores N] [--seed N]
+//                      [--vanilla] [--no-seeds] [--no-partition]
+//       Run the DSE and report partitions, the trace, and the best design.
+//   s2fa run <app> [--records N] [--seed N]
+//       Build the accelerator (short DSE), execute a workload through the
+//       Blaze runtime, cross-check against the JVM baseline, and report
+//       the speedup.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "apps/jvm_baseline.h"
+#include "blaze/runtime.h"
+#include "kir/printer.h"
+#include "s2fa/framework.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace s2fa;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& flag) const { return flags.count(flag) != 0; }
+  double Num(const std::string& flag, double fallback) const {
+    auto it = flags.find(flag);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      // Boolean flags take no value; numeric flags consume the next token.
+      if (name == "vanilla" || name == "no-seeds" || name == "no-partition") {
+        args.flags[name] = "1";
+      } else if (i + 1 < argc) {
+        args.flags[name] = argv[++i];
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: s2fa <list|compile|explore|run> [app] [flags]\n"
+               "  explore flags: --minutes N --cores N --seed N --vanilla "
+               "--no-seeds --no-partition\n"
+               "  run flags:     --records N --seed N --minutes N\n");
+  return 2;
+}
+
+int CmdList() {
+  TextTable table({"App", "Type", "Pattern", "Batch", "Loops", "Space"});
+  for (apps::App& app : apps::AllApps()) {
+    kir::Kernel k = b2c::CompileKernel(*app.pool, app.spec);
+    tuner::DesignSpace space = tuner::BuildDesignSpace(k);
+    table.AddRow({app.name, app.type_label,
+                  kir::PatternName(app.spec.pattern),
+                  std::to_string(app.spec.batch),
+                  std::to_string(k.Loops().size()),
+                  "10^" + FormatDouble(space.Log10Cardinality(), 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+int CmdCompile(const apps::App& app) {
+  const jvm::Method& method =
+      app.pool->Get(app.spec.klass).GetMethod(app.spec.method);
+  std::printf("=== kernel bytecode (%s.%s) ===\n%s\n",
+              app.spec.klass.c_str(), app.spec.method.c_str(),
+              jvm::Disassemble(method.code).c_str());
+  kir::Kernel k = b2c::CompileKernel(*app.pool, app.spec);
+  std::printf("=== generated HLS C ===\n%s\n", kir::EmitC(k).c_str());
+  blaze::SerializationPlan plan = blaze::MakeSerializationPlan(k);
+  std::printf("=== accelerator interface ===\n");
+  for (const auto& e : plan.entries) {
+    std::printf("  %-6s %-7s %s x %lld/task%s\n", e.buffer.c_str(),
+                e.is_input ? "input" : "output",
+                e.element.ToString().c_str(),
+                static_cast<long long>(e.per_task),
+                e.broadcast ? "  (broadcast)" : "");
+  }
+  std::printf("\n=== generated Scala glue ===\n%s\n",
+              blaze::RenderScalaHelper(plan).c_str());
+  tuner::DesignSpace space = tuner::BuildDesignSpace(k);
+  std::printf("=== design space: %zu factors, 10^%.1f points ===\n",
+              space.num_factors(), space.Log10Cardinality());
+  return 0;
+}
+
+int CmdExplore(const apps::App& app, const Args& args) {
+  kir::Kernel k = b2c::CompileKernel(*app.pool, app.spec);
+  tuner::DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = MakeHlsEvaluator(k);
+  const double minutes = args.Num("minutes", 240);
+  const int cores = static_cast<int>(args.Num("cores", 8));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.Num("seed", 2018));
+
+  dse::DseResult result;
+  if (args.Has("vanilla")) {
+    result = dse::RunVanillaOpenTuner(space, eval, minutes, cores, seed);
+  } else {
+    dse::ExplorerOptions options;
+    options.time_limit_minutes = minutes;
+    options.num_cores = cores;
+    options.seed = seed;
+    options.enable_seeds = !args.Has("no-seeds");
+    options.enable_partitioning = !args.Has("no-partition");
+    result = dse::RunS2faDse(space, k, eval, options);
+  }
+
+  std::printf("partitions:\n");
+  for (const auto& p : result.partitions) {
+    std::printf("  [%s] %s: %.0f-%.0f min, %zu evals, best %.2f us (%s)\n",
+                p.description.c_str(), p.scheduled ? "ran" : "skipped",
+                p.start_minutes, p.end_minutes, p.result.evaluations,
+                p.clipped_best_cost, p.result.stop_reason.c_str());
+  }
+  std::printf("\ntrace (best-so-far):\n");
+  for (const auto& tp : result.trace) {
+    std::printf("  %7.1f min  %12.2f us\n", tp.time_minutes, tp.best_cost);
+  }
+  if (!result.found_feasible) {
+    std::printf("\nno feasible design found\n");
+    return 1;
+  }
+  std::printf("\nbest: %.2f us with %s\nfinished at %.0f simulated minutes, "
+              "%zu evaluations\n",
+              result.best_cost, result.best_config.ToString().c_str(),
+              result.elapsed_minutes, result.evaluations);
+  return 0;
+}
+
+int CmdRun(apps::App& app, const Args& args) {
+  const std::size_t records =
+      static_cast<std::size_t>(args.Num("records", 2048));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.Num("seed", 1));
+
+  FrameworkOptions options;
+  options.dse.time_limit_minutes = args.Num("minutes", 120);
+  options.dse.seed = seed;
+  Artifact artifact = BuildAccelerator(*app.pool, app.spec, options);
+  std::printf("built %s: %.0f cycles @ %.0f MHz (%zu points explored)\n",
+              app.name.c_str(), artifact.best_hls.cycles,
+              artifact.best_hls.freq_mhz, artifact.exploration.evaluations);
+
+  blaze::BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, app.name, artifact);
+
+  Rng rng(seed);
+  blaze::Dataset input = app.make_input(records, rng);
+  blaze::Dataset broadcast;
+  const blaze::Dataset* bc = nullptr;
+  if (app.make_broadcast) {
+    Rng brng(seed ^ 0xBCA57ULL);
+    broadcast = app.make_broadcast(brng);
+    bc = &broadcast;
+  }
+
+  blaze::ExecutionStats stats;
+  blaze::Dataset out =
+      app.spec.pattern == kir::ParallelPattern::kReduce
+          ? runtime.Reduce(app.name, input, bc, &stats)
+          : runtime.Map(app.name, input, bc, &stats);
+  apps::JvmRunResult jvm = apps::RunOnJvm(app, input, bc);
+
+  // Functional cross-check against the JVM path.
+  std::size_t mismatches = 0;
+  for (std::size_t c = 0; c < out.num_columns(); ++c) {
+    const blaze::Column& got = out.column(c);
+    const blaze::Column& want = jvm.output.ColumnByField(got.field);
+    for (std::size_t n = 0; n < got.data.size(); ++n) {
+      double g = got.data[n].is_float() ? got.data[n].AsFloat()
+                 : got.data[n].is_double()
+                     ? got.data[n].AsDouble()
+                     : static_cast<double>(got.data[n].AsInt());
+      double w = want.data[n].is_float() ? want.data[n].AsFloat()
+                 : want.data[n].is_double()
+                     ? want.data[n].AsDouble()
+                     : static_cast<double>(want.data[n].AsInt());
+      double tol = 1e-4 * std::max(1.0, std::fabs(w));
+      if (std::fabs(g - w) > tol) ++mismatches;
+    }
+  }
+
+  std::printf("records: %zu  invocations: %zu  mismatches vs JVM: %zu\n",
+              records, stats.invocations, mismatches);
+  std::printf("JVM:  %10.2f ms (modeled single thread)\n",
+              jvm.total_ns / 1e6);
+  std::printf("FPGA: %10.3f ms  -> speedup %.1fx\n", stats.total_us / 1e3,
+              jvm.total_ns / 1000.0 / stats.total_us);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.positional.empty()) return Usage();
+  const std::string& cmd = args.positional[0];
+  try {
+    if (cmd == "list") return CmdList();
+    if (args.positional.size() < 2) return Usage();
+    apps::App app = apps::FindApp(args.positional[1]);
+    if (cmd == "compile") return CmdCompile(app);
+    if (cmd == "explore") return CmdExplore(app, args);
+    if (cmd == "run") return CmdRun(app, args);
+    return Usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
