@@ -38,6 +38,7 @@ struct Aggregate {
 }  // namespace
 
 int main() {
+  MetricsScope metrics("ablation");
   EvalSetup setup;
 
   Aggregate entropy, trivial, time_only, no_seeds, no_partition;

@@ -20,6 +20,7 @@ using namespace s2fa;
 using namespace s2fa::bench;
 
 int main() {
+  MetricsScope metrics("fig3");
   const std::vector<std::uint64_t> seeds{2018, 2019, 2020};
   // Plot-ready dump of the first-seed traces.
   std::ofstream csv("fig3_trace.csv");

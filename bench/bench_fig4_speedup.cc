@@ -20,6 +20,7 @@ using namespace s2fa;
 using namespace s2fa::bench;
 
 int main() {
+  MetricsScope metrics("fig4");
   EvalSetup setup;
   TextTable table({"Kernel", "Type", "JVM (ms)", "Manual (ms)", "S2FA (ms)",
                    "Manual x", "S2FA x", "S2FA/Manual"});

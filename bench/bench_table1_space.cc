@@ -29,6 +29,7 @@ const char* KindName(tuner::FactorKind kind) {
 }  // namespace
 
 int main() {
+  MetricsScope metrics("table1");
   std::printf("=== Table 1: the target design space per kernel ===\n\n");
   TextTable summary({"Kernel", "Loops", "Factors", "log10(|space|)"});
 

@@ -16,6 +16,7 @@ using namespace s2fa;
 using namespace s2fa::bench;
 
 int main() {
+  MetricsScope metrics("table2");
   EvalSetup setup;
   TextTable table({"Kernel", "Type", "BRAM", "DSP", "FF", "LUT", "Freq."});
   std::ofstream csv("table2_resources.csv");

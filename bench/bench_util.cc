@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "b2c/compiler.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "support/strings.h"
 
 namespace s2fa::bench {
@@ -106,6 +109,24 @@ std::string RenderTraceRow(const std::string& label,
     row += " " + PadLeft(std::isfinite(v) ? FormatDouble(v, 4) : "--", 9);
   }
   return row;
+}
+
+MetricsScope::MetricsScope(std::string name)
+    : name_(std::move(name)), was_enabled_(obs::Enabled()) {
+  obs::SetEnabled(true);
+  obs::Registry::Global().Reset();
+  obs::Tracer::Global().Reset();
+}
+
+MetricsScope::~MetricsScope() {
+  const std::string path = name_ + "_metrics.json";
+  try {
+    obs::WriteSummaryFile(path, obs::CaptureSummary());
+    std::fprintf(stderr, "metrics snapshot: %s\n", path.c_str());
+  } catch (...) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+  obs::SetEnabled(was_enabled_);
 }
 
 }  // namespace s2fa::bench

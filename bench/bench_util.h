@@ -65,4 +65,20 @@ std::string RenderTraceRow(const std::string& label,
                            const std::vector<double>& sample_minutes,
                            double norm);
 
+// Enables the obs layer for the lifetime of a harness main() and writes
+// `<name>_metrics.json` (next to the harness CSVs) on destruction, so
+// every reproduction figure ships with its pipeline metrics snapshot.
+class MetricsScope {
+ public:
+  explicit MetricsScope(std::string name);
+  ~MetricsScope();
+
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  std::string name_;
+  bool was_enabled_ = false;
+};
+
 }  // namespace s2fa::bench

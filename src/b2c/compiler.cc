@@ -7,6 +7,7 @@
 
 #include "jvm/verifier.h"
 #include "kir/analysis.h"
+#include "obs/obs.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -1173,7 +1174,17 @@ std::string OutputBufferName(std::size_t field_index) {
 }
 
 kir::Kernel CompileKernel(const jvm::ClassPool& pool, const KernelSpec& spec) {
-  return Compiler(pool, spec).Run();
+  S2FA_SPAN("b2c.compile");
+  kir::Kernel kernel = Compiler(pool, spec).Run();
+  S2FA_COUNT("b2c.kernels_compiled", 1);
+  S2FA_COUNT("b2c.bytecode_insns",
+             static_cast<std::int64_t>(
+                 pool.Get(spec.klass).GetMethod(spec.method).code.size()));
+  S2FA_COUNT("b2c.loops_emitted",
+             static_cast<std::int64_t>(kernel.Loops().size()));
+  S2FA_COUNT("b2c.buffers_emitted",
+             static_cast<std::int64_t>(kernel.buffers.size()));
+  return kernel;
 }
 
 }  // namespace s2fa::b2c

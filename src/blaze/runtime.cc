@@ -2,9 +2,25 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
 #include "support/error.h"
 
 namespace s2fa::blaze {
+
+namespace {
+
+// Bytes crossing the accelerator interface in one invocation (local
+// buffers stay on-chip and are excluded).
+double InterfaceBytes(const RegisteredAccelerator& accel) {
+  double bytes = 0;
+  for (const auto& buf : accel.design.buffers) {
+    if (buf.kind == kir::BufferKind::kLocal) continue;
+    bytes += static_cast<double>(buf.byte_size());
+  }
+  return bytes;
+}
+
+}  // namespace
 
 void AcceleratorManager::Register(const std::string& id,
                                   RegisteredAccelerator accelerator) {
@@ -34,11 +50,7 @@ BlazeRuntime::BlazeRuntime(OffloadCostModel model) : model_(model) {}
 ExecutionStats BlazeRuntime::InvocationCost(
     const RegisteredAccelerator& accel) const {
   ExecutionStats stats;
-  double bytes = 0;
-  for (const auto& buf : accel.design.buffers) {
-    if (buf.kind == kir::BufferKind::kLocal) continue;
-    bytes += static_cast<double>(buf.byte_size());
-  }
+  const double bytes = InterfaceBytes(accel);
   stats.serialize_us = bytes * model_.jvm_pack_ns_per_byte / 1000.0;
   stats.transfer_us = bytes / (model_.pcie_gbps * 1e3);  // GB/s -> B/us
   stats.compute_us = accel.hls.exec_us;
@@ -51,6 +63,7 @@ ExecutionStats BlazeRuntime::InvocationCost(
 
 Dataset BlazeRuntime::Map(const std::string& accel_id, const Dataset& input,
                           const Dataset* broadcast, ExecutionStats* stats) {
+  S2FA_SPAN("blaze.map");
   const RegisteredAccelerator& accel = manager_.Get(accel_id);
   const SerializationPlan& plan = accel.plan;
   S2FA_REQUIRE(plan.batch > 0, "bad serialization plan");
@@ -78,6 +91,11 @@ Dataset BlazeRuntime::Map(const std::string& accel_id, const Dataset& input,
   }
   total.total_us = total.serialize_us + total.transfer_us +
                    total.compute_us + total.overhead_us;
+  S2FA_COUNT("blaze.invocations",
+             static_cast<std::int64_t>(total.invocations));
+  S2FA_COUNT("blaze.serialized_bytes",
+             static_cast<std::int64_t>(InterfaceBytes(accel) *
+                                       static_cast<double>(total.invocations)));
   if (stats != nullptr) *stats = total;
   return out;
 }
@@ -85,6 +103,7 @@ Dataset BlazeRuntime::Map(const std::string& accel_id, const Dataset& input,
 Dataset BlazeRuntime::Reduce(const std::string& accel_id,
                              const Dataset& input, const Dataset* broadcast,
                              ExecutionStats* stats) {
+  S2FA_SPAN("blaze.reduce");
   const RegisteredAccelerator& accel = manager_.Get(accel_id);
   const SerializationPlan& plan = accel.plan;
   S2FA_REQUIRE(accel.design.pattern == kir::ParallelPattern::kReduce,
@@ -160,6 +179,11 @@ Dataset BlazeRuntime::Reduce(const std::string& accel_id,
   }
   total.total_us = total.serialize_us + total.transfer_us +
                    total.compute_us + total.overhead_us;
+  S2FA_COUNT("blaze.invocations",
+             static_cast<std::int64_t>(total.invocations));
+  S2FA_COUNT("blaze.serialized_bytes",
+             static_cast<std::int64_t>(InterfaceBytes(accel) *
+                                       static_cast<double>(total.invocations)));
   if (stats != nullptr) *stats = total;
   return result;
 }

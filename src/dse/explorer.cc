@@ -4,6 +4,7 @@
 #include <cmath>
 #include <future>
 
+#include "obs/obs.h"
 #include "support/error.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
@@ -46,6 +47,7 @@ const char* StopLabel(StopKind stop) {
 DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
                      const EvalFn& evaluate, const ExplorerOptions& options) {
   S2FA_REQUIRE(options.num_cores >= 1, "need at least one core");
+  S2FA_SPAN("dse.run");
   Rng rng(options.seed);
 
   DseResult result;
@@ -54,6 +56,7 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
   // --- 1. Partitioning (offline rule training; not charged to the clock).
   std::vector<Partition> partitions;
   if (options.enable_partitioning) {
+    S2FA_SPAN("dse.train");
     auto candidates = RuleCandidateFactors(space, kernel);
     auto train_eval = [&](const Point& p) {
       tuner::EvalOutcome out = evaluate(space.ToConfig(p));
@@ -63,11 +66,14 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
     Rng train_rng = rng.Fork();
     auto samples = DrawTrainingSamples(space, options.training_samples,
                                        train_eval, train_rng);
+    S2FA_COUNT("dse.training_samples",
+               static_cast<std::int64_t>(samples.size()));
     partitions = BuildPartitions(space, candidates, samples,
                                  options.partition);
   } else {
     partitions.push_back({space, "full space"});
   }
+  S2FA_COUNT("dse.partitions", static_cast<std::int64_t>(partitions.size()));
 
   // --- 2. Per-partition tuning (full budget; clipped by the schedule).
   const bool single = partitions.size() == 1;
@@ -94,6 +100,8 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
       topt.should_stop = MakeStop(options, partition.space.num_factors());
       topt.stop_reason_label = StopLabel(options.stop);
       futures.push_back(pool.Submit([&partition, topt, &evaluate] {
+        // Runs on a worker thread; the span lands in that thread's buffer.
+        S2FA_SPAN("dse.partition");
         return tuner::Tune(partition.space, evaluate, topt);
       }));
     }
@@ -113,9 +121,12 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
 
     auto core = std::min_element(core_clock.begin(), core_clock.end());
     outcome.start_minutes = *core;
+    S2FA_OBSERVE("dse.queue_wait_minutes", outcome.start_minutes);
+    S2FA_GAUGE_MAX("dse.queue_wait_max_minutes", outcome.start_minutes);
     const double allowed = options.time_limit_minutes - outcome.start_minutes;
     if (allowed <= 0) {
       outcome.scheduled = false;
+      S2FA_COUNT("dse.partitions_skipped", 1);
       result.partitions.push_back(std::move(outcome));
       continue;
     }
@@ -123,6 +134,7 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
     if (used > allowed) {
       used = allowed;
       outcome.truncated = true;
+      S2FA_COUNT("dse.partitions_truncated", 1);
     }
     outcome.end_minutes = outcome.start_minutes + used;
     *core = outcome.end_minutes;
@@ -164,9 +176,13 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
       result.trace.push_back({tp.time_minutes, best});
     }
   }
+  result.trace = tuner::DedupTrace(std::move(result.trace));
   for (const auto& outcome : result.partitions) {
     result.elapsed_minutes =
         std::max(result.elapsed_minutes, outcome.end_minutes);
+    if (obs::Enabled() && outcome.scheduled) {
+      S2FA_COUNT("dse.stop." + outcome.result.stop_reason, 1);
+    }
   }
   return result;
 }
@@ -175,6 +191,7 @@ DseResult RunVanillaOpenTuner(const DesignSpace& space,
                               const EvalFn& evaluate,
                               double time_limit_minutes, int num_cores,
                               std::uint64_t seed) {
+  S2FA_SPAN("dse.vanilla");
   TuneOptions topt;
   topt.time_limit_minutes = time_limit_minutes;
   topt.parallel = num_cores;
@@ -189,7 +206,7 @@ DseResult RunVanillaOpenTuner(const DesignSpace& space,
   result.best_cost = tuned.best_cost;
   result.elapsed_minutes = tuned.elapsed_minutes;
   result.evaluations = tuned.evaluations;
-  result.trace = tuned.trace;
+  result.trace = tuner::DedupTrace(tuned.trace);
   PartitionOutcome outcome;
   outcome.description = "full space (vanilla OpenTuner)";
   outcome.start_minutes = 0;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "support/error.h"
 
 namespace s2fa::dse {
@@ -46,6 +47,8 @@ std::function<bool(const tuner::ResultDatabase&)> MakeEntropyStop(
   auto state = std::make_shared<State>();
   return [num_factors, options, state](const tuner::ResultDatabase& db) {
     double h = UphillEntropy(db, num_factors);
+    S2FA_OBSERVE("dse.entropy", h);
+    S2FA_GAUGE("dse.entropy_last", h);
     if (state->last_entropy >= 0 &&
         std::fabs(h - state->last_entropy) <= options.theta) {
       ++state->stable;

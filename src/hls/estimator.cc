@@ -6,6 +6,7 @@
 
 #include "kir/analysis.h"
 #include "merlin/transform.h"
+#include "obs/obs.h"
 #include "support/error.h"
 
 namespace s2fa::hls {
@@ -456,7 +457,12 @@ double Utilization::MaxFraction() const {
 
 HlsResult EstimateHls(const kir::Kernel& kernel,
                       const EstimatorOptions& options) {
-  return Estimator(kernel, options).Run();
+  S2FA_SPAN("hls.estimate");
+  HlsResult result = Estimator(kernel, options).Run();
+  S2FA_COUNT("hls.estimates", 1);
+  if (!result.feasible) S2FA_COUNT("hls.infeasible", 1);
+  S2FA_OBSERVE("hls.eval_minutes", result.eval_minutes);
+  return result;
 }
 
 }  // namespace s2fa::hls

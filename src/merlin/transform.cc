@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kir/analysis.h"
+#include "obs/obs.h"
 #include "support/error.h"
 
 namespace s2fa::merlin {
@@ -72,7 +73,13 @@ std::vector<std::string> ValidateConfig(const kir::Kernel& kernel,
 
 TransformResult ApplyDesign(const kir::Kernel& kernel,
                             const DesignConfig& config) {
+  S2FA_SPAN("merlin.apply");
+  S2FA_COUNT("merlin.applies", 1);
+  S2FA_COUNT("merlin.factors_applied",
+             static_cast<std::int64_t>(config.loops.size() +
+                                       config.buffer_bits.size()));
   std::vector<std::string> violations = ValidateConfig(kernel, config);
+  if (!violations.empty()) S2FA_COUNT("merlin.rejected_configs", 1);
   if (!violations.empty()) {
     throw InvalidArgument("illegal design config: " + violations.front() +
                           (violations.size() > 1

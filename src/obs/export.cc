@@ -1,0 +1,438 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string_view>
+#include <variant>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace s2fa::obs {
+
+namespace {
+
+// ------------------------------------------------------- JSON writing
+
+// Shortest representation that round-trips a double exactly.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+// ------------------------------------------------------- JSON parsing
+//
+// A minimal recursive-descent parser for the subset the exporters emit:
+// objects, strings, numbers, and null. Enough for exact round-trips and
+// for `s2fa report` to read summaries back.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<double, std::string, JsonObject> data;
+
+  bool is_number() const { return std::holds_alternative<double>(data); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(data); }
+  double number() const {
+    if (!is_number()) throw MalformedInput("obs: JSON value is not a number");
+    return std::get<double>(data);
+  }
+  const std::string& string() const {
+    if (!std::holds_alternative<std::string>(data)) {
+      throw MalformedInput("obs: JSON value is not a string");
+    }
+    return std::get<std::string>(data);
+  }
+  const JsonObject& object() const {
+    if (!is_object()) throw MalformedInput("obs: JSON value is not an object");
+    return std::get<JsonObject>(data);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      throw MalformedInput("obs: trailing JSON content at offset " +
+                           std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) throw MalformedInput("obs: truncated JSON");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw MalformedInput(std::string("obs: expected '") + c +
+                           "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    char c = Peek();
+    if (c == '{') return JsonValue{ParseObject()};
+    if (c == '"') return JsonValue{ParseString()};
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") {
+        throw MalformedInput("obs: bad JSON literal");
+      }
+      pos_ += 4;
+      return JsonValue{std::numeric_limits<double>::quiet_NaN()};
+    }
+    return JsonValue{ParseNumber()};
+  }
+
+  JsonObject ParseObject() {
+    Expect('{');
+    JsonObject object;
+    if (Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      std::string key = ParseString();
+      Expect(':');
+      object.emplace(std::move(key), ParseValue());
+      char c = Peek();
+      ++pos_;
+      if (c == '}') return object;
+      if (c != ',') {
+        throw MalformedInput("obs: expected ',' or '}' at offset " +
+                             std::to_string(pos_ - 1));
+      }
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw MalformedInput("obs: truncated \\u escape");
+            }
+            int code = std::stoi(std::string(text_.substr(pos_, 4)), nullptr,
+                                 16);
+            pos_ += 4;
+            out += static_cast<char>(code);
+            break;
+          }
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) throw MalformedInput("obs: unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double ParseNumber() {
+    SkipWhitespace();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) {
+      throw MalformedInput("obs: expected JSON number at offset " +
+                           std::to_string(pos_));
+    }
+    double value = std::stod(std::string(text_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string FormatMicros(double us) {
+  if (us >= 1e6) return FormatDouble(us / 1e6, 2) + " s";
+  if (us >= 1e3) return FormatDouble(us / 1e3, 2) + " ms";
+  return FormatDouble(us, 1) + " us";
+}
+
+}  // namespace
+
+Summary BuildSummary(const MetricsSnapshot& metrics,
+                     const std::vector<SpanEvent>& events) {
+  Summary summary;
+  summary.metrics = metrics;
+  std::map<std::string, SpanStats> spans;
+  for (const SpanEvent& event : events) {
+    SpanStats& stats = spans[event.name];
+    ++stats.count;
+    stats.total_us += static_cast<double>(event.duration_us);
+    stats.max_us =
+        std::max(stats.max_us, static_cast<double>(event.duration_us));
+  }
+  for (auto& [name, stats] : spans) {
+    stats.mean_us =
+        stats.count > 0 ? stats.total_us / static_cast<double>(stats.count)
+                        : 0;
+    summary.spans.emplace_back(name, stats);
+  }
+  return summary;
+}
+
+Summary CaptureSummary() {
+  return BuildSummary(Registry::Global().Snapshot(),
+                      Tracer::Global().Events());
+}
+
+std::string RenderTraceJsonl(const std::vector<SpanEvent>& events) {
+  std::string out;
+  for (const SpanEvent& event : events) {
+    out += "{\"name\":" + JsonString(event.name) +
+           ",\"tid\":" + std::to_string(event.thread_id) +
+           ",\"depth\":" + std::to_string(event.depth) +
+           ",\"start_us\":" + std::to_string(event.start_us) +
+           ",\"dur_us\":" + std::to_string(event.duration_us) + "}\n";
+  }
+  return out;
+}
+
+std::vector<SpanEvent> ParseTraceJsonl(const std::string& text) {
+  std::vector<SpanEvent> events;
+  for (std::string_view line : Split(text, '\n')) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    JsonValue value = JsonParser(line).Parse();
+    const JsonObject& object = value.object();
+    SpanEvent event;
+    event.name = object.at("name").string();
+    event.thread_id = static_cast<int>(object.at("tid").number());
+    event.depth = static_cast<int>(object.at("depth").number());
+    event.start_us =
+        static_cast<std::uint64_t>(object.at("start_us").number());
+    event.duration_us =
+        static_cast<std::uint64_t>(object.at("dur_us").number());
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::string RenderSummaryJson(const Summary& summary) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : summary.metrics.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : summary.metrics.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": " + JsonNumber(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : summary.metrics.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": {\"count\": " +
+           std::to_string(h.count) + ", \"min\": " + JsonNumber(h.min) +
+           ", \"max\": " + JsonNumber(h.max) +
+           ", \"mean\": " + JsonNumber(h.mean) +
+           ", \"p50\": " + JsonNumber(h.p50) +
+           ", \"p95\": " + JsonNumber(h.p95) +
+           ", \"p99\": " + JsonNumber(h.p99) + "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [name, s] : summary.spans) {
+    out += first ? "\n" : ",\n";
+    out += "    " + JsonString(name) + ": {\"count\": " +
+           std::to_string(s.count) +
+           ", \"total_us\": " + JsonNumber(s.total_us) +
+           ", \"mean_us\": " + JsonNumber(s.mean_us) +
+           ", \"max_us\": " + JsonNumber(s.max_us) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Summary ParseSummaryJson(const std::string& text) {
+  JsonValue root = JsonParser(text).Parse();
+  const JsonObject& object = root.object();
+  Summary summary;
+  if (auto it = object.find("counters"); it != object.end()) {
+    for (const auto& [name, value] : it->second.object()) {
+      summary.metrics.counters[name] =
+          static_cast<std::int64_t>(value.number());
+    }
+  }
+  if (auto it = object.find("gauges"); it != object.end()) {
+    for (const auto& [name, value] : it->second.object()) {
+      summary.metrics.gauges[name] = value.number();
+    }
+  }
+  if (auto it = object.find("histograms"); it != object.end()) {
+    for (const auto& [name, value] : it->second.object()) {
+      const JsonObject& h = value.object();
+      HistogramStats stats;
+      stats.count = static_cast<std::size_t>(h.at("count").number());
+      stats.min = h.at("min").number();
+      stats.max = h.at("max").number();
+      stats.mean = h.at("mean").number();
+      stats.p50 = h.at("p50").number();
+      stats.p95 = h.at("p95").number();
+      stats.p99 = h.at("p99").number();
+      summary.metrics.histograms[name] = stats;
+    }
+  }
+  if (auto it = object.find("spans"); it != object.end()) {
+    for (const auto& [name, value] : it->second.object()) {
+      const JsonObject& s = value.object();
+      SpanStats stats;
+      stats.count = static_cast<std::size_t>(s.at("count").number());
+      stats.total_us = s.at("total_us").number();
+      stats.mean_us = s.at("mean_us").number();
+      stats.max_us = s.at("max_us").number();
+      summary.spans.emplace_back(name, stats);
+    }
+  }
+  return summary;
+}
+
+std::string RenderSummaryTable(const Summary& summary) {
+  std::string out;
+
+  if (!summary.spans.empty()) {
+    // Sorted by total time so the pipeline's hot stages lead the report.
+    std::vector<std::pair<std::string, SpanStats>> spans = summary.spans;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.total_us > b.second.total_us;
+                     });
+    TextTable table({"Span", "Count", "Total", "Mean", "Max"});
+    for (const auto& [name, s] : spans) {
+      table.AddRow({name, std::to_string(s.count), FormatMicros(s.total_us),
+                    FormatMicros(s.mean_us), FormatMicros(s.max_us)});
+    }
+    out += "=== pipeline spans (wall clock) ===\n" + table.Render();
+  }
+
+  if (!summary.metrics.counters.empty()) {
+    TextTable table({"Counter", "Value"});
+    for (const auto& [name, value] : summary.metrics.counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    out += "\n=== counters ===\n" + table.Render();
+  }
+
+  if (!summary.metrics.gauges.empty()) {
+    TextTable table({"Gauge", "Value"});
+    for (const auto& [name, value] : summary.metrics.gauges) {
+      table.AddRow({name, FormatDouble(value, 3)});
+    }
+    out += "\n=== gauges ===\n" + table.Render();
+  }
+
+  if (!summary.metrics.histograms.empty()) {
+    TextTable table(
+        {"Histogram", "Count", "Min", "Mean", "p50", "p95", "p99", "Max"});
+    for (const auto& [name, h] : summary.metrics.histograms) {
+      table.AddRow({name, std::to_string(h.count), FormatDouble(h.min, 3),
+                    FormatDouble(h.mean, 3), FormatDouble(h.p50, 3),
+                    FormatDouble(h.p95, 3), FormatDouble(h.p99, 3),
+                    FormatDouble(h.max, 3)});
+    }
+    out += "\n=== histograms ===\n" + table.Render();
+  }
+
+  if (out.empty()) out = "(no observability data recorded)\n";
+  return out;
+}
+
+void WriteTraceFile(const std::string& path,
+                    const std::vector<SpanEvent>& events) {
+  std::ofstream file(path);
+  if (!file) throw Error("obs: cannot open trace file " + path);
+  file << RenderTraceJsonl(events);
+  if (!file.good()) throw Error("obs: failed writing trace file " + path);
+}
+
+void WriteSummaryFile(const std::string& path, const Summary& summary) {
+  std::ofstream file(path);
+  if (!file) throw Error("obs: cannot open metrics file " + path);
+  file << RenderSummaryJson(summary);
+  if (!file.good()) throw Error("obs: failed writing metrics file " + path);
+}
+
+}  // namespace s2fa::obs

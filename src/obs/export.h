@@ -1,0 +1,54 @@
+// Exporters for the obs layer:
+//   * JSONL span trace — one event per line, loadable by any trace viewer
+//     or by ParseTraceJsonl for round-trip tests;
+//   * aggregated JSON summary — counters, gauges, histogram percentiles,
+//     and per-span-name timing rollups (the `s2fa report` input);
+//   * human-readable ASCII tables via support/table.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace s2fa::obs {
+
+// Per-span-name rollup of trace events.
+struct SpanStats {
+  std::size_t count = 0;
+  double total_us = 0;
+  double mean_us = 0;
+  double max_us = 0;
+};
+
+struct Summary {
+  MetricsSnapshot metrics;
+  std::vector<std::pair<std::string, SpanStats>> spans;  // sorted by name
+};
+
+// Aggregates the current global registry + tracer state (non-destructive).
+Summary CaptureSummary();
+Summary BuildSummary(const MetricsSnapshot& metrics,
+                     const std::vector<SpanEvent>& events);
+
+// --- JSONL trace ---
+std::string RenderTraceJsonl(const std::vector<SpanEvent>& events);
+// Throws MalformedInput on unparsable lines.
+std::vector<SpanEvent> ParseTraceJsonl(const std::string& text);
+
+// --- JSON summary ---
+std::string RenderSummaryJson(const Summary& summary);
+// Throws MalformedInput on unparsable input.
+Summary ParseSummaryJson(const std::string& text);
+
+// --- ASCII report (support/table.h) ---
+// Pipeline-breakdown tables: spans (sorted by total time), counters,
+// gauges, histograms.
+std::string RenderSummaryTable(const Summary& summary);
+
+// Convenience file writers; throw Error on I/O failure.
+void WriteTraceFile(const std::string& path,
+                    const std::vector<SpanEvent>& events);
+void WriteSummaryFile(const std::string& path, const Summary& summary);
+
+}  // namespace s2fa::obs

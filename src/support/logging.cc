@@ -1,5 +1,9 @@
 #include "support/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
@@ -7,25 +11,72 @@ namespace s2fa {
 
 namespace {
 
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Anchor the clock as early as static initialization runs.
+const auto g_clock_anchor = ProcessStart();
+
+std::atomic<int> g_thread_counter{0};
+
+// Parsed exactly once; invalid values are rejected with a warning rather
+// than silently mapping to kOff via atoi.
 LogLevel InitialLevel() {
-  if (const char* env = std::getenv("S2FA_LOG_LEVEL")) {
-    int v = std::atoi(env);
-    if (v >= 0 && v <= 4) return static_cast<LogLevel>(v);
-  }
+  const char* env = std::getenv("S2FA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::optional<LogLevel> level = ParseLogLevel(env)) return *level;
+  std::fprintf(stderr,
+               "[s2fa WARN] invalid S2FA_LOG_LEVEL '%s' "
+               "(expected 0-4 or off/error/warn/info/debug); logging off\n",
+               env);
   return LogLevel::kOff;
 }
 
-const char* LevelName(LogLevel level) {
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
-    case LogLevel::kError: return "ERROR";
-    case LogLevel::kWarn: return "WARN";
-    case LogLevel::kInfo: return "INFO";
-    case LogLevel::kDebug: return "DEBUG";
-    default: return "?";
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
   }
+  return "off";
 }
 
-}  // namespace
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "0" || lower == "off") return LogLevel::kOff;
+  if (lower == "1" || lower == "error") return LogLevel::kError;
+  if (lower == "2" || lower == "warn") return LogLevel::kWarn;
+  if (lower == "3" || lower == "info") return LogLevel::kInfo;
+  if (lower == "4" || lower == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+std::uint64_t MonotonicMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ProcessStart())
+          .count());
+}
+
+double MonotonicMillis() {
+  return static_cast<double>(MonotonicMicros()) / 1000.0;
+}
+
+int CurrentThreadId() {
+  thread_local const int id = ++g_thread_counter;
+  return id;
+}
 
 LogLevel Logger::level_ = InitialLevel();
 std::mutex Logger::mutex_;
@@ -38,8 +89,13 @@ void Logger::SetLevel(LogLevel level) {
 LogLevel Logger::GetLevel() { return level_; }
 
 void Logger::Write(LogLevel level, const std::string& message) {
+  const double ms = MonotonicMillis();
+  const int tid = CurrentThreadId();
   std::lock_guard<std::mutex> lock(mutex_);
-  std::cerr << "[s2fa " << LevelName(level) << "] " << message << "\n";
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[s2fa %s +%.1fms T%d] ",
+                LogLevelName(level), ms, tid);
+  std::cerr << prefix << message << "\n";
 }
 
 }  // namespace s2fa

@@ -1,15 +1,34 @@
 // Minimal leveled logging. Off by default so tests and benches stay quiet;
 // enable with Logger::SetLevel or the S2FA_LOG_LEVEL environment variable
-// (0=off, 1=error, 2=warn, 3=info, 4=debug).
+// (0=off, 1=error, 2=warn, 3=info, 4=debug — or the level names). Each line
+// carries a monotonic timestamp (ms since process start) and a small dense
+// thread id so interleaved partition-thread logs stay attributable.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace s2fa {
 
 enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+// Round-trip helpers shared by S2FA_LOG_LEVEL and the obs flag parsing:
+// LogLevelName(ParseLogLevel(s)) == canonical name. ParseLogLevel accepts
+// "0".."4" or the (case-insensitive) names off/error/warn/info/debug and
+// returns nullopt for anything else — garbage is rejected, not mapped to 0.
+const char* LogLevelName(LogLevel level);
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+// Monotonic clock anchored at process start, and a small dense id for the
+// calling thread (1 = first thread observed). Shared by the logger and the
+// obs tracer.
+std::uint64_t MonotonicMicros();
+double MonotonicMillis();
+int CurrentThreadId();
 
 class Logger {
  public:

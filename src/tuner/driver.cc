@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "support/error.h"
 #include "support/logging.h"
 
@@ -12,6 +13,8 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
   S2FA_REQUIRE(evaluate != nullptr, "no evaluation function");
   S2FA_REQUIRE(options.parallel >= 1, "need at least one evaluator");
   S2FA_REQUIRE(options.time_limit_minutes > 0, "time limit must be positive");
+
+  S2FA_SPAN("tuner.tune");
 
   Rng rng(options.seed);
   AucBandit bandit(DefaultTechniques(&space, options.seed));
@@ -26,6 +29,9 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
       space.ValidatePoint(seed.point);
       EvalOutcome outcome = evaluate(space.ToConfig(seed.point));
       batch_minutes = std::max(batch_minutes, outcome.eval_minutes);
+      S2FA_COUNT("tuner.evaluations", 1);
+      S2FA_COUNT("tuner.seed_evaluations", 1);
+      S2FA_OBSERVE("tuner.eval_minutes", outcome.eval_minutes);
       db.Add(seed.point, outcome.cost, outcome.feasible,
              clock_minutes + outcome.eval_minutes, /*technique=*/0);
       // Every technique starts from the seed knowledge.
@@ -41,6 +47,7 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
   }
 
   while (clock_minutes < options.time_limit_minutes) {
+    S2FA_SPAN("tuner.iteration");
     // Propose one batch.
     struct Pending {
       std::size_t technique;
@@ -66,6 +73,17 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
       bandit.technique(pending.technique)
           .Report(pending.point, outcome.cost, outcome.feasible);
       bandit.ReportOutcome(pending.technique, new_best);
+      if (obs::Enabled()) {
+        const std::string arm = bandit.technique(pending.technique).name();
+        S2FA_COUNT("tuner.evaluations", 1);
+        S2FA_COUNT("tuner.arm." + arm + ".selected", 1);
+        S2FA_OBSERVE("tuner.eval_minutes", outcome.eval_minutes);
+        if (new_best) {
+          S2FA_COUNT("tuner.best_updates", 1);
+          S2FA_COUNT("tuner.arm." + arm + ".best", 1);
+          S2FA_GAUGE("tuner.best_cost", db.best_cost());
+        }
+      }
     }
     clock_minutes += batch_minutes;
 
@@ -75,6 +93,7 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
     }
   }
   if (stop_reason.empty()) stop_reason = "time limit";
+  S2FA_COUNT("tuner.stop." + stop_reason, 1);
 
   TuneResult result;
   result.found_feasible = db.has_best();
@@ -86,7 +105,7 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
   result.elapsed_minutes = std::min(clock_minutes, options.time_limit_minutes);
   result.evaluations = db.size();
   result.stop_reason = stop_reason;
-  result.trace = db.trace();
+  result.trace = DedupTrace(db.trace());
   return result;
 }
 

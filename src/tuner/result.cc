@@ -4,6 +4,16 @@
 
 namespace s2fa::tuner {
 
+std::vector<TracePoint> DedupTrace(std::vector<TracePoint> trace) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (kept > 0 && trace[i].best_cost == trace[kept - 1].best_cost) continue;
+    trace[kept++] = trace[i];
+  }
+  trace.resize(kept);
+  return trace;
+}
+
 const Point& ResultDatabase::best() const {
   S2FA_REQUIRE(has_best_, "no feasible result recorded yet");
   return best_;

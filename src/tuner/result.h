@@ -33,6 +33,13 @@ struct TracePoint {
   double best_cost = kInfeasibleCost;
 };
 
+// Drops consecutive trace points whose best cost did not change, keeping
+// the earliest. Traces built by ResultDatabase are strictly improving
+// already; merged/clipped traces (DSE schedules, seed batches landing at
+// the same clock) can repeat a cost, and exporters want one point per
+// distinct best.
+std::vector<TracePoint> DedupTrace(std::vector<TracePoint> trace);
+
 class ResultDatabase {
  public:
   // Appends a result; computes changed_factors/improved. Returns whether

@@ -1,0 +1,59 @@
+// Compiled with S2FA_OBS_DISABLED to prove the macro surface folds to
+// no-ops: instrumented call sites cost nothing and record nothing, even
+// though the TU links against the normally-built obs library.
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+
+#ifndef S2FA_OBS_DISABLED
+#error "this test must be compiled with S2FA_OBS_DISABLED"
+#endif
+
+namespace s2fa::obs {
+namespace {
+
+static_assert(!Enabled(), "disabled obs must fold Enabled() to false");
+static_assert(S2FA_OBS_ENABLED == 0, "gate macro must be off");
+
+TEST(ObsDisabledTest, MacrosAreNoOps) {
+  Registry::Global().Reset();
+  Tracer::Global().Reset();
+  SetEnabled(true);  // inert: the compile-time gate wins
+
+  S2FA_COUNT("never", 1);
+  S2FA_GAUGE("never_gauge", 1.0);
+  S2FA_GAUGE_MAX("never_max", 1.0);
+  S2FA_OBSERVE("never_hist", 1.0);
+  { S2FA_SPAN("never_span"); }
+
+  MetricsSnapshot snapshot = Registry::Global().Snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+}
+
+TEST(ObsDisabledTest, MacroArgumentsAreNotEvaluated) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  S2FA_COUNT("side_effect", touch());
+  S2FA_OBSERVE("side_effect_hist", static_cast<double>(touch()));
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsDisabledTest, ExportOfEmptyStateStillWorks) {
+  Summary summary = CaptureSummary();
+  EXPECT_TRUE(summary.spans.empty());
+  EXPECT_EQ(RenderSummaryTable(summary),
+            "(no observability data recorded)\n");
+  Summary parsed = ParseSummaryJson(RenderSummaryJson(summary));
+  EXPECT_TRUE(parsed.metrics.counters.empty());
+  EXPECT_TRUE(parsed.spans.empty());
+}
+
+}  // namespace
+}  // namespace s2fa::obs

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/logging.h"
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -240,6 +241,49 @@ TEST(ThreadPoolTest, TasksRunConcurrently) {
   pool.Submit(rendezvous);
   pool.Wait();
   EXPECT_EQ(successes.load(), 2);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsDigitsAndNames) {
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("4"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsGarbage) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("5"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("-1"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("1 "), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("debugg"), std::nullopt);
+}
+
+TEST(LoggingTest, LogLevelNameRoundTrips) {
+  for (LogLevel level : {LogLevel::kOff, LogLevel::kError, LogLevel::kWarn,
+                         LogLevel::kInfo, LogLevel::kDebug}) {
+    EXPECT_EQ(ParseLogLevel(LogLevelName(level)), level);
+  }
+}
+
+TEST(LoggingTest, MonotonicClockAdvancesAndThreadIdsAreDense) {
+  const std::uint64_t a = MonotonicMicros();
+  const std::uint64_t b = MonotonicMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GE(MonotonicMillis(), 0.0);
+
+  const int self = CurrentThreadId();
+  EXPECT_GE(self, 1);
+  EXPECT_EQ(CurrentThreadId(), self);  // stable per thread
+  int other = 0;
+  {
+    ThreadPool pool(1);
+    pool.Submit([&other] { other = CurrentThreadId(); }).wait();
+  }
+  EXPECT_NE(other, self);
 }
 
 }  // namespace

@@ -12,10 +12,17 @@
 //       Build the accelerator (short DSE), execute a workload through the
 //       Blaze runtime, cross-check against the JVM baseline, and report
 //       the speedup.
+//   s2fa report <metrics.json>
+//       Render a metrics summary (written by --metrics-out) as tables.
+//
+// Global flags: --trace-out FILE --metrics-out FILE (enable the obs layer
+// and dump the span trace / aggregated summary), --log-level LEVEL.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,7 +30,10 @@
 #include "apps/jvm_baseline.h"
 #include "blaze/runtime.h"
 #include "kir/printer.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "s2fa/framework.h"
+#include "support/logging.h"
 #include "support/strings.h"
 #include "support/table.h"
 
@@ -40,6 +50,10 @@ struct Args {
     auto it = flags.find(flag);
     return it == flags.end() ? fallback : std::stod(it->second);
   }
+  std::string Str(const std::string& flag) const {
+    auto it = flags.find(flag);
+    return it == flags.end() ? std::string() : it->second;
+  }
 };
 
 Args Parse(int argc, char** argv) {
@@ -48,8 +62,12 @@ Args Parse(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       std::string name = arg.substr(2);
-      // Boolean flags take no value; numeric flags consume the next token.
-      if (name == "vanilla" || name == "no-seeds" || name == "no-partition") {
+      // Either --name=value, a bare boolean flag, or --name value.
+      std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        args.flags[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (name == "vanilla" || name == "no-seeds" ||
+                 name == "no-partition") {
         args.flags[name] = "1";
       } else if (i + 1 < argc) {
         args.flags[name] = argv[++i];
@@ -63,11 +81,27 @@ Args Parse(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: s2fa <list|compile|explore|run> [app] [flags]\n"
+               "usage: s2fa <list|compile|explore|run|report> [arg] [flags]\n"
                "  explore flags: --minutes N --cores N --seed N --vanilla "
                "--no-seeds --no-partition\n"
-               "  run flags:     --records N --seed N --minutes N\n");
+               "  run flags:     --records N --seed N --minutes N\n"
+               "  report:        s2fa report <metrics.json>\n"
+               "  global flags:  --trace-out FILE --metrics-out FILE "
+               "--log-level off|error|warn|info|debug\n");
   return 2;
+}
+
+int CmdReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  obs::Summary summary = obs::ParseSummaryJson(text.str());
+  std::printf("%s", obs::RenderSummaryTable(summary).c_str());
+  return 0;
 }
 
 int CmdList() {
@@ -222,14 +256,46 @@ int main(int argc, char** argv) {
   Args args = Parse(argc, argv);
   if (args.positional.empty()) return Usage();
   const std::string& cmd = args.positional[0];
+
+  if (args.Has("log-level")) {
+    auto level = ParseLogLevel(args.Str("log-level"));
+    if (!level) {
+      std::fprintf(stderr,
+                   "error: bad --log-level '%s' (expected 0-4 or "
+                   "off/error/warn/info/debug)\n",
+                   args.Str("log-level").c_str());
+      return 2;
+    }
+    Logger::SetLevel(*level);
+  }
+  const std::string trace_out = args.Str("trace-out");
+  const std::string metrics_out = args.Str("metrics-out");
+  if (!trace_out.empty() || !metrics_out.empty()) obs::SetEnabled(true);
+
   try {
-    if (cmd == "list") return CmdList();
-    if (args.positional.size() < 2) return Usage();
-    apps::App app = apps::FindApp(args.positional[1]);
-    if (cmd == "compile") return CmdCompile(app);
-    if (cmd == "explore") return CmdExplore(app, args);
-    if (cmd == "run") return CmdRun(app, args);
-    return Usage();
+    int rc;
+    if (cmd == "list") {
+      rc = CmdList();
+    } else if (args.positional.size() < 2) {
+      return Usage();
+    } else if (cmd == "report") {
+      return CmdReport(args.positional[1]);
+    } else {
+      apps::App app = apps::FindApp(args.positional[1]);
+      if (cmd == "compile") rc = CmdCompile(app);
+      else if (cmd == "explore") rc = CmdExplore(app, args);
+      else if (cmd == "run") rc = CmdRun(app, args);
+      else return Usage();
+    }
+    if (!trace_out.empty()) {
+      obs::WriteTraceFile(trace_out, obs::Tracer::Global().Events());
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::WriteSummaryFile(metrics_out, obs::CaptureSummary());
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+    }
+    return rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
