@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <memory>
 
 #include "obs/obs.h"
+#include "resilience/journal.h"
 #include "support/error.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
@@ -53,13 +55,38 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
   DseResult result;
   result.log10_space_size = space.Log10Cardinality();
 
+  // Fault-tolerance plumbing. Each scope ("train", "p0", "p1", ...) gets
+  // its own ResilientEvaluator so breaker state stays per-partition, and
+  // the journal keys evaluations per scope so a resumed run replays each
+  // thread's stream exactly, independent of scheduling.
+  const resilience::FaultPlan plan(options.faults);
+  resilience::EvalJournal journal;
+  if (!options.journal_path.empty()) journal.Open(options.journal_path);
+  auto make_guard = [&](const std::string& scope) {
+    resilience::ResilienceOptions ropt = options.resilience;
+    ropt.seed ^= options.seed;
+    return std::make_unique<resilience::ResilientEvaluator>(
+        plan.active() ? plan.Instrument(evaluate)
+                      : resilience::IgnoreAttempt(evaluate),
+        ropt, scope);
+  };
+  auto make_eval = [&](const std::string& scope,
+                       resilience::ResilientEvaluator& guard) -> EvalFn {
+    EvalFn fn = guard.AsEvalFn();
+    return journal.open() ? journal.Wrap(scope, std::move(fn))
+                          : std::move(fn);
+  };
+
   // --- 1. Partitioning (offline rule training; not charged to the clock).
   std::vector<Partition> partitions;
+  std::unique_ptr<resilience::ResilientEvaluator> train_guard;
   if (options.enable_partitioning) {
     S2FA_SPAN("dse.train");
     auto candidates = RuleCandidateFactors(space, kernel);
+    train_guard = make_guard("train");
+    EvalFn train_fn = make_eval("train", *train_guard);
     auto train_eval = [&](const Point& p) {
-      tuner::EvalOutcome out = evaluate(space.ToConfig(p));
+      tuner::EvalOutcome out = train_fn(space.ToConfig(p));
       return out.feasible ? std::log(std::max(1e-9, out.cost))
                           : options.partition.infeasible_log_cost;
     };
@@ -78,6 +105,8 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
   // --- 2. Per-partition tuning (full budget; clipped by the schedule).
   const bool single = partitions.size() == 1;
   std::vector<TuneResult> tune_results(partitions.size());
+  std::vector<std::unique_ptr<resilience::ResilientEvaluator>> guards(
+      partitions.size());
   {
     ThreadPool pool(static_cast<std::size_t>(
         std::max(1, std::min<int>(options.num_cores,
@@ -99,11 +128,16 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
       }
       topt.should_stop = MakeStop(options, partition.space.num_factors());
       topt.stop_reason_label = StopLabel(options.stop);
-      futures.push_back(pool.Submit([&partition, topt, &evaluate] {
-        // Runs on a worker thread; the span lands in that thread's buffer.
-        S2FA_SPAN("dse.partition");
-        return tuner::Tune(partition.space, evaluate, topt);
-      }));
+      const std::string scope = "p" + std::to_string(i);
+      guards[i] = make_guard(scope);
+      EvalFn guarded = make_eval(scope, *guards[i]);
+      futures.push_back(pool.Submit(
+          [&partition, topt, guarded = std::move(guarded)] {
+            // Runs on a worker thread; the span lands in that thread's
+            // buffer.
+            S2FA_SPAN("dse.partition");
+            return tuner::Tune(partition.space, guarded, topt);
+          }));
     }
     for (std::size_t i = 0; i < partitions.size(); ++i) {
       tune_results[i] = futures[i].get();
@@ -118,6 +152,8 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
     PartitionOutcome outcome;
     outcome.description = partitions[i].description;
     outcome.result = tune_results[i];
+    outcome.resilience = guards[i]->stats();
+    result.resilience.Merge(outcome.resilience);
 
     auto core = std::min_element(core_clock.begin(), core_clock.end());
     outcome.start_minutes = *core;
@@ -183,6 +219,24 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
     if (obs::Enabled() && outcome.scheduled) {
       S2FA_COUNT("dse.stop." + outcome.result.stop_reason, 1);
     }
+  }
+  if (train_guard != nullptr) {
+    result.resilience.Merge(train_guard->stats());
+  }
+  if (journal.open()) {
+    result.journal_resumed = journal.resumed();
+    result.journal_hits = journal.hits();
+    result.journal_entries = journal.entries();
+    S2FA_COUNT("dse.journal_hits",
+               static_cast<std::int64_t>(result.journal_hits));
+  }
+  if (result.resilience.exhausted > 0 || result.resilience.retries > 0) {
+    S2FA_LOG_INFO("dse resilience: " << result.resilience.retries
+                                     << " retries, "
+                                     << result.resilience.exhausted
+                                     << " points degraded, "
+                                     << result.resilience.breaker_trips
+                                     << " breaker trips");
   }
   return result;
 }

@@ -18,6 +18,8 @@
 #include "dse/partition.h"
 #include "dse/seeds.h"
 #include "dse/stopping.h"
+#include "resilience/evaluator.h"
+#include "resilience/fault.h"
 #include "tuner/driver.h"
 
 namespace s2fa::dse {
@@ -37,6 +39,19 @@ struct ExplorerOptions {
   // Ablation switches.
   bool enable_partitioning = true;
   bool enable_seeds = true;
+  // Fault tolerance. Every evaluation (training and tuning) runs through a
+  // ResilientEvaluator — one per partition, so a pathological region trips
+  // only its own circuit breaker. With the default options and a healthy
+  // evaluator this is a pass-through and results are unchanged.
+  resilience::ResilienceOptions resilience;
+  // Deterministic fault injection (all-zero rates = off). The plan wraps
+  // the black box *inside* the resilient layer, so injected failures are
+  // retried, classified, and charged like real ones.
+  resilience::FaultPlanOptions faults;
+  // When non-empty, every completed evaluation is journaled here and a
+  // pre-existing journal is replayed: a killed run resumed with the same
+  // options re-pays zero already-journaled synthesis jobs.
+  std::string journal_path;
 };
 
 struct PartitionOutcome {
@@ -47,6 +62,7 @@ struct PartitionOutcome {
   bool truncated = false;   // clipped by the global time limit
   tuner::TuneResult result; // full (unclipped) tuning result
   double clipped_best_cost = tuner::kInfeasibleCost;
+  resilience::ResilienceStats resilience;  // this partition's failure ledger
 };
 
 struct DseResult {
@@ -58,6 +74,10 @@ struct DseResult {
   std::vector<tuner::TracePoint> trace;  // merged best-so-far, global time
   std::vector<PartitionOutcome> partitions;
   double log10_space_size = 0;
+  resilience::ResilienceStats resilience;  // aggregated across partitions
+  std::size_t journal_resumed = 0;  // evaluations replayed from the journal
+  std::size_t journal_hits = 0;     // lookups it answered this run
+  std::size_t journal_entries = 0;  // total entries after the run
 };
 
 // Runs the full S2FA DSE for `kernel`'s design space. `evaluate` is the

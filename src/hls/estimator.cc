@@ -455,6 +455,22 @@ double Utilization::MaxFraction() const {
   return std::max(std::max(bram_frac, dsp_frac), std::max(ff_frac, lut_frac));
 }
 
+bool HlsResult::Plausible() const {
+  auto positive_finite = [](double v) { return std::isfinite(v) && v > 0; };
+  if (!positive_finite(eval_minutes)) return false;
+  if (!feasible) return true;  // an infeasible verdict carries no numbers
+  if (!positive_finite(cycles) || !positive_finite(freq_mhz) ||
+      !positive_finite(exec_us)) {
+    return false;
+  }
+  const double fracs[] = {util.bram_frac, util.dsp_frac, util.ff_frac,
+                          util.lut_frac};
+  for (double f : fracs) {
+    if (!(f >= 0 && f <= 1.0) || std::isnan(f)) return false;
+  }
+  return true;
+}
+
 HlsResult EstimateHls(const kir::Kernel& kernel,
                       const EstimatorOptions& options) {
   S2FA_SPAN("hls.estimate");

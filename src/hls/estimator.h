@@ -43,6 +43,13 @@ struct HlsResult {
   Utilization util;
   double eval_minutes = 0; // simulated HLS synthesis wall time
   std::vector<std::string> notes;
+
+  // Sanity check for results crossing a trust boundary (the real flow
+  // treats the HLS tool as an unreliable oracle): a feasible result must
+  // report positive finite cycles/frequency/latency, utilization fractions
+  // in [0, 1], and a positive finite synthesis time. The resilience layer
+  // classifies implausible results as garbage rather than acting on them.
+  bool Plausible() const;
 };
 
 struct EstimatorOptions {

@@ -1,0 +1,261 @@
+#include "resilience/evaluator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/obs.h"
+#include "resilience/fault.h"
+#include "support/logging.h"
+
+namespace s2fa::resilience {
+
+void ResilienceStats::Merge(const ResilienceStats& other) {
+  calls += other.calls;
+  attempts += other.attempts;
+  successes += other.successes;
+  crashes += other.crashes;
+  timeouts += other.timeouts;
+  garbage += other.garbage;
+  retries += other.retries;
+  exhausted += other.exhausted;
+  breaker_trips += other.breaker_trips;
+  short_circuits += other.short_circuits;
+  backoff_minutes += other.backoff_minutes;
+}
+
+EnvKnobs ReadEnvKnobs() {
+  EnvKnobs knobs;
+  auto number = [](const char* name) -> std::optional<double> {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+    char* end = nullptr;
+    double value = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || !std::isfinite(value)) {
+      S2FA_LOG_WARN("ignoring malformed " << name << "='" << raw << "'");
+      return std::nullopt;
+    }
+    return value;
+  };
+  if (auto v = number("S2FA_EVAL_TIMEOUT")) {
+    if (*v > 0) knobs.eval_timeout_minutes = *v;
+    else S2FA_LOG_WARN("ignoring non-positive S2FA_EVAL_TIMEOUT");
+  }
+  if (auto v = number("S2FA_EVAL_RETRIES")) {
+    if (*v >= 0) knobs.eval_retries = static_cast<int>(*v);
+    else S2FA_LOG_WARN("ignoring negative S2FA_EVAL_RETRIES");
+  }
+  if (auto v = number("S2FA_FAULT_RATE")) {
+    if (*v >= 0 && *v <= 1.0) knobs.fault_rate = *v;
+    else S2FA_LOG_WARN("ignoring out-of-range S2FA_FAULT_RATE");
+  }
+  if (const char* raw = std::getenv("S2FA_RESUME_JOURNAL")) {
+    if (raw[0] != '\0') knobs.resume_journal = std::string(raw);
+  }
+  return knobs;
+}
+
+ResilientEvaluator::ResilientEvaluator(AttemptEvalFn inner,
+                                       ResilienceOptions options,
+                                       std::string scope)
+    : inner_(std::move(inner)),
+      options_(options),
+      scope_(std::move(scope)) {
+  S2FA_REQUIRE(inner_ != nullptr, "no evaluation function");
+  S2FA_REQUIRE(options_.max_retries >= 0, "max_retries must be >= 0");
+  S2FA_REQUIRE(options_.deadline_minutes > 0, "deadline must be positive");
+  if (options_.wall_timeout_ms > 0) {
+    watchdog_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(
+        std::max(1, options_.watchdog_threads)));
+  }
+}
+
+ResilientEvaluator::ResilientEvaluator(tuner::EvalFn inner,
+                                       ResilienceOptions options,
+                                       std::string scope)
+    : ResilientEvaluator(IgnoreAttempt(std::move(inner)), options,
+                         std::move(scope)) {}
+
+double ResilientEvaluator::BackoffMinutes(const std::string& key,
+                                          int retry) const {
+  double delay = options_.backoff_base_minutes *
+                 std::pow(options_.backoff_multiplier, retry - 1);
+  delay = std::min(delay, options_.backoff_max_minutes);
+  // Deterministic jitter in [1-j, 1+j]: hashed, not drawn from shared RNG
+  // state, so concurrent partitions can't perturb each other's schedules.
+  const double u = detail::HashRoll(options_.seed ^ 0xBACC0FFULL, key, retry);
+  return delay * (1.0 + options_.backoff_jitter * (2.0 * u - 1.0));
+}
+
+tuner::EvalOutcome ResilientEvaluator::Attempt(
+    const merlin::DesignConfig& config, int attempt, FailureKind* failure,
+    double* charge) {
+  *failure = FailureKind::kNone;
+  *charge = 0;
+  tuner::EvalOutcome outcome;
+  try {
+    if (watchdog_ != nullptr) {
+      // The watchdog owns the attempt; a copy of the config rides along so
+      // an abandoned task never dangles. The abandoned task keeps a worker
+      // busy until it finishes on its own — bounded hangs only.
+      merlin::DesignConfig copy = config;
+      auto future = watchdog_->Submit(
+          [this, copy = std::move(copy), attempt] {
+            return inner_(copy, attempt);
+          });
+      if (future.wait_for(std::chrono::duration<double, std::milli>(
+              options_.wall_timeout_ms)) != std::future_status::ready) {
+        *failure = FailureKind::kTimeout;
+        *charge = options_.deadline_minutes;
+        return outcome;
+      }
+      outcome = future.get();
+    } else {
+      outcome = inner_(config, attempt);
+    }
+  } catch (const std::exception& e) {
+    *failure = FailureKind::kCrash;
+    *charge = options_.crash_charge_minutes;
+    S2FA_LOG_DEBUG("[" << scope_ << "] evaluator crash on attempt "
+                       << attempt << ": " << e.what());
+    return outcome;
+  }
+  if (outcome.eval_minutes > options_.deadline_minutes) {
+    // The job would still be running at the deadline; the watchdog kills
+    // it there, so the clock is charged exactly the deadline.
+    *failure = FailureKind::kTimeout;
+    *charge = options_.deadline_minutes;
+    return outcome;
+  }
+  if (GarbageOutcome(outcome)) {
+    *failure = FailureKind::kGarbageResult;
+    // The tool ran to completion before emitting junk; charge its claimed
+    // runtime when sane, the crash charge otherwise.
+    *charge = (std::isfinite(outcome.eval_minutes) &&
+               outcome.eval_minutes > 0)
+                  ? outcome.eval_minutes
+                  : options_.crash_charge_minutes;
+    return outcome;
+  }
+  return outcome;
+}
+
+tuner::EvalOutcome ResilientEvaluator::Evaluate(
+    const merlin::DesignConfig& config) {
+  if (!options_.enabled) {
+    tuner::EvalOutcome outcome = inner_(config, 0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
+    ++stats_.attempts;
+    ++stats_.successes;
+    return outcome;
+  }
+
+  bool probe = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
+    if (breaker_remaining_ > 0) {
+      --breaker_remaining_;
+      ++stats_.short_circuits;
+      if (breaker_remaining_ == 0) half_open_ = true;
+      S2FA_COUNT("resilience.short_circuits", 1);
+      tuner::EvalOutcome rejected;
+      rejected.feasible = false;
+      rejected.cost = tuner::kInfeasibleCost;
+      rejected.eval_minutes = options_.short_circuit_minutes;
+      return rejected;
+    }
+    probe = half_open_;
+  }
+
+  const std::string key = config.ToString();
+  double charged = 0;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      const double delay = BackoffMinutes(key, attempt);
+      charged += delay;
+      S2FA_COUNT("resilience.retries", 1);
+      S2FA_OBSERVE("resilience.backoff_minutes", delay);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+      stats_.backoff_minutes += delay;
+    }
+    FailureKind failure = FailureKind::kNone;
+    double charge = 0;
+    tuner::EvalOutcome outcome = Attempt(config, attempt, &failure, &charge);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.attempts;
+    }
+    if (failure == FailureKind::kNone) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.successes;
+        consecutive_exhausted_ = 0;
+        half_open_ = false;
+      }
+      outcome.eval_minutes += charged;
+      return outcome;
+    }
+    charged += charge;
+    S2FA_COUNT(std::string("resilience.failure.") + FailureKindName(failure),
+               1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      switch (failure) {
+        case FailureKind::kCrash: ++stats_.crashes; break;
+        case FailureKind::kTimeout: ++stats_.timeouts; break;
+        case FailureKind::kGarbageResult: ++stats_.garbage; break;
+        case FailureKind::kNone: break;
+      }
+    }
+  }
+
+  // Retries exhausted: degrade gracefully and feed the circuit breaker.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.exhausted;
+    ++consecutive_exhausted_;
+    const bool trip =
+        probe || consecutive_exhausted_ >= options_.breaker_threshold;
+    if (trip && options_.breaker_cooldown > 0) {
+      breaker_remaining_ = options_.breaker_cooldown;
+      consecutive_exhausted_ = 0;
+      half_open_ = false;
+      ++stats_.breaker_trips;
+      S2FA_COUNT("resilience.breaker_trips", 1);
+      S2FA_LOG_WARN("[" << scope_ << "] circuit breaker tripped; "
+                        << "short-circuiting the next "
+                        << options_.breaker_cooldown << " evaluations");
+    }
+  }
+  S2FA_COUNT("resilience.exhausted", 1);
+  S2FA_LOG_DEBUG("[" << scope_ << "] retries exhausted for " << key
+                     << "; degrading to infeasible after " << charged
+                     << " simulated minutes");
+  tuner::EvalOutcome degraded;
+  degraded.feasible = false;
+  degraded.cost = tuner::kInfeasibleCost;
+  degraded.eval_minutes = charged;
+  return degraded;
+}
+
+tuner::EvalFn ResilientEvaluator::AsEvalFn() {
+  return [this](const merlin::DesignConfig& config) {
+    return Evaluate(config);
+  };
+}
+
+ResilienceStats ResilientEvaluator::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool ResilientEvaluator::breaker_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaker_remaining_ > 0;
+}
+
+}  // namespace s2fa::resilience

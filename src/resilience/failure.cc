@@ -1,0 +1,39 @@
+#include "resilience/failure.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace s2fa::resilience {
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kCrash: return "crash";
+    case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kGarbageResult: return "garbage";
+  }
+  S2FA_UNREACHABLE("bad failure kind");
+}
+
+bool GarbageOutcome(const tuner::EvalOutcome& outcome) {
+  if (std::isnan(outcome.cost)) return true;
+  if (outcome.cost < 0) return true;
+  // A feasible design must have a finite objective.
+  if (outcome.feasible && !std::isfinite(outcome.cost)) return true;
+  // Synthesis took *some* positive, finite time; anything else means the
+  // tool's own accounting is broken. (The evaluator checks its deadline
+  // first, so a runaway eval_minutes under a finite deadline classifies as
+  // kTimeout before it ever reaches this test.)
+  if (!std::isfinite(outcome.eval_minutes) || outcome.eval_minutes <= 0) {
+    return true;
+  }
+  return false;
+}
+
+AttemptEvalFn IgnoreAttempt(tuner::EvalFn fn) {
+  return [fn = std::move(fn)](const merlin::DesignConfig& config,
+                              int /*attempt*/) { return fn(config); };
+}
+
+}  // namespace s2fa::resilience

@@ -1,5 +1,8 @@
 #include "s2fa/framework.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "kir/printer.h"
 #include "support/error.h"
 #include "support/logging.h"
@@ -18,6 +21,16 @@ tuner::EvalFn MakeHlsEvaluator(const kir::Kernel& kernel,
       merlin::TransformResult transformed = merlin::ApplyDesign(copy, config);
       hls::HlsResult hls_result = hls::EstimateHls(transformed.kernel,
                                                    options);
+      if (!hls_result.Plausible()) {
+        // The tool returned, but its numbers can't be trusted. Surface the
+        // outcome as garbage (NaN objective) so the resilience layer
+        // classifies it as kGarbageResult and retries instead of letting a
+        // corrupt result steer the search.
+        outcome.feasible = true;
+        outcome.cost = std::numeric_limits<double>::quiet_NaN();
+        outcome.eval_minutes = std::max(1.0, hls_result.eval_minutes);
+        return outcome;
+      }
       outcome.feasible = hls_result.feasible;
       // Objective: execution time, with a small area term that breaks ties
       // between equal-performance designs toward the cheaper one (the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "support/error.h"
 
@@ -73,7 +74,16 @@ std::size_t DesignSpace::FactorIndex(const std::string& name) const {
   for (std::size_t i = 0; i < factors.size(); ++i) {
     if (factors[i].name == name) return i;
   }
-  throw InvalidArgument("no factor named " + name);
+  std::ostringstream oss;
+  oss << "no factor named " << name << "; available factors:";
+  if (factors.empty()) {
+    oss << " (none)";
+  } else {
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      oss << (i == 0 ? " " : ", ") << factors[i].name;
+    }
+  }
+  throw InvalidArgument(oss.str());
 }
 
 void DesignSpace::ValidatePoint(const Point& point) const {

@@ -251,5 +251,90 @@ TEST(RuntimeTest, StatsBreakdownSumsToTotal) {
               1e-9);
 }
 
+// ------------------------------------------------------------ degradation
+
+Dataset DoublerInput(int n) {
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  for (int i = 0; i < n; ++i) x.data.push_back(Value::OfDouble(i));
+  input.AddColumn(x);
+  return input;
+}
+
+TEST(RuntimeTest, TransientFaultIsRetriedTransparently) {
+  jvm::ClassPool pool = MakePool();
+  Artifact artifact =
+      BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+  BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "doubler", artifact);
+  // Invocation 1 fails its first attempt only; the retry succeeds.
+  runtime.SetFaultInjector(
+      [](const std::string&, std::size_t invocation, int attempt) {
+        return invocation == 1 && attempt == 0;
+      });
+
+  ExecutionStats stats;
+  Dataset out = runtime.Map("doubler", DoublerInput(21), nullptr, &stats);
+  EXPECT_EQ(stats.accel_failures, 1u);
+  EXPECT_EQ(stats.accel_retries, 1u);
+  EXPECT_EQ(stats.host_fallbacks, 0u);
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.host_us, 0.0);
+  for (int i = 0; i < 21; ++i) {
+    EXPECT_DOUBLE_EQ(
+        out.ColumnByField("y").data[static_cast<std::size_t>(i)].AsDouble(),
+        2.0 * i);
+  }
+}
+
+TEST(RuntimeTest, PersistentFaultFallsBackToHost) {
+  jvm::ClassPool pool = MakePool();
+  Artifact artifact =
+      BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+  BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "doubler", artifact);
+  // Invocation 0 fails both attempts: that batch degrades to the host
+  // path, the rest stay on the accelerator — and the output is identical.
+  runtime.SetFaultInjector(
+      [](const std::string&, std::size_t invocation, int) {
+        return invocation == 0;
+      });
+
+  ExecutionStats stats;
+  Dataset out = runtime.Map("doubler", DoublerInput(21), nullptr, &stats);
+  EXPECT_EQ(stats.accel_failures, 2u);
+  EXPECT_EQ(stats.host_fallbacks, 1u);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_GT(stats.host_us, 0.0);
+  // The host path is functionally identical, just slower.
+  for (int i = 0; i < 21; ++i) {
+    EXPECT_DOUBLE_EQ(
+        out.ColumnByField("y").data[static_cast<std::size_t>(i)].AsDouble(),
+        2.0 * i);
+  }
+  // Fallback compute is charged at the host slowdown and included in total.
+  ExecutionStats clean_stats;
+  runtime.SetFaultInjector(nullptr);
+  runtime.Map("doubler", DoublerInput(21), nullptr, &clean_stats);
+  EXPECT_GT(stats.total_us, clean_stats.total_us);
+}
+
+TEST(RuntimeTest, RandomFaultInjectorIsDeterministic) {
+  EXPECT_EQ(MakeRandomFaultInjector(0.0, 1), nullptr);
+  AccelFaultInjector a = MakeRandomFaultInjector(0.5, 42);
+  AccelFaultInjector b = MakeRandomFaultInjector(0.5, 42);
+  int failures = 0;
+  for (std::size_t inv = 0; inv < 200; ++inv) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      EXPECT_EQ(a("id", inv, attempt), b("id", inv, attempt));
+      if (a("id", inv, attempt)) ++failures;
+    }
+  }
+  EXPECT_NEAR(failures / 400.0, 0.5, 0.1);
+  EXPECT_THROW(MakeRandomFaultInjector(1.5, 1), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace s2fa::blaze

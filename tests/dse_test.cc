@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "dse/explorer.h"
 #include "hls/estimator.h"
@@ -408,6 +413,144 @@ TEST(ExplorerTest, FcfsScheduleRespectsCoreBudget) {
   EXPECT_LE(total_span,
             options.num_cores * options.time_limit_minutes + 1e-9);
   EXPECT_LE(r.elapsed_minutes, options.time_limit_minutes + 1e-9);
+}
+
+// ------------------------------------------------------------ resilience
+
+TEST(ExplorerTest, SurvivesHeavyFaultInjection) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+
+  ExplorerOptions clean;
+  clean.time_limit_minutes = 120;
+  clean.seed = 9;
+  DseResult baseline = RunS2faDse(space, k, eval, clean);
+  ASSERT_TRUE(baseline.found_feasible);
+
+  // 30% of attempts fail, split across all three failure modes.
+  ExplorerOptions faulty = clean;
+  faulty.faults.crash_rate = 0.1;
+  faulty.faults.timeout_rate = 0.1;
+  faulty.faults.garbage_rate = 0.1;
+  faulty.faults.seed = 1234;
+  DseResult r = RunS2faDse(space, k, eval, faulty);
+
+  // The exploration completes and no partition aborted: every scheduled
+  // partition ran to a recorded stop reason.
+  ASSERT_TRUE(r.found_feasible);
+  for (const auto& p : r.partitions) {
+    if (p.scheduled) EXPECT_FALSE(p.result.stop_reason.empty());
+  }
+  // The resilience layer actually saw and absorbed failures.
+  EXPECT_GT(r.resilience.crashes + r.resilience.timeouts +
+                r.resilience.garbage,
+            0u);
+  EXPECT_GT(r.resilience.retries, 0u);
+  // Failures cost simulated time but the search still lands in the same
+  // cost regime as the fault-free run.
+  EXPECT_LE(r.best_cost, baseline.best_cost * 2.0);
+}
+
+TEST(ExplorerTest, FaultInjectedRunIsDeterministic) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 5;
+  options.faults.crash_rate = 0.1;
+  options.faults.timeout_rate = 0.1;
+  options.faults.garbage_rate = 0.1;
+  DseResult a = RunS2faDse(space, k, eval, options);
+  DseResult b = RunS2faDse(space, k, eval, options);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.elapsed_minutes, b.elapsed_minutes);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.resilience.crashes, b.resilience.crashes);
+  EXPECT_EQ(a.resilience.timeouts, b.resilience.timeouts);
+  EXPECT_EQ(a.resilience.garbage, b.resilience.garbage);
+  EXPECT_EQ(a.resilience.backoff_minutes, b.resilience.backoff_minutes);
+}
+
+TEST(ExplorerTest, JournalResumeRepaysZero) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  std::atomic<int> inner_calls{0};
+  tuner::EvalFn counting =
+      [&inner_calls, eval = HlsEval(k)](const merlin::DesignConfig& cfg) {
+        ++inner_calls;
+        return eval(cfg);
+      };
+
+  const std::string path =
+      testing::TempDir() + "s2fa_dse_journal_full.jsonl";
+  std::remove(path.c_str());
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 3;
+  options.journal_path = path;
+
+  DseResult first = RunS2faDse(space, k, counting, options);
+  const int paid = inner_calls.exchange(0);
+  EXPECT_GT(paid, 0);
+  EXPECT_GT(first.journal_entries, 0u);
+
+  // Resume against the complete journal: zero evaluations re-paid, and the
+  // result reproduces the uninterrupted run exactly.
+  DseResult resumed = RunS2faDse(space, k, counting, options);
+  EXPECT_EQ(inner_calls.load(), 0);
+  EXPECT_EQ(resumed.journal_resumed, first.journal_entries);
+  EXPECT_EQ(resumed.best_cost, first.best_cost);
+  EXPECT_EQ(resumed.elapsed_minutes, first.elapsed_minutes);
+  EXPECT_EQ(resumed.evaluations, first.evaluations);
+  std::remove(path.c_str());
+}
+
+TEST(ExplorerTest, TruncatedJournalResumesPartially) {
+  // Simulate a mid-run kill: keep only a prefix of the journal. The rerun
+  // must reproduce the uninterrupted result while re-paying exactly the
+  // evaluations the prefix is missing.
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  std::atomic<int> inner_calls{0};
+  tuner::EvalFn counting =
+      [&inner_calls, eval = HlsEval(k)](const merlin::DesignConfig& cfg) {
+        ++inner_calls;
+        return eval(cfg);
+      };
+
+  const std::string path =
+      testing::TempDir() + "s2fa_dse_journal_prefix.jsonl";
+  std::remove(path.c_str());
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 3;
+  options.journal_path = path;
+  DseResult first = RunS2faDse(space, k, counting, options);
+  inner_calls.store(0);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), first.journal_entries);
+  const std::size_t kept = lines.size() / 2;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < kept; ++i) out << lines[i] << '\n';
+  }
+
+  DseResult resumed = RunS2faDse(space, k, counting, options);
+  EXPECT_EQ(resumed.journal_resumed, kept);
+  EXPECT_EQ(static_cast<std::size_t>(inner_calls.load()),
+            lines.size() - kept);
+  EXPECT_EQ(resumed.best_cost, first.best_cost);
+  EXPECT_EQ(resumed.elapsed_minutes, first.elapsed_minutes);
+  EXPECT_EQ(resumed.evaluations, first.evaluations);
+  std::remove(path.c_str());
 }
 
 TEST(ExplorerTest, TraceIsMonotone) {

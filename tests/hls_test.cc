@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "hls/estimator.h"
 #include "kir/analysis.h"
 #include "merlin/transform.h"
@@ -93,6 +95,33 @@ TEST(HlsTest, BaselineIsFeasibleAndSequential) {
   EXPECT_GT(r.freq_mhz, 100.0);
   EXPECT_LT(r.util.MaxFraction(), 0.2);
   EXPECT_GT(r.eval_minutes, 0.0);
+}
+
+TEST(HlsTest, PlausibleSanityChecksResults) {
+  HlsResult r = EstimateHls(StreamKernel());
+  EXPECT_TRUE(r.Plausible());
+
+  HlsResult nan_cycles = r;
+  nan_cycles.cycles = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(nan_cycles.Plausible());
+
+  HlsResult zero_freq = r;
+  zero_freq.freq_mhz = 0;
+  EXPECT_FALSE(zero_freq.Plausible());
+
+  HlsResult wild_util = r;
+  wild_util.util.lut_frac = 1.7;  // >100% from a tool claiming feasibility
+  EXPECT_FALSE(wild_util.Plausible());
+
+  HlsResult no_minutes = r;
+  no_minutes.eval_minutes = 0;
+  EXPECT_FALSE(no_minutes.Plausible());
+
+  // An infeasible verdict is a sane answer: only the runtime needs to hold.
+  HlsResult infeasible;
+  infeasible.feasible = false;
+  infeasible.eval_minutes = 2.0;
+  EXPECT_TRUE(infeasible.Plausible());
 }
 
 TEST(HlsTest, PipeliningCutsCycles) {

@@ -1,0 +1,549 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "resilience/evaluator.h"
+#include "resilience/fault.h"
+#include "resilience/journal.h"
+
+namespace s2fa::resilience {
+namespace {
+
+using merlin::DesignConfig;
+using tuner::EvalOutcome;
+
+// A distinct config per index (the resilience layer only looks at keys).
+DesignConfig MakeConfig(int i) {
+  DesignConfig config;
+  config.loops[0].tile = 1;
+  config.loops[0].parallel = 1 << (i % 5);
+  config.buffer_bits["in"] = 32 << (i % 3);
+  return config;
+}
+
+EvalOutcome GoodOutcome(double cost = 100.0, double minutes = 5.0) {
+  EvalOutcome out;
+  out.feasible = true;
+  out.cost = cost;
+  out.eval_minutes = minutes;
+  return out;
+}
+
+ResilienceOptions NoJitterOptions() {
+  ResilienceOptions options;
+  options.backoff_jitter = 0;
+  options.backoff_base_minutes = 0.5;
+  options.backoff_multiplier = 2.0;
+  return options;
+}
+
+// ------------------------------------------------------------- taxonomy
+
+TEST(FailureTest, GarbageOutcomeDetection) {
+  EXPECT_FALSE(GarbageOutcome(GoodOutcome()));
+
+  EvalOutcome infeasible;  // a clean "no" is a valid answer, not garbage
+  infeasible.feasible = false;
+  infeasible.cost = tuner::kInfeasibleCost;
+  infeasible.eval_minutes = 3.0;
+  EXPECT_FALSE(GarbageOutcome(infeasible));
+
+  EvalOutcome nan_cost = GoodOutcome();
+  nan_cost.cost = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(GarbageOutcome(nan_cost));
+
+  EvalOutcome negative = GoodOutcome();
+  negative.cost = -1.0;
+  EXPECT_TRUE(GarbageOutcome(negative));
+
+  EvalOutcome feasible_inf = GoodOutcome();
+  feasible_inf.cost = tuner::kInfeasibleCost;
+  EXPECT_TRUE(GarbageOutcome(feasible_inf));
+
+  EvalOutcome zero_minutes = GoodOutcome();
+  zero_minutes.eval_minutes = 0;
+  EXPECT_TRUE(GarbageOutcome(zero_minutes));
+
+  EvalOutcome inf_minutes = GoodOutcome();
+  inf_minutes.eval_minutes = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(GarbageOutcome(inf_minutes));
+}
+
+TEST(FailureTest, KindNames) {
+  EXPECT_STREQ(FailureKindName(FailureKind::kNone), "none");
+  EXPECT_STREQ(FailureKindName(FailureKind::kCrash), "crash");
+  EXPECT_STREQ(FailureKindName(FailureKind::kTimeout), "timeout");
+  EXPECT_STREQ(FailureKindName(FailureKind::kGarbageResult), "garbage");
+}
+
+// ------------------------------------------------------------ fault plan
+
+TEST(FaultPlanTest, InactiveByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_EQ(plan.Decide("anything", 0), FailureKind::kNone);
+}
+
+TEST(FaultPlanTest, DeterministicAcrossInstancesAndCallOrder) {
+  FaultPlanOptions options;
+  options.crash_rate = 0.1;
+  options.timeout_rate = 0.1;
+  options.garbage_rate = 0.1;
+  options.seed = 42;
+  FaultPlan a(options), b(options);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = MakeConfig(i).ToString();
+    // b queried in reverse attempt order: decisions are stateless.
+    EXPECT_EQ(a.Decide(key, 0), b.Decide(key, 0)) << key;
+    EXPECT_EQ(a.Decide(key, 3), b.Decide(key, 3)) << key;
+  }
+}
+
+TEST(FaultPlanTest, RatesRoughlyRespected) {
+  FaultPlanOptions options;
+  options.crash_rate = 0.3;
+  options.timeout_rate = 0.0;
+  options.garbage_rate = 0.0;
+  options.seed = 7;
+  FaultPlan plan(options);
+  int crashes = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (plan.Decide("key" + std::to_string(i), 0) == FailureKind::kCrash) {
+      ++crashes;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(crashes) / n, 0.3, 0.05);
+}
+
+TEST(FaultPlanTest, InstrumentInjectsEveryKind) {
+  FaultPlanOptions options;
+  options.seed = 5;
+  // One kind at a time so the first injected failure is unambiguous.
+  for (FailureKind kind : {FailureKind::kCrash, FailureKind::kTimeout,
+                           FailureKind::kGarbageResult}) {
+    options.crash_rate = kind == FailureKind::kCrash ? 1.0 : 0.0;
+    options.timeout_rate = kind == FailureKind::kTimeout ? 1.0 : 0.0;
+    options.garbage_rate = kind == FailureKind::kGarbageResult ? 1.0 : 0.0;
+    FaultPlan plan(options);
+    AttemptEvalFn fn = plan.Instrument(
+        [](const DesignConfig&) { return GoodOutcome(); });
+    if (kind == FailureKind::kCrash) {
+      EXPECT_THROW(fn(MakeConfig(0), 0), InjectedCrash);
+    } else if (kind == FailureKind::kTimeout) {
+      EvalOutcome out = fn(MakeConfig(0), 0);
+      EXPECT_TRUE(std::isinf(out.eval_minutes));
+    } else {
+      EvalOutcome out = fn(MakeConfig(0), 0);
+      EXPECT_TRUE(std::isnan(out.cost));
+    }
+  }
+}
+
+TEST(FaultPlanTest, RejectsBadRates) {
+  FaultPlanOptions options;
+  options.crash_rate = 0.7;
+  options.timeout_rate = 0.7;
+  EXPECT_THROW(FaultPlan{options}, InvalidArgument);
+  options.timeout_rate = -0.1;
+  EXPECT_THROW(FaultPlan{options}, InvalidArgument);
+}
+
+// ----------------------------------------------------------- evaluator
+
+TEST(ResilientEvaluatorTest, SuccessPassesThroughUnchanged) {
+  ResilientEvaluator eval(
+      tuner::EvalFn([](const DesignConfig&) { return GoodOutcome(42.0, 7.0); }),
+      NoJitterOptions());
+  EvalOutcome out = eval.Evaluate(MakeConfig(0));
+  EXPECT_TRUE(out.feasible);
+  EXPECT_EQ(out.cost, 42.0);
+  EXPECT_EQ(out.eval_minutes, 7.0);
+  ResilienceStats stats = eval.stats();
+  EXPECT_EQ(stats.calls, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(ResilientEvaluatorTest, LegitimateInfeasibleIsNotRetried) {
+  int calls = 0;
+  ResilientEvaluator eval(tuner::EvalFn([&](const DesignConfig&) {
+                            ++calls;
+                            EvalOutcome out;
+                            out.feasible = false;
+                            out.cost = tuner::kInfeasibleCost;
+                            out.eval_minutes = 3.0;
+                            return out;
+                          }),
+                          NoJitterOptions());
+  EvalOutcome out = eval.Evaluate(MakeConfig(0));
+  EXPECT_FALSE(out.feasible);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(eval.stats().retries, 0u);
+  EXPECT_EQ(eval.stats().successes, 1u);
+}
+
+TEST(ResilientEvaluatorTest, CrashRetriedThenSucceeds) {
+  ResilienceOptions options = NoJitterOptions();
+  options.crash_charge_minutes = 1.0;
+  ResilientEvaluator eval(
+      AttemptEvalFn([](const DesignConfig&, int attempt) {
+        if (attempt == 0) throw Error("boom");
+        return GoodOutcome(10.0, 5.0);
+      }),
+      options);
+  EvalOutcome out = eval.Evaluate(MakeConfig(0));
+  EXPECT_TRUE(out.feasible);
+  EXPECT_EQ(out.cost, 10.0);
+  // 1.0 crash charge + 0.5 backoff + 5.0 for the clean attempt.
+  EXPECT_DOUBLE_EQ(out.eval_minutes, 6.5);
+  ResilienceStats stats = eval.stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_DOUBLE_EQ(stats.backoff_minutes, 0.5);
+}
+
+TEST(ResilientEvaluatorTest, SimulatedTimeoutChargesTheDeadline) {
+  ResilienceOptions options = NoJitterOptions();
+  options.deadline_minutes = 60.0;
+  options.max_retries = 1;
+  ResilientEvaluator eval(
+      tuner::EvalFn([](const DesignConfig&) {
+        return GoodOutcome(10.0, 100.0);  // always blows the deadline
+      }),
+      options);
+  EvalOutcome out = eval.Evaluate(MakeConfig(0));
+  EXPECT_FALSE(out.feasible);
+  EXPECT_EQ(out.cost, tuner::kInfeasibleCost);
+  // deadline + backoff(0.5) + deadline.
+  EXPECT_DOUBLE_EQ(out.eval_minutes, 120.5);
+  ResilienceStats stats = eval.stats();
+  EXPECT_EQ(stats.timeouts, 2u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(stats.successes, 0u);
+}
+
+TEST(ResilientEvaluatorTest, GarbageRetriedThenSucceeds) {
+  ResilientEvaluator eval(
+      AttemptEvalFn([](const DesignConfig&, int attempt) {
+        if (attempt == 0) {
+          EvalOutcome junk = GoodOutcome();
+          junk.cost = std::numeric_limits<double>::quiet_NaN();
+          junk.eval_minutes = 2.0;
+          return junk;
+        }
+        return GoodOutcome(20.0, 4.0);
+      }),
+      NoJitterOptions());
+  EvalOutcome out = eval.Evaluate(MakeConfig(0));
+  EXPECT_TRUE(out.feasible);
+  EXPECT_EQ(out.cost, 20.0);
+  // 2.0 wasted on the garbage run + 0.5 backoff + 4.0 clean.
+  EXPECT_DOUBLE_EQ(out.eval_minutes, 6.5);
+  EXPECT_EQ(eval.stats().garbage, 1u);
+}
+
+TEST(ResilientEvaluatorTest, ExhaustionDegradesGracefully) {
+  ResilienceOptions options = NoJitterOptions();
+  options.max_retries = 2;
+  options.crash_charge_minutes = 1.0;
+  int calls = 0;
+  ResilientEvaluator eval(tuner::EvalFn([&](const DesignConfig&) -> EvalOutcome {
+                            ++calls;
+                            throw Error("always fails");
+                          }),
+                          options);
+  EvalOutcome out = eval.Evaluate(MakeConfig(0));
+  EXPECT_FALSE(out.feasible);
+  EXPECT_EQ(out.cost, tuner::kInfeasibleCost);
+  EXPECT_EQ(calls, 3);  // 1 + max_retries
+  // 3 crash charges + backoffs 0.5 + 1.0.
+  EXPECT_DOUBLE_EQ(out.eval_minutes, 4.5);
+  ResilienceStats stats = eval.stats();
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(stats.crashes, 3u);
+}
+
+TEST(ResilientEvaluatorTest, BackoffJitterIsDeterministicAndBounded) {
+  ResilienceOptions options;
+  options.backoff_jitter = 0.25;
+  options.backoff_base_minutes = 1.0;
+  options.backoff_multiplier = 2.0;
+  options.backoff_max_minutes = 8.0;
+  options.max_retries = 1;
+  options.crash_charge_minutes = 0.0;
+  auto run = [&](int i) {
+    ResilientEvaluator eval(
+        tuner::EvalFn([](const DesignConfig&) -> EvalOutcome {
+          throw Error("nope");
+        }),
+        options);
+    return eval.Evaluate(MakeConfig(i)).eval_minutes;
+  };
+  for (int i = 0; i < 20; ++i) {
+    const double a = run(i), b = run(i);
+    EXPECT_DOUBLE_EQ(a, b);                      // deterministic replay
+    EXPECT_GE(a, 1.0 * 0.75);                    // within jitter bounds
+    EXPECT_LE(a, 1.0 * 1.25);
+  }
+}
+
+TEST(ResilientEvaluatorTest, CircuitBreakerTripsAndShortCircuits) {
+  ResilienceOptions options = NoJitterOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown = 3;
+  options.short_circuit_minutes = 0.05;
+  int calls = 0;
+  ResilientEvaluator eval(tuner::EvalFn([&](const DesignConfig&) -> EvalOutcome {
+                            ++calls;
+                            throw Error("dead region");
+                          }),
+                          options);
+  // Two exhausted points trip the breaker.
+  eval.Evaluate(MakeConfig(0));
+  eval.Evaluate(MakeConfig(1));
+  EXPECT_TRUE(eval.breaker_open());
+  EXPECT_EQ(eval.stats().breaker_trips, 1u);
+  // The next three calls are answered without touching the evaluator.
+  const int calls_before = calls;
+  for (int i = 2; i < 5; ++i) {
+    EvalOutcome out = eval.Evaluate(MakeConfig(i));
+    EXPECT_FALSE(out.feasible);
+    EXPECT_DOUBLE_EQ(out.eval_minutes, 0.05);
+  }
+  EXPECT_EQ(calls, calls_before);
+  EXPECT_EQ(eval.stats().short_circuits, 3u);
+  // Cooldown spent: the next call is a half-open probe; it fails, so the
+  // breaker re-trips immediately.
+  eval.Evaluate(MakeConfig(5));
+  EXPECT_EQ(calls, calls_before + 1);
+  EXPECT_TRUE(eval.breaker_open());
+  EXPECT_EQ(eval.stats().breaker_trips, 2u);
+}
+
+TEST(ResilientEvaluatorTest, CircuitBreakerClosesOnSuccessfulProbe) {
+  ResilienceOptions options = NoJitterOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown = 1;
+  int failures_left = 1;
+  ResilientEvaluator eval(tuner::EvalFn([&](const DesignConfig&) {
+                            if (failures_left-- > 0) throw Error("flaky");
+                            return GoodOutcome();
+                          }),
+                          options);
+  eval.Evaluate(MakeConfig(0));  // trips (threshold 1)
+  EXPECT_TRUE(eval.breaker_open());
+  eval.Evaluate(MakeConfig(1));  // short-circuited; cooldown spent
+  EvalOutcome probe = eval.Evaluate(MakeConfig(2));  // half-open probe: ok
+  EXPECT_TRUE(probe.feasible);
+  EXPECT_FALSE(eval.breaker_open());
+  // Healthy again: subsequent calls evaluate normally.
+  EXPECT_TRUE(eval.Evaluate(MakeConfig(3)).feasible);
+  EXPECT_EQ(eval.stats().breaker_trips, 1u);
+}
+
+TEST(ResilientEvaluatorTest, WallClockWatchdogTimesOut) {
+  ResilienceOptions options = NoJitterOptions();
+  options.wall_timeout_ms = 40;
+  options.deadline_minutes = 60.0;
+  options.max_retries = 0;
+  ResilientEvaluator eval(
+      AttemptEvalFn([](const DesignConfig&, int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        return GoodOutcome();
+      }),
+      options);
+  EvalOutcome out = eval.Evaluate(MakeConfig(0));
+  EXPECT_FALSE(out.feasible);
+  EXPECT_EQ(eval.stats().timeouts, 1u);
+  EXPECT_DOUBLE_EQ(out.eval_minutes, 60.0);  // charged the deadline
+}
+
+TEST(ResilientEvaluatorTest, DisabledLayerPropagatesExceptions) {
+  ResilienceOptions options;
+  options.enabled = false;
+  ResilientEvaluator eval(
+      tuner::EvalFn([](const DesignConfig&) -> EvalOutcome {
+        throw Error("raw");
+      }),
+      options);
+  EXPECT_THROW(eval.Evaluate(MakeConfig(0)), Error);
+}
+
+TEST(ResilientEvaluatorTest, InjectedFaultsReplayIdenticallyAcrossReruns) {
+  FaultPlanOptions fopt;
+  fopt.crash_rate = 0.15;
+  fopt.timeout_rate = 0.15;
+  fopt.garbage_rate = 0.15;
+  fopt.seed = 99;
+  FaultPlan plan(fopt);
+  auto run = [&] {
+    ResilienceOptions options;
+    options.seed = 11;
+    ResilientEvaluator eval(
+        plan.Instrument([](const DesignConfig&) { return GoodOutcome(); }),
+        options);
+    std::vector<double> minutes;
+    for (int i = 0; i < 60; ++i) {
+      minutes.push_back(eval.Evaluate(MakeConfig(i)).eval_minutes);
+    }
+    ResilienceStats stats = eval.stats();
+    return std::make_pair(minutes, stats);
+  };
+  auto [minutes_a, stats_a] = run();
+  auto [minutes_b, stats_b] = run();
+  EXPECT_EQ(minutes_a, minutes_b);
+  EXPECT_EQ(stats_a.crashes, stats_b.crashes);
+  EXPECT_EQ(stats_a.timeouts, stats_b.timeouts);
+  EXPECT_EQ(stats_a.garbage, stats_b.garbage);
+  EXPECT_EQ(stats_a.exhausted, stats_b.exhausted);
+  // With three 15% fault modes across 60 points, some failures occurred.
+  EXPECT_GT(stats_a.crashes + stats_a.timeouts + stats_a.garbage, 0u);
+}
+
+// -------------------------------------------------------------- journal
+
+TEST(JournalTest, EntryRoundTrip) {
+  JournalEntry entry;
+  entry.key = "p0|{L0: tile=1 par=8 pipe=on, in: 512b}";
+  entry.outcome = GoodOutcome(123.456789, 5.5);
+  JournalEntry parsed = ParseJournalEntry(RenderJournalEntry(entry));
+  EXPECT_EQ(parsed.key, entry.key);
+  EXPECT_EQ(parsed.outcome.feasible, entry.outcome.feasible);
+  EXPECT_DOUBLE_EQ(parsed.outcome.cost, entry.outcome.cost);
+  EXPECT_DOUBLE_EQ(parsed.outcome.eval_minutes, entry.outcome.eval_minutes);
+}
+
+TEST(JournalTest, InfiniteCostEncodedAsNull) {
+  JournalEntry entry;
+  entry.key = "train|{}";
+  entry.outcome.feasible = false;
+  entry.outcome.cost = tuner::kInfeasibleCost;
+  entry.outcome.eval_minutes = 3.0;
+  const std::string line = RenderJournalEntry(entry);
+  EXPECT_NE(line.find("\"cost\":null"), std::string::npos);
+  JournalEntry parsed = ParseJournalEntry(line);
+  EXPECT_FALSE(parsed.outcome.feasible);
+  EXPECT_EQ(parsed.outcome.cost, tuner::kInfeasibleCost);
+}
+
+TEST(JournalTest, ParseRejectsMalformedLines) {
+  EXPECT_THROW(ParseJournalEntry("not json"), MalformedInput);
+  EXPECT_THROW(ParseJournalEntry("{\"key\":\"a\"}"), MalformedInput);
+  EXPECT_THROW(ParseJournalEntry(
+                   "{\"key\":\"a\",\"feasible\":true,\"cost\":1,"
+                   "\"eval_minutes\":1,\"extra\":2}"),
+               MalformedInput);
+}
+
+TEST(JournalTest, WrapCachesAndCounts) {
+  EvalJournal journal;  // in-memory (no file)
+  int calls = 0;
+  tuner::EvalFn fn = journal.Wrap("p0", [&](const DesignConfig&) {
+    ++calls;
+    return GoodOutcome();
+  });
+  fn(MakeConfig(0));
+  fn(MakeConfig(0));
+  fn(MakeConfig(1));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(journal.hits(), 1u);
+  EXPECT_EQ(journal.entries(), 2u);
+}
+
+TEST(JournalTest, ScopesIsolateIdenticalConfigs) {
+  EvalJournal journal;
+  int calls = 0;
+  tuner::EvalFn p0 = journal.Wrap("p0", [&](const DesignConfig&) {
+    ++calls;
+    return GoodOutcome();
+  });
+  tuner::EvalFn p1 = journal.Wrap("p1", [&](const DesignConfig&) {
+    ++calls;
+    return GoodOutcome();
+  });
+  p0(MakeConfig(0));
+  p1(MakeConfig(0));
+  EXPECT_EQ(calls, 2);  // same config, different scope: no false sharing
+}
+
+TEST(JournalTest, PersistsAndResumes) {
+  const std::string path =
+      testing::TempDir() + "s2fa_journal_resume_test.jsonl";
+  std::remove(path.c_str());
+  {
+    EvalJournal journal;
+    journal.Open(path);
+    journal.Record("p0|a", GoodOutcome(1.0, 2.0));
+    journal.Record("p0|b", GoodOutcome(3.0, 4.0));
+  }
+  // Simulate a kill mid-append: a torn trailing line.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\":\"p0|c\",\"feas";
+  }
+  EvalJournal resumed;
+  resumed.Open(path);
+  EXPECT_EQ(resumed.resumed(), 2u);
+  auto found = resumed.Find("p0|a");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->cost, 1.0);
+  EXPECT_FALSE(resumed.Find("p0|c").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenThrowsOnUnwritablePath) {
+  EvalJournal journal;
+  EXPECT_THROW(journal.Open("/nonexistent-dir/journal.jsonl"), Error);
+}
+
+// ------------------------------------------------------------ env knobs
+
+TEST(EnvKnobsTest, ReadsAndValidates) {
+  setenv("S2FA_EVAL_TIMEOUT", "45.5", 1);
+  setenv("S2FA_EVAL_RETRIES", "3", 1);
+  setenv("S2FA_RESUME_JOURNAL", "/tmp/j.jsonl", 1);
+  setenv("S2FA_FAULT_RATE", "0.25", 1);
+  EnvKnobs knobs = ReadEnvKnobs();
+  ASSERT_TRUE(knobs.eval_timeout_minutes.has_value());
+  EXPECT_DOUBLE_EQ(*knobs.eval_timeout_minutes, 45.5);
+  ASSERT_TRUE(knobs.eval_retries.has_value());
+  EXPECT_EQ(*knobs.eval_retries, 3);
+  ASSERT_TRUE(knobs.resume_journal.has_value());
+  EXPECT_EQ(*knobs.resume_journal, "/tmp/j.jsonl");
+  ASSERT_TRUE(knobs.fault_rate.has_value());
+  EXPECT_DOUBLE_EQ(*knobs.fault_rate, 0.25);
+
+  setenv("S2FA_EVAL_TIMEOUT", "garbage", 1);
+  setenv("S2FA_EVAL_RETRIES", "-2", 1);
+  setenv("S2FA_FAULT_RATE", "1.5", 1);
+  EnvKnobs bad = ReadEnvKnobs();
+  EXPECT_FALSE(bad.eval_timeout_minutes.has_value());
+  EXPECT_FALSE(bad.eval_retries.has_value());
+  EXPECT_FALSE(bad.fault_rate.has_value());
+
+  unsetenv("S2FA_EVAL_TIMEOUT");
+  unsetenv("S2FA_EVAL_RETRIES");
+  unsetenv("S2FA_RESUME_JOURNAL");
+  unsetenv("S2FA_FAULT_RATE");
+  EnvKnobs none = ReadEnvKnobs();
+  EXPECT_FALSE(none.eval_timeout_minutes.has_value());
+  EXPECT_FALSE(none.resume_journal.has_value());
+}
+
+}  // namespace
+}  // namespace s2fa::resilience

@@ -71,6 +71,17 @@ TEST(SpaceTest, BuildsTableOneFactors) {
   EXPECT_NO_THROW(space.FactorIndex("L1.parallel"));
   EXPECT_NO_THROW(space.FactorIndex("in.bits"));
   EXPECT_THROW(space.FactorIndex("bogus"), InvalidArgument);
+  // The error names the factors that do exist, so a typo is self-diagnosing.
+  try {
+    space.FactorIndex("bogus");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no factor named bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("available factors:"), std::string::npos) << what;
+    EXPECT_NE(what.find("L0.tile"), std::string::npos) << what;
+    EXPECT_NE(what.find("in.bits"), std::string::npos) << what;
+  }
 }
 
 TEST(SpaceTest, ParallelValuesArePowersOfTwoPlusTrip) {

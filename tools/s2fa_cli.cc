@@ -7,16 +7,25 @@
 //       generated Scala glue, and the design-space inventory.
 //   s2fa explore <app> [--minutes N] [--cores N] [--seed N]
 //                      [--vanilla] [--no-seeds] [--no-partition]
+//                      [--eval-timeout M] [--eval-retries N]
+//                      [--resume-journal FILE] [--fault-rate P]
 //       Run the DSE and report partitions, the trace, and the best design.
-//   s2fa run <app> [--records N] [--seed N]
+//       --eval-timeout/--eval-retries tune the fault-tolerant evaluation
+//       layer, --resume-journal checkpoints every evaluation (and resumes
+//       a killed run without re-paying them), --fault-rate injects
+//       deterministic evaluator failures to exercise that machinery.
+//   s2fa run <app> [--records N] [--seed N] [--accel-fault-rate P]
 //       Build the accelerator (short DSE), execute a workload through the
 //       Blaze runtime, cross-check against the JVM baseline, and report
-//       the speedup.
+//       the speedup. --accel-fault-rate injects accelerator faults; failed
+//       batches retry once and then degrade to the host path.
 //   s2fa report <metrics.json>
 //       Render a metrics summary (written by --metrics-out) as tables.
 //
 // Global flags: --trace-out FILE --metrics-out FILE (enable the obs layer
 // and dump the span trace / aggregated summary), --log-level LEVEL.
+// Environment: S2FA_EVAL_TIMEOUT, S2FA_EVAL_RETRIES, S2FA_RESUME_JOURNAL
+// and S2FA_FAULT_RATE mirror the resilience flags (flags win).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +41,7 @@
 #include "kir/printer.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "resilience/evaluator.h"
 #include "s2fa/framework.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -84,11 +94,30 @@ int Usage() {
                "usage: s2fa <list|compile|explore|run|report> [arg] [flags]\n"
                "  explore flags: --minutes N --cores N --seed N --vanilla "
                "--no-seeds --no-partition\n"
-               "  run flags:     --records N --seed N --minutes N\n"
+               "                 --eval-timeout MIN --eval-retries N "
+               "--resume-journal FILE --fault-rate P\n"
+               "  run flags:     --records N --seed N --minutes N "
+               "--accel-fault-rate P\n"
                "  report:        s2fa report <metrics.json>\n"
                "  global flags:  --trace-out FILE --metrics-out FILE "
-               "--log-level off|error|warn|info|debug\n");
+               "--log-level off|error|warn|info|debug\n"
+               "  env:           S2FA_EVAL_TIMEOUT S2FA_EVAL_RETRIES "
+               "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE\n");
   return 2;
+}
+
+// Fails fast when an export path can't be written, instead of silently
+// losing the trace/metrics at exit after a long run. The append-mode probe
+// leaves an existing file untouched.
+bool CheckWritable(const char* what, const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    std::fprintf(stderr, "error: %s path '%s' is not writable\n", what,
+                 path.c_str());
+    return false;
+  }
+  return true;
 }
 
 int CmdReport(const std::string& path) {
@@ -163,7 +192,56 @@ int CmdExplore(const apps::App& app, const Args& args) {
     options.seed = seed;
     options.enable_seeds = !args.Has("no-seeds");
     options.enable_partitioning = !args.Has("no-partition");
+
+    // Resilience knobs: environment first, explicit flags win.
+    const resilience::EnvKnobs env = resilience::ReadEnvKnobs();
+    if (env.eval_timeout_minutes) {
+      options.resilience.deadline_minutes = *env.eval_timeout_minutes;
+    }
+    if (env.eval_retries) options.resilience.max_retries = *env.eval_retries;
+    if (env.resume_journal) options.journal_path = *env.resume_journal;
+    double fault_rate = env.fault_rate.value_or(0.0);
+    if (args.Has("eval-timeout")) {
+      options.resilience.deadline_minutes = args.Num("eval-timeout", 60);
+    }
+    if (args.Has("eval-retries")) {
+      options.resilience.max_retries =
+          static_cast<int>(args.Num("eval-retries", 2));
+    }
+    if (args.Has("resume-journal")) {
+      options.journal_path = args.Str("resume-journal");
+    }
+    if (args.Has("fault-rate")) fault_rate = args.Num("fault-rate", 0);
+    if (fault_rate < 0 || fault_rate > 1) {
+      std::fprintf(stderr, "error: --fault-rate must be in [0, 1]\n");
+      return 2;
+    }
+    if (fault_rate > 0) {
+      // Split the requested failure probability evenly across the taxonomy
+      // so every failure mode gets exercised.
+      options.faults.crash_rate = fault_rate / 3;
+      options.faults.timeout_rate = fault_rate / 3;
+      options.faults.garbage_rate = fault_rate / 3;
+      options.faults.seed = seed ^ 0xFA17ULL;
+    }
+    if (!CheckWritable("--resume-journal", options.journal_path)) return 2;
+
     result = dse::RunS2faDse(space, k, eval, options);
+
+    const resilience::ResilienceStats& rs = result.resilience;
+    if (rs.retries > 0 || rs.exhausted > 0 || rs.short_circuits > 0) {
+      std::printf("resilience: %zu retries (%zu crash, %zu timeout, "
+                  "%zu garbage), %zu points degraded, %zu breaker trips, "
+                  "%zu short-circuited\n",
+                  rs.retries, rs.crashes, rs.timeouts, rs.garbage,
+                  rs.exhausted, rs.breaker_trips, rs.short_circuits);
+    }
+    if (!options.journal_path.empty()) {
+      std::printf("journal: %zu entries (%zu resumed, %zu re-used this "
+                  "run)\n",
+                  result.journal_entries, result.journal_resumed,
+                  result.journal_hits);
+    }
   }
 
   std::printf("partitions:\n");
@@ -204,6 +282,15 @@ int CmdRun(apps::App& app, const Args& args) {
 
   blaze::BlazeRuntime runtime;
   RegisterWithBlaze(runtime, app.name, artifact);
+  const double accel_fault_rate = args.Num("accel-fault-rate", 0);
+  if (accel_fault_rate < 0 || accel_fault_rate > 1) {
+    std::fprintf(stderr, "error: --accel-fault-rate must be in [0, 1]\n");
+    return 2;
+  }
+  if (accel_fault_rate > 0) {
+    runtime.SetFaultInjector(
+        blaze::MakeRandomFaultInjector(accel_fault_rate, seed ^ 0xB1A2ULL));
+  }
 
   Rng rng(seed);
   blaze::Dataset input = app.make_input(records, rng);
@@ -243,6 +330,12 @@ int CmdRun(apps::App& app, const Args& args) {
 
   std::printf("records: %zu  invocations: %zu  mismatches vs JVM: %zu\n",
               records, stats.invocations, mismatches);
+  if (stats.accel_failures > 0) {
+    std::printf("degradation: %zu failed attempts, %zu retries, %zu host "
+                "fallbacks (%.3f ms on the host path)\n",
+                stats.accel_failures, stats.accel_retries,
+                stats.host_fallbacks, stats.host_us / 1e3);
+  }
   std::printf("JVM:  %10.2f ms (modeled single thread)\n",
               jvm.total_ns / 1e6);
   std::printf("FPGA: %10.3f ms  -> speedup %.1fx\n", stats.total_us / 1e3,
@@ -270,6 +363,10 @@ int main(int argc, char** argv) {
   }
   const std::string trace_out = args.Str("trace-out");
   const std::string metrics_out = args.Str("metrics-out");
+  if (!CheckWritable("--trace-out", trace_out) ||
+      !CheckWritable("--metrics-out", metrics_out)) {
+    return 2;
+  }
   if (!trace_out.empty() || !metrics_out.empty()) obs::SetEnabled(true);
 
   try {
