@@ -40,6 +40,9 @@ int main() {
   double sum_log_qor = 0;
   double sum_s2fa_stop = 0;
   double sum_vanilla_stop = 0;
+  double sum_dup_rate = 0;
+  double sum_wall_saved_ms = 0;
+  bool all_trajectories_identical = true;
   int n = 0;
 
   for (apps::App& app : apps::AllApps()) {
@@ -99,10 +102,30 @@ int main() {
     const double k = static_cast<double>(seeds.size());
     std::printf(
         "mean over seeds: S2FA stops %.0f min (%.0f evals), OpenTuner "
-        "%.0f min (%.0f evals); QoR ratio %.2fx; time saved %.1f%%\n\n",
+        "%.0f min (%.0f evals); QoR ratio %.2fx; time saved %.1f%%\n",
         app_s2fa_stop / k, static_cast<double>(app_s2fa_evals) / k,
         app_vanilla_stop / k, static_cast<double>(app_vanilla_evals) / k,
         std::exp(app_log_qor / k), 100.0 * app_saving / k);
+
+    // Memoizing-cache ablation on the first seed: same trajectory, fewer
+    // synthesis jobs paid, lower real wall-clock.
+    EvalSetup ablation_setup;
+    ablation_setup.seed = seeds.front();
+    CacheAblation ablation = RunCacheAblation(prepared, ablation_setup);
+    std::printf(
+        "cache ablation (seed %llu): duplicate-point rate %.1f%% "
+        "(%zu of %zu lookups), %.0f simulated min not re-paid, wall-clock "
+        "%.0f ms -> %.0f ms, trajectories %s\n\n",
+        static_cast<unsigned long long>(seeds.front()),
+        100.0 * ablation.stats.DuplicateRate(),
+        ablation.stats.hits + ablation.stats.inflight_joins,
+        ablation.stats.lookups, ablation.stats.minutes_saved,
+        ablation.wall_ms_cache_off, ablation.wall_ms_cache_on,
+        ablation.identical_trajectory ? "identical" : "DIVERGED (bug!)");
+    sum_dup_rate += ablation.stats.DuplicateRate();
+    sum_wall_saved_ms +=
+        ablation.wall_ms_cache_off - ablation.wall_ms_cache_on;
+    all_trajectories_identical &= ablation.identical_trajectory;
 
     sum_time_saving += app_saving / k;
     sum_log_qor += app_log_qor / k;
@@ -119,6 +142,12 @@ int main() {
               std::exp(sum_log_qor / n));
   std::printf("mean termination: S2FA %.2f h, OpenTuner %.2f h\n",
               sum_s2fa_stop / n / 60.0, sum_vanilla_stop / n / 60.0);
+  std::printf("eval cache: mean duplicate-point rate %.1f%%, total "
+              "wall-clock saved %.0f ms, trajectories cache-on vs cache-off "
+              "%s\n",
+              100.0 * sum_dup_rate / n, sum_wall_saved_ms,
+              all_trajectories_identical ? "identical everywhere"
+                                         : "DIVERGED (bug!)");
   std::printf("(first-seed traces written to fig3_trace.csv)\n");
-  return 0;
+  return all_trajectories_identical ? 0 : 1;
 }

@@ -45,6 +45,20 @@ DseComparison RunComparison(const PreparedApp& prepared,
                             const EvalSetup& setup,
                             dse::StopKind stop = dse::StopKind::kEntropy);
 
+// Same-seed S2FA run with the memoizing evaluation cache on vs off: the
+// determinism contract says the best-cost trajectories must be identical
+// while the cache-on run re-pays no duplicate synthesis jobs (so its real
+// wall-clock drops with the duplicate-point rate).
+struct CacheAblation {
+  double wall_ms_cache_on = 0;
+  double wall_ms_cache_off = 0;
+  bool identical_trajectory = false;  // trace + best cost bit-identical
+  cache::EvalCacheStats stats;        // from the cache-on run
+};
+
+CacheAblation RunCacheAblation(const PreparedApp& prepared,
+                               const EvalSetup& setup);
+
 // Best-so-far cost at simulated `minutes` (normalized when norm > 0).
 double CostAt(const std::vector<tuner::TracePoint>& trace, double minutes,
               double norm);

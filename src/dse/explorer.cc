@@ -58,10 +58,16 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
   // Fault-tolerance plumbing. Each scope ("train", "p0", "p1", ...) gets
   // its own ResilientEvaluator so breaker state stays per-partition, and
   // the journal keys evaluations per scope so a resumed run replays each
-  // thread's stream exactly, independent of scheduling.
+  // thread's stream exactly, independent of scheduling. One memoizing
+  // cache is shared by the training phase and every partition — layered
+  // journal -> cache -> resilience, so a journal hit never touches the
+  // cache and a cache hit skips fault injection and retries. A hit
+  // replays the stored outcome, simulated minutes included, keeping the
+  // simulated clock bit-identical to a cache-off run.
   const resilience::FaultPlan plan(options.faults);
   resilience::EvalJournal journal;
   if (!options.journal_path.empty()) journal.Open(options.journal_path);
+  cache::EvalCache eval_cache(options.cache);
   auto make_guard = [&](const std::string& scope) {
     resilience::ResilienceOptions ropt = options.resilience;
     ropt.seed ^= options.seed;
@@ -73,6 +79,7 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
   auto make_eval = [&](const std::string& scope,
                        resilience::ResilientEvaluator& guard) -> EvalFn {
     EvalFn fn = guard.AsEvalFn();
+    if (eval_cache.enabled()) fn = eval_cache.Wrap(std::move(fn));
     return journal.open() ? journal.Wrap(scope, std::move(fn))
                           : std::move(fn);
   };
@@ -107,6 +114,15 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
   std::vector<TuneResult> tune_results(partitions.size());
   std::vector<std::unique_ptr<resilience::ResilientEvaluator>> guards(
       partitions.size());
+  // A lone partition proposes `num_cores`-wide batches; give it a
+  // dedicated evaluation pool so those batches really run concurrently.
+  // It must be distinct from the partition pool below — a partition task
+  // blocking on futures scheduled onto its own pool would deadlock.
+  std::unique_ptr<ThreadPool> eval_pool;
+  if (single && options.num_cores > 1) {
+    eval_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options.num_cores));
+  }
   {
     ThreadPool pool(static_cast<std::size_t>(
         std::max(1, std::min<int>(options.num_cores,
@@ -120,6 +136,7 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
       // One core per partition; a lone partition gets the whole machine
       // (that is the no-partitioning ablation and the vanilla setup).
       topt.parallel = single ? options.num_cores : 1;
+      topt.eval_pool = eval_pool.get();
       topt.seed = options.seed * 1000003ULL + i * 7919ULL + 1;
       if (options.enable_seeds) {
         topt.seeds.push_back(
@@ -238,20 +255,54 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
                                      << result.resilience.breaker_trips
                                      << " breaker trips");
   }
+  result.cache_stats = eval_cache.stats();
+  if (result.cache_stats.hits + result.cache_stats.inflight_joins > 0) {
+    S2FA_LOG_INFO("dse cache: "
+                  << result.cache_stats.hits << " hits + "
+                  << result.cache_stats.inflight_joins << " joins / "
+                  << result.cache_stats.lookups << " lookups, "
+                  << result.cache_stats.minutes_saved
+                  << " simulated minutes not re-paid");
+  }
   return result;
 }
 
 DseResult RunVanillaOpenTuner(const DesignSpace& space,
                               const EvalFn& evaluate,
-                              double time_limit_minutes, int num_cores,
-                              std::uint64_t seed) {
+                              const ExplorerOptions& options) {
+  S2FA_REQUIRE(options.num_cores >= 1, "need at least one core");
   S2FA_SPAN("dse.vanilla");
+
+  // The same evaluation stack as the S2FA path — journal -> cache ->
+  // resilience -> raw black box — under a single "vanilla" scope, so
+  // fault injection, checkpoint/resume, and memoization all apply to the
+  // baseline instead of being silently dropped.
+  const resilience::FaultPlan plan(options.faults);
+  resilience::EvalJournal journal;
+  if (!options.journal_path.empty()) journal.Open(options.journal_path);
+  cache::EvalCache eval_cache(options.cache);
+  resilience::ResilienceOptions ropt = options.resilience;
+  ropt.seed ^= options.seed;
+  resilience::ResilientEvaluator guard(
+      plan.active() ? plan.Instrument(evaluate)
+                    : resilience::IgnoreAttempt(evaluate),
+      ropt, "vanilla");
+  EvalFn fn = guard.AsEvalFn();
+  if (eval_cache.enabled()) fn = eval_cache.Wrap(std::move(fn));
+  if (journal.open()) fn = journal.Wrap("vanilla", std::move(fn));
+
+  std::unique_ptr<ThreadPool> eval_pool;
+  if (options.num_cores > 1) {
+    eval_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options.num_cores));
+  }
   TuneOptions topt;
-  topt.time_limit_minutes = time_limit_minutes;
-  topt.parallel = num_cores;
+  topt.time_limit_minutes = options.time_limit_minutes;
+  topt.parallel = options.num_cores;
   topt.homogeneous_batches = true;  // footnote 3: one technique's top-8
-  topt.seed = seed;
-  TuneResult tuned = tuner::Tune(space, evaluate, topt);
+  topt.seed = options.seed;
+  topt.eval_pool = eval_pool.get();
+  TuneResult tuned = tuner::Tune(space, fn, topt);
 
   DseResult result;
   result.log10_space_size = space.Log10Cardinality();
@@ -261,14 +312,35 @@ DseResult RunVanillaOpenTuner(const DesignSpace& space,
   result.elapsed_minutes = tuned.elapsed_minutes;
   result.evaluations = tuned.evaluations;
   result.trace = tuner::DedupTrace(tuned.trace);
+  result.resilience = guard.stats();
+  if (journal.open()) {
+    result.journal_resumed = journal.resumed();
+    result.journal_hits = journal.hits();
+    result.journal_entries = journal.entries();
+    S2FA_COUNT("dse.journal_hits",
+               static_cast<std::int64_t>(result.journal_hits));
+  }
+  result.cache_stats = eval_cache.stats();
   PartitionOutcome outcome;
   outcome.description = "full space (vanilla OpenTuner)";
   outcome.start_minutes = 0;
   outcome.end_minutes = tuned.elapsed_minutes;
   outcome.result = std::move(tuned);
   outcome.clipped_best_cost = result.best_cost;
+  outcome.resilience = result.resilience;
   result.partitions.push_back(std::move(outcome));
   return result;
+}
+
+DseResult RunVanillaOpenTuner(const DesignSpace& space,
+                              const EvalFn& evaluate,
+                              double time_limit_minutes, int num_cores,
+                              std::uint64_t seed) {
+  ExplorerOptions options;
+  options.time_limit_minutes = time_limit_minutes;
+  options.num_cores = num_cores;
+  options.seed = seed;
+  return RunVanillaOpenTuner(space, evaluate, options);
 }
 
 }  // namespace s2fa::dse

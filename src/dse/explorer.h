@@ -15,6 +15,7 @@
 // §5.2 analyses.
 #pragma once
 
+#include "cache/eval_cache.h"
 #include "dse/partition.h"
 #include "dse/seeds.h"
 #include "dse/stopping.h"
@@ -52,6 +53,13 @@ struct ExplorerOptions {
   // pre-existing journal is replayed: a killed run resumed with the same
   // options re-pays zero already-journaled synthesis jobs.
   std::string journal_path;
+  // Memoizing evaluation cache, shared by the training phase and every
+  // partition (and the whole run in the vanilla baseline). Sits between
+  // the journal and the resilience layer: a hit replays the stored
+  // outcome (simulated minutes included) and skips fault injection and
+  // retries, so duplicate design points are paid for exactly once per
+  // run. On by default; see cache::EvalCacheOptions for the LRU bound.
+  cache::EvalCacheOptions cache;
 };
 
 struct PartitionOutcome {
@@ -78,6 +86,7 @@ struct DseResult {
   std::size_t journal_resumed = 0;  // evaluations replayed from the journal
   std::size_t journal_hits = 0;     // lookups it answered this run
   std::size_t journal_entries = 0;  // total entries after the run
+  cache::EvalCacheStats cache_stats;  // run-wide memoization ledger
 };
 
 // Runs the full S2FA DSE for `kernel`'s design space. `evaluate` is the
@@ -90,7 +99,15 @@ DseResult RunS2faDse(const tuner::DesignSpace& space,
 
 // The vanilla-OpenTuner baseline on the same clock (footnote 3: eight
 // cores evaluate the top-8 candidates per iteration; no partitioning, no
-// seeds, stop on the time limit only).
+// seeds, stop on the time limit only). Runs the same evaluation stack as
+// the S2FA path — journal -> cache -> resilience -> raw evaluator — so
+// --fault-rate / --resume-journal / --eval-timeout / --eval-cache apply
+// to --vanilla runs too; partitioning/seed/stop options are ignored.
+DseResult RunVanillaOpenTuner(const tuner::DesignSpace& space,
+                              const tuner::EvalFn& evaluate,
+                              const ExplorerOptions& options);
+
+// Convenience overload: default resilience/cache, no faults, no journal.
 DseResult RunVanillaOpenTuner(const tuner::DesignSpace& space,
                               const tuner::EvalFn& evaluate,
                               double time_limit_minutes, int num_cores,

@@ -1,12 +1,45 @@
 #include "tuner/driver.h"
 
 #include <algorithm>
+#include <future>
 
 #include "obs/obs.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/thread_pool.h"
 
 namespace s2fa::tuner {
+
+namespace {
+
+// Evaluates one batch of configs — concurrently on `pool` when provided,
+// serially otherwise — and returns the outcomes in input order. The
+// evaluator must be pure w.r.t. the config (the Tune contract), so the
+// commit order downstream, not the completion order here, decides every
+// piece of search state.
+std::vector<EvalOutcome> EvaluateBatch(
+    const EvalFn& evaluate, const std::vector<merlin::DesignConfig>& configs,
+    ThreadPool* pool) {
+  std::vector<EvalOutcome> outcomes(configs.size());
+  if (pool != nullptr && configs.size() > 1) {
+    std::vector<std::future<EvalOutcome>> futures;
+    futures.reserve(configs.size());
+    for (const merlin::DesignConfig& config : configs) {
+      futures.push_back(
+          pool->Submit([&evaluate, &config] { return evaluate(config); }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      outcomes[i] = futures[i].get();
+    }
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      outcomes[i] = evaluate(configs[i]);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace
 
 TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
                 const TuneOptions& options) {
@@ -24,16 +57,26 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
 
   // Seed evaluations first (one batch; they occupy the parallel evaluators).
   if (!options.seeds.empty()) {
-    double batch_minutes = 0;
+    std::vector<merlin::DesignConfig> configs;
+    configs.reserve(options.seeds.size());
     for (const auto& seed : options.seeds) {
       space.ValidatePoint(seed.point);
-      EvalOutcome outcome = evaluate(space.ToConfig(seed.point));
+      configs.push_back(space.ToConfig(seed.point));
+    }
+    std::vector<EvalOutcome> outcomes =
+        EvaluateBatch(evaluate, configs, options.eval_pool);
+    double batch_minutes = 0;
+    for (std::size_t s = 0; s < options.seeds.size(); ++s) {
+      const auto& seed = options.seeds[s];
+      const EvalOutcome& outcome = outcomes[s];
       batch_minutes = std::max(batch_minutes, outcome.eval_minutes);
       S2FA_COUNT("tuner.evaluations", 1);
       S2FA_COUNT("tuner.seed_evaluations", 1);
       S2FA_OBSERVE("tuner.eval_minutes", outcome.eval_minutes);
+      // Seeds are externally chosen: no parent, no mutation to attribute.
       db.Add(seed.point, outcome.cost, outcome.feasible,
-             clock_minutes + outcome.eval_minutes, /*technique=*/0);
+             clock_minutes + outcome.eval_minutes, /*technique=*/0,
+             /*parent=*/nullptr);
       // Every technique starts from the seed knowledge.
       for (std::size_t t = 0; t < bandit.num_techniques(); ++t) {
         bandit.technique(t).SeedWith(seed.point, outcome.cost,
@@ -48,10 +91,14 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
 
   while (clock_minutes < options.time_limit_minutes) {
     S2FA_SPAN("tuner.iteration");
-    // Propose one batch.
+    // Propose one batch, remembering each proposal's parent point so the
+    // database attributes mutated factors to the technique's own base,
+    // not to whichever batch member happened to land before it.
     struct Pending {
       std::size_t technique;
       Point point;
+      bool has_parent = false;
+      Point parent;
     };
     std::vector<Pending> batch;
     batch.reserve(static_cast<std::size_t>(options.parallel));
@@ -59,17 +106,35 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
     for (int i = 0; i < options.parallel; ++i) {
       std::size_t t = options.homogeneous_batches ? batch_technique
                                                   : bandit.Select(rng);
-      batch.push_back({t, bandit.technique(t).Propose(rng)});
+      Pending pending;
+      pending.technique = t;
+      pending.point = bandit.technique(t).Propose(rng);
+      if (const Point* base = bandit.technique(t).last_proposal_base()) {
+        pending.has_parent = true;
+        pending.parent = *base;
+      }
+      batch.push_back(std::move(pending));
     }
-    // Evaluate; the batch runs on `parallel` cores, so the clock advances
-    // by the slowest member.
-    double batch_minutes = 0;
+    // Evaluate the whole batch (on the eval pool when one is wired in);
+    // the simulated clock advances by the slowest member either way.
+    std::vector<merlin::DesignConfig> configs;
+    configs.reserve(batch.size());
     for (const auto& pending : batch) {
-      EvalOutcome outcome = evaluate(space.ToConfig(pending.point));
+      configs.push_back(space.ToConfig(pending.point));
+    }
+    std::vector<EvalOutcome> outcomes =
+        EvaluateBatch(evaluate, configs, options.eval_pool);
+    // Commit in proposal order: db/bandit/entropy state is bit-identical
+    // to the serial evaluation.
+    double batch_minutes = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Pending& pending = batch[i];
+      const EvalOutcome& outcome = outcomes[i];
       batch_minutes = std::max(batch_minutes, outcome.eval_minutes);
       bool new_best = db.Add(pending.point, outcome.cost, outcome.feasible,
                              clock_minutes + outcome.eval_minutes,
-                             pending.technique);
+                             pending.technique,
+                             pending.has_parent ? &pending.parent : nullptr);
       bandit.technique(pending.technique)
           .Report(pending.point, outcome.cost, outcome.feasible);
       bandit.ReportOutcome(pending.technique, new_best);
@@ -95,17 +160,31 @@ TuneResult Tune(const DesignSpace& space, const EvalFn& evaluate,
   if (stop_reason.empty()) stop_reason = "time limit";
   S2FA_COUNT("tuner.stop." + stop_reason, 1);
 
+  // The final batch may overshoot the budget; its evaluations stay in the
+  // database (they were genuinely performed and the stop criterion saw
+  // them), but the reported trace and best are clamped to the limit so a
+  // run can never claim an improvement found after the budget expired.
+  const double limit = options.time_limit_minutes;
   TuneResult result;
-  result.found_feasible = db.has_best();
-  if (db.has_best()) {
-    result.best = db.best();
-    result.best_config = space.ToConfig(db.best());
-    result.best_cost = db.best_cost();
+  for (const Record& rec : db.records()) {
+    if (rec.improved && rec.time_minutes <= limit) {
+      result.found_feasible = true;
+      result.best = rec.point;
+      result.best_cost = rec.cost;
+    }
   }
-  result.elapsed_minutes = std::min(clock_minutes, options.time_limit_minutes);
+  if (result.found_feasible) {
+    result.best_config = space.ToConfig(result.best);
+  }
+  result.elapsed_minutes = std::min(clock_minutes, limit);
   result.evaluations = db.size();
   result.stop_reason = stop_reason;
-  result.trace = DedupTrace(db.trace());
+  std::vector<TracePoint> clipped;
+  clipped.reserve(db.trace().size());
+  for (const TracePoint& tp : db.trace()) {
+    if (tp.time_minutes <= limit) clipped.push_back(tp);
+  }
+  result.trace = DedupTrace(std::move(clipped));
   return result;
 }
 

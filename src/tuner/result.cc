@@ -21,15 +21,24 @@ const Point& ResultDatabase::best() const {
 
 bool ResultDatabase::Add(Point point, double cost, bool feasible,
                          double time_minutes, std::size_t technique) {
+  const Point* parent =
+      records_.empty() ? nullptr : &records_.back().point;
+  return Add(std::move(point), cost, feasible, time_minutes, technique,
+             parent);
+}
+
+bool ResultDatabase::Add(Point point, double cost, bool feasible,
+                         double time_minutes, std::size_t technique,
+                         const Point* parent) {
   Record rec;
   rec.cost = feasible ? cost : kInfeasibleCost;
   rec.feasible = feasible;
   rec.time_minutes = time_minutes;
   rec.technique = technique;
-  if (!records_.empty()) {
-    const Point& prev = records_.back().point;
-    for (std::size_t i = 0; i < point.size() && i < prev.size(); ++i) {
-      if (point[i] != prev[i]) rec.changed_factors.push_back(i);
+  if (parent != nullptr) {
+    const Point& base = *parent;
+    for (std::size_t i = 0; i < point.size() && i < base.size(); ++i) {
+      if (point[i] != base[i]) rec.changed_factors.push_back(i);
     }
   }
   bool new_best = feasible && (!has_best_ || cost < best_cost_);

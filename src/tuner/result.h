@@ -24,7 +24,11 @@ struct Record {
   bool feasible = false;
   double time_minutes = 0;         // simulated wall clock when finished
   std::size_t technique = 0;       // index of the proposing technique
-  std::vector<std::size_t> changed_factors;  // vs the previous record
+  // Factors that differ from the point the proposing technique mutated
+  // (its parent). Legacy fallback when no parent is supplied: vs the
+  // previous record — which, in a parallel batch, is another technique's
+  // proposal and skews the mutation distribution the entropy stop reads.
+  std::vector<std::size_t> changed_factors;
   bool improved = false;           // strictly better than best-so-far
 };
 
@@ -43,9 +47,15 @@ std::vector<TracePoint> DedupTrace(std::vector<TracePoint> trace);
 class ResultDatabase {
  public:
   // Appends a result; computes changed_factors/improved. Returns whether
-  // this record set a new global best.
+  // this record set a new global best. The 5-argument overload diffs
+  // against the previous record (legacy behavior, for hand-built test
+  // databases); the driver passes the proposing technique's parent
+  // explicitly — nullptr meaning "no parent" (random draws, seeds), which
+  // records an empty mutation set instead of a meaningless full diff.
   bool Add(Point point, double cost, bool feasible, double time_minutes,
            std::size_t technique);
+  bool Add(Point point, double cost, bool feasible, double time_minutes,
+           std::size_t technique, const Point* parent);
 
   bool has_best() const { return has_best_; }
   const Point& best() const;

@@ -39,7 +39,11 @@ UniformGreedyMutation::UniformGreedyMutation(const DesignSpace* space,
 }
 
 Point UniformGreedyMutation::Propose(Rng& rng) {
-  if (!has_best_) return space_->RandomPoint(rng);
+  if (!has_best_) {
+    ClearProposalBase();
+    return space_->RandomPoint(rng);
+  }
+  SetProposalBase(best_);
   int n = static_cast<int>(rng.NextInt(1, max_mutations_));
   return space_->Mutate(best_, rng, n);
 }
@@ -63,6 +67,7 @@ DifferentialEvolution::DifferentialEvolution(const DesignSpace* space,
 
 Point DifferentialEvolution::Propose(Rng& rng) {
   if (population_.size() < population_size_) {
+    ClearProposalBase();
     return space_->RandomPoint(rng);
   }
   // rand/1/bin in index space over three distinct members.
@@ -76,6 +81,9 @@ Point DifferentialEvolution::Propose(Rng& rng) {
   const Point& c = population_[r3].point;
   const Point& target =
       population_[rng.NextIndex(population_.size())].point;
+  // The trial inherits the target's un-crossed slots: the target is the
+  // parent of this proposal.
+  SetProposalBase(target);
 
   Point trial(space_->num_factors());
   std::size_t forced = rng.NextIndex(space_->num_factors());
@@ -136,6 +144,7 @@ Point ParticleSwarm::Snap(const std::vector<double>& position) const {
 
 Point ParticleSwarm::Propose(Rng& rng) {
   if (particles_.size() < swarm_size_) {
+    ClearProposalBase();
     Particle particle;
     Point p = space_->RandomPoint(rng);
     particle.position.resize(p.size());
@@ -152,6 +161,9 @@ Point ParticleSwarm::Propose(Rng& rng) {
   std::size_t index = next_particle_;
   next_particle_ = (next_particle_ + 1) % particles_.size();
   Particle& particle = particles_[index];
+  // The particle moves from its previous (snapped) position: that is the
+  // parent of the new proposal.
+  SetProposalBase(Snap(particle.position));
   for (std::size_t i = 0; i < particle.position.size(); ++i) {
     double toward_personal =
         particle.has_personal
@@ -205,7 +217,11 @@ SimulatedAnnealing::SimulatedAnnealing(const DesignSpace* space,
 }
 
 Point SimulatedAnnealing::Propose(Rng& rng) {
-  if (!has_current_) return space_->RandomPoint(rng);
+  if (!has_current_) {
+    ClearProposalBase();
+    return space_->RandomPoint(rng);
+  }
+  SetProposalBase(current_);
   return space_->Mutate(current_, rng, 1);
 }
 

@@ -28,13 +28,33 @@ class SearchTechnique {
   // Injects an externally chosen starting point (seed generation, §4.3.2).
   virtual void SeedWith(const Point& point, double cost, bool feasible);
 
+  // The point the most recent Propose() mutated from, or nullptr when it
+  // drew a fresh random point (no meaningful parent). Valid until the next
+  // Propose(); the driver copies it into the pending batch entry so the
+  // result database can attribute mutated factors to the real parent
+  // instead of whatever record happened to land before it.
+  const Point* last_proposal_base() const {
+    return has_proposal_base_ ? &proposal_base_ : nullptr;
+  }
+
  protected:
   bool UpdateBest(const Point& point, double cost, bool feasible);
+
+  // Called from Propose() implementations to publish the proposal's parent.
+  void SetProposalBase(const Point& base) {
+    proposal_base_ = base;
+    has_proposal_base_ = true;
+  }
+  void ClearProposalBase() { has_proposal_base_ = false; }
 
   const DesignSpace* space_;
   bool has_best_ = false;
   Point best_;
   double best_cost_ = 0;
+
+ private:
+  bool has_proposal_base_ = false;
+  Point proposal_base_;
 };
 
 class UniformGreedyMutation final : public SearchTechnique {

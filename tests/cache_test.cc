@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/eval_cache.h"
+#include "resilience/journal.h"
+#include "support/thread_pool.h"
+
+namespace s2fa::cache {
+namespace {
+
+using merlin::DesignConfig;
+using tuner::EvalOutcome;
+
+// A distinct config per index (the cache only looks at the key string).
+DesignConfig MakeConfig(int i) {
+  DesignConfig config;
+  config.loops[0].tile = 1;
+  config.loops[0].parallel = 1 << (i % 5);
+  config.buffer_bits["in"] = 32 << (i % 3);
+  return config;
+}
+
+EvalOutcome Outcome(double cost, double minutes = 5.0) {
+  EvalOutcome out;
+  out.feasible = true;
+  out.cost = cost;
+  out.eval_minutes = minutes;
+  return out;
+}
+
+// ---------------------------------------------------------- spec parsing
+
+TEST(CacheSpecTest, ParsesOnOffAndCapacity) {
+  auto on = ParseCacheSpec("on");
+  ASSERT_TRUE(on.has_value());
+  EXPECT_TRUE(on->enabled);
+  EXPECT_EQ(on->capacity, 0u);
+
+  auto one = ParseCacheSpec("1");
+  ASSERT_TRUE(one.has_value());
+  EXPECT_TRUE(one->enabled);
+
+  auto off = ParseCacheSpec("off");
+  ASSERT_TRUE(off.has_value());
+  EXPECT_FALSE(off->enabled);
+
+  auto zero = ParseCacheSpec("0");
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_FALSE(zero->enabled);
+
+  auto bounded = ParseCacheSpec("64");
+  ASSERT_TRUE(bounded.has_value());
+  EXPECT_TRUE(bounded->enabled);
+  EXPECT_EQ(bounded->capacity, 64u);
+}
+
+TEST(CacheSpecTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseCacheSpec("").has_value());
+  EXPECT_FALSE(ParseCacheSpec("bogus").has_value());
+  EXPECT_FALSE(ParseCacheSpec("-3").has_value());
+  EXPECT_FALSE(ParseCacheSpec("12abc").has_value());
+}
+
+// ------------------------------------------------------------ basic API
+
+TEST(EvalCacheTest, MissThenHitReplaysStoredOutcome) {
+  EvalCache cache;
+  int calls = 0;
+  auto compute = [&] {
+    ++calls;
+    return Outcome(42.0, 7.5);
+  };
+
+  EvalOutcome first = cache.GetOrCompute("k", compute);
+  EvalOutcome second = cache.GetOrCompute("k", compute);
+
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(first.cost, 42.0);
+  EXPECT_EQ(second.cost, 42.0);
+  // The hit replays the charged synthesis time, so the simulated clock is
+  // bit-identical with the cache on or off.
+  EXPECT_EQ(second.eval_minutes, 7.5);
+
+  EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inflight_joins, 0u);
+  EXPECT_EQ(stats.minutes_saved, 7.5);
+  EXPECT_DOUBLE_EQ(stats.DuplicateRate(), 0.5);
+}
+
+TEST(EvalCacheTest, FindAndInsert) {
+  EvalCache cache;
+  EXPECT_FALSE(cache.Find("k").has_value());
+  cache.Insert("k", Outcome(9.0));
+  auto found = cache.Find("k");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->cost, 9.0);
+  EXPECT_EQ(cache.size(), 1u);
+  // Find is a diagnostic peek: no lookups/hits counted.
+  EXPECT_EQ(cache.stats().lookups, 0u);
+}
+
+TEST(EvalCacheTest, DisabledCacheIsPassThrough) {
+  EvalCacheOptions options;
+  options.enabled = false;
+  EvalCache cache(options);
+  int calls = 0;
+  tuner::EvalFn wrapped = cache.Wrap([&](const DesignConfig&) {
+    ++calls;
+    return Outcome(1.0);
+  });
+  wrapped(MakeConfig(0));
+  wrapped(MakeConfig(0));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.stats().lookups, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EvalCacheTest, WrapKeysOnCanonicalConfigString) {
+  EvalCache cache;
+  int calls = 0;
+  tuner::EvalFn wrapped = cache.Wrap([&](const DesignConfig&) {
+    ++calls;
+    return Outcome(static_cast<double>(calls));
+  });
+
+  EvalOutcome a = wrapped(MakeConfig(0));
+  EvalOutcome b = wrapped(MakeConfig(0));  // same canonical string
+  EvalOutcome c = wrapped(MakeConfig(1));  // different point
+
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_NE(a.cost, c.cost);
+}
+
+// ------------------------------------------------------------------ LRU
+
+TEST(EvalCacheTest, LruEvictionRespectsCapacityAndRecency) {
+  EvalCacheOptions options;
+  options.capacity = 2;
+  EvalCache cache(options);
+  auto compute_for = [](double cost) { return [cost] { return Outcome(cost); }; };
+
+  cache.GetOrCompute("a", compute_for(1));
+  cache.GetOrCompute("b", compute_for(2));
+  cache.GetOrCompute("a", compute_for(1));  // touch: "b" is now LRU
+  cache.GetOrCompute("c", compute_for(3));  // evicts "b"
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Find("a").has_value());
+  EXPECT_FALSE(cache.Find("b").has_value());
+  EXPECT_TRUE(cache.Find("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // The evicted key is recomputed on the next request.
+  int recomputed = 0;
+  cache.GetOrCompute("b", [&] {
+    ++recomputed;
+    return Outcome(2);
+  });
+  EXPECT_EQ(recomputed, 1);
+}
+
+// --------------------------------------------------------- single-flight
+
+TEST(EvalCacheTest, SingleFlightDeduplicatesConcurrentRequests) {
+  EvalCache cache;
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 16;
+
+  ThreadPool pool(kThreads);
+  std::vector<std::future<EvalOutcome>> futures;
+  futures.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    futures.push_back(pool.Submit([&] {
+      return cache.GetOrCompute("hot", [&] {
+        // Slow enough that the other requesters pile up behind the leader.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ++computes;
+        return Outcome(17.0);
+      });
+    }));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().cost, 17.0);
+
+  EXPECT_EQ(computes.load(), 1);
+  EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(stats.misses, 1u);
+  // Everyone else either joined the flight or (if it finished first) hit
+  // the completed entry; either way nobody re-paid the evaluation.
+  EXPECT_EQ(stats.hits + stats.inflight_joins,
+            static_cast<std::size_t>(kThreads) - 1u);
+}
+
+TEST(EvalCacheTest, FailedLeaderLetsWaitersRetry) {
+  EvalCache cache;
+  std::atomic<int> attempts{0};
+  constexpr int kThreads = 8;
+
+  ThreadPool pool(kThreads);
+  std::vector<std::future<double>> futures;
+  futures.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    futures.push_back(pool.Submit([&]() -> double {
+      try {
+        return cache
+            .GetOrCompute("flaky",
+                          [&] {
+                            int n = ++attempts;
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(10));
+                            if (n == 1) throw std::runtime_error("boom");
+                            return Outcome(5.0);
+                          })
+            .cost;
+      } catch (const std::runtime_error&) {
+        return -1.0;  // the leader that drew the failure
+      }
+    }));
+  }
+  int failures = 0;
+  for (auto& f : futures) {
+    double cost = f.get();
+    if (cost < 0) {
+      ++failures;
+    } else {
+      EXPECT_EQ(cost, 5.0);
+    }
+  }
+  // Exactly one caller (the first leader) observes the exception; every
+  // waiter retries and one of them becomes the new leader.
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(attempts.load(), 2);
+  ASSERT_TRUE(cache.Find("flaky").has_value());
+}
+
+// Hammer many distinct keys from many threads with a bounded capacity —
+// primarily an ASan/TSan target via the sanitized duplicate.
+TEST(EvalCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
+  EvalCacheOptions options;
+  options.capacity = 8;
+  EvalCache cache(options);
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &computes, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int key = (t + i) % 24;
+        EvalOutcome out = cache.GetOrCompute(
+            "k" + std::to_string(key), [&computes, key] {
+              ++computes;
+              return Outcome(static_cast<double>(key));
+            });
+        ASSERT_EQ(out.cost, static_cast<double>(key));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_LE(cache.size(), 8u);
+  EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, static_cast<std::size_t>(kThreads) * kIters);
+  EXPECT_EQ(stats.misses, static_cast<std::size_t>(computes.load()));
+  EXPECT_EQ(stats.hits + stats.inflight_joins + stats.misses, stats.lookups);
+}
+
+// ----------------------------------------------- journal/cache layering
+
+TEST(EvalCacheTest, JournalHitNeverTouchesTheCache) {
+  const std::string path =
+      ::testing::TempDir() + "/cache_precedence_journal.jsonl";
+  std::remove(path.c_str());
+
+  int raw_calls = 0;
+  tuner::EvalFn raw = [&](const DesignConfig&) {
+    ++raw_calls;
+    return Outcome(3.0);
+  };
+
+  {
+    // First run: journal miss -> cache miss -> raw evaluator; the journal
+    // records what the cache returned.
+    resilience::EvalJournal journal;
+    journal.Open(path);
+    EvalCache cache;
+    tuner::EvalFn fn = journal.Wrap("p0", cache.Wrap(raw));
+    fn(MakeConfig(0));
+    EXPECT_EQ(raw_calls, 1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(journal.entries(), 1u);
+  }
+  {
+    // Resumed run: the journal answers first; the fresh cache is never
+    // consulted (journal -> cache -> evaluator layering).
+    resilience::EvalJournal journal;
+    journal.Open(path);
+    EXPECT_EQ(journal.resumed(), 1u);
+    EvalCache cache;
+    tuner::EvalFn fn = journal.Wrap("p0", cache.Wrap(raw));
+    EvalOutcome out = fn(MakeConfig(0));
+    EXPECT_EQ(out.cost, 3.0);
+    EXPECT_EQ(raw_calls, 1);
+    EXPECT_EQ(journal.hits(), 1u);
+    EXPECT_EQ(cache.stats().lookups, 0u);
+    // A key the journal does not know falls through to the cache.
+    fn(MakeConfig(1));
+    EXPECT_EQ(raw_calls, 2);
+    EXPECT_EQ(cache.stats().misses, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvalCacheTest, StatsMergeAccumulates) {
+  EvalCacheStats a;
+  a.lookups = 10;
+  a.hits = 4;
+  a.misses = 6;
+  a.minutes_saved = 20;
+  EvalCacheStats b;
+  b.lookups = 5;
+  b.hits = 1;
+  b.misses = 4;
+  b.inflight_joins = 2;
+  b.evictions = 3;
+  b.minutes_saved = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.lookups, 15u);
+  EXPECT_EQ(a.hits, 5u);
+  EXPECT_EQ(a.misses, 10u);
+  EXPECT_EQ(a.inflight_joins, 2u);
+  EXPECT_EQ(a.evictions, 3u);
+  EXPECT_EQ(a.minutes_saved, 25.0);
+}
+
+}  // namespace
+}  // namespace s2fa::cache

@@ -274,6 +274,35 @@ TEST(StoppingTest, EntropyStopWaitsForMinRecords) {
   EXPECT_FALSE(stop(db));
 }
 
+TEST(StoppingTest, EntropyPinnedForParentAttributedSequence) {
+  // Regression pin for the changed_factors fix: with explicit parents the
+  // mutation distribution — and therefore the entropy the stopping
+  // criterion reads — differs from the legacy prev-record diff, which in a
+  // parallel batch compared against another technique's proposal.
+  tuner::Point a{0, 0, 0};
+  tuner::Point b{1, 0, 0};
+  tuner::Point c{1, 1, 0};
+  tuner::Point d{2, 0, 0};
+
+  tuner::ResultDatabase parented;
+  parented.Add(a, 10.0, true, 1.0, 0, nullptr);
+  parented.Add(b, 8.0, true, 2.0, 0, &a);   // {0}, uphill
+  parented.Add(c, 6.0, true, 3.0, 0, &b);   // {1}, uphill
+  parented.Add(d, 9.0, true, 4.0, 1, &a);   // {0}, downhill
+  // mutated[0]=2 uphill[0]=1 -> p=1/2; mutated[1]=1 uphill[1]=1 -> p=1.
+  EXPECT_NEAR(UphillEntropy(parented, 3), std::log(2.0) / 2.0, 1e-12);
+
+  tuner::ResultDatabase legacy;
+  legacy.Add(a, 10.0, true, 1.0, 0);
+  legacy.Add(b, 8.0, true, 2.0, 0);   // vs a: {0}, uphill
+  legacy.Add(c, 6.0, true, 3.0, 0);   // vs b: {1}, uphill
+  legacy.Add(d, 9.0, true, 4.0, 1);   // vs c: {0,1}, downhill — d's factor-1
+                                      // "mutation" is an artifact of the
+                                      // prev record, not of d's proposal
+  // mutated[0]=2 uphill[0]=1; mutated[1]=2 uphill[1]=1 -> both p=1/2.
+  EXPECT_NEAR(UphillEntropy(legacy, 3), std::log(2.0), 1e-12);
+}
+
 TEST(StoppingTest, NoImprovementStopCountsStaleIterations) {
   auto stop = MakeNoImprovementStop(3);
   tuner::ResultDatabase db;
@@ -551,6 +580,112 @@ TEST(ExplorerTest, TruncatedJournalResumesPartially) {
   EXPECT_EQ(resumed.elapsed_minutes, first.elapsed_minutes);
   EXPECT_EQ(resumed.evaluations, first.evaluations);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ eval cache
+
+TEST(ExplorerTest, CacheOnAndOffProduceIdenticalTrajectories) {
+  // The determinism contract of the memoizing cache: a hit replays the
+  // stored outcome (simulated minutes included), so the search trajectory
+  // is bit-identical with the cache on or off — only raw evaluator calls
+  // differ.
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  std::atomic<int> raw_calls{0};
+  tuner::EvalFn counting =
+      [&raw_calls, eval = HlsEval(k)](const merlin::DesignConfig& cfg) {
+        ++raw_calls;
+        return eval(cfg);
+      };
+
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 11;
+  options.cache.enabled = false;
+  DseResult off = RunS2faDse(space, k, counting, options);
+  const int paid_off = raw_calls.exchange(0);
+  options.cache.enabled = true;
+  DseResult on = RunS2faDse(space, k, counting, options);
+  const int paid_on = raw_calls.load();
+
+  EXPECT_EQ(on.best_cost, off.best_cost);
+  EXPECT_EQ(on.found_feasible, off.found_feasible);
+  EXPECT_EQ(on.elapsed_minutes, off.elapsed_minutes);
+  EXPECT_EQ(on.evaluations, off.evaluations);
+  ASSERT_EQ(on.trace.size(), off.trace.size());
+  for (std::size_t i = 0; i < on.trace.size(); ++i) {
+    EXPECT_EQ(on.trace[i].time_minutes, off.trace[i].time_minutes);
+    EXPECT_EQ(on.trace[i].best_cost, off.trace[i].best_cost);
+  }
+  // The cache-off run saw no cache at all; the cache-on run paid the black
+  // box exactly once per unique design point.
+  EXPECT_EQ(off.cache_stats.lookups, 0u);
+  EXPECT_GT(on.cache_stats.lookups, 0u);
+  EXPECT_EQ(static_cast<std::size_t>(paid_on), on.cache_stats.misses);
+  EXPECT_LE(paid_on, paid_off);
+  // The run proposes duplicates (training + partitions share the cache),
+  // so some evaluations came for free.
+  EXPECT_GT(on.cache_stats.hits + on.cache_stats.inflight_joins, 0u);
+  EXPECT_GT(on.cache_stats.minutes_saved, 0.0);
+}
+
+TEST(ExplorerTest, VanillaRunsFullEvaluationStack) {
+  // The baseline used to silently drop every resilience/journal/cache
+  // option; now --vanilla runs the identical stack.
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  std::atomic<int> raw_calls{0};
+  tuner::EvalFn counting =
+      [&raw_calls, eval = HlsEval(k)](const merlin::DesignConfig& cfg) {
+        ++raw_calls;
+        return eval(cfg);
+      };
+
+  const std::string path =
+      testing::TempDir() + "s2fa_vanilla_journal.jsonl";
+  std::remove(path.c_str());
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 4;
+  options.journal_path = path;
+  options.faults.crash_rate = 0.1;
+  options.faults.timeout_rate = 0.1;
+  options.faults.garbage_rate = 0.1;
+  options.faults.seed = 99;
+
+  DseResult first = RunVanillaOpenTuner(space, counting, options);
+  EXPECT_GT(raw_calls.load(), 0);
+  // Injected faults were seen, classified, and retried by the guard.
+  EXPECT_GT(first.resilience.crashes + first.resilience.timeouts +
+                first.resilience.garbage,
+            0u);
+  EXPECT_GT(first.resilience.retries, 0u);
+  EXPECT_GT(first.journal_entries, 0u);
+  EXPECT_GT(first.cache_stats.lookups, 0u);
+
+  // Resume from the journal: zero evaluations re-paid, identical result.
+  raw_calls.store(0);
+  DseResult resumed = RunVanillaOpenTuner(space, counting, options);
+  EXPECT_EQ(raw_calls.load(), 0);
+  EXPECT_EQ(resumed.journal_resumed, first.journal_entries);
+  EXPECT_EQ(resumed.best_cost, first.best_cost);
+  EXPECT_EQ(resumed.elapsed_minutes, first.elapsed_minutes);
+  std::remove(path.c_str());
+}
+
+TEST(ExplorerTest, VanillaLegacyOverloadMatchesDefaultOptions) {
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  DseResult legacy = RunVanillaOpenTuner(space, eval, 60, 4, 7);
+  ExplorerOptions options;
+  options.time_limit_minutes = 60;
+  options.num_cores = 4;
+  options.seed = 7;
+  DseResult full = RunVanillaOpenTuner(space, eval, options);
+  EXPECT_EQ(legacy.best_cost, full.best_cost);
+  EXPECT_EQ(legacy.elapsed_minutes, full.elapsed_minutes);
+  EXPECT_EQ(legacy.evaluations, full.evaluations);
 }
 
 TEST(ExplorerTest, TraceIsMonotone) {

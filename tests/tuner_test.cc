@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kir/kernel.h"
+#include "support/thread_pool.h"
 #include "tuner/bandit.h"
 #include "tuner/driver.h"
 #include "tuner/space.h"
@@ -472,6 +473,81 @@ TEST(DriverTest, DeterministicForSameSeed) {
   EXPECT_EQ(a.evaluations, b.evaluations);
 }
 
+TEST(DriverTest, ParallelEvalPoolMatchesSerial) {
+  // Batches evaluated on a thread pool commit in proposal order, so the
+  // whole run is bit-identical to the serial evaluation.
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  auto eval = [](const merlin::DesignConfig& cfg) -> EvalOutcome {
+    double c = 10.0 + static_cast<double>(cfg.loops.at(0).parallel) +
+               static_cast<double>(cfg.buffer_bits.at("in")) / 64.0 +
+               (cfg.loops.at(0).pipeline == merlin::PipelineMode::kOn
+                    ? -0.5
+                    : 0.0);
+    return {true, c, 5.0 + c / 100.0};
+  };
+  TuneOptions options;
+  options.time_limit_minutes = 60;
+  options.parallel = 8;
+  options.seed = 77;
+  TuneResult serial = Tune(space, eval, options);
+
+  ThreadPool pool(4);
+  options.eval_pool = &pool;
+  TuneResult pooled = Tune(space, eval, options);
+
+  EXPECT_EQ(serial.best, pooled.best);
+  EXPECT_EQ(serial.best_cost, pooled.best_cost);
+  EXPECT_EQ(serial.evaluations, pooled.evaluations);
+  EXPECT_EQ(serial.elapsed_minutes, pooled.elapsed_minutes);
+  ASSERT_EQ(serial.trace.size(), pooled.trace.size());
+  for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+    EXPECT_EQ(serial.trace[i].time_minutes, pooled.trace[i].time_minutes);
+    EXPECT_EQ(serial.trace[i].best_cost, pooled.trace[i].best_cost);
+  }
+}
+
+TEST(DriverTest, FinalBatchClampedToTimeLimit) {
+  // The last batch may finish past the budget; its evaluations stay in
+  // the database, but the reported best/trace cannot claim an improvement
+  // found after the limit.
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  int calls = 0;
+  auto eval = [&](const merlin::DesignConfig&) -> EvalOutcome {
+    ++calls;  // strictly improving: every evaluation is a new best
+    return {true, 1000.0 - calls, 10.0};
+  };
+  TuneOptions options;
+  options.time_limit_minutes = 95;  // batches land at 10, 20, ..., 100
+  options.parallel = 1;
+  TuneResult result = Tune(space, eval, options);
+
+  EXPECT_EQ(calls, 10);                     // the overshoot batch DID run
+  EXPECT_EQ(result.evaluations, 10u);       // and is accounted for
+  EXPECT_DOUBLE_EQ(result.best_cost, 991.0);  // ...but t=100's 990 is not
+                                              // claimed as the best
+  EXPECT_DOUBLE_EQ(result.elapsed_minutes, 95.0);
+  ASSERT_FALSE(result.trace.empty());
+  for (const auto& tp : result.trace) {
+    EXPECT_LE(tp.time_minutes, 95.0);
+  }
+}
+
+TEST(DriverTest, RunEntirelyPastLimitReportsNoBest) {
+  // Degenerate clamp: the only evaluation lands past the budget, so the
+  // run cannot claim it.
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  auto eval = [](const merlin::DesignConfig&) -> EvalOutcome {
+    return {true, 10.0, 100.0};
+  };
+  TuneOptions options;
+  options.time_limit_minutes = 95;
+  options.parallel = 1;
+  TuneResult result = Tune(space, eval, options);
+  EXPECT_FALSE(result.found_feasible);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_DOUBLE_EQ(result.elapsed_minutes, 95.0);
+}
+
 TEST(DriverTest, AllInfeasibleRunReportsNoBest) {
   DesignSpace space = BuildDesignSpace(TwoLoopKernel());
   auto eval = [](const merlin::DesignConfig&) -> EvalOutcome {
@@ -505,6 +581,44 @@ TEST(DatabaseTest, InfeasibleNeverBest) {
   EXPECT_FALSE(db.Add({0}, 1.0, false, 1.0, 0));
   EXPECT_FALSE(db.has_best());
   EXPECT_THROW(db.best(), InvalidArgument);
+}
+
+TEST(DatabaseTest, ExplicitParentAttributesMutatedFactors) {
+  // In a parallel batch the previous record is another technique's
+  // proposal; changed_factors must diff against the proposing technique's
+  // own parent instead.
+  ResultDatabase db;
+  Point a{0, 0, 0};
+  Point b{1, 1, 0};
+  Point c{1, 0, 1};
+  db.Add(a, 10.0, true, 1.0, 0, /*parent=*/nullptr);
+  EXPECT_TRUE(db.records()[0].changed_factors.empty());  // seeds/randoms
+  db.Add(b, 8.0, true, 2.0, 0, &a);
+  EXPECT_EQ(db.records()[1].changed_factors,
+            (std::vector<std::size_t>{0, 1}));
+  // c's parent is a, NOT the immediately preceding record b.
+  db.Add(c, 6.0, true, 3.0, 1, &a);
+  EXPECT_EQ(db.records()[2].changed_factors,
+            (std::vector<std::size_t>{0, 2}));
+  // The 5-arg overload keeps the legacy prev-record diff.
+  db.Add(a, 7.0, true, 4.0, 0);
+  EXPECT_EQ(db.records()[3].changed_factors,
+            (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(TechniqueTest, ProposalBaseTracksTheMutatedPoint) {
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  UniformGreedyMutation greedy(&space);
+  Rng rng(3);
+  greedy.Propose(rng);
+  // No best yet: the draw was random, there is nothing to attribute.
+  EXPECT_EQ(greedy.last_proposal_base(), nullptr);
+
+  Point best = space.RandomPoint(rng);
+  greedy.Report(best, 5.0, /*feasible=*/true);
+  greedy.Propose(rng);
+  ASSERT_NE(greedy.last_proposal_base(), nullptr);
+  EXPECT_EQ(*greedy.last_proposal_base(), best);
 }
 
 }  // namespace

@@ -9,11 +9,15 @@
 //                      [--vanilla] [--no-seeds] [--no-partition]
 //                      [--eval-timeout M] [--eval-retries N]
 //                      [--resume-journal FILE] [--fault-rate P]
+//                      [--eval-cache on|off|N]
 //       Run the DSE and report partitions, the trace, and the best design.
 //       --eval-timeout/--eval-retries tune the fault-tolerant evaluation
 //       layer, --resume-journal checkpoints every evaluation (and resumes
 //       a killed run without re-paying them), --fault-rate injects
-//       deterministic evaluator failures to exercise that machinery.
+//       deterministic evaluator failures to exercise that machinery, and
+//       --eval-cache controls the shared memoizing evaluation cache
+//       (on by default; N bounds it to an N-entry LRU). All of these apply
+//       to --vanilla runs too.
 //   s2fa run <app> [--records N] [--seed N] [--accel-fault-rate P]
 //       Build the accelerator (short DSE), execute a workload through the
 //       Blaze runtime, cross-check against the JVM baseline, and report
@@ -24,8 +28,9 @@
 //
 // Global flags: --trace-out FILE --metrics-out FILE (enable the obs layer
 // and dump the span trace / aggregated summary), --log-level LEVEL.
-// Environment: S2FA_EVAL_TIMEOUT, S2FA_EVAL_RETRIES, S2FA_RESUME_JOURNAL
-// and S2FA_FAULT_RATE mirror the resilience flags (flags win).
+// Environment: S2FA_EVAL_TIMEOUT, S2FA_EVAL_RETRIES, S2FA_RESUME_JOURNAL,
+// S2FA_FAULT_RATE and S2FA_EVAL_CACHE mirror the evaluation-stack flags
+// (flags win).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +42,7 @@
 
 #include "apps/app.h"
 #include "apps/jvm_baseline.h"
+#include "cache/eval_cache.h"
 #include "blaze/runtime.h"
 #include "kir/printer.h"
 #include "obs/export.h"
@@ -96,13 +102,14 @@ int Usage() {
                "--no-seeds --no-partition\n"
                "                 --eval-timeout MIN --eval-retries N "
                "--resume-journal FILE --fault-rate P\n"
+               "                 --eval-cache on|off|N\n"
                "  run flags:     --records N --seed N --minutes N "
                "--accel-fault-rate P\n"
                "  report:        s2fa report <metrics.json>\n"
                "  global flags:  --trace-out FILE --metrics-out FILE "
                "--log-level off|error|warn|info|debug\n"
                "  env:           S2FA_EVAL_TIMEOUT S2FA_EVAL_RETRIES "
-               "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE\n");
+               "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE S2FA_EVAL_CACHE\n");
   return 2;
 }
 
@@ -182,66 +189,90 @@ int CmdExplore(const apps::App& app, const Args& args) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.Num("seed", 2018));
 
-  dse::DseResult result;
-  if (args.Has("vanilla")) {
-    result = dse::RunVanillaOpenTuner(space, eval, minutes, cores, seed);
-  } else {
-    dse::ExplorerOptions options;
-    options.time_limit_minutes = minutes;
-    options.num_cores = cores;
-    options.seed = seed;
-    options.enable_seeds = !args.Has("no-seeds");
-    options.enable_partitioning = !args.Has("no-partition");
+  // Evaluation-stack knobs (resilience, journal, faults, cache) apply to
+  // the vanilla baseline and the S2FA pipeline alike: environment first,
+  // explicit flags win.
+  dse::ExplorerOptions options;
+  options.time_limit_minutes = minutes;
+  options.num_cores = cores;
+  options.seed = seed;
+  options.enable_seeds = !args.Has("no-seeds");
+  options.enable_partitioning = !args.Has("no-partition");
 
-    // Resilience knobs: environment first, explicit flags win.
-    const resilience::EnvKnobs env = resilience::ReadEnvKnobs();
-    if (env.eval_timeout_minutes) {
-      options.resilience.deadline_minutes = *env.eval_timeout_minutes;
-    }
-    if (env.eval_retries) options.resilience.max_retries = *env.eval_retries;
-    if (env.resume_journal) options.journal_path = *env.resume_journal;
-    double fault_rate = env.fault_rate.value_or(0.0);
-    if (args.Has("eval-timeout")) {
-      options.resilience.deadline_minutes = args.Num("eval-timeout", 60);
-    }
-    if (args.Has("eval-retries")) {
-      options.resilience.max_retries =
-          static_cast<int>(args.Num("eval-retries", 2));
-    }
-    if (args.Has("resume-journal")) {
-      options.journal_path = args.Str("resume-journal");
-    }
-    if (args.Has("fault-rate")) fault_rate = args.Num("fault-rate", 0);
-    if (fault_rate < 0 || fault_rate > 1) {
-      std::fprintf(stderr, "error: --fault-rate must be in [0, 1]\n");
+  const resilience::EnvKnobs env = resilience::ReadEnvKnobs();
+  if (env.eval_timeout_minutes) {
+    options.resilience.deadline_minutes = *env.eval_timeout_minutes;
+  }
+  if (env.eval_retries) options.resilience.max_retries = *env.eval_retries;
+  if (env.resume_journal) options.journal_path = *env.resume_journal;
+  double fault_rate = env.fault_rate.value_or(0.0);
+  if (args.Has("eval-timeout")) {
+    options.resilience.deadline_minutes = args.Num("eval-timeout", 60);
+  }
+  if (args.Has("eval-retries")) {
+    options.resilience.max_retries =
+        static_cast<int>(args.Num("eval-retries", 2));
+  }
+  if (args.Has("resume-journal")) {
+    options.journal_path = args.Str("resume-journal");
+  }
+  if (args.Has("fault-rate")) fault_rate = args.Num("fault-rate", 0);
+  if (fault_rate < 0 || fault_rate > 1) {
+    std::fprintf(stderr, "error: --fault-rate must be in [0, 1]\n");
+    return 2;
+  }
+  if (fault_rate > 0) {
+    // Split the requested failure probability evenly across the taxonomy
+    // so every failure mode gets exercised.
+    options.faults.crash_rate = fault_rate / 3;
+    options.faults.timeout_rate = fault_rate / 3;
+    options.faults.garbage_rate = fault_rate / 3;
+    options.faults.seed = seed ^ 0xFA17ULL;
+  }
+  if (auto env_cache = cache::ReadEnvCacheOptions()) options.cache = *env_cache;
+  if (args.Has("eval-cache")) {
+    auto parsed = cache::ParseCacheSpec(args.Str("eval-cache"));
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "error: --eval-cache expects on|off|N, got '%s'\n",
+                   args.Str("eval-cache").c_str());
       return 2;
     }
-    if (fault_rate > 0) {
-      // Split the requested failure probability evenly across the taxonomy
-      // so every failure mode gets exercised.
-      options.faults.crash_rate = fault_rate / 3;
-      options.faults.timeout_rate = fault_rate / 3;
-      options.faults.garbage_rate = fault_rate / 3;
-      options.faults.seed = seed ^ 0xFA17ULL;
-    }
-    if (!CheckWritable("--resume-journal", options.journal_path)) return 2;
+    options.cache = *parsed;
+  }
+  // Fail fast before the (simulated) hours of exploration, exactly like
+  // the --trace-out/--metrics-out probes.
+  if (!CheckWritable("--resume-journal", options.journal_path)) return 2;
 
+  dse::DseResult result;
+  if (args.Has("vanilla")) {
+    result = dse::RunVanillaOpenTuner(space, eval, options);
+  } else {
     result = dse::RunS2faDse(space, k, eval, options);
+  }
 
-    const resilience::ResilienceStats& rs = result.resilience;
-    if (rs.retries > 0 || rs.exhausted > 0 || rs.short_circuits > 0) {
-      std::printf("resilience: %zu retries (%zu crash, %zu timeout, "
-                  "%zu garbage), %zu points degraded, %zu breaker trips, "
-                  "%zu short-circuited\n",
-                  rs.retries, rs.crashes, rs.timeouts, rs.garbage,
-                  rs.exhausted, rs.breaker_trips, rs.short_circuits);
-    }
-    if (!options.journal_path.empty()) {
-      std::printf("journal: %zu entries (%zu resumed, %zu re-used this "
-                  "run)\n",
-                  result.journal_entries, result.journal_resumed,
-                  result.journal_hits);
-    }
+  const resilience::ResilienceStats& rs = result.resilience;
+  if (rs.retries > 0 || rs.exhausted > 0 || rs.short_circuits > 0) {
+    std::printf("resilience: %zu retries (%zu crash, %zu timeout, "
+                "%zu garbage), %zu points degraded, %zu breaker trips, "
+                "%zu short-circuited\n",
+                rs.retries, rs.crashes, rs.timeouts, rs.garbage,
+                rs.exhausted, rs.breaker_trips, rs.short_circuits);
+  }
+  if (!options.journal_path.empty()) {
+    std::printf("journal: %zu entries (%zu resumed, %zu re-used this "
+                "run)\n",
+                result.journal_entries, result.journal_resumed,
+                result.journal_hits);
+  }
+  const cache::EvalCacheStats& cs = result.cache_stats;
+  if (cs.lookups > 0) {
+    std::printf("cache: %zu/%zu duplicate lookups answered (%.0f%% of the "
+                "proposal stream), %zu joined in flight, %.0f simulated "
+                "minutes not re-paid\n",
+                cs.hits + cs.inflight_joins, cs.lookups,
+                100.0 * cs.DuplicateRate(), cs.inflight_joins,
+                cs.minutes_saved);
   }
 
   std::printf("partitions:\n");
