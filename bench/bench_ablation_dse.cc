@@ -22,17 +22,20 @@ struct Aggregate {
   double sum_stop_h = 0;
   double sum_log_cost = 0;
   double sum_first_cost = 0;
+  double sum_reclaimed_min = 0;
   int n = 0;
 
   void Add(const dse::DseResult& r) {
     sum_stop_h += r.elapsed_minutes / 60.0;
     sum_log_cost += std::log(r.best_cost);
     sum_first_cost += r.trace.empty() ? 0.0 : r.trace.front().best_cost;
+    sum_reclaimed_min += r.schedule.reclaimed_minutes;
     ++n;
   }
   double MeanStopHours() const { return sum_stop_h / n; }
   double GeoCost() const { return std::exp(sum_log_cost / n); }
   double MeanFirst() const { return sum_first_cost / n; }
+  double MeanReclaimed() const { return sum_reclaimed_min / n; }
 };
 
 }  // namespace
@@ -41,7 +44,7 @@ int main() {
   MetricsScope metrics("ablation");
   EvalSetup setup;
 
-  Aggregate entropy, trivial, time_only, no_seeds, no_partition;
+  Aggregate entropy, fcfs_sched, trivial, time_only, no_seeds, no_partition;
   // Future-work ablation: DSE objective assumes the target clock (the
   // published flow) vs using the estimated post-P&R frequency (this
   // repository's default). Scored on the *achieved* execution time.
@@ -50,7 +53,8 @@ int main() {
 
   for (apps::App& app : apps::AllApps()) {
     PreparedApp prepared = Prepare(std::move(app));
-    auto run = [&](dse::StopKind stop, bool seeds, bool partition) {
+    auto run = [&](dse::StopKind stop, bool seeds, bool partition,
+                   dse::SchedulerKind sched = dse::SchedulerKind::kAdaptive) {
       dse::ExplorerOptions options;
       options.time_limit_minutes = setup.time_limit_minutes;
       options.num_cores = setup.num_cores;
@@ -58,10 +62,13 @@ int main() {
       options.stop = stop;
       options.enable_seeds = seeds;
       options.enable_partitioning = partition;
+      options.scheduler = sched;
       return dse::RunS2faDse(prepared.space, prepared.generated,
                              prepared.evaluate, options);
     };
     entropy.Add(run(dse::StopKind::kEntropy, true, true));
+    fcfs_sched.Add(run(dse::StopKind::kEntropy, true, true,
+                       dse::SchedulerKind::kFcfs));
     trivial.Add(run(dse::StopKind::kNoImprovement, true, true));
     time_only.Add(run(dse::StopKind::kTimeOnly, true, true));
     no_seeds.Add(run(dse::StopKind::kEntropy, false, true));
@@ -93,13 +100,15 @@ int main() {
 
   std::printf("=== DSE strategy ablations (8 apps, geometric means) ===\n\n");
   TextTable table({"Configuration", "Mean stop (h)", "Geomean best (us)",
-                   "Mean first point (us)"});
+                   "Mean first point (us)", "Mean reclaimed (min)"});
   auto row = [&](const char* label, const Aggregate& agg) {
     table.AddRow({label, FormatDouble(agg.MeanStopHours(), 2),
                   FormatDouble(agg.GeoCost(), 2),
-                  FormatDouble(agg.MeanFirst(), 1)});
+                  FormatDouble(agg.MeanFirst(), 1),
+                  FormatDouble(agg.MeanReclaimed(), 0)});
   };
   row("S2FA (entropy stop)", entropy);
+  row("fcfs scheduler (no reclaim)", fcfs_sched);
   row("trivial stop (10 stale iters)", trivial);
   row("time limit only (4 h)", time_only);
   row("no seed generation", no_seeds);

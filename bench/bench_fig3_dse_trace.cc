@@ -43,6 +43,10 @@ int main() {
   double sum_dup_rate = 0;
   double sum_wall_saved_ms = 0;
   bool all_trajectories_identical = true;
+  double total_reclaimed_minutes = 0;
+  int apps_with_reclaim = 0;
+  bool all_adaptive_not_worse = true;
+  bool all_sched_identical_without_stop = true;
   int n = 0;
 
   for (apps::App& app : apps::AllApps()) {
@@ -115,7 +119,7 @@ int main() {
     std::printf(
         "cache ablation (seed %llu): duplicate-point rate %.1f%% "
         "(%zu of %zu lookups), %.0f simulated min not re-paid, wall-clock "
-        "%.0f ms -> %.0f ms, trajectories %s\n\n",
+        "%.0f ms -> %.0f ms, trajectories %s\n",
         static_cast<unsigned long long>(seeds.front()),
         100.0 * ablation.stats.DuplicateRate(),
         ablation.stats.hits + ablation.stats.inflight_joins,
@@ -126,6 +130,29 @@ int main() {
     sum_wall_saved_ms +=
         ablation.wall_ms_cache_off - ablation.wall_ms_cache_on;
     all_trajectories_identical &= ablation.identical_trajectory;
+
+    // Scheduler ablation on the first seed: with the entropy stop the
+    // adaptive scheduler reinvests freed budget and must never end up
+    // worse; with stopping disabled it must match FCFS bit-for-bit.
+    SchedulerAblation sched = RunSchedulerAblation(prepared, ablation_setup);
+    std::printf(
+        "scheduler ablation (seed %llu): best@%.0fm adaptive %.4g us vs "
+        "fcfs %.4g us (%s), %.0f min reclaimed / %.0f re-granted in %zu "
+        "slices (%zu preemptions, %zu extra evals); no-early-stop "
+        "trajectories %s\n\n",
+        static_cast<unsigned long long>(seeds.front()),
+        ablation_setup.time_limit_minutes, sched.adaptive.best_cost,
+        sched.fcfs.best_cost,
+        sched.adaptive_not_worse ? "not worse" : "WORSE (bug!)",
+        sched.adaptive.schedule.reclaimed_minutes,
+        sched.adaptive.schedule.regranted_minutes,
+        sched.adaptive.schedule.grants, sched.adaptive.schedule.preemptions,
+        sched.adaptive.schedule.reclaim_evaluations,
+        sched.identical_without_stopping ? "identical" : "DIVERGED (bug!)");
+    total_reclaimed_minutes += sched.adaptive.schedule.reclaimed_minutes;
+    if (sched.adaptive.schedule.reclaimed_minutes > 0) ++apps_with_reclaim;
+    all_adaptive_not_worse &= sched.adaptive_not_worse;
+    all_sched_identical_without_stop &= sched.identical_without_stopping;
 
     sum_time_saving += app_saving / k;
     sum_log_qor += app_log_qor / k;
@@ -148,6 +175,16 @@ int main() {
               100.0 * sum_dup_rate / n, sum_wall_saved_ms,
               all_trajectories_identical ? "identical everywhere"
                                          : "DIVERGED (bug!)");
+  std::printf("adaptive scheduler: %s vs fcfs on every app; %.0f min of "
+              "early-stop budget reclaimed across apps (%d of %d apps "
+              "reclaimed > 0); no-early-stop trajectories %s\n",
+              all_adaptive_not_worse ? "never worse" : "WORSE somewhere (bug!)",
+              total_reclaimed_minutes, apps_with_reclaim, n,
+              all_sched_identical_without_stop ? "identical everywhere"
+                                               : "DIVERGED (bug!)");
   std::printf("(first-seed traces written to fig3_trace.csv)\n");
-  return all_trajectories_identical ? 0 : 1;
+  const bool scheduler_ok = all_adaptive_not_worse &&
+                            all_sched_identical_without_stop &&
+                            apps_with_reclaim > 0;
+  return (all_trajectories_identical && scheduler_ok) ? 0 : 1;
 }

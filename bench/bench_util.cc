@@ -110,6 +110,39 @@ CacheAblation RunCacheAblation(const PreparedApp& prepared,
   return ablation;
 }
 
+SchedulerAblation RunSchedulerAblation(const PreparedApp& prepared,
+                                       const EvalSetup& setup) {
+  dse::ExplorerOptions options;
+  options.time_limit_minutes = setup.time_limit_minutes;
+  options.num_cores = setup.num_cores;
+  options.seed = setup.seed;
+
+  SchedulerAblation ablation;
+  options.stop = dse::StopKind::kEntropy;
+  options.scheduler = dse::SchedulerKind::kAdaptive;
+  ablation.adaptive = dse::RunS2faDse(prepared.space, prepared.generated,
+                                      prepared.evaluate, options);
+  options.scheduler = dse::SchedulerKind::kFcfs;
+  ablation.fcfs = dse::RunS2faDse(prepared.space, prepared.generated,
+                                  prepared.evaluate, options);
+  // (inf <= inf counts as not-worse: neither run found a feasible point.)
+  ablation.adaptive_not_worse =
+      !(ablation.adaptive.best_cost > ablation.fcfs.best_cost);
+
+  options.stop = dse::StopKind::kTimeOnly;
+  options.scheduler = dse::SchedulerKind::kAdaptive;
+  dse::DseResult adaptive_full = dse::RunS2faDse(
+      prepared.space, prepared.generated, prepared.evaluate, options);
+  options.scheduler = dse::SchedulerKind::kFcfs;
+  dse::DseResult fcfs_full = dse::RunS2faDse(
+      prepared.space, prepared.generated, prepared.evaluate, options);
+  ablation.identical_without_stopping =
+      SameTrajectory(adaptive_full, fcfs_full) &&
+      adaptive_full.evaluations == fcfs_full.evaluations &&
+      adaptive_full.schedule.grants == 0;
+  return ablation;
+}
+
 double CostAt(const std::vector<tuner::TracePoint>& trace, double minutes,
               double norm) {
   double best = std::numeric_limits<double>::infinity();

@@ -59,6 +59,22 @@ struct CacheAblation {
 CacheAblation RunCacheAblation(const PreparedApp& prepared,
                                const EvalSetup& setup);
 
+// Same-seed S2FA run under the adaptive vs the FCFS partition scheduler.
+// The contract (dse/scheduler.h): with the entropy stop the adaptive
+// run's best at the budget is never worse — its FCFS phase is unchanged
+// and reclaim grants only add exploration — and with early stopping
+// disabled no budget frees, so the two schedules produce bit-identical
+// trajectories.
+struct SchedulerAblation {
+  dse::DseResult adaptive;  // entropy stop, adaptive scheduler
+  dse::DseResult fcfs;      // entropy stop, FCFS scheduler
+  bool adaptive_not_worse = false;
+  bool identical_without_stopping = false;  // kTimeOnly runs bit-identical
+};
+
+SchedulerAblation RunSchedulerAblation(const PreparedApp& prepared,
+                                       const EvalSetup& setup);
+
 // Best-so-far cost at simulated `minutes` (normalized when norm > 0).
 double CostAt(const std::vector<tuner::TracePoint>& trace, double minutes,
               double norm);

@@ -46,9 +46,29 @@ const char* StopLabel(StopKind stop) {
 
 }  // namespace
 
+SpanReport ClipTuneResultToSpan(const tuner::TuneResult& result,
+                                double span_minutes) {
+  SpanReport report;
+  for (const tuner::BestUpdate& up : result.improvements) {
+    if (up.time_minutes > span_minutes) break;
+    report.found = true;
+    report.best_cost = up.cost;
+    report.best_config = up.config;
+    report.trace.push_back({up.time_minutes, up.cost});
+  }
+  // Commit times within a batch are not monotone (each member carries its
+  // own eval_minutes), so count with a full scan rather than a break.
+  for (double t : result.eval_times_minutes) {
+    if (t <= span_minutes) ++report.evaluations;
+  }
+  return report;
+}
+
 DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
                      const EvalFn& evaluate, const ExplorerOptions& options) {
   S2FA_REQUIRE(options.num_cores >= 1, "need at least one core");
+  S2FA_REQUIRE(options.exec_threads >= 0,
+               "exec_threads must be non-negative");
   S2FA_SPAN("dse.run");
   Rng rng(options.seed);
 
@@ -125,8 +145,11 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
   }
   {
     ThreadPool pool(static_cast<std::size_t>(
-        std::max(1, std::min<int>(options.num_cores,
-                                  static_cast<int>(partitions.size())))));
+        options.exec_threads > 0
+            ? options.exec_threads
+            : std::max(1, std::min<int>(options.num_cores,
+                                        static_cast<int>(
+                                            partitions.size())))));
     std::vector<std::future<TuneResult>> futures;
     futures.reserve(partitions.size());
     for (std::size_t i = 0; i < partitions.size(); ++i) {
@@ -192,30 +215,134 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
     outcome.end_minutes = outcome.start_minutes + used;
     *core = outcome.end_minutes;
 
-    // Clip the partition's contribution to its scheduled span.
-    for (const TracePoint& tp : tune_results[i].trace) {
-      if (tp.time_minutes > used) break;
+    // Clip the partition's contribution to its scheduled span: the best
+    // (cost, config) *pair* found within it — never the final config
+    // paired with an earlier cost — and the evaluations actually
+    // committed inside it, not a time-proportional estimate.
+    SpanReport report = ClipTuneResultToSpan(tune_results[i], used);
+    for (const TracePoint& tp : report.trace) {
       merged.push_back({outcome.start_minutes + tp.time_minutes,
                         tp.best_cost});
-      outcome.clipped_best_cost = tp.best_cost;
     }
-    if (outcome.clipped_best_cost < result.best_cost) {
-      result.best_cost = outcome.clipped_best_cost;
+    outcome.clipped_best_cost = report.best_cost;
+    outcome.clipped_best_config = report.best_config;
+    outcome.clipped_evaluations = report.evaluations;
+    if (report.found && report.best_cost < result.best_cost) {
+      result.best_cost = report.best_cost;
       result.found_feasible = true;
-      // The partition's final best config is reported even when the clip
-      // cut the run short of it; the *cost* stays the clipped value, so a
-      // truncated partition never claims quality it didn't have time for.
-      result.best_config = tune_results[i].best_config;
+      result.best_config = report.best_config;
     }
-    // Clipped evaluation estimate, proportional to granted time.
-    double fraction =
-        tune_results[i].elapsed_minutes > 0
-            ? std::min(1.0, used / tune_results[i].elapsed_minutes)
-            : 1.0;
-    result.evaluations += static_cast<std::size_t>(
-        std::ceil(static_cast<double>(tune_results[i].evaluations) *
-                  fraction));
+    result.evaluations += report.evaluations;
     result.partitions.push_back(std::move(outcome));
+  }
+
+  // --- 4. Budget reclaim (adaptive scheduler): every core-tail an
+  // early-stopped partition freed goes to a central ledger and is
+  // re-granted, in preemptible slices, to the partition with the best
+  // recent improvement rate. Each recipient continues exploring its
+  // sub-space in a resumable TuneSession under a fresh stream seed,
+  // warm-started from its main-run best, journaled/cached/guarded under
+  // its own "r<i>" scope. The FCFS-phase trajectories above are never
+  // touched, so the adaptive result can only match or beat FCFS; with
+  // early stopping disabled no core frees early, the ledger stays empty,
+  // and the two schedules are identical.
+  result.scheduler = options.scheduler;
+  if (options.scheduler == SchedulerKind::kAdaptive) {
+    std::vector<std::unique_ptr<resilience::ResilientEvaluator>> rguards(
+        partitions.size());
+    std::vector<std::unique_ptr<tuner::TuneSession>> sessions(
+        partitions.size());
+    std::vector<ReclaimJob> jobs;
+    jobs.reserve(partitions.size());
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      const PartitionOutcome& outcome = result.partitions[i];
+      // A truncated partition's main run already owns a core up to the
+      // limit; its sequential continuation could never start.
+      if (outcome.truncated) continue;
+      TuneOptions topt;
+      topt.time_limit_minutes = options.time_limit_minutes;
+      topt.parallel = 1;
+      // A distinct stream from the main run's.
+      topt.seed = options.seed * 1000003ULL + i * 7919ULL + 500009ULL;
+      if (outcome.scheduled && outcome.result.found_feasible) {
+        topt.seeds.push_back({outcome.result.best, "reclaim warm start"});
+      } else if (options.enable_seeds) {
+        // Never-admitted partitions start like a late FCFS admission.
+        topt.seeds.push_back(
+            MakePerformanceSeed(partitions[i].space, options.seed_values));
+        topt.seeds.push_back(MakeAreaSeed(partitions[i].space));
+      }
+      topt.should_stop = MakeStop(options, partitions[i].space.num_factors());
+      topt.stop_reason_label = StopLabel(options.stop);
+      const std::string scope = "r" + std::to_string(i);
+      rguards[i] = make_guard(scope);
+      sessions[i] = std::make_unique<tuner::TuneSession>(
+          partitions[i].space, make_eval(scope, *rguards[i]), topt);
+      ReclaimJob job;
+      job.partition = i;
+      job.session = sessions[i].get();
+      job.initial_rate =
+          outcome.scheduled ? MainImprovementRate(outcome.result) : 0;
+      job.baseline_best = outcome.clipped_best_cost;
+      job.earliest_start_minutes = outcome.scheduled ? outcome.end_minutes : 0;
+      jobs.push_back(std::move(job));
+    }
+
+    ThreadPool reclaim_pool(static_cast<std::size_t>(
+        options.exec_threads > 0
+            ? options.exec_threads
+            : std::max(1, std::min<int>(options.num_cores,
+                                        std::max<int>(
+                                            1, static_cast<int>(
+                                                   jobs.size()))))));
+    ScheduleResult sched =
+        RunBudgetReclaim(std::move(jobs), core_clock,
+                         options.time_limit_minutes, options.sched,
+                         reclaim_pool);
+    result.schedule = sched.stats;
+    result.reclaim_grants = sched.grants;
+
+    // Fold each recipient's grant-window evaluations into the merged
+    // global-time picture.
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      if (sessions[i] == nullptr) continue;
+      if (rguards[i] != nullptr) {
+        result.resilience.Merge(rguards[i]->stats());
+      }
+      if (sessions[i]->evaluations() == 0) continue;
+      std::vector<ReclaimGrant> mine;
+      for (const ReclaimGrant& grant : sched.grants) {
+        if (grant.partition == i) mine.push_back(grant);
+      }
+      if (mine.empty()) continue;
+      PartitionOutcome& outcome = result.partitions[i];
+      outcome.reclaim_grants = mine.size();
+      for (const ReclaimGrant& grant : mine) {
+        outcome.reclaim_minutes += grant.used_minutes;
+      }
+      tuner::TuneResult rtr = sessions[i]->Result();
+      for (const tuner::BestUpdate& up : rtr.improvements) {
+        auto global = MapSessionTimeToGlobal(mine, up.time_minutes);
+        if (!global || *global > options.time_limit_minutes) continue;
+        merged.push_back({*global, up.cost});
+        if (up.cost < outcome.reclaim_best_cost) {
+          outcome.reclaim_best_cost = up.cost;
+        }
+        if (up.cost < result.best_cost) {
+          result.best_cost = up.cost;
+          result.found_feasible = true;
+          result.best_config = up.config;
+        }
+      }
+      for (double t : rtr.eval_times_minutes) {
+        auto global = MapSessionTimeToGlobal(mine, t);
+        if (global && *global <= options.time_limit_minutes) {
+          ++outcome.reclaim_evaluations;
+        }
+      }
+      result.evaluations += outcome.reclaim_evaluations;
+      result.schedule.reclaim_evaluations += outcome.reclaim_evaluations;
+    }
   }
 
   std::sort(merged.begin(), merged.end(),
@@ -236,6 +363,14 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
     if (obs::Enabled() && outcome.scheduled) {
       S2FA_COUNT("dse.stop." + outcome.result.stop_reason, 1);
     }
+  }
+  // elapsed_minutes keeps the paper's meaning — when the entropy criterion
+  // terminated the last scheduled partition; reclaim grants reinvest the
+  // freed tail afterwards and are accounted separately.
+  if (options.scheduler == SchedulerKind::kAdaptive) {
+    result.schedule.exploration_end_minutes =
+        std::max(result.schedule.exploration_end_minutes,
+                 result.elapsed_minutes);
   }
   if (train_guard != nullptr) {
     result.resilience.Merge(train_guard->stats());
@@ -327,6 +462,8 @@ DseResult RunVanillaOpenTuner(const DesignSpace& space,
   outcome.end_minutes = tuned.elapsed_minutes;
   outcome.result = std::move(tuned);
   outcome.clipped_best_cost = result.best_cost;
+  outcome.clipped_best_config = result.best_config;
+  outcome.clipped_evaluations = result.evaluations;
   outcome.resilience = result.resilience;
   result.partitions.push_back(std::move(outcome));
   return result;

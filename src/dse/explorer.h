@@ -9,7 +9,11 @@
 // Every partition runs with the full remaining budget and is then clipped
 // to the span the FCFS schedule actually grants it; this keeps the whole
 // exploration deterministic while the partition tunings execute on real
-// threads.
+// threads. The default `adaptive` scheduler additionally returns every
+// core-tail an early-stopped partition frees to a budget ledger and
+// re-grants it in preemptible slices to the partition with the best
+// recent improvement rate (see dse/scheduler.h); `fcfs` keeps the
+// historical lose-the-tail behaviour.
 //
 // Ablation switches (partitioning / seeds / stopping criterion) feed the
 // §5.2 analyses.
@@ -17,6 +21,7 @@
 
 #include "cache/eval_cache.h"
 #include "dse/partition.h"
+#include "dse/scheduler.h"
 #include "dse/seeds.h"
 #include "dse/stopping.h"
 #include "resilience/evaluator.h"
@@ -60,6 +65,15 @@ struct ExplorerOptions {
   // retries, so duplicate design points are paid for exactly once per
   // run. On by default; see cache::EvalCacheOptions for the LRU bound.
   cache::EvalCacheOptions cache;
+  // Partition scheduler. kAdaptive reinvests budget freed by entropy
+  // stops (never changes the FCFS-phase trajectories, so its best is
+  // always <= the FCFS best); kFcfs is the historical schedule alone.
+  SchedulerKind scheduler = SchedulerKind::kAdaptive;
+  SchedulerOptions sched;
+  // Worker threads for the partition and reclaim pools; 0 = one per
+  // simulated core. Results never depend on this — it only changes
+  // wall-clock.
+  int exec_threads = 0;
 };
 
 struct PartitionOutcome {
@@ -69,7 +83,17 @@ struct PartitionOutcome {
   bool scheduled = true;    // false if the budget ran out before its turn
   bool truncated = false;   // clipped by the global time limit
   tuner::TuneResult result; // full (unclipped) tuning result
+  // Best (cost, config) pair and evaluation count found *within* the
+  // granted span — the pair stays consistent even when the clip cut the
+  // run before the partition's final best.
   double clipped_best_cost = tuner::kInfeasibleCost;
+  merlin::DesignConfig clipped_best_config;
+  std::size_t clipped_evaluations = 0;
+  // Reclaimed-budget grants this partition received (adaptive scheduler).
+  std::size_t reclaim_grants = 0;
+  double reclaim_minutes = 0;
+  std::size_t reclaim_evaluations = 0;
+  double reclaim_best_cost = tuner::kInfeasibleCost;
   resilience::ResilienceStats resilience;  // this partition's failure ledger
 };
 
@@ -87,7 +111,27 @@ struct DseResult {
   std::size_t journal_hits = 0;     // lookups it answered this run
   std::size_t journal_entries = 0;  // total entries after the run
   cache::EvalCacheStats cache_stats;  // run-wide memoization ledger
+  SchedulerKind scheduler = SchedulerKind::kFcfs;  // the schedule that ran
+  ScheduleStats schedule;              // budget-ledger accounting
+  std::vector<ReclaimGrant> reclaim_grants;  // grant log, in commit order
 };
+
+// The best (cost, config) pair and the committed evaluation count found
+// within the first `span_minutes` of a tuning run — what a schedule clip
+// may truthfully report. Exposed for the FCFS path and its regression
+// tests: the cost/config come from the same improvement record, and the
+// evaluation count is the number of actually-committed records in the
+// span, not a time-proportional estimate.
+struct SpanReport {
+  bool found = false;
+  double best_cost = tuner::kInfeasibleCost;
+  merlin::DesignConfig best_config;
+  std::size_t evaluations = 0;
+  std::vector<tuner::TracePoint> trace;  // improvements inside the span
+};
+
+SpanReport ClipTuneResultToSpan(const tuner::TuneResult& result,
+                                double span_minutes);
 
 // Runs the full S2FA DSE for `kernel`'s design space. `evaluate` is the
 // Merlin+HLS black box; it is also used (uncharged) for offline rule

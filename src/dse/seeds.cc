@@ -15,14 +15,18 @@ using tuner::Factor;
 using tuner::FactorKind;
 using tuner::Point;
 
-// Index of the allowed value closest to `desired`.
+// Index of the allowed value closest to `desired`. Equidistant values are
+// resolved toward the LOWER value — cheaper in area and never worse for
+// feasibility — instead of whichever the factor's value ordering happened
+// to put first.
 std::size_t NearestIndex(const Factor& factor, std::int64_t desired) {
   S2FA_CHECK(!factor.values.empty(), "factor with no values");
   std::size_t best = 0;
   std::int64_t best_dist = std::llabs(factor.values[0] - desired);
   for (std::size_t i = 1; i < factor.values.size(); ++i) {
     std::int64_t dist = std::llabs(factor.values[i] - desired);
-    if (dist < best_dist) {
+    if (dist < best_dist ||
+        (dist == best_dist && factor.values[i] < factor.values[best])) {
       best_dist = dist;
       best = i;
     }

@@ -36,6 +36,10 @@ double UphillEntropy(const tuner::ResultDatabase& db,
   return entropy;
 }
 
+bool EntropyDeltaConverged(double delta, double theta) {
+  return delta <= theta + kEntropyThetaSlack * std::max(1.0, theta);
+}
+
 std::function<bool(const tuner::ResultDatabase&)> MakeEntropyStop(
     std::size_t num_factors, const EntropyStopOptions& options) {
   S2FA_REQUIRE(options.theta >= 0, "theta must be non-negative");
@@ -50,7 +54,8 @@ std::function<bool(const tuner::ResultDatabase&)> MakeEntropyStop(
     S2FA_OBSERVE("dse.entropy", h);
     S2FA_GAUGE("dse.entropy_last", h);
     if (state->last_entropy >= 0 &&
-        std::fabs(h - state->last_entropy) <= options.theta) {
+        EntropyDeltaConverged(std::fabs(h - state->last_entropy),
+                              options.theta)) {
       ++state->stable;
     } else {
       state->stable = 0;  // a pulse resets the window (paper: avoid pulses)

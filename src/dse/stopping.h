@@ -33,6 +33,17 @@ struct EntropyStopOptions {
 double UphillEntropy(const tuner::ResultDatabase& db,
                      std::size_t num_factors);
 
+// Tolerance of the |ΔH| ≤ θ comparison. Entropy deltas are sums of
+// p·log(p) terms, so a delta that is mathematically equal to θ can land
+// on either side of it depending on FP contraction / -ffast-math /
+// platform libm rounding — and the stop decision (hence the whole
+// schedule) would flip with it. Anything within this slack of θ counts
+// as converged. Scaled by θ for large thresholds, absolute for small.
+inline constexpr double kEntropyThetaSlack = 1e-9;
+
+// True when an entropy delta counts as "within θ" under the slack above.
+bool EntropyDeltaConverged(double delta, double theta);
+
 // Stateful criterion usable as TuneOptions::should_stop. Copyable state is
 // held in a shared pointer so the std::function can be copied.
 std::function<bool(const tuner::ResultDatabase&)> MakeEntropyStop(

@@ -223,6 +223,24 @@ TEST(SeedTest, SeedsProjectIntoRestrictedPartition) {
   EXPECT_EQ(acfg.loops.at(0).parallel, 8);  // nearest to 1
 }
 
+TEST(SeedTest, EquidistantProjectionPrefersLowerValue) {
+  // Regression: with two allowed values equidistant from the desired one,
+  // the projection must resolve toward the LOWER value (cheaper in area,
+  // never worse for feasibility). The old scan kept whichever value came
+  // first in the list, so the answer depended on value order.
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  DesignSpace restricted = space;
+  std::size_t par0 = space.FactorIndex("L0.parallel");
+  // Performance seed wants parallel 32; 16 and 48 are both 16 away.
+  restricted.factors[par0].values = {48, 16};  // higher first on purpose
+  tuner::SeedPoint perf = MakePerformanceSeed(restricted);
+  EXPECT_EQ(restricted.ToConfig(perf.point).loops.at(0).parallel, 16);
+  restricted.factors[par0].values = {16, 48};
+  perf = MakePerformanceSeed(restricted);
+  EXPECT_EQ(restricted.ToConfig(perf.point).loops.at(0).parallel, 16);
+}
+
 // -------------------------------------------------------------- stopping
 
 TEST(StoppingTest, EntropyOfEmptyDatabaseIsZero) {
@@ -301,6 +319,45 @@ TEST(StoppingTest, EntropyPinnedForParentAttributedSequence) {
                                       // prev record, not of d's proposal
   // mutated[0]=2 uphill[0]=1; mutated[1]=2 uphill[1]=1 -> both p=1/2.
   EXPECT_NEAR(UphillEntropy(legacy, 3), std::log(2.0), 1e-12);
+}
+
+TEST(StoppingTest, EntropyDeltaComparisonToleratesFloatNoise) {
+  // Regression: the paper's criterion is delta <= theta, but the entropy
+  // is a sum of p*log(p) terms whose rounding can leave a delta a few ULP
+  // above a theta it mathematically equals — the strict comparison then
+  // never fires and the partition burns its whole budget. The comparison
+  // must absorb that noise without accepting genuinely larger deltas.
+  const double theta = 0.05;
+  EXPECT_TRUE(EntropyDeltaConverged(theta, theta));
+  // One ULP above theta: mathematically equal, pre-fix rejected.
+  EXPECT_TRUE(EntropyDeltaConverged(std::nextafter(theta, 1.0), theta));
+  EXPECT_TRUE(
+      EntropyDeltaConverged(theta + 0.5 * kEntropyThetaSlack * theta, theta));
+  // A real exceedance still fails.
+  EXPECT_FALSE(EntropyDeltaConverged(theta * 1.01, theta));
+  EXPECT_FALSE(EntropyDeltaConverged(theta + 1e-6, theta));
+}
+
+TEST(StoppingTest, EntropyStopIterationPinnedForFixedSequence) {
+  // Pins the exact iteration the entropy stop fires on for a fixed record
+  // sequence, so any change to the comparison (or the slack) shows up as
+  // a test diff instead of a silent schedule shift.
+  auto stop = MakeEntropyStop(3, {.theta = 0.05, .patience = 3,
+                                  .min_records = 8});
+  tuner::ResultDatabase db;
+  Point p{0, 0, 0};
+  db.Add(p, 10.0, true, 1.0, 0);
+  int fired_at = -1;
+  for (int k = 0; k < 30 && fired_at < 0; ++k) {
+    Point q = p;
+    q[static_cast<std::size_t>(k) % 3] ^= 1u;
+    db.Add(q, 50.0, true, 2.0 + k, 0);  // never uphill
+    if (stop(db)) fired_at = k;
+  }
+  // 8 records exist after k = 6; the entropy is flat (no uphill moves), so
+  // the patience window is already saturated and the stop fires on the
+  // first eligible check.
+  EXPECT_EQ(fired_at, 6);
 }
 
 TEST(StoppingTest, NoImprovementStopCountsStaleIterations) {
@@ -556,6 +613,12 @@ TEST(ExplorerTest, TruncatedJournalResumesPartially) {
   options.time_limit_minutes = 120;
   options.seed = 3;
   options.journal_path = path;
+  // Exact repaid-evaluation accounting needs the FCFS schedule: the
+  // adaptive scheduler's reclaim streams warm-start from main-run points,
+  // and those cache duplicates collapse raw calls depending on which half
+  // of the journal survives. (Adaptive resume-equality is covered in
+  // scheduler_test.)
+  options.scheduler = SchedulerKind::kFcfs;
   DseResult first = RunS2faDse(space, k, counting, options);
   inner_calls.store(0);
 

@@ -559,6 +559,102 @@ TEST(DriverTest, AllInfeasibleRunReportsNoBest) {
   EXPECT_FALSE(result.found_feasible);
 }
 
+// -------------------------------------------------------------- sessions
+
+TEST(SessionTest, ChunkedGrantsMatchSingleTune) {
+  // The scheduler's contract: RunFor(a); RunFor(b) commits exactly the
+  // same evaluation sequence as one RunFor(a + b), so a preempted partition
+  // is bit-identical to an uninterrupted one given the same total budget.
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  auto eval = [](const merlin::DesignConfig& cfg) -> EvalOutcome {
+    double c = 10.0 + static_cast<double>(cfg.loops.at(0).parallel) +
+               static_cast<double>(cfg.buffer_bits.at("in")) / 64.0;
+    return {true, c, 5.0 + c / 200.0};
+  };
+  TuneOptions options;
+  options.time_limit_minutes = 120;
+  options.parallel = 4;
+  options.seed = 99;
+  TuneResult whole = Tune(space, eval, options);
+
+  TuneSession session(space, eval, options);
+  for (double grant : {7.0, 13.0, 40.0, 25.0, 60.0}) {
+    session.RunFor(grant);  // grants past the limit are clamped
+  }
+  EXPECT_TRUE(session.finished());
+  TuneResult chunked = session.Result();
+
+  EXPECT_EQ(whole.best, chunked.best);
+  EXPECT_EQ(whole.best_cost, chunked.best_cost);
+  EXPECT_EQ(whole.evaluations, chunked.evaluations);
+  EXPECT_EQ(whole.elapsed_minutes, chunked.elapsed_minutes);
+  EXPECT_EQ(whole.stop_reason, chunked.stop_reason);
+  ASSERT_EQ(whole.trace.size(), chunked.trace.size());
+  for (std::size_t i = 0; i < whole.trace.size(); ++i) {
+    EXPECT_EQ(whole.trace[i].time_minutes, chunked.trace[i].time_minutes);
+    EXPECT_EQ(whole.trace[i].best_cost, chunked.trace[i].best_cost);
+  }
+}
+
+TEST(SessionTest, PartialGrantMatchesTighterTimeLimit) {
+  // A session paused after 30 granted minutes reports exactly what a tuner
+  // whose hard limit was 30 minutes would — only the stop reason differs
+  // (the session can still be resumed).
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  auto eval = [](const merlin::DesignConfig& cfg) -> EvalOutcome {
+    double c = 10.0 + static_cast<double>(cfg.loops.at(0).parallel);
+    return {true, c, 5.0};
+  };
+  TuneOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 7;
+  TuneSession session(space, eval, options);
+  session.RunFor(30.0);
+  EXPECT_FALSE(session.finished());
+  TuneResult paused = session.Result();
+  EXPECT_EQ(paused.stop_reason, "budget exhausted");
+
+  options.time_limit_minutes = 30;
+  TuneResult tight = Tune(space, eval, options);
+  EXPECT_EQ(paused.best_cost, tight.best_cost);
+  EXPECT_EQ(paused.evaluations, tight.evaluations);
+  EXPECT_EQ(paused.elapsed_minutes, tight.elapsed_minutes);
+}
+
+TEST(SessionTest, HistoryConsistentWithTraceAndCount) {
+  // The unclipped history the scheduler clips against: one commit time per
+  // database record, and the trace is exactly the in-limit improvements.
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  auto eval = [](const merlin::DesignConfig& cfg) -> EvalOutcome {
+    double c = 10.0 + static_cast<double>(cfg.loops.at(0).parallel) +
+               static_cast<double>(cfg.buffer_bits.at("in")) / 64.0;
+    return {true, c, 5.0};
+  };
+  TuneOptions options;
+  options.time_limit_minutes = 90;
+  options.parallel = 4;
+  options.seed = 3;
+  TuneResult r = Tune(space, eval, options);
+
+  EXPECT_EQ(r.eval_times_minutes.size(), r.evaluations);
+  std::size_t in_limit = 0;
+  double prev = 0;
+  for (const BestUpdate& up : r.improvements) {
+    EXPECT_GE(up.time_minutes, prev);  // improvements are chronological
+    prev = up.time_minutes;
+    if (up.time_minutes > options.time_limit_minutes) continue;
+    ASSERT_LT(in_limit, r.trace.size());
+    EXPECT_EQ(r.trace[in_limit].time_minutes, up.time_minutes);
+    EXPECT_EQ(r.trace[in_limit].best_cost, up.cost);
+    ++in_limit;
+  }
+  EXPECT_EQ(in_limit, r.trace.size());
+  if (r.found_feasible && !r.improvements.empty()) {
+    EXPECT_EQ(r.improvements.back().cost, r.best_cost);
+    EXPECT_TRUE(r.improvements.back().config == r.best_config);
+  }
+}
+
 // -------------------------------------------------------------- database
 
 TEST(DatabaseTest, TracksChangedFactorsAndTrace) {

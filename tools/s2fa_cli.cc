@@ -33,6 +33,7 @@
 // (flags win).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -102,14 +103,16 @@ int Usage() {
                "--no-seeds --no-partition\n"
                "                 --eval-timeout MIN --eval-retries N "
                "--resume-journal FILE --fault-rate P\n"
-               "                 --eval-cache on|off|N\n"
+               "                 --eval-cache on|off|N "
+               "--scheduler adaptive|fcfs\n"
                "  run flags:     --records N --seed N --minutes N "
                "--accel-fault-rate P\n"
                "  report:        s2fa report <metrics.json>\n"
                "  global flags:  --trace-out FILE --metrics-out FILE "
                "--log-level off|error|warn|info|debug\n"
                "  env:           S2FA_EVAL_TIMEOUT S2FA_EVAL_RETRIES "
-               "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE S2FA_EVAL_CACHE\n");
+               "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE S2FA_EVAL_CACHE\n"
+               "                 S2FA_SCHEDULER\n");
   return 2;
 }
 
@@ -229,6 +232,27 @@ int CmdExplore(const apps::App& app, const Args& args) {
     options.faults.garbage_rate = fault_rate / 3;
     options.faults.seed = seed ^ 0xFA17ULL;
   }
+  // Partition scheduler: S2FA_SCHEDULER env, --scheduler flag wins.
+  if (const char* env_sched = std::getenv("S2FA_SCHEDULER")) {
+    auto parsed = dse::ParseSchedulerKind(env_sched);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "error: S2FA_SCHEDULER expects adaptive|fcfs, got '%s'\n",
+                   env_sched);
+      return 2;
+    }
+    options.scheduler = *parsed;
+  }
+  if (args.Has("scheduler")) {
+    auto parsed = dse::ParseSchedulerKind(args.Str("scheduler"));
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "error: --scheduler expects adaptive|fcfs, got '%s'\n",
+                   args.Str("scheduler").c_str());
+      return 2;
+    }
+    options.scheduler = *parsed;
+  }
   if (auto env_cache = cache::ReadEnvCacheOptions()) options.cache = *env_cache;
   if (args.Has("eval-cache")) {
     auto parsed = cache::ParseCacheSpec(args.Str("eval-cache"));
@@ -275,12 +299,33 @@ int CmdExplore(const apps::App& app, const Args& args) {
                 cs.minutes_saved);
   }
 
+  if (!args.Has("vanilla")) {
+    std::printf("scheduler: %s\n",
+                dse::SchedulerKindName(result.scheduler));
+    if (result.scheduler == dse::SchedulerKind::kAdaptive &&
+        result.schedule.reclaimed_minutes > 0) {
+      std::printf("  budget ledger: %.0f min reclaimed, %.0f re-granted in "
+                  "%zu slices (%zu preemptions), %zu extra evaluations, "
+                  "%.0f min idle\n",
+                  result.schedule.reclaimed_minutes,
+                  result.schedule.regranted_minutes,
+                  result.schedule.grants, result.schedule.preemptions,
+                  result.schedule.reclaim_evaluations,
+                  result.schedule.idle_minutes);
+    }
+  }
   std::printf("partitions:\n");
   for (const auto& p : result.partitions) {
     std::printf("  [%s] %s: %.0f-%.0f min, %zu evals, best %.2f us (%s)\n",
                 p.description.c_str(), p.scheduled ? "ran" : "skipped",
                 p.start_minutes, p.end_minutes, p.result.evaluations,
                 p.clipped_best_cost, p.result.stop_reason.c_str());
+    if (p.reclaim_grants > 0) {
+      std::printf("      + %.0f reclaimed min in %zu grants, %zu evals, "
+                  "best %.2f us\n",
+                  p.reclaim_minutes, p.reclaim_grants,
+                  p.reclaim_evaluations, p.reclaim_best_cost);
+    }
   }
   std::printf("\ntrace (best-so-far):\n");
   for (const auto& tp : result.trace) {
