@@ -6,6 +6,7 @@
 #include "obs/obs.h"
 #include "support/error.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace s2fa::blaze {
 
@@ -62,9 +63,31 @@ const RegisteredAccelerator& AcceleratorManager::Get(
     const std::string& id) const {
   auto it = accelerators_.find(id);
   if (it == accelerators_.end()) {
-    throw InvalidArgument("no accelerator registered as " + id);
+    std::vector<std::string> ids;
+    ids.reserve(accelerators_.size());
+    for (const auto& [registered_id, accel] : accelerators_) {
+      (void)accel;
+      ids.push_back(registered_id);
+    }
+    throw InvalidArgument(
+        "no accelerator registered as " + id + "; registered: " +
+        (ids.empty() ? "(none)" : Join(ids, ", ")));
   }
   return it->second;
+}
+
+void ExecutionStats::Merge(const ExecutionStats& other) {
+  invocations += other.invocations;
+  serialize_us += other.serialize_us;
+  transfer_us += other.transfer_us;
+  compute_us += other.compute_us;
+  overhead_us += other.overhead_us;
+  host_us += other.host_us;
+  total_us += other.total_us;
+  accel_failures += other.accel_failures;
+  accel_retries += other.accel_retries;
+  host_fallbacks += other.host_fallbacks;
+  degraded = degraded || other.degraded;
 }
 
 BlazeRuntime::BlazeRuntime(OffloadCostModel model) : model_(model) {}
@@ -142,6 +165,11 @@ ExecutionStats BlazeRuntime::InvocationCost(
                    stats.compute_us + stats.overhead_us;
   stats.invocations = 1;
   return stats;
+}
+
+ExecutionStats BlazeRuntime::PerInvocationCost(
+    const std::string& accel_id) const {
+  return InvocationCost(manager_.Get(accel_id));
 }
 
 Dataset BlazeRuntime::Map(const std::string& accel_id, const Dataset& input,

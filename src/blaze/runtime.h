@@ -60,6 +60,11 @@ struct ExecutionStats {
   std::size_t accel_retries = 0;
   std::size_t host_fallbacks = 0;
   bool degraded = false;  // at least one batch ran on the host
+
+  // Folds `other` into this: counters and charges add up, `degraded` ORs.
+  // Multi-stage pipelines use this so the degradation ledger aggregates
+  // across stages instead of being overwritten per call.
+  void Merge(const ExecutionStats& other);
 };
 
 class AcceleratorManager {
@@ -79,7 +84,13 @@ class BlazeRuntime {
   explicit BlazeRuntime(OffloadCostModel model = {});
 
   AcceleratorManager& manager() { return manager_; }
+  const AcceleratorManager& manager() const { return manager_; }
   const OffloadCostModel& cost_model() const { return model_; }
+
+  // The cost-model charge for one invocation (one batch) of a registered
+  // accelerator: serialize/transfer/compute/overhead and their total, with
+  // invocations = 1. The serving layer plans dispatch timing from this.
+  ExecutionStats PerInvocationCost(const std::string& accel_id) const;
 
   // Installs (or clears, with nullptr) the accelerator fault injector.
   // Each batch gets one retry after a failed attempt; a second failure

@@ -1,0 +1,735 @@
+#include "blaze/service.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <future>
+#include <limits>
+
+#include "obs/obs.h"
+#include "resilience/fault.h"
+#include "support/error.h"
+#include "support/logging.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
+
+namespace s2fa::blaze {
+
+namespace {
+
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+// Nearest-rank quantile (the obs histogram convention). q in [0, 1].
+double QuantileNearestRank(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank = std::ceil(q * static_cast<double>(samples.size())) - 1;
+  auto index = static_cast<std::size_t>(std::max(0.0, rank));
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+}  // namespace
+
+const char* HealthName(AcceleratorHealth health) {
+  switch (health) {
+    case AcceleratorHealth::kHealthy: return "healthy";
+    case AcceleratorHealth::kDegraded: return "degraded";
+    case AcceleratorHealth::kQuarantined: return "quarantined";
+  }
+  S2FA_UNREACHABLE("bad health state");
+}
+
+const char* ServeOutcomeName(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kRejectedFull: return "rejected-full";
+    case ServeOutcome::kShedExpired: return "shed-expired";
+    case ServeOutcome::kAccelerator: return "accelerator";
+    case ServeOutcome::kHost: return "host";
+    case ServeOutcome::kHedgedHost: return "hedged-host";
+  }
+  S2FA_UNREACHABLE("bad serve outcome");
+}
+
+double ServiceStats::LatencyQuantile(double q) const {
+  S2FA_REQUIRE(q >= 0 && q <= 1.0, "quantile must be in [0, 1]");
+  return QuantileNearestRank(latencies_us, q);
+}
+
+// ------------------------------------------------------- planner structures
+
+struct BlazeService::Pending {
+  std::size_t id = 0;
+  std::size_t request_index = 0;  // into the drained backlog
+  double arrival_us = 0;
+  double deadline_abs_us = kNoDeadline;
+};
+
+struct BlazeService::Plan {
+  std::size_t id = 0;
+  std::size_t request_index = 0;
+  ServeOutcome outcome = ServeOutcome::kRejectedFull;
+  std::string replica;     // replica that served the accelerator path
+  std::string exec_accel;  // design used for functional execution
+  int attempts = 0;
+  bool probe = false;
+  bool hedged = false;
+  bool deadline_missed = false;
+  double dispatch_us = 0;
+  double complete_us = 0;
+  double latency_us = 0;
+  double charged_us = 0;
+  bool needs_exec = false;
+  Dataset output;  // filled by the execution phase
+};
+
+struct BlazeService::HealthEvent {
+  double time_us = 0;
+  std::size_t seq = 0;  // tie-break: creation order
+  std::size_t replica = 0;
+  bool failed = false;
+  resilience::FailureKind kind = resilience::FailureKind::kNone;
+  double latency_per_invocation_us = 0;
+  bool is_probe = false;
+  bool kernel_sample = false;  // success also feeds the hedge window
+  std::string kernel;
+};
+
+// ----------------------------------------------------------------- service
+
+BlazeService::BlazeService(BlazeRuntime& runtime, ServiceOptions options)
+    : runtime_(runtime), options_(options) {
+  S2FA_REQUIRE(options_.queue_capacity > 0, "queue capacity must be >= 1");
+  S2FA_REQUIRE(options_.hedge_quantile >= 0 && options_.hedge_quantile <= 1.0,
+               "hedge quantile must be in [0, 1]");
+  S2FA_REQUIRE(options_.health_window >= 2,
+               "health window must hold at least 2 samples");
+  S2FA_REQUIRE(options_.exec_threads >= 1, "exec_threads must be >= 1");
+  options_.health_min_samples =
+      std::min(options_.health_min_samples, options_.health_window);
+}
+
+BlazeService::BlazeService(BlazeService&& other) = default;
+BlazeService::~BlazeService() = default;
+
+void BlazeService::AddReplica(const std::string& kernel,
+                              const std::string& accel_id) {
+  S2FA_REQUIRE(!kernel.empty(), "kernel id must be non-empty");
+  S2FA_REQUIRE(replica_index_.count(accel_id) == 0,
+               "replica " << accel_id << " already enlisted");
+  const RegisteredAccelerator& accel = runtime_.manager().Get(accel_id);
+  Replica replica;
+  replica.accel_id = accel_id;
+  replica.per_invocation = runtime_.PerInvocationCost(accel_id);
+  replica.host_us_per_invocation =
+      replica.per_invocation.compute_us * runtime_.cost_model().host_slowdown;
+  replica.probe_backoff_us = options_.probe_backoff_us;
+  S2FA_REQUIRE(accel.plan.batch > 0, "bad serialization plan");
+  replica_index_[accel_id] = replicas_.size();
+  kernels_[kernel].replicas.push_back(replicas_.size());
+  replicas_.push_back(std::move(replica));
+}
+
+std::size_t BlazeService::num_replicas(const std::string& kernel) const {
+  auto it = kernels_.find(kernel);
+  return it == kernels_.end() ? 0 : it->second.replicas.size();
+}
+
+void BlazeService::SetFaultInjector(AccelFaultInjector injector) {
+  injector_ = std::move(injector);
+}
+
+BlazeService::Replica& BlazeService::ReplicaFor(const std::string& accel_id) {
+  auto it = replica_index_.find(accel_id);
+  S2FA_REQUIRE(it != replica_index_.end(),
+               "no replica enlisted as " << accel_id);
+  return replicas_[it->second];
+}
+
+const BlazeService::Replica& BlazeService::ReplicaFor(
+    const std::string& accel_id) const {
+  return const_cast<BlazeService*>(this)->ReplicaFor(accel_id);
+}
+
+AcceleratorHealth BlazeService::health(const std::string& accel_id) const {
+  return ReplicaFor(accel_id).health;
+}
+
+std::optional<double> BlazeService::HedgeDelayUs(
+    const std::string& kernel) const {
+  auto it = kernels_.find(kernel);
+  if (it == kernels_.end() || options_.hedge_quantile <= 0) return std::nullopt;
+  const auto& window = it->second.latency_window_us;
+  if (window.size() < options_.hedge_min_samples) return std::nullopt;
+  return QuantileNearestRank({window.begin(), window.end()},
+                             options_.hedge_quantile);
+}
+
+void BlazeService::Submit(ServiceRequest request) {
+  S2FA_REQUIRE(kernels_.count(request.kernel) != 0,
+               "no replicas enlisted for kernel " << request.kernel);
+  backlog_.push_back(std::move(request));
+}
+
+std::vector<RequestOutcome> BlazeService::Run(
+    std::vector<ServiceRequest> requests) {
+  for (auto& request : requests) Submit(std::move(request));
+  return Drain();
+}
+
+// ------------------------------------------------------ failure taxonomy
+
+resilience::FailureKind BlazeService::ClassifyFailure(
+    const std::string& accel_id, std::size_t invocation, int attempt) const {
+  // Stateless, like the fault plans: the same dispatch always manifests the
+  // same way regardless of thread count or drain batching.
+  const double roll = resilience::detail::HashRoll(
+      options_.seed ^ 0x5E61CEULL,
+      accel_id + "#" + std::to_string(invocation), attempt);
+  return roll < 0.5 ? resilience::FailureKind::kCrash
+                    : resilience::FailureKind::kTimeout;
+}
+
+// ------------------------------------------------------ health application
+
+void BlazeService::ApplyHealthEventsUpTo(double t) {
+  // health_events_ is kept as a min-heap on (time, seq).
+  auto later = [](const HealthEvent& a, const HealthEvent& b) {
+    if (a.time_us != b.time_us) return a.time_us > b.time_us;
+    return a.seq > b.seq;
+  };
+  while (!health_events_.empty() && health_events_.front().time_us <= t) {
+    std::pop_heap(health_events_.begin(), health_events_.end(), later);
+    HealthEvent event = std::move(health_events_.back());
+    health_events_.pop_back();
+    ApplyHealthSample(replicas_[event.replica], event);
+  }
+}
+
+void BlazeService::ApplyHealthSample(Replica& replica,
+                                     const HealthEvent& event) {
+  const double t = event.time_us;
+  if (event.kernel_sample && !event.failed) {
+    auto& window = kernels_[event.kernel].latency_window_us;
+    window.push_back(event.latency_per_invocation_us);
+    while (window.size() > options_.latency_window) window.pop_front();
+  }
+  if (event.is_probe) {
+    replica.probe_inflight = false;
+    if (event.failed) {
+      ++stats_.probe_failures;
+      replica.probe_backoff_us =
+          std::min(replica.probe_backoff_us * options_.probe_backoff_multiplier,
+                   options_.probe_backoff_max_us);
+      replica.probe_eligible_us = t + replica.probe_backoff_us;
+      S2FA_LOG_INFO("service: probe of " << replica.accel_id
+                                         << " failed; next eligible at "
+                                         << replica.probe_eligible_us
+                                         << " us");
+    } else {
+      ++stats_.probe_successes;
+      ++stats_.reenlistments;
+      S2FA_COUNT("blaze.svc.reenlistments", 1);
+      replica.health = AcceleratorHealth::kDegraded;
+      replica.window_failed.clear();
+      replica.window_latency_us.clear();
+      replica.window_failed.push_back(false);
+      replica.window_latency_us.push_back(event.latency_per_invocation_us);
+      replica.consecutive_failures = 0;
+      replica.probe_backoff_us = options_.probe_backoff_us;
+      S2FA_LOG_INFO("service: probe re-enlisted " << replica.accel_id);
+    }
+    return;
+  }
+  // A sample from before the replica was quarantined is stale: the
+  // quarantine decision already absorbed that evidence window.
+  if (replica.health == AcceleratorHealth::kQuarantined) return;
+
+  replica.window_failed.push_back(event.failed);
+  replica.window_latency_us.push_back(event.latency_per_invocation_us);
+  while (replica.window_failed.size() > options_.health_window) {
+    replica.window_failed.pop_front();
+    replica.window_latency_us.pop_front();
+  }
+  replica.consecutive_failures =
+      event.failed ? replica.consecutive_failures + 1 : 0;
+  if (event.failed) {
+    ++stats_.accel_failures;
+    if (event.kind == resilience::FailureKind::kCrash) ++stats_.crashes;
+    if (event.kind == resilience::FailureKind::kTimeout) ++stats_.timeouts;
+    S2FA_COUNT("blaze.svc.accel_failures", 1);
+  }
+
+  const std::size_t size = replica.window_failed.size();
+  const std::size_t failures = static_cast<std::size_t>(
+      std::count(replica.window_failed.begin(), replica.window_failed.end(),
+                 true));
+  const double rate =
+      static_cast<double>(failures) / static_cast<double>(size);
+  const bool enough = size >= options_.health_min_samples;
+  double mean_latency = 0;
+  for (double sample : replica.window_latency_us) mean_latency += sample;
+  mean_latency /= static_cast<double>(size);
+  const bool slow =
+      enough && mean_latency > options_.latency_degrade_factor *
+                                   replica.per_invocation.total_us;
+
+  if (replica.consecutive_failures >= options_.quarantine_consecutive ||
+      (enough && rate >= options_.quarantine_threshold)) {
+    replica.health = AcceleratorHealth::kQuarantined;
+    replica.window_failed.clear();
+    replica.window_latency_us.clear();
+    replica.consecutive_failures = 0;
+    replica.probe_backoff_us = options_.probe_backoff_us;
+    replica.probe_eligible_us = t + replica.probe_backoff_us;
+    replica.probe_inflight = false;
+    probe_timers_pending_.emplace_back(replica.probe_eligible_us,
+                                       replica_index_[replica.accel_id]);
+    ++stats_.quarantines;
+    S2FA_COUNT("blaze.svc.quarantines", 1);
+    S2FA_LOG_WARN("service: quarantined " << replica.accel_id
+                                          << " (window failure rate "
+                                          << rate << ")");
+  } else if (enough && (rate >= options_.degrade_threshold || slow)) {
+    if (replica.health == AcceleratorHealth::kHealthy) {
+      replica.health = AcceleratorHealth::kDegraded;
+      ++stats_.degradations;
+      S2FA_COUNT("blaze.svc.degradations", 1);
+      S2FA_LOG_INFO("service: degraded " << replica.accel_id);
+    }
+  } else if (replica.health == AcceleratorHealth::kDegraded && enough &&
+             rate <= options_.degrade_threshold / 2 && !slow) {
+    replica.health = AcceleratorHealth::kHealthy;
+    S2FA_LOG_INFO("service: " << replica.accel_id << " recovered to healthy");
+  }
+}
+
+// --------------------------------------------------------------- planning
+
+void BlazeService::PlanDispatch(Pending& request, Plan& plan,
+                                std::size_t replica_index, double t,
+                                bool probe, KernelGroup& group) {
+  Replica& replica = replicas_[replica_index];
+  const ServiceRequest& rq = backlog_[request.request_index];
+  const RegisteredAccelerator& accel =
+      runtime_.manager().Get(replica.accel_id);
+  const auto batch = static_cast<std::size_t>(accel.plan.batch);
+  const std::size_t invocations =
+      std::max<std::size_t>(1, (rq.input.num_records() + batch - 1) / batch);
+  const double scale = static_cast<double>(invocations);
+  const double accel_us = scale * replica.per_invocation.total_us;
+  const double crash_detect_us =
+      scale * (replica.per_invocation.serialize_us +
+               replica.per_invocation.transfer_us +
+               replica.per_invocation.overhead_us);
+  const double timeout_detect_us = options_.timeout_detect_multiplier * accel_us;
+  const double host_us = scale * replica.host_us_per_invocation;
+  const std::size_t invocation = replica.invocations++;
+
+  plan.replica = replica.accel_id;
+  plan.exec_accel = replica.accel_id;
+  plan.probe = probe;
+  plan.dispatch_us = t;
+
+  // Attempt segments on the simulated clock. A probe gets one attempt; a
+  // regular dispatch retries once, then falls back to the host (the
+  // runtime's SparkCL policy, at service granularity).
+  struct Segment {
+    double start_us = 0, end_us = 0, cost_us = 0;
+    bool failed = false;
+    resilience::FailureKind kind = resilience::FailureKind::kNone;
+  };
+  std::vector<Segment> segments;
+  const int max_attempts = probe ? 1 : 2;
+  double cursor = t;
+  bool succeeded = false;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Segment segment;
+    segment.start_us = cursor;
+    const bool failed =
+        injector_ && injector_(replica.accel_id, invocation, attempt);
+    if (!failed) {
+      segment.end_us = cursor + accel_us;
+      segment.cost_us = accel_us;
+      segments.push_back(segment);
+      succeeded = true;
+      break;
+    }
+    segment.failed = true;
+    segment.kind = ClassifyFailure(replica.accel_id, invocation, attempt);
+    const double burn = segment.kind == resilience::FailureKind::kCrash
+                            ? crash_detect_us
+                            : timeout_detect_us;
+    segment.end_us = cursor + burn;
+    segment.cost_us = burn;
+    segments.push_back(segment);
+    cursor = segment.end_us;
+  }
+
+  double primary_complete;
+  ServeOutcome primary_outcome;
+  double primary_charge = 0;
+  for (const Segment& segment : segments) primary_charge += segment.cost_us;
+  double lane_busy_until;
+  if (succeeded) {
+    primary_complete = segments.back().end_us;
+    primary_outcome = ServeOutcome::kAccelerator;
+    lane_busy_until = primary_complete;
+  } else {
+    // All accelerator attempts failed: host fallback, which frees the lane
+    // the moment the host takes over.
+    primary_complete = cursor + host_us;
+    primary_outcome = ServeOutcome::kHost;
+    primary_charge += host_us;
+    lane_busy_until = cursor;
+  }
+
+  // Hedged dispatch. Probes are never hedged: a cancelled probe would
+  // leave the quarantine decision without its outcome.
+  double complete = primary_complete;
+  ServeOutcome outcome = primary_outcome;
+  double charged = primary_charge;
+  double cancel_after = kNoDeadline;  // drop planned samples past this time
+  const auto armed = [&]() -> std::optional<double> {
+    if (options_.hedge_quantile <= 0 || probe) return std::nullopt;
+    if (group.latency_window_us.size() < options_.hedge_min_samples) {
+      return std::nullopt;
+    }
+    return scale * QuantileNearestRank({group.latency_window_us.begin(),
+                                        group.latency_window_us.end()},
+                                       options_.hedge_quantile);
+  }();
+  if (armed && primary_complete - t > *armed) {
+    plan.hedged = true;
+    ++stats_.hedges_launched;
+    S2FA_COUNT("blaze.svc.hedges", 1);
+    const double hedge_start = t + *armed;
+    const double hedge_complete = hedge_start + host_us;
+    if (hedge_complete < primary_complete) {
+      // The hedge wins: cancel the in-flight accelerator work. Completed
+      // segments stay billed; the cancelled remainder is not.
+      ++stats_.hedges_won;
+      S2FA_COUNT("blaze.svc.hedge_wins", 1);
+      stats_.hedge_saved_us += primary_complete - hedge_complete;
+      complete = hedge_complete;
+      outcome = ServeOutcome::kHedgedHost;
+      cancel_after = hedge_complete;
+      charged = host_us;
+      for (const Segment& segment : segments) {
+        if (segment.end_us <= hedge_complete) {
+          charged += segment.cost_us;
+        } else {
+          stats_.cancelled_charge_us += segment.cost_us;
+        }
+      }
+      if (!succeeded) stats_.cancelled_charge_us += host_us;  // the fallback
+      lane_busy_until = std::min(lane_busy_until, hedge_complete);
+    } else {
+      // The accelerator wins: the hedge is cancelled and never billed.
+      ++stats_.hedges_cancelled;
+      stats_.cancelled_charge_us +=
+          std::min(host_us, primary_complete - hedge_start);
+    }
+  }
+
+  // Queue the health-window samples at their simulated observation times;
+  // segments cancelled by a winning hedge are never observed.
+  auto later = [](const HealthEvent& a, const HealthEvent& b) {
+    if (a.time_us != b.time_us) return a.time_us > b.time_us;
+    return a.seq > b.seq;
+  };
+  int attempts_started = 0;
+  for (const Segment& segment : segments) {
+    if (segment.start_us >= cancel_after) break;
+    ++attempts_started;
+    ++stats_.accel_attempts;
+    if (attempts_started == 2) {
+      ++stats_.retries;
+      S2FA_COUNT("blaze.svc.retries", 1);
+    }
+    if (segment.end_us > cancel_after) break;  // in flight at cancellation
+    HealthEvent event;
+    event.time_us = segment.end_us;
+    event.seq = health_event_seq_++;
+    event.replica = replica_index;
+    event.failed = segment.failed;
+    event.kind = segment.kind;
+    event.latency_per_invocation_us = segment.cost_us / scale;
+    event.is_probe = probe;
+    event.kernel_sample = !segment.failed;
+    event.kernel = rq.kernel;
+    health_events_.push_back(std::move(event));
+    std::push_heap(health_events_.begin(), health_events_.end(), later);
+  }
+  if (probe) {
+    ++stats_.probes;
+    S2FA_COUNT("blaze.svc.probes", 1);
+    replica.probe_inflight = true;
+  }
+
+  replica.free_us = lane_busy_until;
+  plan.outcome = outcome;
+  plan.attempts = attempts_started;
+  plan.complete_us = complete;
+  plan.latency_us = complete - request.arrival_us;
+  plan.charged_us = charged;
+  plan.deadline_missed = complete > request.deadline_abs_us;
+  plan.needs_exec = true;
+}
+
+void BlazeService::PlanAll(std::vector<Pending>& pending,
+                           std::vector<Plan>& plans) {
+  struct SimEvent {
+    double time_us = 0;
+    std::size_t seq = 0;
+    enum Kind { kArrival, kLaneFree, kProbeTimer } kind = kArrival;
+    std::size_t index = 0;  // pending index or replica index
+  };
+  auto later = [](const SimEvent& a, const SimEvent& b) {
+    if (a.time_us != b.time_us) return a.time_us > b.time_us;
+    return a.seq > b.seq;
+  };
+  std::vector<SimEvent> events;
+  std::size_t seq = 0;
+  auto push_event = [&](double t, SimEvent::Kind kind, std::size_t index) {
+    events.push_back({t, seq++, kind, index});
+    std::push_heap(events.begin(), events.end(), later);
+  };
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    push_event(pending[i].arrival_us, SimEvent::kArrival, i);
+  }
+  std::vector<std::size_t> waiting;  // admitted pending indices, FIFO
+
+  // Dispatches every waiting request that can start at `t`. Skip-scans the
+  // FIFO so one kernel's busy replicas never block another kernel's queue.
+  auto try_dispatch = [&](double t) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      ApplyHealthEventsUpTo(t);
+      for (auto [probe_at, replica] : probe_timers_pending_) {
+        push_event(probe_at, SimEvent::kProbeTimer, replica);
+      }
+      probe_timers_pending_.clear();
+      for (std::size_t w = 0; w < waiting.size(); ++w) {
+        Pending& request = pending[waiting[w]];
+        Plan& plan = plans[waiting[w]];
+        if (request.deadline_abs_us < t) {
+          plan.outcome = ServeOutcome::kShedExpired;
+          plan.complete_us = t;
+          ++stats_.shed_expired;
+          S2FA_COUNT("blaze.svc.shed_expired", 1);
+          waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
+          progress = true;
+          break;
+        }
+        KernelGroup& group = kernels_[backlog_[request.request_index].kernel];
+        // Selection: free healthy replicas first (registration order is
+        // the deterministic tie-break), then free degraded ones, then a
+        // probe of an eligible quarantined replica; wait while any
+        // non-quarantined lane is busy; host-direct only when the whole
+        // group is dark.
+        std::size_t chosen = replicas_.size();
+        bool chosen_probe = false;
+        bool any_live_lane = false;
+        for (int tier = 0; tier < 2 && chosen == replicas_.size(); ++tier) {
+          const auto want = tier == 0 ? AcceleratorHealth::kHealthy
+                                      : AcceleratorHealth::kDegraded;
+          for (std::size_t index : group.replicas) {
+            Replica& replica = replicas_[index];
+            if (replica.health != want) continue;
+            any_live_lane = true;
+            if (replica.free_us > t) continue;
+            chosen = index;
+            break;
+          }
+        }
+        if (chosen == replicas_.size()) {
+          for (std::size_t index : group.replicas) {
+            Replica& replica = replicas_[index];
+            if (replica.health != AcceleratorHealth::kQuarantined) continue;
+            if (replica.free_us > t || replica.probe_inflight) continue;
+            if (replica.probe_eligible_us > t) continue;
+            chosen = index;
+            chosen_probe = true;
+            break;
+          }
+        }
+        if (chosen == replicas_.size() && any_live_lane) continue;  // wait
+        if (chosen == replicas_.size()) {
+          // Whole group quarantined with no probe ready: host-direct.
+          const Replica& basis = replicas_[group.replicas.front()];
+          const ServiceRequest& rq = backlog_[request.request_index];
+          const auto batch = static_cast<std::size_t>(
+              runtime_.manager().Get(basis.accel_id).plan.batch);
+          const std::size_t invocations = std::max<std::size_t>(
+              1, (rq.input.num_records() + batch - 1) / batch);
+          plan.outcome = ServeOutcome::kHost;
+          plan.exec_accel = basis.accel_id;
+          plan.dispatch_us = t;
+          plan.complete_us =
+              t + static_cast<double>(invocations) *
+                      basis.host_us_per_invocation;
+          plan.latency_us = plan.complete_us - request.arrival_us;
+          plan.charged_us = plan.complete_us - t;
+          plan.deadline_missed = plan.complete_us > request.deadline_abs_us;
+          plan.needs_exec = true;
+        } else {
+          PlanDispatch(request, plan, chosen, t, chosen_probe, group);
+          push_event(replicas_[chosen].free_us, SimEvent::kLaneFree, chosen);
+        }
+        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
+        progress = true;
+        break;
+      }
+    }
+  };
+
+  while (!events.empty()) {
+    std::pop_heap(events.begin(), events.end(), later);
+    SimEvent event = events.back();
+    events.pop_back();
+    clock_us_ = std::max(clock_us_, event.time_us);
+    if (event.kind == SimEvent::kArrival) {
+      ApplyHealthEventsUpTo(event.time_us);
+      try_dispatch(event.time_us);
+      Pending& request = pending[event.index];
+      if (waiting.size() >= options_.queue_capacity) {
+        plans[event.index].outcome = ServeOutcome::kRejectedFull;
+        ++stats_.rejected_full;
+        S2FA_COUNT("blaze.svc.rejected_full", 1);
+      } else {
+        ++stats_.admitted;
+        S2FA_COUNT("blaze.svc.admitted", 1);
+        waiting.push_back(event.index);
+        stats_.max_queue_depth =
+            std::max(stats_.max_queue_depth, waiting.size());
+        S2FA_GAUGE_MAX("blaze.svc.max_queue_depth",
+                       static_cast<double>(waiting.size()));
+        try_dispatch(request.arrival_us);
+      }
+    } else {
+      try_dispatch(event.time_us);
+    }
+  }
+  ApplyHealthEventsUpTo(kNoDeadline);  // absorb trailing samples
+  for (auto [probe_at, replica] : probe_timers_pending_) {
+    (void)probe_at;
+    (void)replica;  // no traffic left to probe with; timers expire inertly
+  }
+  probe_timers_pending_.clear();
+  S2FA_CHECK(waiting.empty(), "drain left requests in the queue");
+}
+
+// ----------------------------------------------------------------- drain
+
+std::vector<RequestOutcome> BlazeService::Drain() {
+  S2FA_SPAN("blaze.svc.drain");
+  std::vector<Pending> pending(backlog_.size());
+  std::vector<Plan> plans(backlog_.size());
+  for (std::size_t i = 0; i < backlog_.size(); ++i) {
+    pending[i].id = next_id_++;
+    pending[i].request_index = i;
+    pending[i].arrival_us = std::max(backlog_[i].arrival_us, clock_us_);
+    double deadline = backlog_[i].deadline_us > 0
+                          ? backlog_[i].deadline_us
+                          : options_.default_deadline_us;
+    pending[i].deadline_abs_us =
+        deadline > 0 ? pending[i].arrival_us + deadline : kNoDeadline;
+    plans[i].id = pending[i].id;
+    plans[i].request_index = i;
+    ++stats_.submitted;
+    S2FA_COUNT("blaze.svc.submitted", 1);
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+
+  PlanAll(pending, plans);
+
+  // Functional execution: embarrassingly parallel, one slot per request,
+  // committed in submission order below (plan-order commit).
+  {
+    ThreadPool pool(static_cast<std::size_t>(options_.exec_threads));
+    std::vector<std::future<void>> done;
+    for (Plan& plan : plans) {
+      if (!plan.needs_exec) continue;
+      done.push_back(pool.Submit([this, &plan] {
+        S2FA_SPAN("blaze.svc.request");
+        const ServiceRequest& rq = backlog_[plan.request_index];
+        const RegisteredAccelerator& accel =
+            runtime_.manager().Get(plan.exec_accel);
+        plan.output =
+            accel.design.pattern == kir::ParallelPattern::kReduce
+                ? runtime_.Reduce(plan.exec_accel, rq.input, rq.broadcast)
+                : runtime_.Map(plan.exec_accel, rq.input, rq.broadcast);
+      }));
+    }
+    for (auto& future : done) future.get();  // surface kernel exceptions
+  }
+
+  std::vector<RequestOutcome> outcomes(plans.size());
+  for (Plan& plan : plans) {
+    RequestOutcome& outcome = outcomes[plan.request_index];
+    outcome.id = plan.id;
+    outcome.outcome = plan.outcome;
+    outcome.replica = plan.replica;
+    outcome.attempts = plan.attempts;
+    outcome.probe = plan.probe;
+    outcome.hedged = plan.hedged;
+    outcome.deadline_missed = plan.deadline_missed;
+    outcome.dispatch_us = plan.dispatch_us;
+    outcome.complete_us = plan.complete_us;
+    outcome.latency_us = plan.latency_us;
+    outcome.charged_us = plan.charged_us;
+    outcome.output = std::move(plan.output);
+    switch (plan.outcome) {
+      case ServeOutcome::kAccelerator: ++stats_.completed_accel; break;
+      case ServeOutcome::kHost: ++stats_.completed_host; break;
+      case ServeOutcome::kHedgedHost: ++stats_.completed_hedge; break;
+      default: continue;  // shed: no completion bookkeeping
+    }
+    ++stats_.completed;
+    if (plan.deadline_missed) ++stats_.deadline_misses;
+    stats_.latencies_us.push_back(plan.latency_us);
+    S2FA_COUNT("blaze.svc.completed", 1);
+    S2FA_OBSERVE("blaze.svc.latency_us", plan.latency_us);
+  }
+  backlog_.clear();
+  for (const auto& [kernel, group] : kernels_) {
+    if (auto delay = HedgeDelayUs(kernel)) {
+      S2FA_GAUGE("blaze.svc.hedge_delay_us", *delay);
+    }
+    (void)group;
+  }
+  return outcomes;
+}
+
+// ------------------------------------------------------------ CLI plumbing
+
+std::optional<FaultBurst> ParseFaultBurst(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const auto parse = [](std::string_view digits,
+                        std::size_t& out) {
+    const char* end = digits.data() + digits.size();
+    auto [ptr, ec] = std::from_chars(digits.data(), end, out);
+    return ec == std::errc() && ptr == end && !digits.empty();
+  };
+  FaultBurst burst;
+  if (!parse(std::string_view(text).substr(0, colon), burst.start) ||
+      !parse(std::string_view(text).substr(colon + 1), burst.length)) {
+    return std::nullopt;
+  }
+  return burst;
+}
+
+AccelFaultInjector MakeBurstFaultInjector(FaultBurst burst) {
+  if (burst.length == 0) return nullptr;
+  return [burst](const std::string&, std::size_t invocation, int) {
+    return invocation >= burst.start &&
+           invocation < burst.start + burst.length;
+  };
+}
+
+}  // namespace s2fa::blaze

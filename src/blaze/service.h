@@ -1,0 +1,277 @@
+// BlazeService: the serving front-end over BlazeRuntime (paper §2 — the
+// accelerator as a shared datacenter service behind Blaze).
+//
+// Where BlazeRuntime executes one request at a time with a fixed
+// retry-once-then-host policy, the service serves *streams* of requests
+// against a deterministic simulated clock and adds everything a shared
+// deployment needs between "works" and "falls over":
+//
+//   * a bounded admission queue with deadline-aware load shedding —
+//     arrivals beyond the queue capacity are rejected, queued requests
+//     whose deadline expires before dispatch are dropped, and both land in
+//     a shed ledger (`ServiceStats`) instead of vanishing;
+//   * a per-replica health state machine (healthy → degraded →
+//     quarantined) driven by a rolling failure-rate / latency window.
+//     Failures reuse the resilience taxonomy: an injected fault manifests
+//     either as a kCrash (detected at the driver round-trip cost) or as a
+//     kTimeout (detected only after a multiple of the expected latency).
+//     Quarantined replicas take no traffic until a probe request —
+//     dispatched after an exponentially backed-off eligibility delay —
+//     succeeds and re-enlists them;
+//   * hedged dispatch: once enough completions seed the rolling latency
+//     window, a request whose accelerator path outlives the
+//     `hedge_quantile` latency starts a host-path hedge at that delay and
+//     takes whichever finishes first, cancelling the loser's charge;
+//   * replica selection: several accelerators may be registered for one
+//     kernel id; dispatch prefers free healthy replicas, spills to
+//     degraded ones, then probes quarantine, and only then falls back to
+//     the host path — which always succeeds, so no admitted request is
+//     ever lost;
+//   * graceful drain: Drain() stops the clock only after every admitted
+//     request has completed and returns the per-request outcomes.
+//
+// Determinism: the service plans every admission, dispatch, failure,
+// hedge, and health transition sequentially on the simulated clock (all
+// costs come from the offload cost model and the stateless fault
+// injector). Only the functional kernel execution fans out on a thread
+// pool, and outcomes are committed in submission order — so results are
+// bit-identical across `exec_threads` values, exactly like the DSE
+// scheduler's plan-order commit.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blaze/runtime.h"
+#include "resilience/failure.h"
+
+namespace s2fa::blaze {
+
+enum class AcceleratorHealth { kHealthy, kDegraded, kQuarantined };
+const char* HealthName(AcceleratorHealth health);
+
+// How one submitted request ended.
+enum class ServeOutcome {
+  kRejectedFull,   // shed at admission: queue was full
+  kShedExpired,    // shed in the queue: deadline passed before dispatch
+  kAccelerator,    // completed on an accelerator replica
+  kHost,           // completed on the host path (direct or after failures)
+  kHedgedHost,     // completed on a host hedge that beat the accelerator
+};
+const char* ServeOutcomeName(ServeOutcome outcome);
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 64;  // bounded admission queue (waiting)
+  double default_deadline_us = 0;   // per-request deadline; 0 = none
+
+  // Hedging. A hedge arms once `hedge_min_samples` accelerator completions
+  // seed the per-kernel rolling latency window; the hedge delay is that
+  // window's `hedge_quantile` latency. 0 disables hedging.
+  double hedge_quantile = 0.95;
+  std::size_t hedge_min_samples = 8;
+  std::size_t latency_window = 64;
+
+  // Health state machine (per replica, over the last `health_window`
+  // finished attempts).
+  std::size_t health_window = 16;
+  std::size_t health_min_samples = 4;
+  double degrade_threshold = 0.30;     // window failure rate
+  double quarantine_threshold = 0.60;  // window failure rate
+  int quarantine_consecutive = 3;      // consecutive failures trip at once
+  double latency_degrade_factor = 2.5; // window mean vs cost-model latency
+  double probe_backoff_us = 50e3;      // first probe after quarantine
+  double probe_backoff_multiplier = 2.0;
+  double probe_backoff_max_us = 1.6e6;
+
+  // Failure manifestation (resilience taxonomy): a failed attempt is
+  // classified kCrash or kTimeout by a deterministic hash. A crash is
+  // detected after the serialize+transfer+driver round trip; a timeout
+  // only after `timeout_detect_multiplier` times the expected latency.
+  double timeout_detect_multiplier = 4.0;
+
+  int exec_threads = 1;     // functional execution fan-out (plan-order commit)
+  std::uint64_t seed = 1;   // failure-classification hash stream
+};
+
+struct ServiceRequest {
+  std::string kernel;  // replica-group id (see BlazeService::AddReplica)
+  Dataset input;
+  // One-record shared data; must outlive the drain that serves the request.
+  const Dataset* broadcast = nullptr;
+  double arrival_us = 0;  // simulated arrival (clamped to the service clock)
+  double deadline_us = 0; // relative to arrival; 0 = options default
+};
+
+struct RequestOutcome {
+  std::size_t id = 0;  // submission order
+  ServeOutcome outcome = ServeOutcome::kRejectedFull;
+  std::string replica;      // accelerator that served it ("" = none)
+  int attempts = 0;         // accelerator attempts planned
+  bool probe = false;       // served as a quarantine probe
+  bool hedged = false;      // a hedge was launched
+  bool deadline_missed = false;  // completed after its deadline
+  double dispatch_us = 0;   // simulated dispatch time
+  double complete_us = 0;   // simulated completion time
+  double latency_us = 0;    // complete - arrival (0 for shed requests)
+  double charged_us = 0;    // billed work time (losers' charges cancelled)
+  Dataset output;           // empty for shed requests
+};
+
+// The shed ledger plus everything else the serving layer counts.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected_full = 0;   // shed at admission
+  std::size_t shed_expired = 0;    // shed from the queue
+  std::size_t completed = 0;
+  std::size_t completed_accel = 0;
+  std::size_t completed_host = 0;      // host fallback or host-direct
+  std::size_t completed_hedge = 0;     // host hedge beat the accelerator
+  std::size_t deadline_misses = 0;     // completed, but late
+
+  std::size_t accel_attempts = 0;
+  std::size_t accel_failures = 0;
+  std::size_t crashes = 0;   // failures manifesting as kCrash
+  std::size_t timeouts = 0;  // failures manifesting as kTimeout
+  std::size_t retries = 0;
+
+  std::size_t hedges_launched = 0;
+  std::size_t hedges_won = 0;        // hedge finished first
+  std::size_t hedges_cancelled = 0;  // accelerator finished first
+  double hedge_saved_us = 0;         // primary-minus-hedged completion time
+  double cancelled_charge_us = 0;    // losers' charges not billed
+
+  std::size_t probes = 0;
+  std::size_t probe_successes = 0;
+  std::size_t probe_failures = 0;
+  std::size_t degradations = 0;    // healthy -> degraded transitions
+  std::size_t quarantines = 0;     // -> quarantined transitions
+  std::size_t reenlistments = 0;   // quarantined -> degraded via probe
+
+  std::size_t max_queue_depth = 0;
+  std::vector<double> latencies_us;  // completed requests, submission order
+
+  // Nearest-rank quantile over the completed-request latencies (obs-style);
+  // 0 when nothing completed. q in [0, 1].
+  double LatencyQuantile(double q) const;
+};
+
+class BlazeService {
+ public:
+  // The runtime supplies registered accelerators and the offload cost
+  // model; it must outlive the service. The service never mutates the
+  // runtime (in particular it does not touch its fault injector).
+  explicit BlazeService(BlazeRuntime& runtime, ServiceOptions options = {});
+  // Out-of-line: HealthEvent is incomplete here (vector member).
+  BlazeService(BlazeService&& other);
+  ~BlazeService();
+
+  // Adds accelerator `accel_id` (already registered with the runtime) as a
+  // replica serving `kernel`. Replica order is the deterministic dispatch
+  // tie-break. Rejects duplicates and unknown accelerators.
+  void AddReplica(const std::string& kernel, const std::string& accel_id);
+  std::size_t num_replicas(const std::string& kernel) const;
+
+  // Installs (or clears) the plan-time fault injector. `invocation` is the
+  // per-replica dispatch counter; `attempt` is 0 or 1, as in the runtime.
+  void SetFaultInjector(AccelFaultInjector injector);
+
+  // Enqueues a request for the next Drain(). Arrival times before the
+  // current service clock are clamped to it.
+  void Submit(ServiceRequest request);
+
+  // Graceful drain: serves every pending request to completion (nothing is
+  // abandoned), advances the clock, and returns outcomes in submission
+  // order. The service stays usable; stats and health carry over.
+  std::vector<RequestOutcome> Drain();
+
+  // Submit all + Drain, as one call.
+  std::vector<RequestOutcome> Run(std::vector<ServiceRequest> requests);
+
+  const ServiceStats& stats() const { return stats_; }
+  double clock_us() const { return clock_us_; }
+  // Health of one replica by accelerator id; throws on unknown ids.
+  AcceleratorHealth health(const std::string& accel_id) const;
+  // The armed hedge delay for `kernel`, or nullopt while unarmed/disabled.
+  std::optional<double> HedgeDelayUs(const std::string& kernel) const;
+
+ private:
+  struct Replica {
+    std::string accel_id;
+    ExecutionStats per_invocation;   // cost model for one batch
+    double host_us_per_invocation = 0;
+    AcceleratorHealth health = AcceleratorHealth::kHealthy;
+    std::deque<bool> window_failed;
+    std::deque<double> window_latency_us;
+    int consecutive_failures = 0;
+    double free_us = 0;              // lane busy until this time
+    double probe_eligible_us = 0;
+    double probe_backoff_us = 0;
+    bool probe_inflight = false;
+    std::size_t invocations = 0;     // per-replica dispatch counter
+  };
+
+  struct KernelGroup {
+    std::vector<std::size_t> replicas;     // indices into replicas_
+    std::deque<double> latency_window_us;  // successful accel completions
+  };
+
+  // One queued (admitted) request while planning.
+  struct Pending;
+  // The fully planned fate of one request.
+  struct Plan;
+  // A health-window sample waiting for its simulated timestamp.
+  struct HealthEvent;
+
+  Replica& ReplicaFor(const std::string& accel_id);
+  const Replica& ReplicaFor(const std::string& accel_id) const;
+
+  // Deterministic sequential planner (the only place the clock advances).
+  void PlanAll(std::vector<Pending>& pending, std::vector<Plan>& plans);
+  // Plans the dispatch of one request starting at `t`; returns its plan.
+  void PlanDispatch(Pending& request, Plan& plan, std::size_t replica_index,
+                    double t, bool probe, KernelGroup& group);
+  // Applies queued health-window samples with time <= t, in time order.
+  void ApplyHealthEventsUpTo(double t);
+  void ApplyHealthSample(Replica& replica, const HealthEvent& event);
+  // Classifies a planned failure as kCrash or kTimeout (stateless hash).
+  resilience::FailureKind ClassifyFailure(const std::string& accel_id,
+                                          std::size_t invocation,
+                                          int attempt) const;
+
+  BlazeRuntime& runtime_;
+  ServiceOptions options_;
+  std::map<std::string, KernelGroup> kernels_;
+  std::vector<Replica> replicas_;
+  std::map<std::string, std::size_t> replica_index_;
+  AccelFaultInjector injector_;
+
+  std::vector<ServiceRequest> backlog_;  // submitted, not yet drained
+  std::size_t next_id_ = 0;
+  double clock_us_ = 0;
+  ServiceStats stats_;
+  std::vector<HealthEvent> health_events_;  // min-heap by (time, seq)
+  std::size_t health_event_seq_ = 0;
+  // Probe-eligibility timers raised while applying health samples; the
+  // planner drains these into its event heap (quarantine can fire inside
+  // ApplyHealthEventsUpTo, which cannot see the planner's heap directly).
+  std::vector<std::pair<double, std::size_t>> probe_timers_pending_;
+};
+
+// ------------------------------------------------------------ CLI plumbing
+
+// An injected fault burst: every accelerator attempt whose per-replica
+// invocation counter falls in [start, start + length) fails. Parsed from
+// the "START:LEN" syntax of --fault-burst / S2FA_FAULT_BURST.
+struct FaultBurst {
+  std::size_t start = 0;
+  std::size_t length = 0;
+};
+std::optional<FaultBurst> ParseFaultBurst(const std::string& text);
+AccelFaultInjector MakeBurstFaultInjector(FaultBurst burst);
+
+}  // namespace s2fa::blaze

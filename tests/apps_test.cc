@@ -4,6 +4,7 @@
 
 #include "apps/app.h"
 #include "apps/jvm_baseline.h"
+#include "apps/pipeline.h"
 #include "b2c/compiler.h"
 #include "blaze/runtime.h"
 #include "hls/estimator.h"
@@ -11,6 +12,7 @@
 #include "kir/printer.h"
 #include "merlin/transform.h"
 #include "s2fa/framework.h"
+#include "support/error.h"
 
 namespace s2fa::apps {
 namespace {
@@ -269,6 +271,91 @@ TEST(AppsTest, AesKernelEncryptsFipsVector) {
     EXPECT_EQ(out.data[static_cast<std::size_t>(i)].AsInt() & 0xff,
               cipher[static_cast<std::size_t>(i)])
         << "byte " << i;
+  }
+}
+
+// ------------------------------------------------- multi-stage pipelines
+
+// Feeds one AES stage's ciphertext back in as the next stage's plaintext.
+Dataset CipherToPlain(const Dataset& d) {
+  blaze::Column block = d.ColumnByField("cipher");
+  block.field = "_1";
+  Dataset out;
+  out.AddColumn(std::move(block));
+  return out;
+}
+
+struct PipelineFixture {
+  App aes = FindApp("AES");
+  blaze::BlazeRuntime runtime;
+  Workload w;
+  PipelineFixture() {
+    Artifact artifact =
+        BuildWithConfig(*aes.pool, aes.spec, merlin::DesignConfig{});
+    RegisterWithBlaze(runtime, "aes-stage0", artifact);
+    RegisterWithBlaze(runtime, "aes-stage1", artifact);
+    w = MakeWorkload(aes, 3003, 64);
+  }
+  std::vector<PipelineStage> Stages() {
+    return {{"aes-stage0", &w.broadcast, nullptr},
+            {"aes-stage1", &w.broadcast, CipherToPlain}};
+  }
+};
+
+TEST(PipelineTest, TwoStageAesIsDoubleEncryption) {
+  PipelineFixture fx;
+  PipelineResult result = RunPipeline(fx.runtime, fx.Stages(), fx.w.input);
+  Dataset expect = fx.aes.reference(
+      CipherToPlain(fx.aes.reference(fx.w.input, &fx.w.broadcast)),
+      &fx.w.broadcast);
+  ExpectDatasetsMatch(result.output, expect, 0, "aes2/pipeline");
+  ASSERT_EQ(result.per_stage.size(), 2u);
+  EXPECT_EQ(result.stats.invocations,
+            result.per_stage[0].invocations + result.per_stage[1].invocations);
+  EXPECT_DOUBLE_EQ(
+      result.stats.total_us,
+      result.per_stage[0].total_us + result.per_stage[1].total_us);
+  EXPECT_FALSE(result.stats.degraded);
+}
+
+TEST(PipelineTest, MergedLedgerKeepsEarlyStageDegradation) {
+  PipelineFixture fx;
+  // Stage 0's accelerator fails every attempt; stage 1 is clean. The
+  // merged ledger must still show stage 0's host fallbacks — before
+  // ExecutionStats::Merge, the last stage's clean stats overwrote them.
+  fx.runtime.SetFaultInjector(
+      [](const std::string& id, std::size_t, int) {
+        return id == "aes-stage0";
+      });
+  PipelineResult result = RunPipeline(fx.runtime, fx.Stages(), fx.w.input);
+  EXPECT_GT(result.per_stage[0].host_fallbacks, 0u);
+  EXPECT_TRUE(result.per_stage[0].degraded);
+  EXPECT_EQ(result.per_stage[1].host_fallbacks, 0u);
+  EXPECT_FALSE(result.per_stage[1].degraded);
+  EXPECT_TRUE(result.stats.degraded);
+  EXPECT_EQ(result.stats.host_fallbacks, result.per_stage[0].host_fallbacks);
+  EXPECT_DOUBLE_EQ(
+      result.stats.host_us,
+      result.per_stage[0].host_us + result.per_stage[1].host_us);
+  // Degradation changes where the stages ran, never what they computed.
+  Dataset expect = fx.aes.reference(
+      CipherToPlain(fx.aes.reference(fx.w.input, &fx.w.broadcast)),
+      &fx.w.broadcast);
+  ExpectDatasetsMatch(result.output, expect, 0, "aes2/degraded");
+}
+
+TEST(PipelineTest, ValidatesStageList) {
+  PipelineFixture fx;
+  EXPECT_THROW(RunPipeline(fx.runtime, {}, fx.w.input), Error);
+  // An unknown stage id surfaces the registered ids (the manager's
+  // unknown-accelerator error message).
+  try {
+    RunPipeline(fx.runtime, {{"ghost", nullptr, nullptr}}, fx.w.input);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("aes-stage0"), std::string::npos);
+    EXPECT_NE(message.find("aes-stage1"), std::string::npos);
   }
 }
 

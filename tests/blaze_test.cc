@@ -336,5 +336,107 @@ TEST(RuntimeTest, RandomFaultInjectorIsDeterministic) {
   EXPECT_THROW(MakeRandomFaultInjector(1.5, 1), InvalidArgument);
 }
 
+TEST(RuntimeTest, RandomFaultInjectorEdgeRates) {
+  // Rate 0 is the no-injector fast path; rate 1 fails every attempt.
+  EXPECT_EQ(MakeRandomFaultInjector(0.0, 99), nullptr);
+  AccelFaultInjector always = MakeRandomFaultInjector(1.0, 99);
+  ASSERT_NE(always, nullptr);
+  for (std::size_t inv = 0; inv < 64; ++inv) {
+    EXPECT_TRUE(always("id", inv, 0));
+    EXPECT_TRUE(always("id", inv, 1));
+  }
+}
+
+TEST(RuntimeTest, RandomFaultInjectorRollsIndependently) {
+  // The (invocation, attempt) rolls are independent: at rate 0.5 all four
+  // fail/ok combinations of (attempt 0, attempt 1) occur across
+  // invocations, so a first-attempt failure says nothing about the retry.
+  AccelFaultInjector injector = MakeRandomFaultInjector(0.5, 7);
+  bool seen[2][2] = {};
+  for (std::size_t inv = 0; inv < 200; ++inv) {
+    seen[injector("id", inv, 0)][injector("id", inv, 1)] = true;
+  }
+  EXPECT_TRUE(seen[0][0]);
+  EXPECT_TRUE(seen[0][1]);
+  EXPECT_TRUE(seen[1][0]);
+  EXPECT_TRUE(seen[1][1]);
+  // Different accelerator ids draw from different streams.
+  AccelFaultInjector other = MakeRandomFaultInjector(0.5, 7);
+  bool differs = false;
+  for (std::size_t inv = 0; inv < 200 && !differs; ++inv) {
+    differs = injector("a", inv, 0) != other("b", inv, 0);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RuntimeTest, UnknownAcceleratorErrorListsRegisteredIds) {
+  AcceleratorManager manager;
+  try {
+    manager.Get("ghost");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("(none)"), std::string::npos);
+  }
+
+  jvm::ClassPool pool = MakePool();
+  Artifact artifact = BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+  BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "doubler", artifact);
+  RegisterWithBlaze(runtime, "tripler", artifact);
+  try {
+    runtime.manager().Get("ghost");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("doubler"), std::string::npos);
+    EXPECT_NE(message.find("tripler"), std::string::npos);
+  }
+}
+
+TEST(RuntimeTest, ExecutionStatsMergeAggregates) {
+  ExecutionStats a;
+  a.invocations = 2;
+  a.serialize_us = 1;
+  a.transfer_us = 2;
+  a.compute_us = 3;
+  a.overhead_us = 4;
+  a.host_us = 5;
+  a.total_us = 15;
+  a.accel_failures = 1;
+  a.accel_retries = 1;
+  ExecutionStats b;
+  b.invocations = 3;
+  b.total_us = 7;
+  b.host_fallbacks = 2;
+  b.degraded = true;
+  a.Merge(b);
+  EXPECT_EQ(a.invocations, 5u);
+  EXPECT_DOUBLE_EQ(a.total_us, 22.0);
+  EXPECT_EQ(a.accel_failures, 1u);
+  EXPECT_EQ(a.accel_retries, 1u);
+  EXPECT_EQ(a.host_fallbacks, 2u);
+  EXPECT_TRUE(a.degraded);
+  // Merging a clean stats block never clears the degraded flag.
+  a.Merge(ExecutionStats{});
+  EXPECT_TRUE(a.degraded);
+}
+
+TEST(RuntimeTest, PerInvocationCostMatchesStatsBreakdown) {
+  jvm::ClassPool pool = MakePool();
+  Artifact artifact = BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+  BlazeRuntime runtime;
+  RegisterWithBlaze(runtime, "doubler", artifact);
+  ExecutionStats per = runtime.PerInvocationCost("doubler");
+  EXPECT_EQ(per.invocations, 1u);
+  EXPECT_DOUBLE_EQ(per.total_us, per.serialize_us + per.transfer_us +
+                                     per.compute_us + per.overhead_us);
+  // Two clean invocations cost exactly twice the per-invocation charge.
+  ExecutionStats stats;
+  runtime.Map("doubler", DoublerInput(16), nullptr, &stats);
+  EXPECT_EQ(stats.invocations, 2u);
+  EXPECT_DOUBLE_EQ(stats.total_us, 2 * per.total_us);
+  EXPECT_THROW(runtime.PerInvocationCost("ghost"), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace s2fa::blaze

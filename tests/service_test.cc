@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "b2c/compiler.h"
+#include "blaze/service.h"
+#include "jvm/assembler.h"
+#include "s2fa/framework.h"
+
+namespace s2fa::blaze {
+namespace {
+
+using jvm::Assembler;
+using jvm::MethodSignature;
+using jvm::Type;
+using jvm::Value;
+
+// Doubler: double -> 2 * double, batch 8 (the blaze_test kernel).
+jvm::ClassPool MakePool() {
+  jvm::ClassPool pool;
+  Assembler a;
+  a.Load(Type::Double(), 0).DConst(2.0).DMul().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("Doubler").AddMethod(
+      jvm::MakeMethod("call", sig, true, 2, a.Finish()));
+  return pool;
+}
+
+b2c::KernelSpec MakeSpec(std::int64_t batch = 8) {
+  b2c::KernelSpec spec;
+  spec.kernel_name = "doubler";
+  spec.klass = "Doubler";
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"y", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+Dataset DoublerInput(int n) {
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  for (int i = 0; i < n; ++i) x.data.push_back(Value::OfDouble(i));
+  input.AddColumn(x);
+  return input;
+}
+
+// A runtime with `replicas` copies of the doubler registered as r0, r1, ...
+struct Fixture {
+  BlazeRuntime runtime;
+  explicit Fixture(int replicas = 1) {
+    jvm::ClassPool pool = MakePool();
+    Artifact artifact =
+        BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+    for (int i = 0; i < replicas; ++i) {
+      RegisterWithBlaze(runtime, "r" + std::to_string(i), artifact);
+    }
+  }
+  BlazeService MakeService(ServiceOptions options = {}, int replicas = 1) {
+    BlazeService service(runtime, options);
+    for (int i = 0; i < replicas; ++i) {
+      service.AddReplica("doubler", "r" + std::to_string(i));
+    }
+    return service;
+  }
+};
+
+ServiceRequest Req(int records, double arrival_us = 0,
+                   double deadline_us = 0) {
+  ServiceRequest request;
+  request.kernel = "doubler";
+  request.input = DoublerInput(records);
+  request.arrival_us = arrival_us;
+  request.deadline_us = deadline_us;
+  return request;
+}
+
+bool IsShed(const RequestOutcome& outcome) {
+  return outcome.outcome == ServeOutcome::kRejectedFull ||
+         outcome.outcome == ServeOutcome::kShedExpired;
+}
+
+void ExpectDoubled(const RequestOutcome& outcome, int records) {
+  ASSERT_EQ(outcome.output.num_records(), static_cast<std::size_t>(records));
+  const Column& y = outcome.output.ColumnByField("y");
+  for (int i = 0; i < records; ++i) {
+    EXPECT_DOUBLE_EQ(y.data[static_cast<std::size_t>(i)].AsDouble(), 2.0 * i);
+  }
+}
+
+// Bit-exact canonical rendering of a drain's outcomes.
+std::string Canon(const std::vector<RequestOutcome>& outcomes) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& o : outcomes) {
+    os << o.id << '|' << ServeOutcomeName(o.outcome) << '|' << o.replica
+       << '|' << o.attempts << '|' << o.probe << o.hedged << o.deadline_missed
+       << '|' << o.dispatch_us << '|' << o.complete_us << '|' << o.latency_us
+       << '|' << o.charged_us << '|';
+    for (std::size_t c = 0; c < o.output.num_columns(); ++c) {
+      for (const auto& v : o.output.column(c).data) os << v.AsDouble() << ',';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(ServiceTest, RejectsWhenQueueFull) {
+  Fixture fx;
+  ServiceOptions options;
+  options.queue_capacity = 1;
+  BlazeService service = fx.MakeService(options);
+  // Three simultaneous arrivals, one replica: the first dispatches, the
+  // second waits (fills the queue), the third is rejected.
+  auto outcomes = service.Run({Req(16), Req(16), Req(16)});
+  EXPECT_EQ(outcomes[0].outcome, ServeOutcome::kAccelerator);
+  EXPECT_EQ(outcomes[1].outcome, ServeOutcome::kAccelerator);
+  EXPECT_EQ(outcomes[2].outcome, ServeOutcome::kRejectedFull);
+  EXPECT_EQ(outcomes[2].output.num_records(), 0u);
+  EXPECT_EQ(service.stats().rejected_full, 1u);
+  EXPECT_EQ(service.stats().admitted, 2u);
+  EXPECT_EQ(service.stats().max_queue_depth, 1u);
+  ExpectDoubled(outcomes[1], 16);
+}
+
+TEST(ServiceTest, ShedsExpiredDeadlineFromQueue) {
+  Fixture fx;
+  BlazeService service = fx.MakeService();
+  // A long request holds the lane; the short-deadline request behind it
+  // expires before the lane frees and is shed, not served late.
+  auto outcomes = service.Run({Req(512), Req(8, 0, /*deadline_us=*/1.0)});
+  EXPECT_EQ(outcomes[0].outcome, ServeOutcome::kAccelerator);
+  EXPECT_EQ(outcomes[1].outcome, ServeOutcome::kShedExpired);
+  EXPECT_EQ(service.stats().shed_expired, 1u);
+  EXPECT_EQ(service.stats().completed, 1u);
+  EXPECT_DOUBLE_EQ(outcomes[1].latency_us, 0.0);
+}
+
+// ---------------------------------------------------------------- health
+
+TEST(ServiceTest, ConsecutiveFailuresQuarantineTheReplica) {
+  Fixture fx;
+  BlazeService service = fx.MakeService();
+  service.SetFaultInjector(
+      [](const std::string&, std::size_t, int) { return true; });
+  auto outcomes = service.Run({Req(8), Req(8), Req(8), Req(8)});
+  // Every request still completes (host fallback / host-direct): the
+  // serving layer never loses an admitted request.
+  for (const auto& o : outcomes) {
+    EXPECT_EQ(o.outcome, ServeOutcome::kHost);
+    ExpectDoubled(o, 8);
+  }
+  EXPECT_EQ(service.health("r0"), AcceleratorHealth::kQuarantined);
+  EXPECT_EQ(service.stats().quarantines, 1u);
+  EXPECT_EQ(service.stats().completed, 4u);
+  EXPECT_GE(service.stats().crashes + service.stats().timeouts,
+            service.stats().accel_failures);
+}
+
+TEST(ServiceTest, ProbeReenlistsAfterBurstClears) {
+  Fixture fx;
+  ServiceOptions options;
+  BlazeService service = fx.MakeService(options);
+  // Invocations 0 and 1 fail every attempt; the burst then clears.
+  service.SetFaultInjector(MakeBurstFaultInjector({0, 2}));
+  std::vector<ServiceRequest> wave1 = {Req(8, 0), Req(8, 0)};
+  auto first = service.Run(std::move(wave1));
+  EXPECT_EQ(service.health("r0"), AcceleratorHealth::kQuarantined);
+  for (const auto& o : first) EXPECT_EQ(o.outcome, ServeOutcome::kHost);
+
+  // A request arriving after the probe-eligibility delay is served as the
+  // probe; the burst is over, so it succeeds and re-enlists the replica.
+  auto second = service.Run({Req(8, /*arrival_us=*/1e6)});
+  EXPECT_EQ(second[0].outcome, ServeOutcome::kAccelerator);
+  EXPECT_TRUE(second[0].probe);
+  ExpectDoubled(second[0], 8);
+  EXPECT_EQ(service.stats().probes, 1u);
+  EXPECT_EQ(service.stats().probe_successes, 1u);
+  EXPECT_EQ(service.stats().reenlistments, 1u);
+  EXPECT_EQ(service.health("r0"), AcceleratorHealth::kDegraded);
+}
+
+TEST(ServiceTest, FailedProbeBacksOffExponentially) {
+  Fixture fx;
+  BlazeService service = fx.MakeService();
+  service.SetFaultInjector(
+      [](const std::string&, std::size_t, int) { return true; });
+  service.Run({Req(8), Req(8)});  // quarantine r0
+  ASSERT_EQ(service.health("r0"), AcceleratorHealth::kQuarantined);
+
+  // Probe fails too: still quarantined, one probe failure recorded.
+  auto probe = service.Run({Req(8, service.clock_us() + 60e3)});
+  EXPECT_EQ(probe[0].outcome, ServeOutcome::kHost);  // probe fell back
+  EXPECT_TRUE(probe[0].probe);
+  EXPECT_EQ(service.stats().probe_failures, 1u);
+  EXPECT_EQ(service.health("r0"), AcceleratorHealth::kQuarantined);
+
+  // Immediately after, the backed-off timer has not elapsed: host-direct,
+  // no second probe.
+  auto direct = service.Run({Req(8, service.clock_us() + 1e3)});
+  EXPECT_EQ(direct[0].outcome, ServeOutcome::kHost);
+  EXPECT_FALSE(direct[0].probe);
+  EXPECT_EQ(service.stats().probes, 1u);
+}
+
+TEST(ServiceTest, SelectionPrefersHealthyAndSpillsToDegraded) {
+  Fixture fx(2);
+  ServiceOptions options;
+  options.hedge_quantile = 0;  // keep the dispatch paths plain
+  BlazeService service = fx.MakeService(options, 2);
+  // Fail r0 on attempt 0 of invocations 0 and 2 (retry succeeds): window
+  // rate 2/5 = 0.4 lands in [degrade, quarantine).
+  service.SetFaultInjector([](const std::string& id, std::size_t invocation,
+                              int attempt) {
+    return id == "r0" && attempt == 0 &&
+           (invocation == 0 || invocation == 2);
+  });
+  // Serial warm-up: widely spaced arrivals always find both lanes free, so
+  // the registration-order tie-break sends every dispatch to r0.
+  std::vector<ServiceRequest> warm;
+  for (int i = 0; i < 3; ++i) warm.push_back(Req(8, i * 1e5));
+  auto warm_out = service.Run(std::move(warm));
+  EXPECT_EQ(warm_out[0].replica, "r0");
+  EXPECT_EQ(service.health("r0"), AcceleratorHealth::kDegraded);
+  EXPECT_EQ(service.health("r1"), AcceleratorHealth::kHealthy);
+  EXPECT_EQ(service.stats().degradations, 1u);
+
+  // Two simultaneous arrivals with both lanes free: the healthy replica is
+  // chosen first, the second request spills to the degraded one.
+  double t = service.clock_us() + 1;
+  auto pair = service.Run({Req(8, t), Req(8, t)});
+  EXPECT_EQ(pair[0].replica, "r1");
+  EXPECT_EQ(pair[1].replica, "r0");
+  EXPECT_EQ(pair[0].outcome, ServeOutcome::kAccelerator);
+  EXPECT_EQ(pair[1].outcome, ServeOutcome::kAccelerator);
+}
+
+// --------------------------------------------------------------- hedging
+
+TEST(ServiceTest, HedgingReducesTailAndCancelsLoserCharge) {
+  auto run = [](double quantile) {
+    Fixture fx;
+    ServiceOptions options;
+    options.hedge_quantile = quantile;
+    BlazeService service = fx.MakeService(options);
+    std::vector<ServiceRequest> requests;
+    // Clean warm-up arms the latency window, then a fault burst.
+    for (int i = 0; i < 10; ++i) {
+      requests.push_back(Req(64, i * 1e5));
+    }
+    for (int i = 0; i < 10; ++i) {
+      requests.push_back(Req(64, 1e6 + i * 1e5));
+    }
+    service.SetFaultInjector(MakeBurstFaultInjector({10, 6}));
+    auto outcomes = service.Run(std::move(requests));
+    struct Out {
+      ServiceStats stats;
+      double p99;
+      std::vector<RequestOutcome> outcomes;
+    };
+    return Out{service.stats(), service.stats().LatencyQuantile(0.99),
+               std::move(outcomes)};
+  };
+  auto unhedged = run(0);
+  auto hedged = run(0.95);
+  EXPECT_EQ(hedged.stats.hedges_launched,
+            hedged.stats.hedges_won + hedged.stats.hedges_cancelled);
+  EXPECT_GT(hedged.stats.hedges_launched, 0u);
+  EXPECT_GT(hedged.stats.hedges_won, 0u);
+  EXPECT_GT(hedged.stats.cancelled_charge_us, 0.0);
+  EXPECT_GT(hedged.stats.hedge_saved_us, 0.0);
+  EXPECT_LT(hedged.p99, unhedged.p99);
+  // The hedge changes timing, never results.
+  for (std::size_t i = 0; i < hedged.outcomes.size(); ++i) {
+    if (IsShed(hedged.outcomes[i])) continue;
+    ExpectDoubled(hedged.outcomes[i], 64);
+  }
+}
+
+TEST(ServiceTest, HedgeDelayArmsAfterMinSamples) {
+  Fixture fx;
+  ServiceOptions options;
+  options.hedge_min_samples = 4;
+  BlazeService service = fx.MakeService(options);
+  EXPECT_FALSE(service.HedgeDelayUs("doubler").has_value());
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 4; ++i) requests.push_back(Req(8, i * 1e4));
+  service.Run(std::move(requests));
+  ASSERT_TRUE(service.HedgeDelayUs("doubler").has_value());
+  EXPECT_GT(*service.HedgeDelayUs("doubler"), 0.0);
+}
+
+// ----------------------------------------------------------- robustness
+
+TEST(ServiceTest, NoAdmittedRequestLostUnderFaultBurst) {
+  Fixture fx(2);
+  ServiceOptions options;
+  options.queue_capacity = 4;
+  BlazeService service = fx.MakeService(options, 2);
+  service.SetFaultInjector(MakeBurstFaultInjector({2, 8}));
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back(Req(8 + (i % 5) * 16, i * 50.0));
+  }
+  auto outcomes = service.Run(std::move(requests));
+  const ServiceStats& stats = service.stats();
+  EXPECT_EQ(stats.submitted, 24u);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.shed_expired);
+  for (const auto& o : outcomes) {
+    if (IsShed(o)) continue;
+    ExpectDoubled(o, static_cast<int>(o.output.num_records()));
+    EXPECT_GT(o.latency_us, 0.0);
+    EXPECT_GT(o.charged_us, 0.0);
+  }
+}
+
+TEST(ServiceTest, OutcomesBitIdenticalAcrossExecThreads) {
+  auto run = [](int exec_threads) {
+    Fixture fx(3);
+    ServiceOptions options;
+    options.exec_threads = exec_threads;
+    options.queue_capacity = 8;
+    BlazeService service = fx.MakeService(options, 3);
+    service.SetFaultInjector(MakeBurstFaultInjector({1, 6}));
+    std::vector<ServiceRequest> requests;
+    for (int i = 0; i < 32; ++i) {
+      requests.push_back(Req(4 + (i * 7) % 40, (i % 11) * 37.0));
+    }
+    auto outcomes = service.Run(std::move(requests));
+    return Canon(outcomes);
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ServiceTest, DrainIsGracefulAndServiceStaysUsable) {
+  Fixture fx;
+  BlazeService service = fx.MakeService();
+  auto first = service.Run({Req(8), Req(8)});
+  EXPECT_EQ(first.size(), 2u);
+  const double clock_after_first = service.clock_us();
+  EXPECT_GT(clock_after_first, 0.0);
+  // Stale arrival times are clamped to the service clock: time never runs
+  // backwards across drains.
+  auto second = service.Run({Req(8, /*arrival_us=*/0)});
+  EXPECT_GE(second[0].dispatch_us, clock_after_first);
+  EXPECT_EQ(service.stats().completed, 3u);
+  EXPECT_TRUE(service.Drain().empty());  // empty drain is a no-op
+}
+
+// ------------------------------------------------------------- plumbing
+
+TEST(ServiceTest, ValidatesConfigurationAndIds) {
+  Fixture fx;
+  EXPECT_THROW(
+      { BlazeService bad(fx.runtime, [] {
+          ServiceOptions o;
+          o.queue_capacity = 0;
+          return o;
+        }()); },
+      Error);
+  BlazeService service(fx.runtime);
+  EXPECT_THROW(service.AddReplica("doubler", "nope"), InvalidArgument);
+  service.AddReplica("doubler", "r0");
+  EXPECT_THROW(service.AddReplica("other", "r0"), Error);  // duplicate
+  EXPECT_EQ(service.num_replicas("doubler"), 1u);
+  EXPECT_EQ(service.num_replicas("other"), 0u);
+  EXPECT_THROW(service.health("nope"), Error);
+  ServiceRequest unknown;
+  unknown.kernel = "nope";
+  unknown.input = DoublerInput(4);
+  EXPECT_THROW(service.Submit(std::move(unknown)), Error);
+}
+
+TEST(ServiceTest, LatencyQuantileIsNearestRank) {
+  ServiceStats stats;
+  EXPECT_DOUBLE_EQ(stats.LatencyQuantile(0.99), 0.0);
+  for (int i = 100; i >= 1; --i) stats.latencies_us.push_back(i);
+  EXPECT_DOUBLE_EQ(stats.LatencyQuantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(stats.LatencyQuantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(stats.LatencyQuantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(stats.LatencyQuantile(0.0), 1.0);
+  EXPECT_THROW(stats.LatencyQuantile(1.5), Error);
+}
+
+TEST(ServiceTest, ParseFaultBurstSyntax) {
+  auto burst = ParseFaultBurst("10:5");
+  ASSERT_TRUE(burst.has_value());
+  EXPECT_EQ(burst->start, 10u);
+  EXPECT_EQ(burst->length, 5u);
+  EXPECT_FALSE(ParseFaultBurst("10").has_value());
+  EXPECT_FALSE(ParseFaultBurst("10:").has_value());
+  EXPECT_FALSE(ParseFaultBurst(":5").has_value());
+  EXPECT_FALSE(ParseFaultBurst("a:b").has_value());
+  EXPECT_FALSE(ParseFaultBurst("1.5:2").has_value());
+
+  EXPECT_EQ(MakeBurstFaultInjector({3, 0}), nullptr);
+  AccelFaultInjector injector = MakeBurstFaultInjector({3, 2});
+  EXPECT_FALSE(injector("r0", 2, 0));
+  EXPECT_TRUE(injector("r0", 3, 0));
+  EXPECT_TRUE(injector("r0", 4, 1));
+  EXPECT_FALSE(injector("r0", 5, 0));
+}
+
+}  // namespace
+}  // namespace s2fa::blaze

@@ -23,20 +23,34 @@
 //       Blaze runtime, cross-check against the JVM baseline, and report
 //       the speedup. --accel-fault-rate injects accelerator faults; failed
 //       batches retry once and then degrade to the host path.
+//   s2fa serve <app> [--replicas N] [--requests N] [--records N] [--seed N]
+//                    [--serve-queue N] [--hedge-quantile Q]
+//                    [--quarantine-window N] [--fault-burst START:LEN]
+//                    [--exec-threads N]
+//       Build the accelerator, register N replicas behind the BlazeService
+//       serving layer, and replay a request stream against the simulated
+//       clock: bounded admission queue, per-replica health tracking with
+//       quarantine + probe re-enlistment, and hedged dispatch.
+//       --fault-burst fails every accelerator attempt whose per-replica
+//       invocation counter falls in [START, START+LEN); outputs are
+//       cross-checked against the native reference.
 //   s2fa report <metrics.json>
 //       Render a metrics summary (written by --metrics-out) as tables.
 //
 // Global flags: --trace-out FILE --metrics-out FILE (enable the obs layer
 // and dump the span trace / aggregated summary), --log-level LEVEL.
 // Environment: S2FA_EVAL_TIMEOUT, S2FA_EVAL_RETRIES, S2FA_RESUME_JOURNAL,
-// S2FA_FAULT_RATE and S2FA_EVAL_CACHE mirror the evaluation-stack flags
-// (flags win).
+// S2FA_FAULT_RATE and S2FA_EVAL_CACHE mirror the evaluation-stack flags;
+// S2FA_SERVE_QUEUE, S2FA_HEDGE_QUANTILE, S2FA_QUARANTINE_WINDOW and
+// S2FA_FAULT_BURST mirror the serving knobs (flags win).
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +59,7 @@
 #include "apps/jvm_baseline.h"
 #include "cache/eval_cache.h"
 #include "blaze/runtime.h"
+#include "blaze/service.h"
 #include "kir/printer.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -98,7 +113,8 @@ Args Parse(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: s2fa <list|compile|explore|run|report> [arg] [flags]\n"
+               "usage: s2fa <list|compile|explore|run|serve|report> [arg] "
+               "[flags]\n"
                "  explore flags: --minutes N --cores N --seed N --vanilla "
                "--no-seeds --no-partition\n"
                "                 --eval-timeout MIN --eval-retries N "
@@ -107,12 +123,19 @@ int Usage() {
                "--scheduler adaptive|fcfs\n"
                "  run flags:     --records N --seed N --minutes N "
                "--accel-fault-rate P\n"
+               "  serve flags:   --replicas N --requests N --records N "
+               "--seed N --minutes N\n"
+               "                 --serve-queue N --hedge-quantile Q "
+               "--quarantine-window N\n"
+               "                 --fault-burst START:LEN --exec-threads N\n"
                "  report:        s2fa report <metrics.json>\n"
                "  global flags:  --trace-out FILE --metrics-out FILE "
                "--log-level off|error|warn|info|debug\n"
                "  env:           S2FA_EVAL_TIMEOUT S2FA_EVAL_RETRIES "
                "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE S2FA_EVAL_CACHE\n"
-               "                 S2FA_SCHEDULER\n");
+               "                 S2FA_SCHEDULER S2FA_SERVE_QUEUE "
+               "S2FA_HEDGE_QUANTILE S2FA_QUARANTINE_WINDOW\n"
+               "                 S2FA_FAULT_BURST\n");
   return 2;
 }
 
@@ -419,6 +442,237 @@ int CmdRun(apps::App& app, const Args& args) {
   return mismatches == 0 ? 0 : 1;
 }
 
+// Strict numeric parsers for the serving knobs: the whole string must be
+// the number (no trailing junk), so a typo'd knob fails fast instead of
+// silently truncating.
+std::optional<std::size_t> ParseSizeStrict(const std::string& text) {
+  std::size_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDoubleStrict(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+// Serving knobs resolved environment-first (flags win), each validated
+// fail-fast in the same style as the evaluation-stack knobs. Returns
+// false after printing the offending knob.
+struct ServeKnobs {
+  blaze::ServiceOptions options;
+  std::optional<blaze::FaultBurst> burst;
+};
+
+bool ResolveServeKnobs(const Args& args, ServeKnobs& knobs) {
+  auto resolve = [&](const char* env_name, const char* flag,
+                     std::string& out) {
+    if (const char* env = std::getenv(env_name)) out = env;
+    if (args.Has(flag)) out = args.Str(flag);
+    return !out.empty();
+  };
+  std::string text;
+  if (resolve("S2FA_SERVE_QUEUE", "serve-queue", text)) {
+    auto queue = ParseSizeStrict(text);
+    if (!queue || *queue == 0) {
+      std::fprintf(stderr,
+                   "error: --serve-queue/S2FA_SERVE_QUEUE expects an "
+                   "integer >= 1, got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    knobs.options.queue_capacity = *queue;
+  }
+  text.clear();
+  if (resolve("S2FA_HEDGE_QUANTILE", "hedge-quantile", text)) {
+    auto quantile = ParseDoubleStrict(text);
+    if (!quantile || *quantile < 0 || *quantile > 1) {
+      std::fprintf(stderr,
+                   "error: --hedge-quantile/S2FA_HEDGE_QUANTILE expects a "
+                   "value in [0, 1] (0 disables hedging), got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    knobs.options.hedge_quantile = *quantile;
+  }
+  text.clear();
+  if (resolve("S2FA_QUARANTINE_WINDOW", "quarantine-window", text)) {
+    auto window = ParseSizeStrict(text);
+    if (!window || *window < 2) {
+      std::fprintf(stderr,
+                   "error: --quarantine-window/S2FA_QUARANTINE_WINDOW "
+                   "expects an integer >= 2, got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    knobs.options.health_window = *window;
+  }
+  text.clear();
+  if (resolve("S2FA_FAULT_BURST", "fault-burst", text)) {
+    knobs.burst = blaze::ParseFaultBurst(text);
+    if (!knobs.burst) {
+      std::fprintf(stderr,
+                   "error: --fault-burst/S2FA_FAULT_BURST expects "
+                   "START:LEN (e.g. 4:3), got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+  }
+  const int exec_threads = static_cast<int>(args.Num("exec-threads", 1));
+  if (exec_threads < 1) {
+    std::fprintf(stderr, "error: --exec-threads must be >= 1\n");
+    return false;
+  }
+  knobs.options.exec_threads = exec_threads;
+  return true;
+}
+
+int CmdServe(apps::App& app, const Args& args) {
+  ServeKnobs knobs;
+  if (!ResolveServeKnobs(args, knobs)) return 2;
+  const int replicas = static_cast<int>(args.Num("replicas", 2));
+  const int requests = static_cast<int>(args.Num("requests", 32));
+  const std::size_t records =
+      static_cast<std::size_t>(args.Num("records", 256));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.Num("seed", 1));
+  if (replicas < 1 || requests < 1 || records < 1) {
+    std::fprintf(stderr,
+                 "error: --replicas, --requests and --records must be >= 1\n");
+    return 2;
+  }
+  knobs.options.seed = seed;
+
+  FrameworkOptions options;
+  options.dse.time_limit_minutes = args.Num("minutes", 120);
+  options.dse.seed = seed;
+  Artifact artifact = BuildAccelerator(*app.pool, app.spec, options);
+  std::printf("built %s: %.0f cycles @ %.0f MHz (%zu points explored)\n",
+              app.name.c_str(), artifact.best_hls.cycles,
+              artifact.best_hls.freq_mhz, artifact.exploration.evaluations);
+
+  blaze::BlazeRuntime runtime;
+  std::vector<std::string> ids;
+  for (int i = 0; i < replicas; ++i) {
+    ids.push_back(app.name + "#" + std::to_string(i));
+    RegisterWithBlaze(runtime, ids.back(), artifact);
+  }
+  blaze::BlazeService service(runtime, knobs.options);
+  for (const std::string& id : ids) service.AddReplica(app.name, id);
+  if (knobs.burst) {
+    service.SetFaultInjector(blaze::MakeBurstFaultInjector(*knobs.burst));
+    std::printf("fault burst: per-replica invocations [%zu, %zu) fail\n",
+                knobs.burst->start, knobs.burst->start + knobs.burst->length);
+  }
+
+  Rng rng(seed);
+  blaze::Dataset broadcast;
+  const blaze::Dataset* bc = nullptr;
+  if (app.make_broadcast) {
+    Rng brng(seed ^ 0xBCA57ULL);
+    broadcast = app.make_broadcast(brng);
+    bc = &broadcast;
+  }
+
+  // Open-loop arrivals near the group's service rate, with deterministic
+  // jitter: enough pressure to queue without drowning the admission gate.
+  const blaze::ExecutionStats per = runtime.PerInvocationCost(ids.front());
+  const auto batch = static_cast<std::size_t>(
+      runtime.manager().Get(ids.front()).plan.batch);
+  const double request_us =
+      static_cast<double>(std::max<std::size_t>(
+          1, (records + batch - 1) / batch)) *
+      per.total_us;
+  const double spacing_us = 0.8 * request_us / replicas;
+  std::vector<blaze::ServiceRequest> stream;
+  std::vector<blaze::Dataset> expected;
+  double arrival = 0;
+  for (int i = 0; i < requests; ++i) {
+    blaze::ServiceRequest rq;
+    rq.kernel = app.name;
+    rq.input = app.make_input(records, rng);
+    rq.broadcast = bc;
+    rq.arrival_us = arrival;
+    arrival += spacing_us * rng.NextDouble(0.5, 1.5);
+    expected.push_back(app.reference(rq.input, bc));
+    stream.push_back(std::move(rq));
+  }
+  std::vector<blaze::RequestOutcome> outcomes =
+      service.Run(std::move(stream));
+
+  // Functional cross-check of every completed request against the native
+  // reference (same tolerance as `run`).
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const blaze::RequestOutcome& o = outcomes[i];
+    if (o.outcome == blaze::ServeOutcome::kRejectedFull ||
+        o.outcome == blaze::ServeOutcome::kShedExpired) {
+      continue;
+    }
+    for (std::size_t c = 0; c < expected[i].num_columns(); ++c) {
+      const blaze::Column& want = expected[i].column(c);
+      const blaze::Column& got = o.output.ColumnByField(want.field);
+      for (std::size_t n = 0; n < want.data.size(); ++n) {
+        double w = want.data[n].is_float() ? want.data[n].AsFloat()
+                   : want.data[n].is_double()
+                       ? want.data[n].AsDouble()
+                       : static_cast<double>(want.data[n].AsInt());
+        double g = got.data[n].is_float() ? got.data[n].AsFloat()
+                   : got.data[n].is_double()
+                       ? got.data[n].AsDouble()
+                       : static_cast<double>(got.data[n].AsInt());
+        if (std::fabs(g - w) > 1e-4 * std::max(1.0, std::fabs(w))) {
+          ++mismatches;
+        }
+      }
+    }
+  }
+
+  const blaze::ServiceStats& s = service.stats();
+  const std::size_t lost = s.admitted - (s.completed + s.shed_expired);
+  std::printf("serving %d requests x %zu records on %d replica%s "
+              "(queue %zu, hedge q=%.2f, window %zu, %d exec threads)\n",
+              requests, records, replicas, replicas == 1 ? "" : "s",
+              knobs.options.queue_capacity, knobs.options.hedge_quantile,
+              knobs.options.health_window, knobs.options.exec_threads);
+  std::printf("admitted:  %zu/%zu (%zu rejected at the gate, %zu shed "
+              "expired), max queue depth %zu\n",
+              s.admitted, s.submitted, s.rejected_full, s.shed_expired,
+              s.max_queue_depth);
+  std::printf("completed: %zu (%zu accelerator, %zu host, %zu hedged host), "
+              "%zu lost, %zu deadline misses\n",
+              s.completed, s.completed_accel, s.completed_host,
+              s.completed_hedge, lost, s.deadline_misses);
+  std::printf("latency:   p50 %.0f / p95 %.0f / p99 %.0f us\n",
+              s.LatencyQuantile(0.5), s.LatencyQuantile(0.95),
+              s.LatencyQuantile(0.99));
+  if (s.accel_failures > 0 || s.probes > 0) {
+    std::printf("health:    %zu failed attempts (%zu crash, %zu timeout), "
+                "%zu degradations, %zu quarantines, %zu probes "
+                "(%zu ok / %zu failed), %zu re-enlistments\n",
+                s.accel_failures, s.crashes, s.timeouts, s.degradations,
+                s.quarantines, s.probes, s.probe_successes, s.probe_failures,
+                s.reenlistments);
+  }
+  if (s.hedges_launched > 0) {
+    std::printf("hedging:   %zu launched, %zu won (%.3f ms saved), %zu "
+                "cancelled, %.3f ms of losers' charges not billed\n",
+                s.hedges_launched, s.hedges_won, s.hedge_saved_us / 1e3,
+                s.hedges_cancelled, s.cancelled_charge_us / 1e3);
+  }
+  std::printf("replicas:  ");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::printf("%s%s=%s", i == 0 ? "" : ", ", ids[i].c_str(),
+                blaze::HealthName(service.health(ids[i])));
+  }
+  std::printf("\nmismatches vs reference: %zu\n", mismatches);
+  return (lost == 0 && mismatches == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -458,6 +712,7 @@ int main(int argc, char** argv) {
       if (cmd == "compile") rc = CmdCompile(app);
       else if (cmd == "explore") rc = CmdExplore(app, args);
       else if (cmd == "run") rc = CmdRun(app, args);
+      else if (cmd == "serve") rc = CmdServe(app, args);
       else return Usage();
     }
     if (!trace_out.empty()) {
