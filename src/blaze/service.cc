@@ -217,6 +217,13 @@ void BlazeService::ApplyHealthSample(Replica& replica,
     replica.probe_inflight = false;
     if (event.failed) {
       ++stats_.probe_failures;
+      // Probe attempts land in accel_attempts (PlanDispatch), so their
+      // failures must land in the failure ledger too or attempts and
+      // crashes+timeouts diverge from accel_failures.
+      ++stats_.accel_failures;
+      if (event.kind == resilience::FailureKind::kCrash) ++stats_.crashes;
+      if (event.kind == resilience::FailureKind::kTimeout) ++stats_.timeouts;
+      S2FA_COUNT("blaze.svc.accel_failures", 1);
       replica.probe_backoff_us =
           std::min(replica.probe_backoff_us * options_.probe_backoff_multiplier,
                    options_.probe_backoff_max_us);
@@ -618,6 +625,12 @@ void BlazeService::PlanAll(std::vector<Pending>& pending,
   }
   probe_timers_pending_.clear();
   S2FA_CHECK(waiting.empty(), "drain left requests in the queue");
+  // Host-direct and host-fallback completions emit no lane event, so the
+  // event loop alone can leave the clock before the last completion; the
+  // drain contract stops the clock only once every admitted request is done.
+  for (const Plan& plan : plans) {
+    clock_us_ = std::max(clock_us_, plan.complete_us);
+  }
 }
 
 // ----------------------------------------------------------------- drain
@@ -635,8 +648,6 @@ std::vector<RequestOutcome> BlazeService::Drain() {
                           : options_.default_deadline_us;
     pending[i].deadline_abs_us =
         deadline > 0 ? pending[i].arrival_us + deadline : kNoDeadline;
-    plans[i].id = pending[i].id;
-    plans[i].request_index = i;
     ++stats_.submitted;
     S2FA_COUNT("blaze.svc.submitted", 1);
   }
@@ -644,6 +655,13 @@ std::vector<RequestOutcome> BlazeService::Drain() {
                    [](const Pending& a, const Pending& b) {
                      return a.arrival_us < b.arrival_us;
                    });
+  // The planner indexes pending and plans with the same index, so plans
+  // must be aligned with the *sorted* order or every outcome (and the
+  // design the execution phase runs) belongs to a different request.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    plans[i].id = pending[i].id;
+    plans[i].request_index = pending[i].request_index;
+  }
 
   PlanAll(pending, plans);
 

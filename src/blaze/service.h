@@ -40,7 +40,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -342,6 +343,42 @@ TEST(ServiceTest, OutcomesBitIdenticalAcrossExecThreads) {
   const std::string serial = run(1);
   EXPECT_EQ(serial, run(2));
   EXPECT_EQ(serial, run(8));
+}
+
+TEST(ServiceTest, OutOfOrderSubmissionKeepsAttribution) {
+  Fixture fx;
+  BlazeService service = fx.MakeService();
+  // Submitted out of arrival order: the planner sorts by arrival, and every
+  // outcome (timing, output) must still belong to its own request.
+  auto outcomes = service.Run({Req(8, /*arrival_us=*/1e5), Req(512, 0)});
+  ExpectDoubled(outcomes[0], 8);
+  ExpectDoubled(outcomes[1], 512);
+  EXPECT_EQ(outcomes[0].id, 0u);
+  EXPECT_EQ(outcomes[1].id, 1u);
+  EXPECT_DOUBLE_EQ(outcomes[1].dispatch_us, 0.0);
+  EXPECT_GE(outcomes[0].dispatch_us, 1e5);
+  // The 512-record request burns far more accelerator time than the
+  // 8-record one; swapped attribution would invert the charges.
+  EXPECT_GT(outcomes[1].charged_us, outcomes[0].charged_us);
+}
+
+TEST(ServiceTest, ClockAdvancesToLastHostCompletion) {
+  Fixture fx;
+  BlazeService service = fx.MakeService();
+  // Every accelerator attempt fails: completions land on the host path,
+  // which emits no lane event — the clock must still reach them.
+  service.SetFaultInjector(
+      [](const std::string&, std::size_t, int) { return true; });
+  auto outcomes = service.Run({Req(8), Req(8), Req(8)});
+  double last_complete_us = 0;
+  for (const auto& o : outcomes) {
+    last_complete_us = std::max(last_complete_us, o.complete_us);
+  }
+  EXPECT_GE(service.clock_us(), last_complete_us);
+  // A follow-up arrival is clamped to the clock, i.e. never planned to
+  // dispatch before an earlier drain's completions.
+  auto next = service.Run({Req(8, /*arrival_us=*/0)});
+  EXPECT_GE(next[0].dispatch_us, last_complete_us);
 }
 
 TEST(ServiceTest, DrainIsGracefulAndServiceStaysUsable) {
