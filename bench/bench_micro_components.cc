@@ -1,19 +1,31 @@
 // Component microbenchmarks (google-benchmark): throughput of the pieces
 // every DSE iteration exercises — bytecode interpretation, kernel-IR
 // evaluation, the Merlin transform, the HLS estimator, design-space
-// operations, and one full tuner evaluation round trip.
+// operations, serialization, and one full tuner evaluation round trip.
+//
+// Every run also updates the persistent perf ledger (obs/ledger.h): each
+// benchmark's ns/op lands in BENCH_micro.json (or $S2FA_PERF_LEDGER), where
+// `s2fa perf-diff` gates regressions against a previous snapshot.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
 
 #include "apps/app.h"
 #include "apps/jvm_baseline.h"
 #include "b2c/compiler.h"
+#include "bench_util.h"
 #include "blaze/runtime.h"
+#include "blaze/serialization.h"
 #include "dse/partition.h"
 #include "dse/stopping.h"
 #include "hls/estimator.h"
+#include "kir/eval.h"
 #include "merlin/transform.h"
+#include "obs/ledger.h"
 #include "s2fa/framework.h"
 #include "tuner/space.h"
 
@@ -69,6 +81,64 @@ void BM_InterpreterPerRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_InterpreterPerRecord);
+
+void BM_KirEvalPerRecord(benchmark::State& state) {
+  // The accelerator-side half of a Blaze invocation: evaluate the kernel
+  // IR over one already-serialized batch (what RunBatch does per attempt,
+  // minus the packing measured by BM_SerializationRoundTrip).
+  Fixture& f = Svm();
+  blaze::SerializationPlan plan = blaze::MakeSerializationPlan(f.kernel);
+  const std::size_t records = static_cast<std::size_t>(plan.batch);
+  Rng rng(9);
+  blaze::Dataset input = f.app.make_input(records, rng);
+  Rng brng(10);
+  blaze::Dataset broadcast = f.app.make_broadcast(brng);
+  kir::BufferMap buffers;
+  blaze::SerializeBatch(plan, input, 0, records, buffers, &broadcast);
+  kir::Evaluator evaluator(f.kernel);
+  const std::map<std::string, jvm::Value> scalars = {
+      {"N", jvm::Value::OfInt(static_cast<std::int32_t>(records))}};
+  for (auto _ : state) {
+    kir::BufferMap batch = buffers;
+    evaluator.Run(scalars, batch);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_KirEvalPerRecord);
+
+void BM_SerializationRoundTrip(benchmark::State& state) {
+  // Pack one batch into kernel buffers and unpack the results — the JVM
+  // boundary cost the paper's method generator (§3.2) automates away.
+  Fixture& f = Svm();
+  blaze::SerializationPlan plan = blaze::MakeSerializationPlan(f.kernel);
+  const std::size_t records = static_cast<std::size_t>(plan.batch);
+  Rng rng(11);
+  blaze::Dataset input = f.app.make_input(records, rng);
+  Rng brng(12);
+  blaze::Dataset broadcast = f.app.make_broadcast(brng);
+  // Output buffers come from one evaluator run; the loop then measures
+  // pure (de)serialization against them.
+  kir::BufferMap outputs;
+  blaze::SerializeBatch(plan, input, 0, records, outputs, &broadcast);
+  kir::Evaluator(f.kernel).Run(
+      {{"N", jvm::Value::OfInt(static_cast<std::int32_t>(records))}},
+      outputs);
+  blaze::Dataset out = blaze::MakeOutputShell(plan, records);
+  for (auto _ : state) {
+    kir::BufferMap buffers;
+    blaze::SerializeBatch(plan, input, 0, records, buffers, &broadcast);
+    for (const auto& [name, values] : outputs) {
+      buffers.emplace(name, values);
+    }
+    blaze::DeserializeBatch(plan, buffers, 0, records, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_SerializationRoundTrip);
 
 void BM_MerlinTransform(benchmark::State& state) {
   Fixture& f = Svm();
@@ -168,6 +238,42 @@ void BM_BlazeMapBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_BlazeMapBatch);
 
+// Console reporting plus ledger capture: every finished (non-aggregate,
+// non-errored) run contributes its real-time ns/op to the perf ledger.
+class LedgerReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iterations =
+          std::max<double>(1.0, static_cast<double>(run.iterations));
+      obs::LedgerEntry entry;
+      entry.ns_per_op = run.real_accumulated_time * 1e9 / iterations;
+      entry.ops = iterations;
+      entry.wall_ms = run.real_accumulated_time * 1e3;
+      entries_[run.benchmark_name()] = entry;
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::map<std::string, obs::LedgerEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, obs::LedgerEntry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  LedgerReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = s2fa::bench::UpdatePerfLedger(reporter.entries());
+  std::fprintf(stderr, "perf ledger: %s (%zu benchmarks)\n", path.c_str(),
+               reporter.entries().size());
+  return 0;
+}

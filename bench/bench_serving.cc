@@ -16,6 +16,7 @@
 // Prints the replay summary per configuration plus one GATE line each.
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "bench_util.h"
 #include "blaze/service.h"
 #include "merlin/transform.h"
+#include "obs/obs.h"
 
 using namespace s2fa;
 using namespace s2fa::bench;
@@ -223,6 +225,43 @@ int main() {
               hedging_pays ? "PASS" : "FAIL", p99_unhedged, p99_hedged);
   std::printf("GATE exec-thread-determinism: %s (1 vs 2 vs 8 threads)\n",
               deterministic ? "PASS" : "FAIL");
+
+  // Phase-attributed latencies from the hedged (production-config) replay:
+  // warm/burst/recovery histograms give the ledger p50/p95/p99 per phase,
+  // and the phase means land as ns-per-request entries for `perf-diff`.
+  std::map<std::string, obs::LedgerEntry> serving_entries;
+  const struct {
+    const char* name;
+    std::size_t first, count;
+  } phases[] = {
+      {"warm", 0, kWarm},
+      {"burst", kWarm, kBurstReqs},
+      {"recovery", kWarm + kBurstReqs, kRecovery},
+  };
+  for (const auto& phase : phases) {
+    double sum_us = 0;
+    std::size_t completed = 0;
+    for (std::size_t i = phase.first; i < phase.first + phase.count; ++i) {
+      const blaze::RequestOutcome& o = hedged.outcomes[i];
+      if (o.outcome == blaze::ServeOutcome::kRejectedFull ||
+          o.outcome == blaze::ServeOutcome::kShedExpired) {
+        continue;
+      }
+      S2FA_OBSERVE("serving." + std::string(phase.name) + ".latency_us",
+                   o.latency_us);
+      sum_us += o.latency_us;
+      ++completed;
+    }
+    if (completed == 0) continue;
+    obs::LedgerEntry entry;
+    entry.ns_per_op = sum_us * 1000.0 / static_cast<double>(completed);
+    entry.ops = static_cast<double>(completed);
+    entry.wall_ms = sum_us / 1000.0;
+    serving_entries["serving." + std::string(phase.name) + ".request"] =
+        entry;
+  }
+  const std::string ledger_path = UpdatePerfLedger(serving_entries);
+  std::printf("perf ledger: %s\n", ledger_path.c_str());
 
   return (none_lost && quarantine_cycled && hedging_pays && deterministic)
              ? 0

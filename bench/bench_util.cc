@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "b2c/compiler.h"
@@ -205,6 +206,31 @@ std::string RenderTraceRow(const std::string& label,
     row += " " + PadLeft(std::isfinite(v) ? FormatDouble(v, 4) : "--", 9);
   }
   return row;
+}
+
+std::string PerfLedgerPath() {
+  if (const char* env = std::getenv("S2FA_PERF_LEDGER")) return env;
+  return "BENCH_micro.json";
+}
+
+std::string UpdatePerfLedger(
+    const std::map<std::string, obs::LedgerEntry>& benchmarks,
+    const std::string& path) {
+  const std::string resolved = path.empty() ? PerfLedgerPath() : path;
+  obs::PerfLedger update;
+  update.benchmarks = benchmarks;
+  obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+  update.counters = snapshot.counters;
+  update.histograms = snapshot.histograms;
+  obs::StampLedgerFromEnv(update);
+  // A corrupt existing ledger throws (loudly) rather than being clobbered.
+  obs::PerfLedger merged = update;
+  if (std::optional<obs::PerfLedger> previous =
+          obs::TryLoadLedgerFile(resolved)) {
+    merged = obs::MergeLedgers(std::move(*previous), update);
+  }
+  obs::WriteLedgerFile(resolved, merged);
+  return resolved;
 }
 
 MetricsScope::MetricsScope(std::string name)

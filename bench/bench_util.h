@@ -3,6 +3,7 @@
 // and table/trace rendering.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "apps/app.h"
 #include "apps/jvm_baseline.h"
 #include "dse/explorer.h"
+#include "obs/ledger.h"
 #include "s2fa/framework.h"
 
 namespace s2fa::bench {
@@ -94,6 +96,19 @@ std::string RenderTraceRow(const std::string& label,
                            const std::vector<tuner::TracePoint>& trace,
                            const std::vector<double>& sample_minutes,
                            double norm);
+
+// Resolved perf-ledger path: the S2FA_PERF_LEDGER environment variable,
+// or BENCH_micro.json in the working directory.
+std::string PerfLedgerPath();
+
+// Merges `benchmarks` plus the current obs registry counters/histograms
+// into the perf ledger at `path` (PerfLedgerPath() when empty), stamping
+// git_rev/timestamp from S2FA_GIT_REV / S2FA_BENCH_TIMESTAMP. Existing
+// entries under other names survive, so the micro and serving harnesses
+// can share one ledger file. Returns the path written.
+std::string UpdatePerfLedger(
+    const std::map<std::string, obs::LedgerEntry>& benchmarks,
+    const std::string& path = "");
 
 // Enables the obs layer for the lifetime of a harness main() and writes
 // `<name>_metrics.json` (next to the harness CSVs) on destruction, so

@@ -433,6 +433,7 @@ void BlazeService::PlanDispatch(Pending& request, Plan& plan,
     } else {
       // The accelerator wins: the hedge is cancelled and never billed.
       ++stats_.hedges_cancelled;
+      S2FA_COUNT("blaze.svc.hedge_losses", 1);
       stats_.cancelled_charge_us +=
           std::min(host_us, primary_complete - hedge_start);
     }
@@ -708,10 +709,14 @@ std::vector<RequestOutcome> BlazeService::Drain() {
       default: continue;  // shed: no completion bookkeeping
     }
     ++stats_.completed;
-    if (plan.deadline_missed) ++stats_.deadline_misses;
+    if (plan.deadline_missed) {
+      ++stats_.deadline_misses;
+      S2FA_COUNT("blaze.svc.deadline_misses", 1);
+    }
     stats_.latencies_us.push_back(plan.latency_us);
     S2FA_COUNT("blaze.svc.completed", 1);
     S2FA_OBSERVE("blaze.svc.latency_us", plan.latency_us);
+    S2FA_OBSERVE("blaze.svc.charged_us", plan.charged_us);
   }
   backlog_.clear();
   for (const auto& [kernel, group] : kernels_) {

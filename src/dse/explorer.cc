@@ -144,14 +144,14 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
         static_cast<std::size_t>(options.num_cores));
   }
   {
-    ThreadPool pool(static_cast<std::size_t>(
+    const std::size_t pool_threads = static_cast<std::size_t>(
         options.exec_threads > 0
             ? options.exec_threads
             : std::max(1, std::min<int>(options.num_cores,
                                         static_cast<int>(
-                                            partitions.size())))));
-    std::vector<std::future<TuneResult>> futures;
-    futures.reserve(partitions.size());
+                                            partitions.size()))));
+    std::vector<std::function<TuneResult()>> tasks;
+    tasks.reserve(partitions.size());
     for (std::size_t i = 0; i < partitions.size(); ++i) {
       const Partition& partition = partitions[i];
       TuneOptions topt;
@@ -171,16 +171,30 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
       const std::string scope = "p" + std::to_string(i);
       guards[i] = make_guard(scope);
       EvalFn guarded = make_eval(scope, *guards[i]);
-      futures.push_back(pool.Submit(
-          [&partition, topt, guarded = std::move(guarded)] {
-            // Runs on a worker thread; the span lands in that thread's
-            // buffer.
-            S2FA_SPAN("dse.partition");
-            return tuner::Tune(partition.space, guarded, topt);
-          }));
+      tasks.push_back([&partition, topt, guarded = std::move(guarded)] {
+        S2FA_SPAN("dse.partition");
+        return tuner::Tune(partition.space, guarded, topt);
+      });
     }
-    for (std::size_t i = 0; i < partitions.size(); ++i) {
-      tune_results[i] = futures[i].get();
+    if (pool_threads == 1) {
+      // A lone worker drains the queue FCFS, which is exactly submission
+      // order — run the tasks inline instead. Same results, and the spans
+      // stay on the calling thread, so single-core profiles keep the
+      // self-time-bounded-by-wall-clock invariant.
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        tune_results[i] = tasks[i]();
+      }
+    } else {
+      ThreadPool pool(pool_threads);
+      std::vector<std::future<TuneResult>> futures;
+      futures.reserve(tasks.size());
+      for (auto& task : tasks) {
+        // Runs on a worker thread; the span lands in that thread's buffer.
+        futures.push_back(pool.Submit(std::move(task)));
+      }
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        tune_results[i] = futures[i].get();
+      }
     }
   }
 

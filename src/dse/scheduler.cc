@@ -162,13 +162,26 @@ ScheduleResult RunBudgetReclaim(std::vector<ReclaimJob> jobs,
     if (wave.empty()) break;
 
     // Execute the wave concurrently; every entry is a distinct session.
-    std::vector<std::future<double>> futures;
-    futures.reserve(wave.size());
-    for (const Planned& p : wave) {
-      tuner::TuneSession* session = jobs[p.job].session;
-      const double slice = p.slice;
-      futures.push_back(
-          pool.Submit([session, slice] { return session->RunFor(slice); }));
+    // A one-thread pool would run it FCFS in plan order anyway, so run
+    // inline there — identical results, and the grant work's spans stay
+    // on the calling thread for single-core profiles.
+    std::vector<double> used_minutes(wave.size(), 0.0);
+    if (pool.num_threads() == 1) {
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        used_minutes[i] = jobs[wave[i].job].session->RunFor(wave[i].slice);
+      }
+    } else {
+      std::vector<std::future<double>> futures;
+      futures.reserve(wave.size());
+      for (const Planned& p : wave) {
+        tuner::TuneSession* session = jobs[p.job].session;
+        const double slice = p.slice;
+        futures.push_back(
+            pool.Submit([session, slice] { return session->RunFor(slice); }));
+      }
+      for (std::size_t i = 0; i < wave.size(); ++i) {
+        used_minutes[i] = futures[i].get();
+      }
     }
 
     // Commit in plan order so the grant log and all rate updates are
@@ -177,7 +190,7 @@ ScheduleResult RunBudgetReclaim(std::vector<ReclaimJob> jobs,
       const Planned& p = wave[i];
       ReclaimJob& job = jobs[p.job];
       JobState& js = state[p.job];
-      const double used = futures[i].get();
+      const double used = used_minutes[i];
 
       ReclaimGrant grant;
       grant.partition = job.partition;

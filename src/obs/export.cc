@@ -1,215 +1,23 @@
 #include "obs/export.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
-#include <limits>
 #include <map>
 #include <string_view>
-#include <variant>
 
+#include "obs/json.h"
 #include "support/error.h"
 #include "support/strings.h"
 #include "support/table.h"
 
 namespace s2fa::obs {
 
+using json::JsonNumber;
+using json::JsonObject;
+using json::JsonString;
+using json::JsonValue;
+
 namespace {
-
-// ------------------------------------------------------- JSON writing
-
-// Shortest representation that round-trips a double exactly.
-std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "null";
-  if (value == std::floor(value) && std::fabs(value) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", value);
-    return buf;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
-
-std::string JsonString(const std::string& text) {
-  std::string out = "\"";
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += "\"";
-  return out;
-}
-
-// ------------------------------------------------------- JSON parsing
-//
-// A minimal recursive-descent parser for the subset the exporters emit:
-// objects, strings, numbers, and null. Enough for exact round-trips and
-// for `s2fa report` to read summaries back.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct JsonValue {
-  std::variant<double, std::string, JsonObject> data;
-
-  bool is_number() const { return std::holds_alternative<double>(data); }
-  bool is_object() const { return std::holds_alternative<JsonObject>(data); }
-  double number() const {
-    if (!is_number()) throw MalformedInput("obs: JSON value is not a number");
-    return std::get<double>(data);
-  }
-  const std::string& string() const {
-    if (!std::holds_alternative<std::string>(data)) {
-      throw MalformedInput("obs: JSON value is not a string");
-    }
-    return std::get<std::string>(data);
-  }
-  const JsonObject& object() const {
-    if (!is_object()) throw MalformedInput("obs: JSON value is not an object");
-    return std::get<JsonObject>(data);
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue Parse() {
-    JsonValue value = ParseValue();
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      throw MalformedInput("obs: trailing JSON content at offset " +
-                           std::to_string(pos_));
-    }
-    return value;
-  }
-
- private:
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char Peek() {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) throw MalformedInput("obs: truncated JSON");
-    return text_[pos_];
-  }
-
-  void Expect(char c) {
-    if (Peek() != c) {
-      throw MalformedInput(std::string("obs: expected '") + c +
-                           "' at offset " + std::to_string(pos_));
-    }
-    ++pos_;
-  }
-
-  JsonValue ParseValue() {
-    char c = Peek();
-    if (c == '{') return JsonValue{ParseObject()};
-    if (c == '"') return JsonValue{ParseString()};
-    if (c == 'n') {
-      if (text_.substr(pos_, 4) != "null") {
-        throw MalformedInput("obs: bad JSON literal");
-      }
-      pos_ += 4;
-      return JsonValue{std::numeric_limits<double>::quiet_NaN()};
-    }
-    return JsonValue{ParseNumber()};
-  }
-
-  JsonObject ParseObject() {
-    Expect('{');
-    JsonObject object;
-    if (Peek() == '}') {
-      ++pos_;
-      return object;
-    }
-    while (true) {
-      std::string key = ParseString();
-      Expect(':');
-      object.emplace(std::move(key), ParseValue());
-      char c = Peek();
-      ++pos_;
-      if (c == '}') return object;
-      if (c != ',') {
-        throw MalformedInput("obs: expected ',' or '}' at offset " +
-                             std::to_string(pos_ - 1));
-      }
-    }
-  }
-
-  std::string ParseString() {
-    Expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        char esc = text_[pos_++];
-        switch (esc) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              throw MalformedInput("obs: truncated \\u escape");
-            }
-            int code = std::stoi(std::string(text_.substr(pos_, 4)), nullptr,
-                                 16);
-            pos_ += 4;
-            out += static_cast<char>(code);
-            break;
-          }
-          default: out += esc;
-        }
-      } else {
-        out += c;
-      }
-    }
-    if (pos_ >= text_.size()) throw MalformedInput("obs: unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  double ParseNumber() {
-    SkipWhitespace();
-    std::size_t end = pos_;
-    while (end < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
-            text_[end] == 'e' || text_[end] == 'E')) {
-      ++end;
-    }
-    if (end == pos_) {
-      throw MalformedInput("obs: expected JSON number at offset " +
-                           std::to_string(pos_));
-    }
-    double value = std::stod(std::string(text_.substr(pos_, end - pos_)));
-    pos_ = end;
-    return value;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
 
 std::string FormatMicros(double us) {
   if (us >= 1e6) return FormatDouble(us / 1e6, 2) + " s";
@@ -262,7 +70,7 @@ std::vector<SpanEvent> ParseTraceJsonl(const std::string& text) {
   for (std::string_view line : Split(text, '\n')) {
     line = Trim(line);
     if (line.empty()) continue;
-    JsonValue value = JsonParser(line).Parse();
+    JsonValue value = json::Parse(line);
     const JsonObject& object = value.object();
     SpanEvent event;
     event.name = object.at("name").string();
@@ -275,6 +83,26 @@ std::vector<SpanEvent> ParseTraceJsonl(const std::string& text) {
     events.push_back(std::move(event));
   }
   return events;
+}
+
+std::string RenderChromeTrace(const std::vector<SpanEvent>& events) {
+  // One complete event per span. All events share pid 1 (one process);
+  // tid is the dense support/logging thread id, so viewer lanes line up
+  // with the [s2fa ... T2] log prefixes.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    out += "{\"name\":" + JsonString(event.name) +
+           ",\"cat\":\"s2fa\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(event.start_us) +
+           ",\"dur\":" + std::to_string(event.duration_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(event.thread_id) +
+           ",\"args\":{\"depth\":" + std::to_string(event.depth) + "}}";
+    first = false;
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
 }
 
 std::string RenderSummaryJson(const Summary& summary) {
@@ -328,7 +156,7 @@ std::string RenderSummaryJson(const Summary& summary) {
 }
 
 Summary ParseSummaryJson(const std::string& text) {
-  JsonValue root = JsonParser(text).Parse();
+  JsonValue root = json::Parse(text);
   const JsonObject& object = root.object();
   Summary summary;
   if (auto it = object.find("counters"); it != object.end()) {
@@ -425,6 +253,14 @@ void WriteTraceFile(const std::string& path,
   std::ofstream file(path);
   if (!file) throw Error("obs: cannot open trace file " + path);
   file << RenderTraceJsonl(events);
+  if (!file.good()) throw Error("obs: failed writing trace file " + path);
+}
+
+void WriteChromeTraceFile(const std::string& path,
+                          const std::vector<SpanEvent>& events) {
+  std::ofstream file(path);
+  if (!file) throw Error("obs: cannot open trace file " + path);
+  file << RenderChromeTrace(events);
   if (!file.good()) throw Error("obs: failed writing trace file " + path);
 }
 

@@ -1,6 +1,8 @@
 // Exporters for the obs layer:
 //   * JSONL span trace — one event per line, loadable by any trace viewer
 //     or by ParseTraceJsonl for round-trip tests;
+//   * Chrome trace-event JSON — the `chrome://tracing` / Perfetto format,
+//     so any profiled run can be flamegraph-inspected (--profile-out);
 //   * aggregated JSON summary — counters, gauges, histogram percentiles,
 //     and per-span-name timing rollups (the `s2fa report` input);
 //   * human-readable ASCII tables via support/table.h.
@@ -36,6 +38,11 @@ std::string RenderTraceJsonl(const std::vector<SpanEvent>& events);
 // Throws MalformedInput on unparsable lines.
 std::vector<SpanEvent> ParseTraceJsonl(const std::string& text);
 
+// --- Chrome trace-event JSON (chrome://tracing, Perfetto, speedscope) ---
+// Complete ("ph":"X") events, one per span, microsecond timestamps; the
+// nesting depth rides along in args for viewers that surface it.
+std::string RenderChromeTrace(const std::vector<SpanEvent>& events);
+
 // --- JSON summary ---
 std::string RenderSummaryJson(const Summary& summary);
 // Throws MalformedInput on unparsable input.
@@ -49,6 +56,8 @@ std::string RenderSummaryTable(const Summary& summary);
 // Convenience file writers; throw Error on I/O failure.
 void WriteTraceFile(const std::string& path,
                     const std::vector<SpanEvent>& events);
+void WriteChromeTraceFile(const std::string& path,
+                          const std::vector<SpanEvent>& events);
 void WriteSummaryFile(const std::string& path, const Summary& summary);
 
 }  // namespace s2fa::obs

@@ -78,10 +78,42 @@ void Registry::MaxGauge(const std::string& name, double value) {
   }
 }
 
+namespace {
+
+// splitmix64: the reservoir's per-index hash. Seeding by the sample index
+// alone keeps snapshots reproducible — the same observation sequence always
+// keeps the same subset, independent of metric name or process state.
+std::uint64_t HashIndex(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 void Registry::Observe(const std::string& name, double sample) {
   Histogram& hist = HistogramCell(name);
   std::lock_guard<std::mutex> lock(hist.mutex);
-  hist.samples.push_back(sample);
+  if (hist.observed == 0) {
+    hist.min = sample;
+    hist.max = sample;
+  } else {
+    hist.min = std::min(hist.min, sample);
+    hist.max = std::max(hist.max, sample);
+  }
+  hist.sum += sample;
+  const std::uint64_t index = hist.observed++;
+  if (hist.samples.size() < kHistogramSampleCap) {
+    hist.samples.push_back(sample);
+    return;
+  }
+  // Algorithm R: the index-th sample replaces a reservoir slot with
+  // probability cap / (index + 1), slot drawn from the index hash.
+  const std::uint64_t slot = HashIndex(index) % (index + 1);
+  if (slot < kHistogramSampleCap) {
+    hist.samples[slot] = sample;
+  }
 }
 
 namespace {
@@ -108,19 +140,21 @@ MetricsSnapshot Registry::Snapshot() const {
   }
   for (const auto& [name, hist] : histograms_) {
     std::vector<double> samples;
+    HistogramStats stats;
     {
       std::lock_guard<std::mutex> hist_lock(hist.mutex);
       samples = hist.samples;
+      stats.count = static_cast<std::size_t>(hist.observed);
+      if (hist.observed > 0) {
+        stats.min = hist.min;
+        stats.max = hist.max;
+        stats.mean = hist.sum / static_cast<double>(hist.observed);
+      }
     }
+    // Percentiles come from the (possibly sampled) reservoir; count, min,
+    // max, and mean above are exact regardless of the cap.
     std::sort(samples.begin(), samples.end());
-    HistogramStats stats;
-    stats.count = samples.size();
     if (!samples.empty()) {
-      stats.min = samples.front();
-      stats.max = samples.back();
-      double sum = 0;
-      for (double s : samples) sum += s;
-      stats.mean = sum / static_cast<double>(samples.size());
       stats.p50 = NearestRank(samples, 0.50);
       stats.p95 = NearestRank(samples, 0.95);
       stats.p99 = NearestRank(samples, 0.99);

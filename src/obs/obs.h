@@ -42,6 +42,13 @@ inline void SetEnabled(bool) {}
 
 // ------------------------------------------------------------- metrics
 
+// Histograms keep at most this many raw samples per metric (deterministic
+// reservoir, Algorithm R with the slot drawn from a hash of the sample
+// index): million-request serving runs stay bounded while count, min, max,
+// and mean remain exact and percentile snapshots stay reproducible for a
+// given observation sequence.
+inline constexpr std::size_t kHistogramSampleCap = 4096;
+
 struct HistogramStats {
   std::size_t count = 0;
   double min = 0, max = 0, mean = 0;
@@ -81,7 +88,11 @@ class Registry {
   };
   struct Histogram {
     mutable std::mutex mutex;
-    std::vector<double> samples;
+    std::vector<double> samples;  // reservoir, <= kHistogramSampleCap
+    std::uint64_t observed = 0;   // exact totals survive the sampling
+    double sum = 0;
+    double min = 0;
+    double max = 0;
   };
 
   Counter& CounterCell(const std::string& name);

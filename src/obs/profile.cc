@@ -1,0 +1,211 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace s2fa::obs {
+
+namespace {
+
+// Build-time node with keyed children; flattened into ProfileNode at the
+// end so the public type stays a plain value.
+struct TreeNode {
+  std::size_t count = 0;
+  double total_us = 0;
+  std::map<std::string, TreeNode> children;
+};
+
+void Accumulate(TreeNode& root, const std::vector<const SpanEvent*>& thread_events) {
+  // Events arrive sorted by (start, depth). The stack holds the chain of
+  // open spans; an event pops everything at its own depth or deeper, then
+  // nests under the new top when depths line up.
+  struct Open {
+    const SpanEvent* event;
+    TreeNode* node;
+  };
+  std::vector<Open> stack;
+  for (const SpanEvent* event : thread_events) {
+    while (!stack.empty() && stack.back().event->depth >= event->depth) {
+      stack.pop_back();
+    }
+    TreeNode* parent = &root;
+    if (!stack.empty() && stack.back().event->depth == event->depth - 1) {
+      parent = stack.back().node;
+    }
+    TreeNode& node = parent->children[event->name];
+    ++node.count;
+    node.total_us += static_cast<double>(event->duration_us);
+    stack.push_back({event, &node});
+  }
+}
+
+// Merges `from` into `to`, path-wise.
+void Merge(TreeNode& to, const TreeNode& from) {
+  to.count += from.count;
+  to.total_us += from.total_us;
+  for (const auto& [name, child] : from.children) {
+    Merge(to.children[name], child);
+  }
+}
+
+ProfileNode Finalize(const std::string& name, const TreeNode& node,
+                     std::map<std::string, HotPathRow>& flat) {
+  ProfileNode out;
+  out.name = name;
+  out.count = node.count;
+  out.total_us = node.total_us;
+  double children_total = 0;
+  for (const auto& [child_name, child] : node.children) {
+    out.children.push_back(Finalize(child_name, child, flat));
+    children_total += child.total_us;
+  }
+  // Clamp: a child finishing a tick after its parent (clock granularity)
+  // must not produce negative self time.
+  out.self_us = std::max(0.0, node.total_us - children_total);
+  std::stable_sort(out.children.begin(), out.children.end(),
+                   [](const ProfileNode& a, const ProfileNode& b) {
+                     return a.total_us > b.total_us;
+                   });
+  HotPathRow& row = flat[name];
+  row.name = name;
+  row.count += out.count;
+  row.total_us += out.total_us;
+  row.self_us += out.self_us;
+  return out;
+}
+
+void RenderNode(const ProfileNode& node, int depth, int max_depth,
+                double profile_total, std::string& out) {
+  if (max_depth >= 0 && depth > max_depth) return;
+  const double share =
+      profile_total > 0 ? node.total_us / profile_total : 0;
+  out += std::string(static_cast<std::size_t>(depth) * 2, ' ') + node.name +
+         "  " + FormatDouble(node.total_us / 1e3, 3) + " ms total, " +
+         FormatDouble(node.self_us / 1e3, 3) + " ms self, " +
+         std::to_string(node.count) + " calls (" +
+         FormatPercent(share) + ")\n";
+  for (const ProfileNode& child : node.children) {
+    RenderNode(child, depth + 1, max_depth, profile_total, out);
+  }
+}
+
+}  // namespace
+
+Profile BuildProfile(const std::vector<SpanEvent>& events) {
+  Profile profile;
+  profile.events = events.size();
+  if (events.empty()) return profile;
+
+  std::map<int, std::vector<const SpanEvent*>> by_thread;
+  std::uint64_t min_start = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_end = 0;
+  for (const SpanEvent& event : events) {
+    by_thread[event.thread_id].push_back(&event);
+    min_start = std::min(min_start, event.start_us);
+    max_end = std::max(max_end, event.start_us + event.duration_us);
+  }
+  profile.wall_us = static_cast<double>(max_end - min_start);
+  profile.threads = by_thread.size();
+
+  TreeNode merged;
+  for (auto& [thread_id, thread_events] : by_thread) {
+    (void)thread_id;
+    std::stable_sort(thread_events.begin(), thread_events.end(),
+                     [](const SpanEvent* a, const SpanEvent* b) {
+                       return a->start_us != b->start_us
+                                  ? a->start_us < b->start_us
+                                  : a->depth < b->depth;
+                     });
+    std::uint64_t t_min = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t t_max = 0;
+    for (const SpanEvent* event : thread_events) {
+      t_min = std::min(t_min, event->start_us);
+      t_max = std::max(t_max, event->start_us + event->duration_us);
+    }
+    profile.busy_us += static_cast<double>(t_max - t_min);
+    TreeNode root;
+    Accumulate(root, thread_events);
+    Merge(merged, root);
+  }
+
+  std::map<std::string, HotPathRow> flat;
+  for (const auto& [name, node] : merged.children) {
+    profile.roots.push_back(Finalize(name, node, flat));
+  }
+  std::stable_sort(profile.roots.begin(), profile.roots.end(),
+                   [](const ProfileNode& a, const ProfileNode& b) {
+                     return a.total_us > b.total_us;
+                   });
+  for (auto& [name, row] : flat) {
+    (void)name;
+    row.ns_per_call =
+        row.count > 0
+            ? row.total_us * 1000.0 / static_cast<double>(row.count)
+            : 0;
+    profile.flat.push_back(row);
+  }
+  std::stable_sort(profile.flat.begin(), profile.flat.end(),
+                   [](const HotPathRow& a, const HotPathRow& b) {
+                     return a.self_us > b.self_us;
+                   });
+  return profile;
+}
+
+std::string RenderHotPathTable(const Profile& profile, std::size_t top_n,
+                               double records) {
+  double self_sum = 0;
+  for (const HotPathRow& row : profile.flat) self_sum += row.self_us;
+
+  std::vector<std::string> header = {"Span",  "Count", "Total",
+                                     "Self",  "Self%", "ns/op"};
+  if (records > 0) header.push_back("ns/rec");
+  TextTable table(header);
+  std::size_t shown = 0;
+  for (const HotPathRow& row : profile.flat) {
+    if (top_n > 0 && shown >= top_n) break;
+    ++shown;
+    std::vector<std::string> cells = {
+        row.name,
+        std::to_string(row.count),
+        FormatDouble(row.total_us / 1e3, 3) + " ms",
+        FormatDouble(row.self_us / 1e3, 3) + " ms",
+        FormatPercent(self_sum > 0 ? row.self_us / self_sum : 0),
+        FormatDouble(row.ns_per_call, 1)};
+    if (records > 0) {
+      cells.push_back(FormatDouble(row.total_us * 1000.0 / records, 1));
+    }
+    table.AddRow(cells);
+  }
+  std::string out = "=== hot paths (by self time) ===\n" + table.Render();
+  out += "profiled: " + std::to_string(profile.events) + " spans on " +
+         std::to_string(profile.threads) + " thread" +
+         (profile.threads == 1 ? "" : "s") + ", wall " +
+         FormatDouble(profile.wall_us / 1e3, 3) + " ms, busy " +
+         FormatDouble(profile.busy_us / 1e3, 3) + " ms, self sum " +
+         FormatDouble(self_sum / 1e3, 3) + " ms";
+  if (profile.busy_us > 0) {
+    out += " (" + FormatPercent(self_sum / profile.busy_us) + " attributed)";
+  }
+  out += "\n";
+  if (top_n > 0 && profile.flat.size() > shown) {
+    out += "(" + std::to_string(profile.flat.size() - shown) +
+           " cooler spans not shown)\n";
+  }
+  return out;
+}
+
+std::string RenderProfileTree(const Profile& profile, int max_depth) {
+  double total = 0;
+  for (const ProfileNode& root : profile.roots) total += root.total_us;
+  std::string out = "=== call tree ===\n";
+  for (const ProfileNode& root : profile.roots) {
+    RenderNode(root, 0, max_depth, total, out);
+  }
+  return out;
+}
+
+}  // namespace s2fa::obs

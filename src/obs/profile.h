@@ -1,0 +1,73 @@
+// Hot-path profiler: turns the raw span events the Tracer collects into an
+// aggregated call profile — a merged call tree with per-node call counts,
+// total (inclusive) and self (exclusive) times, plus a flat per-span-name
+// rollup sorted by self time (the hot-path table).
+//
+// Reconstruction uses only what SpanEvent records (thread id, nesting
+// depth, start, duration): events are replayed per thread in start order
+// against a depth stack, so a span nests under the most recent span one
+// level shallower on its own thread. Trees from different threads are
+// merged path-wise, which keeps the attribution of `dse.partition` work
+// running on pool workers under one tree.
+//
+// Invariants (tested):
+//   * node.total_us >= sum of its children's total_us;
+//   * node.self_us == node.total_us - sum(children.total_us), >= 0;
+//   * the sum of all self times <= busy_us (the per-thread extents summed),
+//     and <= wall_us for a single-threaded trace — self intervals are
+//     disjoint within a thread.
+//
+// Caveat: the flat rollup aggregates by span *name*, so a recursive span
+// counts its nested activations' total time more than once (self times stay
+// exact); the tree view keeps recursive activations on separate paths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace s2fa::obs {
+
+struct ProfileNode {
+  std::string name;
+  std::size_t count = 0;   // activations merged into this path
+  double total_us = 0;     // inclusive time
+  double self_us = 0;      // exclusive time (total minus children)
+  std::vector<ProfileNode> children;  // sorted by total_us, descending
+};
+
+// Flat per-span-name aggregate across every path and thread.
+struct HotPathRow {
+  std::string name;
+  std::size_t count = 0;
+  double total_us = 0;
+  double self_us = 0;
+  double ns_per_call = 0;  // total_us * 1000 / count
+};
+
+struct Profile {
+  std::vector<ProfileNode> roots;  // merged across threads, by total desc
+  std::vector<HotPathRow> flat;    // sorted by self_us, descending
+  double wall_us = 0;   // max end - min start over every event
+  double busy_us = 0;   // sum over threads of their [min start, max end]
+  std::size_t events = 0;
+  std::size_t threads = 0;
+};
+
+// Builds the profile from finished span events (Tracer::Events()/Drain()
+// output, any order). Orphan events whose parent span was never recorded
+// (e.g. obs enabled mid-span) become roots.
+Profile BuildProfile(const std::vector<SpanEvent>& events);
+
+// Top-N hot-path table (all rows when top_n == 0): count, total, self,
+// self-share, and ns/op per span name. When records > 0 a ns/record column
+// relates each span to the workload size that was profiled.
+std::string RenderHotPathTable(const Profile& profile, std::size_t top_n = 0,
+                               double records = 0);
+
+// Indented call-tree rendering (depth-limited when max_depth >= 0).
+std::string RenderProfileTree(const Profile& profile, int max_depth = -1);
+
+}  // namespace s2fa::obs

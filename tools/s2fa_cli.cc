@@ -36,13 +36,27 @@
 //       cross-checked against the native reference.
 //   s2fa report <metrics.json>
 //       Render a metrics summary (written by --metrics-out) as tables.
+//   s2fa profile <app> [--minutes N] [--seed N] [--records N] [--top N]
+//                      [--profile-out FILE]
+//       Run the pipeline (compile, a short single-core DSE slice, a Blaze
+//       workload) with the tracer on and print the hot-path table: per-span
+//       call counts, total/self time, and ns/op + ns/record rates. The self
+//       times are disjoint, so their sum is bounded by the wall time.
+//       --profile-out dumps the raw spans as a Chrome trace-event file
+//       (load in chrome://tracing or Perfetto).
+//   s2fa perf-diff <old.json> <new.json> [--threshold P]
+//       Compare two perf ledgers (written by bench_micro_components /
+//       bench_serving) and classify each benchmark improved/flat/regressed
+//       at the given threshold (fraction, default 0.10). Exits 1 when any
+//       benchmark regressed by at least the threshold — the CI perf gate.
 //
 // Global flags: --trace-out FILE --metrics-out FILE (enable the obs layer
 // and dump the span trace / aggregated summary), --log-level LEVEL.
 // Environment: S2FA_EVAL_TIMEOUT, S2FA_EVAL_RETRIES, S2FA_RESUME_JOURNAL,
 // S2FA_FAULT_RATE and S2FA_EVAL_CACHE mirror the evaluation-stack flags;
 // S2FA_SERVE_QUEUE, S2FA_HEDGE_QUANTILE, S2FA_QUARANTINE_WINDOW and
-// S2FA_FAULT_BURST mirror the serving knobs (flags win).
+// S2FA_FAULT_BURST mirror the serving knobs; S2FA_PROFILE_OUT and
+// S2FA_PERF_THRESHOLD mirror the profiler knobs (flags win).
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -62,7 +76,9 @@
 #include "blaze/service.h"
 #include "kir/printer.h"
 #include "obs/export.h"
+#include "obs/ledger.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
 #include "resilience/evaluator.h"
 #include "s2fa/framework.h"
 #include "support/logging.h"
@@ -113,8 +129,8 @@ Args Parse(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: s2fa <list|compile|explore|run|serve|report> [arg] "
-               "[flags]\n"
+               "usage: s2fa <list|compile|explore|run|serve|report|profile|"
+               "perf-diff> [arg] [flags]\n"
                "  explore flags: --minutes N --cores N --seed N --vanilla "
                "--no-seeds --no-partition\n"
                "                 --eval-timeout MIN --eval-retries N "
@@ -129,13 +145,18 @@ int Usage() {
                "--quarantine-window N\n"
                "                 --fault-burst START:LEN --exec-threads N\n"
                "  report:        s2fa report <metrics.json>\n"
+               "  profile flags: --minutes N --seed N --records N --top N "
+               "--profile-out FILE\n"
+               "  perf-diff:     s2fa perf-diff <old.json> <new.json> "
+               "--threshold P\n"
                "  global flags:  --trace-out FILE --metrics-out FILE "
                "--log-level off|error|warn|info|debug\n"
                "  env:           S2FA_EVAL_TIMEOUT S2FA_EVAL_RETRIES "
                "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE S2FA_EVAL_CACHE\n"
                "                 S2FA_SCHEDULER S2FA_SERVE_QUEUE "
                "S2FA_HEDGE_QUANTILE S2FA_QUARANTINE_WINDOW\n"
-               "                 S2FA_FAULT_BURST\n");
+               "                 S2FA_FAULT_BURST S2FA_PROFILE_OUT "
+               "S2FA_PERF_THRESHOLD\n");
   return 2;
 }
 
@@ -673,6 +694,115 @@ int CmdServe(apps::App& app, const Args& args) {
   return (lost == 0 && mismatches == 0) ? 0 : 1;
 }
 
+int CmdProfile(apps::App& app, const Args& args) {
+  // Chrome-trace destination: S2FA_PROFILE_OUT env, --profile-out wins.
+  std::string profile_out;
+  if (const char* env = std::getenv("S2FA_PROFILE_OUT")) profile_out = env;
+  if (args.Has("profile-out")) profile_out = args.Str("profile-out");
+  if (!CheckWritable("--profile-out", profile_out)) return 2;
+  const std::size_t records =
+      static_cast<std::size_t>(args.Num("records", 2048));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.Num("seed", 1));
+  const std::size_t top = static_cast<std::size_t>(args.Num("top", 20));
+
+  // Single-core DSE keeps the whole run on one thread, so the hot-path
+  // self times are disjoint and their sum is bounded by the wall clock.
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::Tracer::Global().Reset();
+  const std::uint64_t t0 = MonotonicMicros();
+  {
+    S2FA_SPAN("cli.profile");
+    FrameworkOptions options;
+    options.dse.time_limit_minutes = args.Num("minutes", 30);
+    options.dse.num_cores = 1;
+    options.dse.seed = seed;
+    Artifact artifact = BuildAccelerator(*app.pool, app.spec, options);
+
+    blaze::BlazeRuntime runtime;
+    RegisterWithBlaze(runtime, app.name, artifact);
+    Rng rng(seed);
+    blaze::Dataset input = app.make_input(records, rng);
+    blaze::Dataset broadcast;
+    const blaze::Dataset* bc = nullptr;
+    if (app.make_broadcast) {
+      Rng brng(seed ^ 0xBCA57ULL);
+      broadcast = app.make_broadcast(brng);
+      bc = &broadcast;
+    }
+    if (app.spec.pattern == kir::ParallelPattern::kReduce) {
+      runtime.Reduce(app.name, input, bc);
+    } else {
+      runtime.Map(app.name, input, bc);
+    }
+  }
+  const double wall_us = static_cast<double>(MonotonicMicros() - t0);
+  std::vector<obs::SpanEvent> events = obs::Tracer::Global().Drain();
+  obs::SetEnabled(was_enabled);
+
+  if (events.empty()) {
+    std::fprintf(stderr,
+                 "error: no spans recorded (obs compiled out?); nothing to "
+                 "profile\n");
+    return 1;
+  }
+  obs::Profile profile = obs::BuildProfile(events);
+  std::printf("=== hot paths: %s, %zu records (top %zu) ===\n%s",
+              app.name.c_str(), records, top,
+              obs::RenderHotPathTable(profile, top,
+                                      static_cast<double>(records))
+                  .c_str());
+  double self_sum_us = 0;
+  for (const obs::HotPathRow& row : profile.flat) self_sum_us += row.self_us;
+  std::printf("wall clock %.1f ms, span self-time total %.1f ms (%.0f%% "
+              "attributed)\n",
+              wall_us / 1e3, self_sum_us / 1e3,
+              wall_us > 0 ? 100.0 * self_sum_us / wall_us : 0.0);
+  if (!profile_out.empty()) {
+    obs::WriteChromeTraceFile(profile_out, events);
+    std::fprintf(stderr, "chrome trace written to %s\n", profile_out.c_str());
+  }
+  return 0;
+}
+
+int CmdPerfDiff(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::fprintf(
+        stderr,
+        "usage: s2fa perf-diff <old.json> <new.json> [--threshold P]\n");
+    return 2;
+  }
+  // Regression threshold (fraction): S2FA_PERF_THRESHOLD env, flag wins.
+  double threshold = obs::kDefaultPerfThreshold;
+  std::string text;
+  if (const char* env = std::getenv("S2FA_PERF_THRESHOLD")) text = env;
+  if (args.Has("threshold")) text = args.Str("threshold");
+  if (!text.empty()) {
+    auto parsed = ParseDoubleStrict(text);
+    if (!parsed || *parsed < 0) {
+      std::fprintf(stderr,
+                   "error: --threshold/S2FA_PERF_THRESHOLD expects a "
+                   "fraction >= 0 (0.1 = 10%%), got '%s'\n",
+                   text.c_str());
+      return 2;
+    }
+    threshold = *parsed;
+  }
+  obs::PerfLedger prev = obs::LoadLedgerFile(args.positional[1]);
+  obs::PerfLedger next = obs::LoadLedgerFile(args.positional[2]);
+  std::printf("comparing %s (rev %s) -> %s (rev %s)\n",
+              args.positional[1].c_str(), prev.git_rev.c_str(),
+              args.positional[2].c_str(), next.git_rev.c_str());
+  obs::LedgerDiff diff = obs::ComparePerfLedgers(prev, next, threshold);
+  std::printf("%s", obs::RenderLedgerDiffTable(diff).c_str());
+  if (diff.HasRegression()) {
+    std::fprintf(stderr, "perf-diff: FAIL — regression past the %.0f%% "
+                 "threshold\n", threshold * 100);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -707,12 +837,15 @@ int main(int argc, char** argv) {
       return Usage();
     } else if (cmd == "report") {
       return CmdReport(args.positional[1]);
+    } else if (cmd == "perf-diff") {
+      return CmdPerfDiff(args);
     } else {
       apps::App app = apps::FindApp(args.positional[1]);
       if (cmd == "compile") rc = CmdCompile(app);
       else if (cmd == "explore") rc = CmdExplore(app, args);
       else if (cmd == "run") rc = CmdRun(app, args);
       else if (cmd == "serve") rc = CmdServe(app, args);
+      else if (cmd == "profile") rc = CmdProfile(app, args);
       else return Usage();
     }
     if (!trace_out.empty()) {
