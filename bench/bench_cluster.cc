@@ -1,0 +1,467 @@
+// Sharded-serving replay (BlazeCluster): ~1M simulated requests through the
+// fault-domain-aware cluster, gating the robustness contract via the exit
+// code:
+//
+//   1. scaling    — saturating waves on 1/2/4 shards; simulated throughput
+//                   must scale near-linearly (>= 1.7x at 2, >= 3.0x at 4);
+//   2. chaos      — a scripted kill/restart, a replica fault burst, a
+//                   latency spike, and hash-sampled poison requests over a
+//                   paced stream: zero lost, zero reference mismatches,
+//                   p99 bounded vs the clean baseline, and the killed
+//                   shard takes traffic again after its restart (nothing
+//                   commits on it while dead);
+//   3. flood      — a quota'd noisy tenant floods a weighted-fair queue:
+//                   the paying tenant is never throttled and its p99 stays
+//                   bounded while the flooder eats the throttling;
+//   4. determinism— the same chaotic workload on 1/2/8 exec threads renders
+//                   bit-identical outcome streams (plan-order commit).
+//
+// Quick mode (S2FA_BENCH_QUICK=1, used by the cluster_smoke ctest) scales
+// the request counts down ~50x but exercises every gate. Phase latencies
+// land in the serving perf ledger (BENCH_serving.json at the repo root, or
+// S2FA_PERF_LEDGER) for the perf-diff trajectory gate.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "b2c/compiler.h"
+#include "bench_util.h"
+#include "blaze/cluster.h"
+#include "jvm/assembler.h"
+#include "merlin/transform.h"
+#include "obs/obs.h"
+#include "s2fa/framework.h"
+
+using namespace s2fa;
+using namespace s2fa::bench;
+
+namespace {
+
+constexpr std::size_t kRecordsPerRequest = 4;
+
+bool QuickMode() {
+  const char* env = std::getenv("S2FA_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+// Doubler: double -> 2 * double, batch 8 — the cheapest functional kernel,
+// so a million requests stay interpreter-bound, not harness-bound.
+jvm::ClassPool MakePool() {
+  jvm::ClassPool pool;
+  jvm::Assembler a;
+  a.Load(jvm::Type::Double(), 0).DConst(2.0).DMul().Ret(jvm::Type::Double());
+  jvm::MethodSignature sig;
+  sig.params = {jvm::Type::Double()};
+  sig.ret = jvm::Type::Double();
+  pool.Define("Doubler").AddMethod(
+      jvm::MakeMethod("call", sig, true, 2, a.Finish()));
+  return pool;
+}
+
+b2c::KernelSpec MakeSpec() {
+  b2c::KernelSpec spec;
+  spec.kernel_name = "doubler";
+  spec.klass = "Doubler";
+  spec.input.type = jvm::Type::Double();
+  spec.input.fields = {{"x", jvm::Type::Double(), 1, false}};
+  spec.output.type = jvm::Type::Double();
+  spec.output.fields = {{"y", jvm::Type::Double(), 1, false}};
+  spec.batch = 8;
+  return spec;
+}
+
+blaze::Dataset DoublerInput(std::size_t records, double base) {
+  blaze::Dataset input;
+  blaze::Column x;
+  x.field = "x";
+  x.element = jvm::Type::Double();
+  for (std::size_t i = 0; i < records; ++i) {
+    x.data.push_back(jvm::Value::OfDouble(base + static_cast<double>(i)));
+  }
+  input.AddColumn(x);
+  return input;
+}
+
+struct Harness {
+  blaze::BlazeRuntime runtime;
+  double request_us = 0;  // accelerator time for one request's invocation
+
+  Harness() {
+    jvm::ClassPool pool = MakePool();
+    Artifact artifact =
+        BuildWithConfig(pool, MakeSpec(), merlin::DesignConfig{});
+    for (int i = 0; i < 4; ++i) {
+      RegisterWithBlaze(runtime, "r" + std::to_string(i), artifact);
+    }
+    request_us = runtime.PerInvocationCost("r0").total_us;
+  }
+
+  // One replica per shard: each shard is one fault domain with one lane.
+  blaze::BlazeCluster MakeCluster(blaze::ClusterOptions options,
+                                  std::size_t shards) {
+    blaze::BlazeCluster cluster(runtime, options);
+    for (std::size_t s = 0; s < shards; ++s) {
+      cluster.AddShard();
+      cluster.AddReplica(s, "doubler", "r" + std::to_string(s));
+    }
+    return cluster;
+  }
+};
+
+struct WaveResult {
+  std::size_t mismatches = 0;
+  std::vector<double> latencies_us;  // non-shed, submission order
+  std::vector<blaze::ClusterRequestOutcome> outcomes;
+};
+
+// Submits `count` requests (base = their global ordinal offset) and checks
+// every served output against the doubled reference. `spacing_us` == 0
+// means all-at-once (the saturating capacity probe).
+WaveResult RunWave(blaze::BlazeCluster& cluster, std::size_t count,
+                   double first_ordinal, double start_us, double spacing_us,
+                   const std::string& tenant, bool keep_outcomes = false) {
+  std::vector<blaze::ClusterRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    blaze::ClusterRequest rq;
+    rq.kernel = "doubler";
+    rq.input = DoublerInput(kRecordsPerRequest,
+                            (first_ordinal + static_cast<double>(i)) *
+                                static_cast<double>(kRecordsPerRequest));
+    rq.arrival_us = start_us + spacing_us * static_cast<double>(i);
+    rq.tenant = tenant;
+    requests.push_back(std::move(rq));
+  }
+  std::vector<blaze::ClusterRequestOutcome> outcomes =
+      cluster.Run(std::move(requests));
+
+  WaveResult result;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const blaze::ClusterRequestOutcome& o = outcomes[i];
+    if (o.outcome == blaze::ClusterServe::kRejectedFull ||
+        o.outcome == blaze::ClusterServe::kTenantThrottled) {
+      continue;
+    }
+    result.latencies_us.push_back(o.latency_us);
+    const double base = (first_ordinal + static_cast<double>(i)) *
+                        static_cast<double>(kRecordsPerRequest);
+    if (o.output.num_records() != kRecordsPerRequest) {
+      ++result.mismatches;
+      continue;
+    }
+    const blaze::Column& y = o.output.ColumnByField("y");
+    for (std::size_t n = 0; n < kRecordsPerRequest; ++n) {
+      if (y.data[n].AsDouble() != 2.0 * (base + static_cast<double>(n))) {
+        ++result.mismatches;
+      }
+    }
+  }
+  if (keep_outcomes) result.outcomes = std::move(outcomes);
+  return result;
+}
+
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  double rank =
+      std::ceil(q * static_cast<double>(samples.size())) - 1;
+  auto index = static_cast<std::size_t>(std::max(0.0, rank));
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+// FNV-1a over the canonical outcome stream: bit-identity without holding
+// megabytes of rendered text.
+struct CanonHash {
+  std::uint64_t state = 1469598103934665603ULL;
+  void Mix(const std::string& text) {
+    for (unsigned char c : text) {
+      state ^= c;
+      state *= 1099511628211ULL;
+    }
+  }
+  void Mix(const blaze::ClusterRequestOutcome& o) {
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << o.id << '|' << blaze::ClusterServeName(o.outcome) << '|' << o.shard
+       << '|' << o.replica << '|' << o.tenant << '|' << o.batch_size << '|'
+       << o.redirects << '|' << o.hedged << o.poisoned << '|' << o.dispatch_us
+       << '|' << o.complete_us << '|' << o.latency_us << '|';
+    for (std::size_t c = 0; c < o.output.num_columns(); ++c) {
+      for (const auto& v : o.output.column(c).data) os << v.AsDouble() << ',';
+    }
+    os << '\n';
+    Mix(os.str());
+  }
+};
+
+}  // namespace
+
+int main() {
+  MetricsScope metrics("cluster");
+  const bool quick = QuickMode();
+  const std::size_t scale_div = quick ? 50 : 1;
+  std::printf("=== sharded serving replay (BlazeCluster chaos harness)%s ===\n",
+              quick ? " [quick]" : "");
+
+  Harness hx;
+  std::map<std::string, obs::LedgerEntry> entries;
+  auto ledger_entry = [&entries](const std::string& name, double ns_per_op,
+                                 double ops) {
+    obs::LedgerEntry entry;
+    entry.ns_per_op = ns_per_op;
+    entry.ops = ops;
+    entry.wall_ms = ns_per_op * ops / 1e6;
+    entries[name] = entry;
+  };
+
+  // ---- phase 1: capacity scaling, saturating waves -----------------------
+  const std::size_t scale_reqs = 120000 / scale_div;
+  const std::size_t wave = 10000 / scale_div;
+  std::map<std::size_t, double> tput;  // shards -> records per sim second
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    blaze::ClusterOptions options;
+    options.queue_capacity = wave;
+    options.batch_max_requests = 16;
+    blaze::BlazeCluster cluster = hx.MakeCluster(options, shards);
+    std::size_t mismatches = 0;
+    for (std::size_t done = 0; done < scale_reqs; done += wave) {
+      // Whole wave at the current clock: every shard saturates.
+      WaveResult r = RunWave(cluster, std::min(wave, scale_reqs - done),
+                             static_cast<double>(done), cluster.clock_us(),
+                             /*spacing_us=*/0, "default");
+      mismatches += r.mismatches;
+    }
+    const double makespan_us = cluster.clock_us();
+    tput[shards] = static_cast<double>(scale_reqs * kRecordsPerRequest) /
+                   (makespan_us / 1e6);
+    std::printf("scale %zu shard%s: %zu reqs, makespan %.1f ms, "
+                "%.0f records/s, %zu mismatches\n",
+                shards, shards == 1 ? " " : "s", scale_reqs,
+                makespan_us / 1e3, tput[shards], mismatches);
+    ledger_entry("cluster.scale.shard" + std::to_string(shards) + ".request",
+                 makespan_us * 1e3 / static_cast<double>(scale_reqs),
+                 static_cast<double>(scale_reqs));
+    if (mismatches > 0) {
+      std::printf("GATE scale-reference-match: FAIL\n");
+      return 1;
+    }
+  }
+  const double scale2 = tput[2] / tput[1];
+  const double scale4 = tput[4] / tput[1];
+  const bool scales = scale2 >= 1.7 && scale4 >= 3.0;
+
+  // ---- clean paced baseline on 4 shards ---------------------------------
+  // Arrivals at ~90% of aggregate capacity: queues form but stay bounded.
+  const double spacing4_us = hx.request_us / 4.0 / 0.9;
+  const std::size_t base_reqs = 100000 / scale_div;
+  double clean_p50 = 0, clean_p99 = 0;
+  {
+    blaze::ClusterOptions options;
+    options.queue_capacity = 4096;
+    options.batch_max_requests = 16;
+    blaze::BlazeCluster cluster = hx.MakeCluster(options, 4);
+    std::vector<double> latencies;
+    std::size_t mismatches = 0;
+    for (std::size_t done = 0; done < base_reqs; done += wave) {
+      const std::size_t n = std::min(wave, base_reqs - done);
+      WaveResult r = RunWave(cluster, n, static_cast<double>(done),
+                             spacing4_us * static_cast<double>(done),
+                             spacing4_us, "default");
+      mismatches += r.mismatches;
+      latencies.insert(latencies.end(), r.latencies_us.begin(),
+                       r.latencies_us.end());
+    }
+    clean_p50 = Quantile(latencies, 0.5);
+    clean_p99 = Quantile(latencies, 0.99);
+    std::printf("clean baseline: %zu reqs, p50 %.0f / p99 %.0f us, "
+                "%zu mismatches\n",
+                base_reqs, clean_p50, clean_p99, mismatches);
+    ledger_entry("cluster.clean.request", clean_p50 * 1e3,
+                 static_cast<double>(base_reqs));
+    if (mismatches > 0) {
+      std::printf("GATE clean-reference-match: FAIL\n");
+      return 1;
+    }
+  }
+
+  // ---- phase 2: scripted chaos on 4 shards ------------------------------
+  const std::size_t chaos_reqs = 240000 / scale_div;
+  bool chaos_ok = false, rebalance_ok = false, chaos_p99_ok = false;
+  {
+    const double span_us = spacing4_us * static_cast<double>(chaos_reqs);
+    const double kill_at = 0.10 * span_us;
+    const double restart_at = 0.30 * span_us;
+    std::ostringstream plan;
+    plan << "kill 0 @ " << kill_at << "; restart 0 @ " << restart_at
+         << "; burst 100:400 @ 1"
+         << "; spike 2.5 @ " << 0.5 * span_us << " + " << 0.1 * span_us
+         << "; poison-rate 0.001 / 11";
+    blaze::ClusterOptions options;
+    options.queue_capacity = 4096;
+    options.batch_max_requests = 16;
+    // Hedge requests stuck ~10x past the clean tail: the burst-quarantined
+    // shard parks its queue behind probe backoffs, and the host hedge is
+    // what bounds that tail (and keeps the hedge-vs-failover race live).
+    options.queue_hedge_us = 10 * clean_p99;
+    blaze::BlazeCluster cluster = hx.MakeCluster(options, 4);
+    cluster.SetChaosPlan(blaze::ParseChaosPlan(plan.str()));
+    std::size_t mismatches = 0;
+    std::size_t shard0_before_kill = 0, shard0_while_dead = 0,
+                shard0_after_restart = 0;
+    std::vector<double> latencies;
+    for (std::size_t done = 0; done < chaos_reqs; done += wave) {
+      const std::size_t n = std::min(wave, chaos_reqs - done);
+      WaveResult r = RunWave(cluster, n, static_cast<double>(done),
+                             spacing4_us * static_cast<double>(done),
+                             spacing4_us, "default", /*keep_outcomes=*/true);
+      mismatches += r.mismatches;
+      latencies.insert(latencies.end(), r.latencies_us.begin(),
+                       r.latencies_us.end());
+      for (const auto& o : r.outcomes) {
+        if (o.shard != 0) continue;
+        if (o.dispatch_us < kill_at) ++shard0_before_kill;
+        else if (o.dispatch_us < restart_at) ++shard0_while_dead;
+        else ++shard0_after_restart;
+      }
+    }
+    const blaze::ClusterStats& s = cluster.stats();
+    const std::size_t lost =
+        s.submitted - s.completed - s.rejected_full - s.tenant_throttled;
+    const double chaos_p99 = Quantile(latencies, 0.99);
+    chaos_ok = lost == 0 && mismatches == 0;
+    // Dead means dead; revived means traffic comes back.
+    rebalance_ok = shard0_while_dead == 0 && shard0_after_restart > 0 &&
+                   s.shards[0].kills == 1 && s.shards[0].restarts == 1;
+    chaos_p99_ok = chaos_p99 <= 30.0 * clean_p99;
+    std::printf("chaos: %zu reqs, %zu lost, %zu mismatches, p99 %.0f us "
+                "(clean %.0f), failovers %zu, redirects %zu, bisects %zu, "
+                "poison %zu, shard0 %zu/%zu/%zu "
+                "(pre-kill/dead/post-restart)\n",
+                chaos_reqs, lost, mismatches, chaos_p99, clean_p99,
+                s.failovers, s.redirects, s.bisect_attempts,
+                s.poison_isolated, shard0_before_kill, shard0_while_dead,
+                shard0_after_restart);
+    ledger_entry("cluster.chaos.request", Quantile(latencies, 0.5) * 1e3,
+                 static_cast<double>(chaos_reqs));
+  }
+
+  // ---- phase 3: tenant flood under weighted-fair admission --------------
+  const std::size_t flood_reqs = 160000 / scale_div;
+  const std::size_t flood_extra = 40000 / scale_div;
+  bool flood_ok = false, flood_p99_ok = false;
+  {
+    const double span_us = spacing4_us * static_cast<double>(flood_reqs);
+    // Compressed into 5% of the span: the flood arrival rate is far above
+    // aggregate capacity, so the noisy tenant's queued quota must trip.
+    std::ostringstream plan;
+    plan << "flood noisy @ " << 0.2 * span_us << " + " << 0.05 * span_us
+         << " x " << flood_extra;
+    blaze::ClusterOptions options;
+    options.queue_capacity = 4096;
+    options.batch_max_requests = 16;
+    blaze::BlazeCluster cluster = hx.MakeCluster(options, 4);
+    cluster.AddTenant("payer", 4.0, 0);
+    cluster.AddTenant("noisy", 1.0, 32);
+    cluster.SetChaosPlan(blaze::ParseChaosPlan(plan.str()));
+    cluster.SetFloodGenerator([](std::size_t ordinal) {
+      blaze::ClusterRequest rq;
+      rq.kernel = "doubler";
+      rq.input = DoublerInput(kRecordsPerRequest,
+                              1e9 + static_cast<double>(ordinal));
+      return rq;
+    });
+    std::size_t mismatches = 0;
+    std::vector<double> payer_latencies;
+    for (std::size_t done = 0; done < flood_reqs; done += wave) {
+      const std::size_t n = std::min(wave, flood_reqs - done);
+      WaveResult r = RunWave(cluster, n, static_cast<double>(done),
+                             spacing4_us * static_cast<double>(done),
+                             spacing4_us, "payer");
+      mismatches += r.mismatches;
+      payer_latencies.insert(payer_latencies.end(), r.latencies_us.begin(),
+                             r.latencies_us.end());
+    }
+    const blaze::ClusterStats& s = cluster.stats();
+    const blaze::TenantStats& payer = s.tenants.at("payer");
+    const blaze::TenantStats& noisy = s.tenants.at("noisy");
+    const std::size_t lost =
+        s.submitted - s.completed - s.rejected_full - s.tenant_throttled;
+    const double payer_p99 = Quantile(payer_latencies, 0.99);
+    flood_ok = lost == 0 && mismatches == 0 && payer.throttled == 0 &&
+               payer.rejected_full == 0 && noisy.throttled > 0 &&
+               s.flood_injected == flood_extra;
+    flood_p99_ok = payer_p99 <= 30.0 * clean_p99;
+    std::printf("flood: %zu payer + %zu flood reqs, %zu lost, %zu "
+                "mismatches, payer p99 %.0f us, noisy throttled %zu of "
+                "%zu\n",
+                flood_reqs, s.flood_injected, lost, mismatches, payer_p99,
+                noisy.throttled, noisy.submitted);
+    ledger_entry("cluster.flood.payer.request",
+                 Quantile(payer_latencies, 0.5) * 1e3,
+                 static_cast<double>(flood_reqs));
+  }
+
+  // ---- phase 4: exec-thread bit-identity --------------------------------
+  const std::size_t det_reqs = 40000 / scale_div;
+  bool deterministic = false;
+  {
+    const double spacing2_us = hx.request_us / 2.0 / 0.9;
+    const double span_us = spacing2_us * static_cast<double>(det_reqs);
+    std::ostringstream plan;
+    plan << "kill 0 @ " << 0.2 * span_us << "; restart 0 @ " << 0.4 * span_us
+         << "; burst 50:100 @ 1; spike 2 @ " << 0.6 * span_us << " + "
+         << 0.1 * span_us << "; poison-rate 0.002 / 3";
+    std::vector<std::uint64_t> hashes;
+    for (int threads : {1, 2, 8}) {
+      blaze::ClusterOptions options;
+      options.queue_capacity = 4096;
+      options.batch_max_requests = 8;
+      options.exec_threads = threads;
+      options.queue_hedge_us = 20 * clean_p99;
+      blaze::BlazeCluster cluster = hx.MakeCluster(options, 2);
+      cluster.SetChaosPlan(blaze::ParseChaosPlan(plan.str()));
+      CanonHash hash;
+      for (std::size_t done = 0; done < det_reqs; done += wave) {
+        const std::size_t n = std::min(wave, det_reqs - done);
+        WaveResult r =
+            RunWave(cluster, n, static_cast<double>(done),
+                    spacing2_us * static_cast<double>(done), spacing2_us,
+                    "default", /*keep_outcomes=*/true);
+        for (const auto& o : r.outcomes) hash.Mix(o);
+      }
+      hashes.push_back(hash.state);
+    }
+    deterministic = hashes[0] == hashes[1] && hashes[0] == hashes[2];
+    std::printf("determinism: %zu reqs x {1,2,8} exec threads, canonical "
+                "hash %016llx %s\n",
+                det_reqs, static_cast<unsigned long long>(hashes[0]),
+                deterministic ? "(all equal)" : "(MISMATCH)");
+  }
+
+  std::printf("\nGATE shard-scaling: %s (2 shards %.2fx, 4 shards %.2fx)\n",
+              scales ? "PASS" : "FAIL", scale2, scale4);
+  std::printf("GATE chaos-zero-lost-and-match: %s\n",
+              chaos_ok ? "PASS" : "FAIL");
+  std::printf("GATE chaos-p99-bounded: %s\n", chaos_p99_ok ? "PASS" : "FAIL");
+  std::printf("GATE failover-rebalance: %s\n",
+              rebalance_ok ? "PASS" : "FAIL");
+  std::printf("GATE flood-fairness: %s\n", flood_ok ? "PASS" : "FAIL");
+  std::printf("GATE flood-p99-bounded: %s\n", flood_p99_ok ? "PASS" : "FAIL");
+  std::printf("GATE exec-thread-determinism: %s\n",
+              deterministic ? "PASS" : "FAIL");
+
+  const std::string ledger_path =
+      UpdatePerfLedger(entries, ServingLedgerPath());
+  std::printf("perf ledger: %s\n", ledger_path.c_str());
+
+  return (scales && chaos_ok && chaos_p99_ok && rebalance_ok && flood_ok &&
+          flood_p99_ok && deterministic)
+             ? 0
+             : 1;
+}

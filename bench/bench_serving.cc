@@ -260,7 +260,8 @@ int main() {
     serving_entries["serving." + std::string(phase.name) + ".request"] =
         entry;
   }
-  const std::string ledger_path = UpdatePerfLedger(serving_entries);
+  const std::string ledger_path =
+      UpdatePerfLedger(serving_entries, ServingLedgerPath());
   std::printf("perf ledger: %s\n", ledger_path.c_str());
 
   return (none_lost && quarantine_cycled && hedging_pays && deterministic)

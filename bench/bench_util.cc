@@ -213,6 +213,11 @@ std::string PerfLedgerPath() {
   return "BENCH_micro.json";
 }
 
+std::string ServingLedgerPath() {
+  if (const char* env = std::getenv("S2FA_PERF_LEDGER")) return env;
+  return "BENCH_serving.json";
+}
+
 std::string UpdatePerfLedger(
     const std::map<std::string, obs::LedgerEntry>& benchmarks,
     const std::string& path) {

@@ -101,6 +101,12 @@ std::string RenderTraceRow(const std::string& label,
 // or BENCH_micro.json in the working directory.
 std::string PerfLedgerPath();
 
+// Ledger path for the serving-layer harnesses (bench_serving /
+// bench_cluster): the S2FA_PERF_LEDGER environment variable, or
+// BENCH_serving.json in the working directory — so serving and micro
+// trajectories live in separate repo-root snapshots by default.
+std::string ServingLedgerPath();
+
 // Merges `benchmarks` plus the current obs registry counters/histograms
 // into the perf ledger at `path` (PerfLedgerPath() when empty), stamping
 // git_rev/timestamp from S2FA_GIT_REV / S2FA_BENCH_TIMESTAMP. Existing

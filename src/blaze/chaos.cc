@@ -1,0 +1,328 @@
+#include "blaze/chaos.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <map>
+
+#include "resilience/fault.h"
+#include "support/error.h"
+
+namespace s2fa::blaze {
+
+namespace {
+
+// Cursor parser over one whitespace-stripped statement. Every helper
+// throws MalformedInput with the offending statement attached, so a typo
+// in a schedule fails the whole plan load instead of silently injecting a
+// different fault mix.
+class StmtParser {
+ public:
+  explicit StmtParser(std::string stmt) : stmt_(std::move(stmt)) {}
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (stmt_.compare(pos_, prefix.size(), prefix) != 0) return false;
+    pos_ += prefix.size();
+    return true;
+  }
+
+  void Expect(char c) {
+    if (pos_ >= stmt_.size() || stmt_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < stmt_.size() && stmt_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= stmt_.size(); }
+
+  void ExpectEnd() {
+    if (!AtEnd()) Fail("trailing junk");
+  }
+
+  std::size_t ParseIndex() {
+    const std::size_t begin = pos_;
+    while (pos_ < stmt_.size() && std::isdigit(Char(pos_))) ++pos_;
+    std::size_t value = 0;
+    const char* first = stmt_.data() + begin;
+    const char* last = stmt_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last || begin == pos_) {
+      Fail("expected a non-negative integer");
+    }
+    return value;
+  }
+
+  double ParseNumber() {
+    const std::size_t begin = pos_;
+    while (pos_ < stmt_.size() &&
+           (std::isdigit(Char(pos_)) || stmt_[pos_] == '.' ||
+            stmt_[pos_] == 'e' || stmt_[pos_] == 'E' ||
+            ((stmt_[pos_] == '+' || stmt_[pos_] == '-') && pos_ > begin &&
+             (stmt_[pos_ - 1] == 'e' || stmt_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (begin == pos_) Fail("expected a number");
+    const std::string digits = stmt_.substr(begin, pos_ - begin);
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(digits, &used);
+      if (used != digits.size()) Fail("bad number '" + digits + "'");
+      return value;
+    } catch (const std::exception&) {
+      Fail("bad number '" + digits + "'");
+    }
+    return 0;  // unreachable
+  }
+
+  // NUMBER ['us' | 'ms' | 's'] -> microseconds.
+  double ParseTimeUs() {
+    double value = ParseNumber();
+    if (ConsumePrefix("us")) {
+      // microseconds: the default
+    } else if (ConsumePrefix("ms")) {
+      value *= 1e3;
+    } else if (Consume('s')) {
+      value *= 1e6;
+    }
+    if (value < 0 || !std::isfinite(value)) Fail("time must be >= 0");
+    return value;
+  }
+
+  // Tenant / identifier: [A-Za-z0-9_-]+ not starting a reserved char.
+  std::string ParseName() {
+    const std::size_t begin = pos_;
+    while (pos_ < stmt_.size() &&
+           (std::isalnum(Char(pos_)) || stmt_[pos_] == '_' ||
+            stmt_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (begin == pos_) Fail("expected a name");
+    return stmt_.substr(begin, pos_ - begin);
+  }
+
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw MalformedInput("chaos plan: " + why + " in '" + stmt_ + "'");
+  }
+
+ private:
+  unsigned char Char(std::size_t i) const {
+    return static_cast<unsigned char>(stmt_[i]);
+  }
+
+  std::string stmt_;
+  std::size_t pos_ = 0;
+};
+
+// Kill/restart schedules per shard must alternate kill, restart, kill, ...
+// in strictly increasing time order or "dead at t" is ambiguous.
+void ValidateLifecycle(const ChaosPlan& plan) {
+  std::map<std::size_t, std::vector<std::pair<double, bool>>> events;
+  for (const ChaosKill& kill : plan.kills) {
+    events[kill.shard].emplace_back(kill.at_us, true);
+  }
+  for (const ChaosRestart& restart : plan.restarts) {
+    events[restart.shard].emplace_back(restart.at_us, false);
+  }
+  for (auto& [shard, timeline] : events) {
+    std::sort(timeline.begin(), timeline.end());
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      if (i > 0 && timeline[i].first == timeline[i - 1].first) {
+        throw MalformedInput(
+            "chaos plan: shard " + std::to_string(shard) +
+            " has two lifecycle events at t=" +
+            std::to_string(timeline[i].first) + "us");
+      }
+      const bool want_kill = i % 2 == 0;
+      if (timeline[i].second != want_kill) {
+        throw MalformedInput(
+            "chaos plan: shard " + std::to_string(shard) +
+            " lifecycle must alternate kill/restart in time order (event " +
+            std::to_string(i) + " at t=" +
+            std::to_string(timeline[i].first) + "us is a " +
+            (timeline[i].second ? "kill" : "restart") + ")");
+      }
+    }
+  }
+}
+
+void ValidateBursts(const ChaosPlan& plan) {
+  // Per-target overlap: an unscoped burst applies to every shard, so it
+  // conflicts with any scoped window it overlaps too.
+  auto overlaps = [](const FaultBurst& a, const FaultBurst& b) {
+    return a.start < b.start + b.length && b.start < a.start + a.length;
+  };
+  for (std::size_t i = 0; i < plan.bursts.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.bursts.size(); ++j) {
+      const ChaosBurst& a = plan.bursts[i];
+      const ChaosBurst& b = plan.bursts[j];
+      const bool same_target =
+          !a.shard || !b.shard || *a.shard == *b.shard;
+      if (same_target && overlaps(a.window, b.window)) {
+        throw MalformedInput(
+            "chaos plan: fault bursts [" + std::to_string(a.window.start) +
+            ":" + std::to_string(a.window.length) + ") and [" +
+            std::to_string(b.window.start) + ":" +
+            std::to_string(b.window.length) +
+            ") overlap on the same target");
+      }
+    }
+  }
+}
+
+void ValidateSpikes(const ChaosPlan& plan) {
+  std::vector<std::pair<double, double>> windows;
+  for (const ChaosSpike& spike : plan.spikes) {
+    windows.emplace_back(spike.start_us, spike.start_us + spike.duration_us);
+  }
+  std::sort(windows.begin(), windows.end());
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].first < windows[i - 1].second) {
+      throw MalformedInput(
+          "chaos plan: latency spikes overlap (their composition would be "
+          "order-dependent)");
+    }
+  }
+}
+
+void ParseDirective(const std::string& stmt, ChaosPlan& plan) {
+  StmtParser p(stmt);
+  // Longest verb first: "poison-rate" shares the "poison" prefix.
+  if (p.ConsumePrefix("poison-rate")) {
+    const double rate = p.ParseNumber();
+    if (rate < 0 || rate > 1.0) p.Fail("poison rate must be in [0, 1]");
+    if (plan.poison_rate > 0) p.Fail("duplicate poison-rate directive");
+    plan.poison_rate = rate;
+    if (p.Consume('/')) {
+      plan.poison_seed = static_cast<std::uint64_t>(p.ParseIndex());
+    }
+    p.ExpectEnd();
+  } else if (p.ConsumePrefix("poison")) {
+    do {
+      plan.poison_ids.push_back(p.ParseIndex());
+    } while (p.Consume(','));
+    p.ExpectEnd();
+  } else if (p.ConsumePrefix("kill")) {
+    ChaosKill kill;
+    kill.shard = p.ParseIndex();
+    p.Expect('@');
+    kill.at_us = p.ParseTimeUs();
+    p.ExpectEnd();
+    plan.kills.push_back(kill);
+  } else if (p.ConsumePrefix("restart")) {
+    ChaosRestart restart;
+    restart.shard = p.ParseIndex();
+    p.Expect('@');
+    restart.at_us = p.ParseTimeUs();
+    p.ExpectEnd();
+    plan.restarts.push_back(restart);
+  } else if (p.ConsumePrefix("burst")) {
+    ChaosBurst burst;
+    burst.window.start = p.ParseIndex();
+    p.Expect(':');
+    burst.window.length = p.ParseIndex();
+    if (burst.window.length == 0) p.Fail("burst length must be >= 1");
+    if (p.Consume('@')) burst.shard = p.ParseIndex();
+    p.ExpectEnd();
+    plan.bursts.push_back(burst);
+  } else if (p.ConsumePrefix("spike")) {
+    ChaosSpike spike;
+    spike.factor = p.ParseNumber();
+    if (spike.factor <= 1.0 || !std::isfinite(spike.factor)) {
+      p.Fail("spike factor must be > 1");
+    }
+    p.Expect('@');
+    spike.start_us = p.ParseTimeUs();
+    p.Expect('+');
+    spike.duration_us = p.ParseTimeUs();
+    if (spike.duration_us <= 0) p.Fail("spike duration must be > 0");
+    p.ExpectEnd();
+    plan.spikes.push_back(spike);
+  } else if (p.ConsumePrefix("flood")) {
+    ChaosFlood flood;
+    flood.tenant = p.ParseName();
+    p.Expect('@');
+    flood.start_us = p.ParseTimeUs();
+    p.Expect('+');
+    flood.duration_us = p.ParseTimeUs();
+    p.Expect('x');
+    flood.requests = p.ParseIndex();
+    if (flood.requests == 0) p.Fail("flood request count must be >= 1");
+    p.ExpectEnd();
+    plan.floods.push_back(flood);
+  } else {
+    p.Fail("unknown directive");
+  }
+}
+
+}  // namespace
+
+ChaosPlan ParseChaosPlan(const std::string& text) {
+  ChaosPlan plan;
+  std::string stmt;
+  auto flush = [&plan, &stmt] {
+    if (!stmt.empty()) {
+      ParseDirective(stmt, plan);
+      stmt.clear();
+    }
+  };
+  for (char c : text) {
+    if (c == ';' || c == '\n') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      stmt.push_back(c);
+    }
+  }
+  flush();
+
+  std::sort(plan.poison_ids.begin(), plan.poison_ids.end());
+  if (std::adjacent_find(plan.poison_ids.begin(), plan.poison_ids.end()) !=
+      plan.poison_ids.end()) {
+    throw MalformedInput("chaos plan: duplicate poison request id");
+  }
+  ValidateLifecycle(plan);
+  ValidateBursts(plan);
+  ValidateSpikes(plan);
+  return plan;
+}
+
+bool IsPoisoned(const ChaosPlan& plan, std::size_t request_id) {
+  if (std::binary_search(plan.poison_ids.begin(), plan.poison_ids.end(),
+                         request_id)) {
+    return true;
+  }
+  if (plan.poison_rate <= 0) return false;
+  return resilience::detail::HashRoll(plan.poison_seed,
+                                      "poison#" + std::to_string(request_id),
+                                      0) < plan.poison_rate;
+}
+
+double SpikeFactorAt(const ChaosPlan& plan, double t_us) {
+  for (const ChaosSpike& spike : plan.spikes) {
+    if (t_us >= spike.start_us && t_us < spike.start_us + spike.duration_us) {
+      return spike.factor;
+    }
+  }
+  return 1.0;
+}
+
+AccelFaultInjector MakeShardBurstInjector(const ChaosPlan& plan,
+                                          std::size_t shard) {
+  std::vector<FaultBurst> windows;
+  for (const ChaosBurst& burst : plan.bursts) {
+    if (!burst.shard || *burst.shard == shard) {
+      windows.push_back(burst.window);
+    }
+  }
+  return MakeBurstFaultInjector(std::move(windows));
+}
+
+}  // namespace s2fa::blaze

@@ -1,0 +1,109 @@
+// Deterministic chaos harness for the sharded serving layer (BlazeCluster).
+//
+// A ChaosPlan is a scripted fault schedule on the shared simulated clock:
+// whole-shard kills and restarts, per-replica fault bursts (reusing the
+// service's invocation-window injector), interconnect latency spikes, tenant
+// floods, and poison requests that crash any batch containing them. The plan
+// is parsed fail-fast from a tiny text grammar so the CLI, benches, and
+// tests can all drive the same schedules:
+//
+//   plan      := stmt ((';' | '\n') stmt)*
+//   stmt      := (empty) | directive
+//   directive :=
+//     kill <shard> @ <time>            # shard dies; in-flight work is lost
+//     restart <shard> @ <time>         # fresh process: health state resets
+//     burst <start>:<len> [@ <shard>]  # replica-invocation fault window
+//     spike <factor> @ <time> + <dur>  # latency multiplier on dispatches
+//     flood <tenant> @ <time> + <dur> x <count>   # synthetic request burst
+//     poison <id> [, <id>]*            # these request ids crash their batch
+//     poison-rate <rate> [/ <seed>]    # hash-sampled poison population
+//   time      := NUMBER ['us' | 'ms' | 's']      # default microseconds
+//
+// Whitespace is insignificant. Parsing rejects — with MalformedInput, never
+// a silent merge — unknown directives, malformed numbers, zero-length
+// windows, overlapping bursts on the same target, kill/restart sequences
+// that do not alternate in time order, overlapping spikes, duplicate poison
+// ids, and rates outside [0, 1]. Shard indices and tenant names are
+// validated against the actual topology by BlazeCluster::SetChaosPlan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blaze/service.h"
+
+namespace s2fa::blaze {
+
+struct ChaosKill {
+  std::size_t shard = 0;
+  double at_us = 0;
+};
+
+struct ChaosRestart {
+  std::size_t shard = 0;
+  double at_us = 0;
+};
+
+// A replica-invocation fault window, optionally scoped to one shard
+// (nullopt = every shard). Drives MakeBurstFaultInjector.
+struct ChaosBurst {
+  FaultBurst window;
+  std::optional<std::size_t> shard;
+};
+
+// Dispatches started inside [start, start + duration) take factor times as
+// long (models interconnect congestion; factor > 1).
+struct ChaosSpike {
+  double factor = 1.0;
+  double start_us = 0;
+  double duration_us = 0;
+};
+
+// `requests` synthetic requests from `tenant`, evenly spaced over
+// [start, start + duration). The cluster materializes them through its
+// flood generator.
+struct ChaosFlood {
+  std::string tenant;
+  double start_us = 0;
+  double duration_us = 0;
+  std::size_t requests = 0;
+};
+
+struct ChaosPlan {
+  std::vector<ChaosKill> kills;
+  std::vector<ChaosRestart> restarts;
+  std::vector<ChaosBurst> bursts;
+  std::vector<ChaosSpike> spikes;
+  std::vector<ChaosFlood> floods;
+  std::vector<std::size_t> poison_ids;  // sorted, unique
+  double poison_rate = 0;               // hash-sampled fraction in [0, 1]
+  std::uint64_t poison_seed = 0xC4A05;
+
+  bool Empty() const {
+    return kills.empty() && restarts.empty() && bursts.empty() &&
+           spikes.empty() && floods.empty() && poison_ids.empty() &&
+           poison_rate <= 0;
+  }
+};
+
+// Parses the grammar above; throws MalformedInput on any violation. An
+// empty/whitespace-only string parses to an empty plan.
+ChaosPlan ParseChaosPlan(const std::string& text);
+
+// Whether `request_id` is poisoned under `plan` (explicit id or hash roll).
+// Stateless, so the verdict is identical across exec-thread counts.
+bool IsPoisoned(const ChaosPlan& plan, std::size_t request_id);
+
+// The latency multiplier for a dispatch starting at `t_us` (1.0 outside
+// every spike window).
+double SpikeFactorAt(const ChaosPlan& plan, double t_us);
+
+// The fault-burst injector scoped to `shard` (its own windows plus the
+// unscoped ones); nullptr when none apply.
+AccelFaultInjector MakeShardBurstInjector(const ChaosPlan& plan,
+                                          std::size_t shard);
+
+}  // namespace s2fa::blaze

@@ -1,0 +1,300 @@
+// BlazeCluster: fault-domain-aware sharded serving over N BlazeService
+// instances on the shared deterministic simulated clock.
+//
+// Each shard is one BlazeService (its own replicas, health state machine,
+// hedging, and fault injector — one fault domain). The cluster layers on
+// top, planning at micro-batch granularity:
+//
+//   * failover with exactly-once commit — a scripted kill (ChaosPlan) or a
+//     fully-quarantined shard re-routes in-flight and queued requests to
+//     sibling shards. Redirects are bounded (`max_redirects`), then the
+//     host path finishes the job. Every request has an idempotent id and a
+//     single commit slot: the first completion (accelerator, failover
+//     retry, or hedge) wins; later ones are suppressed and counted as
+//     commit conflicts, so an outcome is committed exactly once even when
+//     a hedge and a failover race;
+//   * dynamic micro-batching with poison isolation — queued requests with
+//     the same (kernel, broadcast) coalesce into one accelerator
+//     invocation, up to `batch_max_requests` (Reduce kernels never batch
+//     across requests) and an optional `batch_window_us` deadline. A batch
+//     containing a poison request (ChaosPlan) crashes; the cluster bisects
+//     it deterministically — each failing half burns the crash-detect
+//     round trip — until the poison request is alone, degrades only it to
+//     the host path, and serves the clean sub-batches normally;
+//   * multi-tenant weighted-fair admission — stride scheduling over
+//     per-tenant FIFO queues (virtual-time pass, weight = share), with
+//     per-tenant queued quotas and a cluster-wide queue capacity, so a
+//     flooding tenant is throttled instead of starving the others — under
+//     degraded capacity too, because the stride pick runs at every
+//     dispatch regardless of how many shards survive;
+//   * scripted chaos — kills/restarts (a restart is a fresh process:
+//     replica health resets), per-shard fault bursts forwarded to the
+//     service injectors, latency spikes (dispatch-time dilation, modeling
+//     interconnect congestion), and tenant floods materialized through a
+//     caller-provided generator.
+//
+// Determinism: the cluster is a sequential discrete-event simulator (an
+// event heap ordered by (time, seq)); services plan sequentially too. Only
+// functional kernel execution fans out on thread pools, and outputs are
+// committed into per-request slots — so outcomes are bit-identical across
+// `exec_threads`, like the service's plan-order commit.
+//
+// Conservative timing approximations (documented, deterministic): the
+// kill-interruption pre-check uses a single-lane fault-free estimate of
+// the batch (a kill inside that window requeues the whole batch — results
+// are acked at batch granularity, so a shard death before the ack loses
+// the ack, never the request); bisect retry burns occupy a virtual probe
+// lane while clean sub-batches flow through the replica lanes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blaze/chaos.h"
+#include "blaze/service.h"
+
+namespace s2fa::blaze {
+
+// How one cluster request ended.
+enum class ClusterServe {
+  kRejectedFull,     // shed at admission: cluster queue was full
+  kTenantThrottled,  // shed at admission: tenant over its queued quota
+  kAccelerator,      // completed on some shard's accelerator replica
+  kHost,             // host path (direct, redirect-exhausted, or poison)
+  kHedgedHost,       // a host hedge beat the accelerator path
+};
+const char* ClusterServeName(ClusterServe outcome);
+
+struct ClusterOptions {
+  std::size_t queue_capacity = 1024;    // cluster-wide waiting cap
+  std::size_t batch_max_requests = 16;  // micro-batch coalescing bound
+  double batch_window_us = 0;   // wait this long to fill a batch; 0 = none
+  std::size_t max_redirects = 2;  // failovers per request before host
+  double queue_hedge_us = 0;    // host hedge for requests older than this
+  double default_tenant_weight = 1.0;
+  std::size_t default_tenant_quota = 0;  // queued requests per tenant; 0 = off
+  int exec_threads = 1;         // functional fan-out (cluster + shards)
+  std::uint64_t seed = 1;
+  // Template for each shard's service; exec_threads/seed are overridden
+  // per shard (seed is offset by the shard index so failure classification
+  // streams differ across fault domains).
+  ServiceOptions shard_options;
+};
+
+struct ClusterRequest {
+  std::string kernel;
+  Dataset input;
+  // One-record shared data; must outlive the drain. Requests batch only
+  // with requests sharing the same broadcast pointer.
+  const Dataset* broadcast = nullptr;
+  double arrival_us = 0;
+  std::string tenant = "default";
+};
+
+struct ClusterRequestOutcome {
+  std::size_t id = 0;  // submission order, idempotent commit key
+  ClusterServe outcome = ClusterServe::kRejectedFull;
+  std::size_t shard = kNoShard;  // shard that committed it
+  std::string replica;           // service replica ("" = host path)
+  std::string tenant;
+  std::size_t batch_size = 1;    // members of its final dispatch batch
+  int redirects = 0;             // failover re-dispatches
+  bool hedged = false;
+  bool poisoned = false;         // isolated by bisection
+  double dispatch_us = 0;
+  double complete_us = 0;
+  double latency_us = 0;         // complete - arrival (0 for shed)
+  Dataset output;                // empty for shed requests
+
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+};
+
+struct TenantStats {
+  double weight = 1.0;
+  std::size_t quota = 0;
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t throttled = 0;      // shed: over quota
+  std::size_t rejected_full = 0;  // shed: cluster queue full
+  std::size_t completed = 0;
+  std::size_t records_completed = 0;
+  std::vector<double> latencies_us;  // commit order
+  double LatencyQuantile(double q) const;
+};
+
+struct ShardStats {
+  std::size_t batches = 0;
+  std::size_t requests = 0;  // committed members served on this shard
+  std::size_t kills = 0;
+  std::size_t restarts = 0;
+  double busy_us = 0;        // cumulative lane occupancy
+  double wasted_us = 0;      // occupancy lost to kill-interrupted batches
+};
+
+struct ClusterStats {
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected_full = 0;
+  std::size_t tenant_throttled = 0;
+  std::size_t completed = 0;
+  std::size_t completed_accel = 0;
+  std::size_t completed_host = 0;
+  std::size_t completed_hedge = 0;
+
+  std::size_t batches = 0;           // accelerator dispatches (incl. bisect)
+  std::size_t batched_requests = 0;  // members across those dispatches
+  std::size_t max_batch = 0;
+
+  std::size_t failovers = 0;           // kill-interrupted batch dispatches
+  std::size_t redirects = 0;           // member re-dispatches after failover
+  std::size_t redirect_exhausted = 0;  // members that fell back to host
+  std::size_t bisect_attempts = 0;     // failing (sub-)batch attempts burned
+  std::size_t poison_isolated = 0;     // poison requests degraded alone
+
+  std::size_t hedges_launched = 0;
+  std::size_t hedges_won = 0;
+  std::size_t hedges_cancelled = 0;
+  std::size_t commit_conflicts = 0;  // duplicate completions suppressed
+
+  std::size_t flood_injected = 0;  // synthetic chaos-flood requests
+  std::size_t max_queue_depth = 0;
+
+  std::vector<double> latencies_us;  // completed requests, commit order
+  std::map<std::string, TenantStats> tenants;
+  std::vector<ShardStats> shards;
+
+  double LatencyQuantile(double q) const;
+};
+
+class BlazeCluster {
+ public:
+  // The runtime supplies registered accelerators and the cost model; it
+  // must outlive the cluster.
+  explicit BlazeCluster(BlazeRuntime& runtime, ClusterOptions options = {});
+  // Out of line: members hold vectors of nested types declared below.
+  ~BlazeCluster();
+  BlazeCluster(BlazeCluster&&) noexcept;
+  BlazeCluster& operator=(BlazeCluster&&) = delete;
+
+  // Topology. AddShard returns the new shard's index; AddReplica enlists
+  // an accelerator (registered with the runtime) on one shard. Replica ids
+  // are cluster-unique (each serves exactly one shard).
+  std::size_t AddShard();
+  std::size_t num_shards() const { return shards_.size(); }
+  void AddReplica(std::size_t shard, const std::string& kernel,
+                  const std::string& accel_id);
+
+  // Registers a tenant with an explicit weight (relative share; > 0) and
+  // queued-request quota (0 = unlimited). Unknown tenants named by a
+  // request are auto-registered with the option defaults. Rejects
+  // duplicates.
+  void AddTenant(const std::string& name, double weight, std::size_t quota);
+
+  // Installs the scripted fault schedule. Validates shard indices, flood
+  // tenants, and (at Drain) that floods have a generator. Shard fault
+  // bursts are forwarded to the per-shard service injectors.
+  void SetChaosPlan(ChaosPlan plan);
+  // Supplies synthetic requests for chaos floods: called with the global
+  // flood-request ordinal; the returned request's tenant/arrival are
+  // overridden by the flood directive.
+  void SetFloodGenerator(std::function<ClusterRequest(std::size_t)> generator);
+
+  // Enqueues a request for the next Drain. Arrival times before the
+  // cluster clock are clamped to it.
+  void Submit(ClusterRequest request);
+
+  // Serves every pending request to completion (nothing is lost: shed
+  // requests get terminal outcomes, everything else commits exactly once)
+  // and returns outcomes in submission order. Synthetic flood requests are
+  // served and counted but not returned.
+  std::vector<ClusterRequestOutcome> Drain();
+  std::vector<ClusterRequestOutcome> Run(std::vector<ClusterRequest> requests);
+
+  const ClusterStats& stats() const { return stats_; }
+  double clock_us() const { return clock_us_; }
+  // Whether `shard` is alive (not inside a kill..restart window) at `t_us`.
+  bool ShardAliveAt(std::size_t shard, double t_us) const;
+  const BlazeService& shard_service(std::size_t shard) const;
+
+ private:
+  struct KernelInfo {
+    std::string exec_accel;  // functional-execution design (first replica)
+    kir::ParallelPattern pattern = kir::ParallelPattern::kMap;
+    std::size_t batch = 1;   // serialization batch per invocation
+    double accel_us_per_invocation = 0;
+    double detect_us_per_invocation = 0;  // serialize+transfer+overhead
+    double host_us_per_invocation = 0;
+  };
+
+  struct Shard {
+    std::unique_ptr<BlazeService> service;
+    // (kernel, accel_id) registrations, replayed on restart (a restart is
+    // a fresh process: replica health and latency windows reset).
+    std::vector<std::pair<std::string, std::string>> replicas;
+    double busy_until_us = 0;
+  };
+
+  struct Tenant {
+    std::string name;
+    double weight = 1.0;
+    std::size_t quota = 0;
+    double pass_us = 0;              // stride virtual time
+    std::deque<std::size_t> queue;   // slot indices, FIFO
+    std::size_t queued = 0;          // uncommitted members of `queue`
+  };
+
+  // One request in the current drain.
+  struct Slot;
+  struct Event;
+  struct CommitRec;
+  struct RequeueRec;
+  struct LifecycleEvent;
+  struct DrainState;
+
+  const KernelInfo& KernelFor(const std::string& kernel) const;
+  Tenant& TenantFor(const std::string& name);
+  std::unique_ptr<BlazeService> MakeService(std::size_t shard) const;
+  std::size_t InvocationsFor(const KernelInfo& info,
+                             std::size_t records) const;
+  double HostUs(const KernelInfo& info, std::size_t records) const;
+  double DetectUs(const KernelInfo& info, std::size_t records) const;
+  double NextKillAfter(std::size_t shard, double t_us) const;
+
+  BlazeRuntime& runtime_;
+  ClusterOptions options_;
+  std::vector<Shard> shards_;
+  std::map<std::string, KernelInfo> kernels_;
+  std::map<std::string, Tenant> tenants_;
+  std::set<std::string> replica_ids_;  // cluster-wide uniqueness
+
+  ChaosPlan plan_;
+  std::function<ClusterRequest(std::size_t)> flood_generator_;
+  // Per-shard sorted [kill, restart-or-inf) windows from the plan.
+  std::vector<std::vector<std::pair<double, double>>> dead_windows_;
+  std::vector<LifecycleEvent> lifecycle_;  // merged kills+restarts, sorted
+  std::size_t lifecycle_done_ = 0;         // fired in earlier drains
+  // Flood requests not yet materialized: each drain injects the ones whose
+  // arrival falls inside its real-traffic horizon.
+  struct PendingFlood {
+    double at_us = 0;
+    std::size_t ordinal = 0;  // global flood-request counter (generator arg)
+    std::size_t flood = 0;    // index into plan_.floods
+  };
+  std::vector<PendingFlood> floods_pending_;
+  double stride_vtime_ = 0;  // pass of the last scheduled tenant
+
+  std::vector<ClusterRequest> backlog_;
+  std::size_t next_id_ = 0;
+  double clock_us_ = 0;
+  ClusterStats stats_;
+};
+
+}  // namespace s2fa::blaze

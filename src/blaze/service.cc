@@ -154,6 +154,32 @@ AcceleratorHealth BlazeService::health(const std::string& accel_id) const {
   return ReplicaFor(accel_id).health;
 }
 
+ReplicaHealthCounts BlazeService::CountHealth(const std::string& kernel,
+                                              double now_us) const {
+  auto it = kernels_.find(kernel);
+  S2FA_REQUIRE(it != kernels_.end(),
+               "no replicas enlisted for kernel " << kernel);
+  ReplicaHealthCounts counts;
+  counts.next_probe_us = kNoDeadline;
+  for (std::size_t index : it->second.replicas) {
+    const Replica& replica = replicas_[index];
+    switch (replica.health) {
+      case AcceleratorHealth::kHealthy: ++counts.healthy; break;
+      case AcceleratorHealth::kDegraded: ++counts.degraded; break;
+      case AcceleratorHealth::kQuarantined:
+        ++counts.quarantined;
+        if (!replica.probe_inflight && replica.probe_eligible_us <= now_us) {
+          ++counts.probe_ready;
+        } else if (!replica.probe_inflight) {
+          counts.next_probe_us =
+              std::min(counts.next_probe_us, replica.probe_eligible_us);
+        }
+        break;
+    }
+  }
+  return counts;
+}
+
 std::optional<double> BlazeService::HedgeDelayUs(
     const std::string& kernel) const {
   auto it = kernels_.find(kernel);
@@ -311,6 +337,42 @@ void BlazeService::ApplyHealthSample(Replica& replica,
 }
 
 // --------------------------------------------------------------- planning
+
+BlazeService::ReplicaChoice BlazeService::SelectReplica(
+    const KernelGroup& group, double t) const {
+  // Selection: free healthy replicas first (registration order is the
+  // deterministic tie-break), then free degraded ones, then a probe of an
+  // eligible quarantined replica. The caller waits while `any_live_lane`
+  // and nothing was found, and host-directs only when the whole group is
+  // dark.
+  ReplicaChoice choice;
+  for (int tier = 0; tier < 2 && !choice.found; ++tier) {
+    const auto want = tier == 0 ? AcceleratorHealth::kHealthy
+                                : AcceleratorHealth::kDegraded;
+    for (std::size_t index : group.replicas) {
+      const Replica& replica = replicas_[index];
+      if (replica.health != want) continue;
+      choice.any_live_lane = true;
+      if (replica.free_us > t) continue;
+      choice.found = true;
+      choice.replica = index;
+      break;
+    }
+  }
+  if (!choice.found) {
+    for (std::size_t index : group.replicas) {
+      const Replica& replica = replicas_[index];
+      if (replica.health != AcceleratorHealth::kQuarantined) continue;
+      if (replica.free_us > t || replica.probe_inflight) continue;
+      if (replica.probe_eligible_us > t) continue;
+      choice.found = true;
+      choice.replica = index;
+      choice.probe = true;
+      break;
+    }
+  }
+  return choice;
+}
 
 void BlazeService::PlanDispatch(Pending& request, Plan& plan,
                                 std::size_t replica_index, double t,
@@ -531,39 +593,9 @@ void BlazeService::PlanAll(std::vector<Pending>& pending,
           break;
         }
         KernelGroup& group = kernels_[backlog_[request.request_index].kernel];
-        // Selection: free healthy replicas first (registration order is
-        // the deterministic tie-break), then free degraded ones, then a
-        // probe of an eligible quarantined replica; wait while any
-        // non-quarantined lane is busy; host-direct only when the whole
-        // group is dark.
-        std::size_t chosen = replicas_.size();
-        bool chosen_probe = false;
-        bool any_live_lane = false;
-        for (int tier = 0; tier < 2 && chosen == replicas_.size(); ++tier) {
-          const auto want = tier == 0 ? AcceleratorHealth::kHealthy
-                                      : AcceleratorHealth::kDegraded;
-          for (std::size_t index : group.replicas) {
-            Replica& replica = replicas_[index];
-            if (replica.health != want) continue;
-            any_live_lane = true;
-            if (replica.free_us > t) continue;
-            chosen = index;
-            break;
-          }
-        }
-        if (chosen == replicas_.size()) {
-          for (std::size_t index : group.replicas) {
-            Replica& replica = replicas_[index];
-            if (replica.health != AcceleratorHealth::kQuarantined) continue;
-            if (replica.free_us > t || replica.probe_inflight) continue;
-            if (replica.probe_eligible_us > t) continue;
-            chosen = index;
-            chosen_probe = true;
-            break;
-          }
-        }
-        if (chosen == replicas_.size() && any_live_lane) continue;  // wait
-        if (chosen == replicas_.size()) {
+        const ReplicaChoice choice = SelectReplica(group, t);
+        if (!choice.found && choice.any_live_lane) continue;  // wait
+        if (!choice.found) {
           // Whole group quarantined with no probe ready: host-direct.
           const Replica& basis = replicas_[group.replicas.front()];
           const ServiceRequest& rq = backlog_[request.request_index];
@@ -582,8 +614,9 @@ void BlazeService::PlanAll(std::vector<Pending>& pending,
           plan.deadline_missed = plan.complete_us > request.deadline_abs_us;
           plan.needs_exec = true;
         } else {
-          PlanDispatch(request, plan, chosen, t, chosen_probe, group);
-          push_event(replicas_[chosen].free_us, SimEvent::kLaneFree, chosen);
+          PlanDispatch(request, plan, choice.replica, t, choice.probe, group);
+          push_event(replicas_[choice.replica].free_us, SimEvent::kLaneFree,
+                     choice.replica);
         }
         waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
         progress = true;
@@ -667,24 +700,33 @@ std::vector<RequestOutcome> BlazeService::Drain() {
   PlanAll(pending, plans);
 
   // Functional execution: embarrassingly parallel, one slot per request,
-  // committed in submission order below (plan-order commit).
+  // committed in submission order below (plan-order commit). A lone
+  // worker drains the pool FIFO, so exec_threads == 1 can skip the pool —
+  // same order, no thread spawn per drain (BlazeCluster drains per batch).
   {
-    ThreadPool pool(static_cast<std::size_t>(options_.exec_threads));
-    std::vector<std::future<void>> done;
-    for (Plan& plan : plans) {
-      if (!plan.needs_exec) continue;
-      done.push_back(pool.Submit([this, &plan] {
-        S2FA_SPAN("blaze.svc.request");
-        const ServiceRequest& rq = backlog_[plan.request_index];
-        const RegisteredAccelerator& accel =
-            runtime_.manager().Get(plan.exec_accel);
-        plan.output =
-            accel.design.pattern == kir::ParallelPattern::kReduce
-                ? runtime_.Reduce(plan.exec_accel, rq.input, rq.broadcast)
-                : runtime_.Map(plan.exec_accel, rq.input, rq.broadcast);
-      }));
+    auto execute = [this](Plan& plan) {
+      S2FA_SPAN("blaze.svc.request");
+      const ServiceRequest& rq = backlog_[plan.request_index];
+      const RegisteredAccelerator& accel =
+          runtime_.manager().Get(plan.exec_accel);
+      plan.output =
+          accel.design.pattern == kir::ParallelPattern::kReduce
+              ? runtime_.Reduce(plan.exec_accel, rq.input, rq.broadcast)
+              : runtime_.Map(plan.exec_accel, rq.input, rq.broadcast);
+    };
+    if (options_.exec_threads == 1) {
+      for (Plan& plan : plans) {
+        if (plan.needs_exec) execute(plan);
+      }
+    } else {
+      ThreadPool pool(static_cast<std::size_t>(options_.exec_threads));
+      std::vector<std::future<void>> done;
+      for (Plan& plan : plans) {
+        if (!plan.needs_exec) continue;
+        done.push_back(pool.Submit([&execute, &plan] { execute(plan); }));
+      }
+      for (auto& future : done) future.get();  // surface kernel exceptions
     }
-    for (auto& future : done) future.get();  // surface kernel exceptions
   }
 
   std::vector<RequestOutcome> outcomes(plans.size());
@@ -752,6 +794,63 @@ AccelFaultInjector MakeBurstFaultInjector(FaultBurst burst) {
   return [burst](const std::string&, std::size_t invocation, int) {
     return invocation >= burst.start &&
            invocation < burst.start + burst.length;
+  };
+}
+
+std::vector<FaultBurst> ParseFaultBursts(const std::string& text) {
+  std::vector<FaultBurst> bursts;
+  std::size_t begin = 0;
+  const std::string trimmed(Trim(text));
+  if (trimmed.empty()) return bursts;
+  while (begin <= trimmed.size()) {
+    std::size_t comma = trimmed.find(',', begin);
+    if (comma == std::string::npos) comma = trimmed.size();
+    const std::string piece = trimmed.substr(begin, comma - begin);
+    const std::string window(Trim(piece));
+    auto burst = ParseFaultBurst(window);
+    if (!burst) {
+      throw MalformedInput("fault burst '" + window +
+                           "' is not START:LEN");
+    }
+    if (burst->length == 0) {
+      throw MalformedInput("fault burst '" + window +
+                           "' has zero length");
+    }
+    bursts.push_back(*burst);
+    begin = comma + 1;
+  }
+  std::sort(bursts.begin(), bursts.end(),
+            [](const FaultBurst& a, const FaultBurst& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.length < b.length;
+            });
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    const FaultBurst& prev = bursts[i - 1];
+    const FaultBurst& cur = bursts[i];
+    if (cur.start < prev.start + prev.length) {
+      throw MalformedInput(
+          "fault bursts overlap: [" + std::to_string(prev.start) + ":" +
+          std::to_string(prev.length) + ") and [" +
+          std::to_string(cur.start) + ":" + std::to_string(cur.length) +
+          "); merge or separate the windows");
+    }
+  }
+  return bursts;
+}
+
+AccelFaultInjector MakeBurstFaultInjector(std::vector<FaultBurst> bursts) {
+  bursts.erase(std::remove_if(bursts.begin(), bursts.end(),
+                              [](const FaultBurst& b) { return b.length == 0; }),
+               bursts.end());
+  if (bursts.empty()) return nullptr;
+  return [bursts = std::move(bursts)](const std::string&,
+                                      std::size_t invocation, int) {
+    for (const FaultBurst& burst : bursts) {
+      if (invocation >= burst.start && invocation < burst.start + burst.length) {
+        return true;
+      }
+    }
+    return false;
   };
 }
 

@@ -56,6 +56,24 @@ namespace s2fa::blaze {
 enum class AcceleratorHealth { kHealthy, kDegraded, kQuarantined };
 const char* HealthName(AcceleratorHealth health);
 
+// Read-only roll-up of one kernel group's replica health, so a router
+// layered above the service (BlazeCluster) can pick shards without friend
+// access to the per-replica state machine.
+struct ReplicaHealthCounts {
+  std::size_t healthy = 0;
+  std::size_t degraded = 0;
+  std::size_t quarantined = 0;
+  // Quarantined replicas whose probe-eligibility delay has elapsed at the
+  // query time (a dispatch would be accepted as a probe).
+  std::size_t probe_ready = 0;
+  // Earliest future probe-eligibility time among quarantined replicas;
+  // +inf when none is pending.
+  double next_probe_us = 0;
+
+  // Replicas that take regular (non-probe) traffic.
+  std::size_t live() const { return healthy + degraded; }
+};
+
 // How one submitted request ended.
 enum class ServeOutcome {
   kRejectedFull,   // shed at admission: queue was full
@@ -198,6 +216,10 @@ class BlazeService {
   double clock_us() const { return clock_us_; }
   // Health of one replica by accelerator id; throws on unknown ids.
   AcceleratorHealth health(const std::string& accel_id) const;
+  // Health roll-up for `kernel`'s replica group at simulated time `now_us`
+  // (probe readiness is time-dependent); throws on unknown kernels.
+  ReplicaHealthCounts CountHealth(const std::string& kernel,
+                                  double now_us) const;
   // The armed hedge delay for `kernel`, or nullopt while unarmed/disabled.
   std::optional<double> HedgeDelayUs(const std::string& kernel) const;
 
@@ -231,6 +253,20 @@ class BlazeService {
 
   Replica& ReplicaFor(const std::string& accel_id);
   const Replica& ReplicaFor(const std::string& accel_id) const;
+
+  // The replica-selection policy, extracted so the tier ordering (free
+  // healthy -> free degraded -> probe-ready quarantined -> wait -> host)
+  // is named and testable in one place. `replica` is an index into
+  // `replicas_` when `found`; `any_live_lane` reports whether some
+  // healthy/degraded lane exists at all (busy lanes included), which is
+  // what separates "wait for a lane" from "host-direct".
+  struct ReplicaChoice {
+    bool found = false;
+    std::size_t replica = 0;
+    bool probe = false;
+    bool any_live_lane = false;
+  };
+  ReplicaChoice SelectReplica(const KernelGroup& group, double t) const;
 
   // Deterministic sequential planner (the only place the clock advances).
   void PlanAll(std::vector<Pending>& pending, std::vector<Plan>& plans);
@@ -275,5 +311,13 @@ struct FaultBurst {
 };
 std::optional<FaultBurst> ParseFaultBurst(const std::string& text);
 AccelFaultInjector MakeBurstFaultInjector(FaultBurst burst);
+
+// Comma-separated list of "START:LEN" windows. Rejects — fail-fast, with
+// MalformedInput — malformed windows, zero-length windows, and duplicate
+// or overlapping windows (silently merging them would hide a schedule
+// typo and change the injected fault count). Returns windows sorted by
+// start. An empty/whitespace-only string parses to an empty list.
+std::vector<FaultBurst> ParseFaultBursts(const std::string& text);
+AccelFaultInjector MakeBurstFaultInjector(std::vector<FaultBurst> bursts);
 
 }  // namespace s2fa::blaze

@@ -216,9 +216,29 @@ void EvalJournal::Open(const std::string& path) {
                                << " corrupt line(s) on resume");
     }
   }
+  // A kill mid-append can leave a torn final line with no newline. Sealing
+  // it here keeps the next Record() on its own line; without this, the new
+  // record glues onto the torn tail and both are lost on the next resume.
+  bool seal_torn_tail = false;
+  {
+    std::ifstream tail(path, std::ios::binary);
+    if (tail) {
+      tail.seekg(0, std::ios::end);
+      if (tail.tellg() > 0) {
+        tail.seekg(-1, std::ios::end);
+        char last = '\n';
+        tail.get(last);
+        seal_torn_tail = last != '\n';
+      }
+    }
+  }
   out_.open(path, std::ios::app);
   if (!out_) {
     throw Error("cannot open journal " + path + " for appending");
+  }
+  if (seal_torn_tail) {
+    out_ << '\n';
+    out_.flush();
   }
   S2FA_LOG_INFO("journal " << path << ": resumed " << resumed_
                            << " evaluation(s)");
@@ -237,7 +257,12 @@ void EvalJournal::Record(const std::string& key,
   std::lock_guard<std::mutex> lock(mutex_);
   entries_[key] = outcome;
   if (out_.is_open()) {
-    out_ << RenderJournalEntry({key, outcome}) << '\n';
+    // One write() of the full line (newline included) per record: the
+    // stream never holds a half-rendered entry in its buffer, so a crash
+    // mid-record can tear at most the final line — which Open() already
+    // skips as corrupt on resume — never interleave two records.
+    const std::string line = RenderJournalEntry({key, outcome}) + '\n';
+    out_.write(line.data(), static_cast<std::streamsize>(line.size()));
     out_.flush();  // each record survives a kill right after it
   }
 }

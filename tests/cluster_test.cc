@@ -1,0 +1,563 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "b2c/compiler.h"
+#include "blaze/cluster.h"
+#include "jvm/assembler.h"
+#include "s2fa/framework.h"
+
+namespace s2fa::blaze {
+namespace {
+
+using jvm::Assembler;
+using jvm::MethodSignature;
+using jvm::Type;
+using jvm::Value;
+
+// Doubler: double -> 2 * double, batch 8 (the blaze_test kernel).
+jvm::ClassPool MakePool() {
+  jvm::ClassPool pool;
+  Assembler a;
+  a.Load(Type::Double(), 0).DConst(2.0).DMul().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("Doubler").AddMethod(
+      jvm::MakeMethod("call", sig, true, 2, a.Finish()));
+  return pool;
+}
+
+b2c::KernelSpec MakeSpec(std::int64_t batch = 8) {
+  b2c::KernelSpec spec;
+  spec.kernel_name = "doubler";
+  spec.klass = "Doubler";
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"y", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+Dataset DoublerInput(int n, int base = 0) {
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  for (int i = 0; i < n; ++i) x.data.push_back(Value::OfDouble(base + i));
+  input.AddColumn(x);
+  return input;
+}
+
+// A runtime with `replicas` doubler copies registered as r0, r1, ... and a
+// cluster that spreads them one per shard across `shards` shards
+// (round-robin when replicas > shards).
+struct Fixture {
+  BlazeRuntime runtime;
+  explicit Fixture(int replicas = 2) {
+    jvm::ClassPool pool = MakePool();
+    Artifact artifact =
+        BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+    for (int i = 0; i < replicas; ++i) {
+      RegisterWithBlaze(runtime, "r" + std::to_string(i), artifact);
+    }
+  }
+  BlazeCluster MakeCluster(ClusterOptions options = {}, int shards = 2,
+                           int replicas = 2) {
+    BlazeCluster cluster(runtime, options);
+    for (int s = 0; s < shards; ++s) cluster.AddShard();
+    for (int i = 0; i < replicas; ++i) {
+      cluster.AddReplica(static_cast<std::size_t>(i % shards), "doubler",
+                         "r" + std::to_string(i));
+    }
+    return cluster;
+  }
+};
+
+ClusterRequest Req(int records, double arrival_us = 0,
+                   const std::string& tenant = "default", int base = 0) {
+  ClusterRequest request;
+  request.kernel = "doubler";
+  request.input = DoublerInput(records, base);
+  request.arrival_us = arrival_us;
+  request.tenant = tenant;
+  return request;
+}
+
+bool IsShed(const ClusterRequestOutcome& outcome) {
+  return outcome.outcome == ClusterServe::kRejectedFull ||
+         outcome.outcome == ClusterServe::kTenantThrottled;
+}
+
+// Every served request must return exactly its doubled input, whatever path
+// (accelerator, host, hedge, failover retry) served it.
+void ExpectDoubled(const ClusterRequestOutcome& outcome, int records,
+                   int base = 0) {
+  ASSERT_EQ(outcome.output.num_records(), static_cast<std::size_t>(records))
+      << "request " << outcome.id;
+  const Column& y = outcome.output.ColumnByField("y");
+  for (int i = 0; i < records; ++i) {
+    EXPECT_DOUBLE_EQ(y.data[static_cast<std::size_t>(i)].AsDouble(),
+                     2.0 * (base + i))
+        << "request " << outcome.id << " record " << i;
+  }
+}
+
+// Bit-exact canonical rendering of a drain's outcomes.
+std::string Canon(const std::vector<ClusterRequestOutcome>& outcomes) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& o : outcomes) {
+    os << o.id << '|' << ClusterServeName(o.outcome) << '|' << o.shard << '|'
+       << o.replica << '|' << o.tenant << '|' << o.batch_size << '|'
+       << o.redirects << '|' << o.hedged << o.poisoned << '|' << o.dispatch_us
+       << '|' << o.complete_us << '|' << o.latency_us << '|';
+    for (std::size_t c = 0; c < o.output.num_columns(); ++c) {
+      for (const auto& v : o.output.column(c).data) os << v.AsDouble() << ',';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------ chaos plan
+
+TEST(ChaosPlanTest, ParsesEveryDirective) {
+  ChaosPlan plan = ParseChaosPlan(
+      "kill 1 @ 2ms; restart 1 @ 5ms\n"
+      "burst 3:4 @ 0; burst 10:2\n"
+      "spike 3.5 @ 1ms + 500us\n"
+      "flood noisy @ 2ms + 1ms x 100\n"
+      "poison 7, 9; poison-rate 0.25 / 42");
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_EQ(plan.kills[0].shard, 1u);
+  EXPECT_DOUBLE_EQ(plan.kills[0].at_us, 2000.0);
+  ASSERT_EQ(plan.restarts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.restarts[0].at_us, 5000.0);
+  ASSERT_EQ(plan.bursts.size(), 2u);
+  ASSERT_TRUE(plan.bursts[0].shard.has_value());
+  EXPECT_EQ(*plan.bursts[0].shard, 0u);
+  EXPECT_FALSE(plan.bursts[1].shard.has_value());
+  ASSERT_EQ(plan.spikes.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.spikes[0].factor, 3.5);
+  EXPECT_DOUBLE_EQ(plan.spikes[0].duration_us, 500.0);
+  ASSERT_EQ(plan.floods.size(), 1u);
+  EXPECT_EQ(plan.floods[0].tenant, "noisy");
+  EXPECT_EQ(plan.floods[0].requests, 100u);
+  EXPECT_EQ(plan.poison_ids, (std::vector<std::size_t>{7, 9}));
+  EXPECT_DOUBLE_EQ(plan.poison_rate, 0.25);
+  EXPECT_EQ(plan.poison_seed, 42u);
+  EXPECT_FALSE(plan.Empty());
+  EXPECT_TRUE(ParseChaosPlan("  \n ; ;\n").Empty());
+}
+
+TEST(ChaosPlanTest, RejectsMalformedSchedules) {
+  EXPECT_THROW(ParseChaosPlan("explode 1 @ 2ms"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("kill 1"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("kill 1 @ -5"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("kill 1 @ 2ms extra"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("burst 3:0"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("spike 0.5 @ 0 + 1ms"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("flood t @ 0 + 1ms x 0"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("poison 1, 1"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("poison-rate 1.5"), MalformedInput);
+  // Lifecycle must alternate kill, restart, ... per shard in time order.
+  EXPECT_THROW(ParseChaosPlan("restart 0 @ 1ms"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("kill 0 @ 1ms; kill 0 @ 2ms"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("kill 0 @ 1ms; restart 0 @ 1ms"),
+               MalformedInput);
+  // Overlapping windows on the same target are order-dependent: rejected.
+  EXPECT_THROW(ParseChaosPlan("burst 0:4 @ 1; burst 2:4 @ 1"),
+               MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("burst 0:4; burst 2:4 @ 1"), MalformedInput);
+  EXPECT_THROW(ParseChaosPlan("spike 2 @ 0 + 10; spike 3 @ 5 + 10"),
+               MalformedInput);
+  // Disjoint scoped bursts are fine.
+  EXPECT_NO_THROW(ParseChaosPlan("burst 0:4 @ 0; burst 0:4 @ 1"));
+}
+
+TEST(ChaosPlanTest, PoisonVerdictIsStateless) {
+  ChaosPlan plan = ParseChaosPlan("poison 3; poison-rate 0.2 / 7");
+  EXPECT_TRUE(IsPoisoned(plan, 3));
+  int sampled = 0;
+  for (std::size_t id = 100; id < 600; ++id) {
+    const bool first = IsPoisoned(plan, id);
+    EXPECT_EQ(first, IsPoisoned(plan, id));  // stateless replay
+    sampled += first ? 1 : 0;
+  }
+  EXPECT_GT(sampled, 50);
+  EXPECT_LT(sampled, 150);
+}
+
+// -------------------------------------------------------------- topology
+
+TEST(ClusterTest, ValidatesTopologyAndPlans) {
+  Fixture fx(2);
+  BlazeCluster cluster(fx.runtime);
+  EXPECT_THROW(cluster.AddReplica(0, "doubler", "r0"), Error);  // no shard
+  cluster.AddShard();
+  cluster.AddReplica(0, "doubler", "r0");
+  EXPECT_THROW(cluster.AddReplica(0, "doubler", "r0"), Error);  // duplicate
+  cluster.AddTenant("a", 2.0, 10);
+  EXPECT_THROW(cluster.AddTenant("a", 1.0, 0), Error);
+  EXPECT_THROW(cluster.AddTenant("b", 0.0, 0), Error);
+  EXPECT_THROW(cluster.SetChaosPlan(ParseChaosPlan("kill 5 @ 1ms")), Error);
+  EXPECT_THROW(cluster.SetChaosPlan(ParseChaosPlan("flood ghost @ 0 + 1 x 1")),
+               Error);
+  // Floods need a generator by drain time.
+  cluster.SetChaosPlan(ParseChaosPlan("flood a @ 0 + 1ms x 3"));
+  cluster.Submit(Req(4));
+  EXPECT_THROW(cluster.Drain(), Error);
+  ClusterRequest bad;
+  bad.kernel = "nope";
+  EXPECT_THROW(cluster.Submit(bad), Error);
+}
+
+// -------------------------------------------------------------- batching
+
+TEST(ClusterTest, BatchingCoalescesSameKernelRequests) {
+  Fixture fx(2);
+  ClusterOptions options;
+  options.batch_max_requests = 4;
+  BlazeCluster cluster = fx.MakeCluster(options);
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 8; ++i) requests.push_back(Req(8, 0, "default", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (int i = 0; i < 8; ++i) ExpectDoubled(outcomes[static_cast<std::size_t>(i)], 8, 8 * i);
+  EXPECT_GE(cluster.stats().max_batch, 2u);
+  EXPECT_LE(cluster.stats().max_batch, 4u);
+  EXPECT_GT(cluster.stats().batched_requests, cluster.stats().batches);
+}
+
+TEST(ClusterTest, BatchWindowHoldsForLateArrivals) {
+  Fixture fx(1);
+  ClusterOptions options;
+  options.batch_max_requests = 2;
+  options.batch_window_us = 200;
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  // Second request lands inside the first one's window: one batch of two.
+  auto outcomes = cluster.Run({Req(8, 0, "default", 0),
+                               Req(8, 100, "default", 8)});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].batch_size, 2u);
+  EXPECT_EQ(outcomes[1].batch_size, 2u);
+  ExpectDoubled(outcomes[0], 8, 0);
+  ExpectDoubled(outcomes[1], 8, 8);
+  EXPECT_EQ(cluster.stats().batches, 1u);
+}
+
+// ------------------------------------------------------------- failover
+
+TEST(ClusterTest, FailoverRedirectsToSiblingExactlyOnce) {
+  Fixture fx(2);
+  BlazeCluster cluster = fx.MakeCluster({}, 2, 2);
+  // Kill shard 0 almost immediately: anything routed there requeues and
+  // must complete on shard 1 (or host), exactly once, correct output.
+  cluster.SetChaosPlan(ParseChaosPlan("kill 0 @ 1us"));
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 6; ++i) requests.push_back(Req(8, 0, "default", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    const auto& o = outcomes[static_cast<std::size_t>(i)];
+    EXPECT_FALSE(IsShed(o));
+    EXPECT_NE(o.shard, 0u) << "committed on a dead shard";
+    ExpectDoubled(o, 8, 8 * i);
+  }
+  const ClusterStats& stats = cluster.stats();
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.shards[0].kills, 1u);
+  // Shard 0 never commits anything after its kill.
+  EXPECT_EQ(stats.shards[0].requests, 0u);
+}
+
+TEST(ClusterTest, KillMidBatchRequeuesWithoutLoss) {
+  Fixture fx(2);
+  BlazeCluster cluster = fx.MakeCluster({}, 2, 2);
+  // Route a first wave to learn the batch latency, then kill shard 0 in
+  // the middle of the second wave's service window.
+  BlazeCluster probe = fx.MakeCluster({}, 1, 1);
+  auto probe_out = probe.Run({Req(8)});
+  const double batch_us = probe_out[0].complete_us;
+  ASSERT_GT(batch_us, 0);
+  std::ostringstream plan;
+  plan << "kill 0 @ " << batch_us / 2 << "us";
+  cluster.SetChaosPlan(ParseChaosPlan(plan.str()));
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 8; ++i) requests.push_back(Req(8, 0, "default", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const auto& o = outcomes[static_cast<std::size_t>(i)];
+    EXPECT_FALSE(IsShed(o));
+    ExpectDoubled(o, 8, 8 * i);
+  }
+  EXPECT_EQ(cluster.stats().completed, 8u);
+  EXPECT_GE(cluster.stats().failovers + cluster.stats().redirects, 0u);
+}
+
+TEST(ClusterTest, RestartRejoinsAndServesAgain) {
+  Fixture fx(2);
+  BlazeCluster cluster = fx.MakeCluster({}, 2, 2);
+  cluster.SetChaosPlan(ParseChaosPlan("kill 0 @ 1us; restart 0 @ 2ms"));
+  EXPECT_TRUE(cluster.ShardAliveAt(0, 0.5));
+  EXPECT_FALSE(cluster.ShardAliveAt(0, 1000.0));
+  EXPECT_TRUE(cluster.ShardAliveAt(0, 2000.0));
+  std::vector<ClusterRequest> requests;
+  // First wave while shard 0 is dead; second wave well after the restart.
+  for (int i = 0; i < 4; ++i) requests.push_back(Req(8, 0, "w1", 8 * i));
+  for (int i = 4; i < 12; ++i) {
+    requests.push_back(Req(8, 50e3 + 4e3 * (i - 4), "w2", 8 * i));
+  }
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 12u);
+  bool shard0_served_late = false;
+  for (int i = 0; i < 12; ++i) {
+    const auto& o = outcomes[static_cast<std::size_t>(i)];
+    EXPECT_FALSE(IsShed(o));
+    ExpectDoubled(o, 8, 8 * i);
+    if (o.shard == 0) {
+      EXPECT_GE(o.dispatch_us, 2000.0) << "served on shard 0 while dead";
+      shard0_served_late = true;
+    }
+  }
+  // Post-restart traffic rebalances onto the revived shard.
+  EXPECT_TRUE(shard0_served_late);
+  EXPECT_EQ(cluster.stats().shards[0].restarts, 1u);
+}
+
+// ---------------------------------------------------------------- poison
+
+TEST(ClusterTest, PoisonIsolationBisectsToTheCulprit) {
+  Fixture fx(1);
+  ClusterOptions options;
+  options.batch_max_requests = 8;
+  options.batch_window_us = 50;
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  cluster.SetChaosPlan(ParseChaosPlan("poison 3"));
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 8; ++i) requests.push_back(Req(8, 0, "default", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const auto& o = outcomes[static_cast<std::size_t>(i)];
+    EXPECT_FALSE(IsShed(o));
+    ExpectDoubled(o, 8, 8 * i);  // the poison request still gets its answer
+    if (i == 3) {
+      EXPECT_TRUE(o.poisoned);
+      EXPECT_EQ(o.outcome, ClusterServe::kHost);  // degraded alone
+    } else {
+      EXPECT_FALSE(o.poisoned);
+    }
+  }
+  const ClusterStats& stats = cluster.stats();
+  EXPECT_EQ(stats.poison_isolated, 1u);
+  // Bisecting one poison out of a batch of 8 burns log2-ish attempts:
+  // {8} {4} {2} {1} on the failing path.
+  EXPECT_GE(stats.bisect_attempts, 3u);
+  EXPECT_LE(stats.bisect_attempts, 4u);
+  // Clean siblings still ride the accelerator.
+  EXPECT_GT(stats.completed_accel, 0u);
+}
+
+TEST(ClusterTest, CleanBatchesPayNoBisectTax) {
+  Fixture fx(1);
+  ClusterOptions options;
+  options.batch_max_requests = 8;
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 8; ++i) requests.push_back(Req(8, 0, "default", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  EXPECT_EQ(cluster.stats().bisect_attempts, 0u);
+  EXPECT_EQ(cluster.stats().poison_isolated, 0u);
+  for (const auto& o : outcomes) EXPECT_FALSE(o.poisoned);
+}
+
+// -------------------------------------------------------------- fairness
+
+TEST(ClusterTest, WeightedFairSharesUnderContention) {
+  Fixture fx(1);
+  ClusterOptions options;
+  options.batch_max_requests = 1;  // per-request scheduling: clean shares
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  cluster.AddTenant("heavy", 3.0, 0);
+  cluster.AddTenant("light", 1.0, 0);
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 24; ++i) requests.push_back(Req(8, 0, "heavy", 8 * i));
+  for (int i = 0; i < 24; ++i) requests.push_back(Req(8, 0, "light", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 48u);
+  // Among the first 16 dispatches, heavy should get ~3x light's slots.
+  std::vector<std::pair<double, std::string>> order;
+  for (const auto& o : outcomes) order.emplace_back(o.dispatch_us, o.tenant);
+  std::sort(order.begin(), order.end());
+  int heavy_early = 0;
+  for (int i = 0; i < 16; ++i) heavy_early += order[static_cast<std::size_t>(i)].second == "heavy" ? 1 : 0;
+  EXPECT_GE(heavy_early, 10);  // 3:1 stride => 12 of 16, allow slack
+  EXPECT_LE(heavy_early, 14);
+  // And the light tenant is not starved: its p99 stays bounded relative
+  // to the heavy tenant's.
+  const TenantStats& light = cluster.stats().tenants.at("light");
+  const TenantStats& heavy = cluster.stats().tenants.at("heavy");
+  EXPECT_EQ(light.completed, 24u);
+  EXPECT_EQ(heavy.completed, 24u);
+  EXPECT_LT(light.LatencyQuantile(0.5), 2.5 * heavy.LatencyQuantile(0.99));
+}
+
+TEST(ClusterTest, TenantQuotaThrottlesTheFlooder) {
+  Fixture fx(1);
+  ClusterOptions options;
+  options.queue_capacity = 256;
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  cluster.AddTenant("noisy", 1.0, 4);   // at most 4 queued at once
+  cluster.AddTenant("quiet", 1.0, 0);
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 32; ++i) requests.push_back(Req(8, 0, "noisy", 8 * i));
+  for (int i = 0; i < 4; ++i) requests.push_back(Req(8, 0, "quiet", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  const TenantStats& noisy = cluster.stats().tenants.at("noisy");
+  const TenantStats& quiet = cluster.stats().tenants.at("quiet");
+  EXPECT_GT(noisy.throttled, 0u);
+  EXPECT_EQ(noisy.admitted + noisy.throttled, 32u);
+  EXPECT_EQ(quiet.admitted, 4u);
+  EXPECT_EQ(quiet.throttled, 0u);
+  for (const auto& o : outcomes) {
+    if (o.tenant == "quiet") {
+      EXPECT_FALSE(IsShed(o)) << "quota must shield, not harm, the quiet one";
+    }
+    if (!IsShed(o)) EXPECT_EQ(o.output.num_records(), 8u);
+  }
+}
+
+TEST(ClusterTest, ChaosFloodIsThrottledByQuota) {
+  Fixture fx(1);
+  ClusterOptions options;
+  options.queue_capacity = 512;
+  options.batch_max_requests = 1;  // no coalescing: the flood must queue
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  cluster.AddTenant("noisy", 1.0, 4);
+  cluster.AddTenant("quiet", 1.0, 0);
+  cluster.SetChaosPlan(ParseChaosPlan("flood noisy @ 0 + 500us x 64"));
+  cluster.SetFloodGenerator([](std::size_t ordinal) {
+    return Req(8, 0, "ignored", static_cast<int>(8 * ordinal));
+  });
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(Req(8, 2e3 * i, "quiet", 8 * i));
+  }
+  auto outcomes = cluster.Run(std::move(requests));
+  // Only the real requests come back, all served.
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(outcomes[static_cast<std::size_t>(i)].tenant, "quiet");
+    EXPECT_FALSE(IsShed(outcomes[static_cast<std::size_t>(i)]));
+    ExpectDoubled(outcomes[static_cast<std::size_t>(i)], 8, 8 * i);
+  }
+  const ClusterStats& stats = cluster.stats();
+  EXPECT_EQ(stats.flood_injected, 64u);
+  EXPECT_GT(stats.tenants.at("noisy").throttled, 0u);
+  EXPECT_EQ(stats.tenants.at("quiet").throttled, 0u);
+}
+
+// ----------------------------------------------------------- exactly-once
+
+TEST(ClusterTest, HedgeVsFailoverCommitsExactlyOnce) {
+  Fixture fx(2);
+  ClusterOptions options;
+  options.queue_hedge_us = 10;  // hedge aggressively: force the race
+  BlazeCluster cluster = fx.MakeCluster(options, 2, 2);
+  cluster.SetChaosPlan(
+      ParseChaosPlan("kill 0 @ 300us; kill 1 @ 350us; burst 0:6"));
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 12; ++i) requests.push_back(Req(8, 0, "default", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 12u);
+  std::set<std::size_t> ids;
+  for (int i = 0; i < 12; ++i) {
+    const auto& o = outcomes[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(ids.insert(o.id).second);
+    EXPECT_FALSE(IsShed(o));
+    ExpectDoubled(o, 8, 8 * i);  // one committed answer, and it is right
+  }
+  EXPECT_EQ(cluster.stats().completed, 12u);
+  EXPECT_EQ(cluster.stats().hedges_won + cluster.stats().hedges_cancelled,
+            cluster.stats().hedges_launched);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(ClusterTest, OutcomesBitIdenticalAcrossExecThreads) {
+  const std::string kPlan =
+      "kill 0 @ 400us; restart 0 @ 2ms; burst 2:5 @ 1; "
+      "spike 2.5 @ 1ms + 1ms; poison 5; poison-rate 0.05 / 9";
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    Fixture fx(4);
+    ClusterOptions options;
+    options.exec_threads = threads;
+    options.batch_max_requests = 4;
+    options.queue_hedge_us = 500;
+    BlazeCluster cluster = fx.MakeCluster(options, 2, 4);
+    cluster.AddTenant("a", 2.0, 0);
+    cluster.AddTenant("b", 1.0, 8);
+    cluster.SetChaosPlan(ParseChaosPlan(kPlan));
+    std::vector<ClusterRequest> requests;
+    for (int i = 0; i < 48; ++i) {
+      requests.push_back(
+          Req(8, 40.0 * i, i % 3 == 0 ? "b" : "a", 8 * i));
+    }
+    const std::string canon = Canon(cluster.Run(std::move(requests)));
+    if (reference.empty()) {
+      reference = canon;
+    } else {
+      EXPECT_EQ(canon, reference) << "exec_threads=" << threads;
+    }
+  }
+  ASSERT_FALSE(reference.empty());
+}
+
+TEST(ClusterTest, RepeatRunsAreReproducible) {
+  auto run = [] {
+    Fixture fx(2);
+    BlazeCluster cluster = fx.MakeCluster({}, 2, 2);
+    cluster.SetChaosPlan(ParseChaosPlan("burst 1:3; poison 2"));
+    std::vector<ClusterRequest> requests;
+    for (int i = 0; i < 16; ++i) {
+      requests.push_back(Req(8, 100.0 * i, "default", 8 * i));
+    }
+    return Canon(cluster.Run(std::move(requests)));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --------------------------------------------------------------- shedding
+
+TEST(ClusterTest, QueueCapacityShedsDeterministically) {
+  Fixture fx(1);
+  ClusterOptions options;
+  options.queue_capacity = 4;
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  std::vector<ClusterRequest> requests;
+  for (int i = 0; i < 32; ++i) requests.push_back(Req(8, 0, "default", 8 * i));
+  auto outcomes = cluster.Run(std::move(requests));
+  std::size_t shed = 0;
+  for (const auto& o : outcomes) {
+    if (o.outcome == ClusterServe::kRejectedFull) {
+      ++shed;
+      EXPECT_EQ(o.output.num_records(), 0u);
+      EXPECT_DOUBLE_EQ(o.latency_us, 0.0);
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(cluster.stats().rejected_full, shed);
+  EXPECT_EQ(cluster.stats().completed + shed, 32u);
+}
+
+}  // namespace
+}  // namespace s2fa::blaze

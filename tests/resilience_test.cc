@@ -506,6 +506,39 @@ TEST(JournalTest, PersistsAndResumes) {
   std::remove(path.c_str());
 }
 
+TEST(JournalTest, AppendAfterTornTailStaysRecoverable) {
+  const std::string path =
+      testing::TempDir() + "s2fa_journal_torn_tail_test.jsonl";
+  std::remove(path.c_str());
+  {
+    EvalJournal journal;
+    journal.Open(path);
+    journal.Record("p0|a", GoodOutcome(1.0, 2.0));
+  }
+  // A kill mid-append tears the final line AND drops its newline.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\":\"p0|b\",\"feas";
+  }
+  {
+    // Resume must seal the torn tail so this record lands on its own line
+    // instead of gluing onto the garbage (which would lose both).
+    EvalJournal journal;
+    journal.Open(path);
+    EXPECT_EQ(journal.resumed(), 1u);
+    journal.Record("p0|c", GoodOutcome(5.0, 6.0));
+  }
+  EvalJournal resumed;
+  resumed.Open(path);
+  EXPECT_EQ(resumed.resumed(), 2u);
+  EXPECT_TRUE(resumed.Find("p0|a").has_value());
+  EXPECT_FALSE(resumed.Find("p0|b").has_value());
+  auto found = resumed.Find("p0|c");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->cost, 5.0);
+  std::remove(path.c_str());
+}
+
 TEST(JournalTest, OpenThrowsOnUnwritablePath) {
   EvalJournal journal;
   EXPECT_THROW(journal.Open("/nonexistent-dir/journal.jsonl"), Error);

@@ -450,5 +450,63 @@ TEST(ServiceTest, ParseFaultBurstSyntax) {
   EXPECT_FALSE(injector("r0", 5, 0));
 }
 
+TEST(ServiceTest, ParseFaultBurstsListSyntax) {
+  EXPECT_TRUE(ParseFaultBursts("").empty());
+  EXPECT_TRUE(ParseFaultBursts("  \t ").empty());
+  // Windows come back sorted by start regardless of input order.
+  auto bursts = ParseFaultBursts(" 10:5 , 2:3 ");
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].start, 2u);
+  EXPECT_EQ(bursts[0].length, 3u);
+  EXPECT_EQ(bursts[1].start, 10u);
+  EXPECT_EQ(bursts[1].length, 5u);
+  EXPECT_THROW(ParseFaultBursts("10"), MalformedInput);
+  EXPECT_THROW(ParseFaultBursts("10:5,"), MalformedInput);
+  EXPECT_THROW(ParseFaultBursts("10:5,a:b"), MalformedInput);
+  EXPECT_THROW(ParseFaultBursts("10:0"), MalformedInput);
+  // Overlaps would double-inject: rejected, not merged.
+  EXPECT_THROW(ParseFaultBursts("2:4,5:2"), MalformedInput);
+  EXPECT_THROW(ParseFaultBursts("2:4,2:4"), MalformedInput);
+  EXPECT_NO_THROW(ParseFaultBursts("2:3,5:2"));  // adjacent is fine
+
+  AccelFaultInjector injector =
+      MakeBurstFaultInjector(ParseFaultBursts("1:2,6:1"));
+  ASSERT_NE(injector, nullptr);
+  EXPECT_FALSE(injector("r0", 0, 0));
+  EXPECT_TRUE(injector("r0", 1, 0));
+  EXPECT_TRUE(injector("r0", 2, 0));
+  EXPECT_FALSE(injector("r0", 3, 0));
+  EXPECT_TRUE(injector("r0", 6, 0));
+  EXPECT_EQ(MakeBurstFaultInjector(ParseFaultBursts("")), nullptr);
+}
+
+TEST(ServiceTest, CountHealthTracksReplicaStates) {
+  Fixture fx(2);
+  ServiceOptions options;
+  options.quarantine_consecutive = 2;
+  BlazeService service = fx.MakeService(options, 2);
+  ReplicaHealthCounts counts = service.CountHealth("doubler", 0);
+  EXPECT_EQ(counts.healthy, 2u);
+  EXPECT_EQ(counts.degraded, 0u);
+  EXPECT_EQ(counts.quarantined, 0u);
+  EXPECT_EQ(counts.live(), 2u);
+  // Hammer every invocation with faults until both replicas quarantine.
+  service.SetFaultInjector(
+      [](const std::string&, std::size_t, int) { return true; });
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 16; ++i) requests.push_back(Req(8, i * 10.0));
+  service.Run(std::move(requests));
+  counts = service.CountHealth("doubler", service.clock_us());
+  EXPECT_EQ(counts.live() + counts.quarantined, 2u);
+  EXPECT_GT(counts.quarantined, 0u);
+  if (counts.quarantined > 0 && counts.probe_ready == 0) {
+    // A future probe must be scheduled; far enough out it becomes ready.
+    EXPECT_GT(counts.next_probe_us, service.clock_us());
+    ReplicaHealthCounts later =
+        service.CountHealth("doubler", counts.next_probe_us);
+    EXPECT_GT(later.probe_ready, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace s2fa::blaze

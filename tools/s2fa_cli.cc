@@ -25,8 +25,9 @@
 //       batches retry once and then degrade to the host path.
 //   s2fa serve <app> [--replicas N] [--requests N] [--records N] [--seed N]
 //                    [--serve-queue N] [--hedge-quantile Q]
-//                    [--quarantine-window N] [--fault-burst START:LEN]
-//                    [--exec-threads N]
+//                    [--quarantine-window N] [--fault-burst START:LEN[,..]]
+//                    [--exec-threads N] [--shards N]
+//                    [--tenants NAME:WEIGHT[:QUOTA],..] [--chaos-plan PLAN]
 //       Build the accelerator, register N replicas behind the BlazeService
 //       serving layer, and replay a request stream against the simulated
 //       clock: bounded admission queue, per-replica health tracking with
@@ -34,6 +35,13 @@
 //       --fault-burst fails every accelerator attempt whose per-replica
 //       invocation counter falls in [START, START+LEN); outputs are
 //       cross-checked against the native reference.
+//       --shards N serves through BlazeCluster instead: replicas spread
+//       round-robin over N fault domains, with micro-batching, failover,
+//       and weighted-fair tenancy. --tenants declares tenants (relative
+//       weight, optional queued quota) and assigns requests round-robin;
+//       --chaos-plan runs a scripted fault schedule (see blaze/chaos.h
+//       for the grammar). Cluster runs print a per-tenant fairness table
+//       and keep the per-request reference cross-check.
 //   s2fa report <metrics.json>
 //       Render a metrics summary (written by --metrics-out) as tables.
 //   s2fa profile <app> [--minutes N] [--seed N] [--records N] [--top N]
@@ -54,9 +62,10 @@
 // and dump the span trace / aggregated summary), --log-level LEVEL.
 // Environment: S2FA_EVAL_TIMEOUT, S2FA_EVAL_RETRIES, S2FA_RESUME_JOURNAL,
 // S2FA_FAULT_RATE and S2FA_EVAL_CACHE mirror the evaluation-stack flags;
-// S2FA_SERVE_QUEUE, S2FA_HEDGE_QUANTILE, S2FA_QUARANTINE_WINDOW and
-// S2FA_FAULT_BURST mirror the serving knobs; S2FA_PROFILE_OUT and
-// S2FA_PERF_THRESHOLD mirror the profiler knobs (flags win).
+// S2FA_SERVE_QUEUE, S2FA_HEDGE_QUANTILE, S2FA_QUARANTINE_WINDOW,
+// S2FA_FAULT_BURST, S2FA_SHARDS, S2FA_TENANTS and S2FA_CHAOS_PLAN mirror
+// the serving knobs; S2FA_PROFILE_OUT and S2FA_PERF_THRESHOLD mirror the
+// profiler knobs (flags win).
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -64,6 +73,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -72,6 +82,7 @@
 #include "apps/app.h"
 #include "apps/jvm_baseline.h"
 #include "cache/eval_cache.h"
+#include "blaze/cluster.h"
 #include "blaze/runtime.h"
 #include "blaze/service.h"
 #include "kir/printer.h"
@@ -143,7 +154,10 @@ int Usage() {
                "--seed N --minutes N\n"
                "                 --serve-queue N --hedge-quantile Q "
                "--quarantine-window N\n"
-               "                 --fault-burst START:LEN --exec-threads N\n"
+               "                 --fault-burst START:LEN[,..] "
+               "--exec-threads N\n"
+               "                 --shards N --tenants NAME:WEIGHT[:QUOTA],.. "
+               "--chaos-plan PLAN\n"
                "  report:        s2fa report <metrics.json>\n"
                "  profile flags: --minutes N --seed N --records N --top N "
                "--profile-out FILE\n"
@@ -155,8 +169,9 @@ int Usage() {
                "S2FA_RESUME_JOURNAL S2FA_FAULT_RATE S2FA_EVAL_CACHE\n"
                "                 S2FA_SCHEDULER S2FA_SERVE_QUEUE "
                "S2FA_HEDGE_QUANTILE S2FA_QUARANTINE_WINDOW\n"
-               "                 S2FA_FAULT_BURST S2FA_PROFILE_OUT "
-               "S2FA_PERF_THRESHOLD\n");
+               "                 S2FA_FAULT_BURST S2FA_SHARDS S2FA_TENANTS "
+               "S2FA_CHAOS_PLAN\n"
+               "                 S2FA_PROFILE_OUT S2FA_PERF_THRESHOLD\n");
   return 2;
 }
 
@@ -485,10 +500,54 @@ std::optional<double> ParseDoubleStrict(const std::string& text) {
 // Serving knobs resolved environment-first (flags win), each validated
 // fail-fast in the same style as the evaluation-stack knobs. Returns
 // false after printing the offending knob.
+struct TenantSpec {
+  std::string name;
+  double weight = 1.0;
+  std::size_t quota = 0;
+};
+
 struct ServeKnobs {
   blaze::ServiceOptions options;
-  std::optional<blaze::FaultBurst> burst;
+  std::vector<blaze::FaultBurst> bursts;
+  std::size_t shards = 0;  // 0 = single-service mode
+  std::vector<TenantSpec> tenants;
+  blaze::ChaosPlan chaos;
+  bool has_chaos = false;
 };
+
+// NAME:WEIGHT[:QUOTA], comma-separated; rejects duplicates and weight <= 0.
+bool ParseTenantSpecs(const std::string& text,
+                      std::vector<TenantSpec>& tenants) {
+  std::stringstream stream(text);
+  std::string piece;
+  while (std::getline(stream, piece, ',')) {
+    const std::string entry(Trim(piece));
+    if (entry.empty()) return false;
+    const std::size_t first = entry.find(':');
+    if (first == std::string::npos) return false;
+    TenantSpec spec;
+    spec.name = entry.substr(0, first);
+    if (spec.name.empty()) return false;
+    const std::size_t second = entry.find(':', first + 1);
+    const std::string weight_text =
+        entry.substr(first + 1, second == std::string::npos
+                                    ? std::string::npos
+                                    : second - first - 1);
+    auto weight = ParseDoubleStrict(weight_text);
+    if (!weight || *weight <= 0) return false;
+    spec.weight = *weight;
+    if (second != std::string::npos) {
+      auto quota = ParseSizeStrict(entry.substr(second + 1));
+      if (!quota) return false;
+      spec.quota = *quota;
+    }
+    for (const TenantSpec& existing : tenants) {
+      if (existing.name == spec.name) return false;
+    }
+    tenants.push_back(std::move(spec));
+  }
+  return !tenants.empty();
+}
 
 bool ResolveServeKnobs(const Args& args, ServeKnobs& knobs) {
   auto resolve = [&](const char* env_name, const char* flag,
@@ -535,14 +594,53 @@ bool ResolveServeKnobs(const Args& args, ServeKnobs& knobs) {
   }
   text.clear();
   if (resolve("S2FA_FAULT_BURST", "fault-burst", text)) {
-    knobs.burst = blaze::ParseFaultBurst(text);
-    if (!knobs.burst) {
+    try {
+      knobs.bursts = blaze::ParseFaultBursts(text);
+    } catch (const MalformedInput& e) {
       std::fprintf(stderr,
                    "error: --fault-burst/S2FA_FAULT_BURST expects "
-                   "START:LEN (e.g. 4:3), got '%s'\n",
+                   "non-overlapping START:LEN windows (e.g. 4:3,10:2): %s\n",
+                   e.what());
+      return false;
+    }
+  }
+  text.clear();
+  if (resolve("S2FA_SHARDS", "shards", text)) {
+    auto shards = ParseSizeStrict(text);
+    if (!shards || *shards == 0) {
+      std::fprintf(stderr,
+                   "error: --shards/S2FA_SHARDS expects an integer >= 1, "
+                   "got '%s'\n",
                    text.c_str());
       return false;
     }
+    knobs.shards = *shards;
+  }
+  text.clear();
+  if (resolve("S2FA_TENANTS", "tenants", text)) {
+    if (!ParseTenantSpecs(text, knobs.tenants)) {
+      std::fprintf(stderr,
+                   "error: --tenants/S2FA_TENANTS expects unique "
+                   "NAME:WEIGHT[:QUOTA] entries with weight > 0, got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+  }
+  text.clear();
+  if (resolve("S2FA_CHAOS_PLAN", "chaos-plan", text)) {
+    try {
+      knobs.chaos = blaze::ParseChaosPlan(text);
+      knobs.has_chaos = true;
+    } catch (const MalformedInput& e) {
+      std::fprintf(stderr, "error: --chaos-plan/S2FA_CHAOS_PLAN: %s\n",
+                   e.what());
+      return false;
+    }
+  }
+  if ((knobs.has_chaos || !knobs.tenants.empty()) && knobs.shards == 0) {
+    // Chaos schedules and tenancy are cluster features; default to one
+    // fault domain rather than silently ignoring them.
+    knobs.shards = 1;
   }
   const int exec_threads = static_cast<int>(args.Num("exec-threads", 1));
   if (exec_threads < 1) {
@@ -551,6 +649,173 @@ bool ResolveServeKnobs(const Args& args, ServeKnobs& knobs) {
   }
   knobs.options.exec_threads = exec_threads;
   return true;
+}
+
+// Serves the request stream through BlazeCluster: replicas spread
+// round-robin over `knobs.shards` fault domains, requests assigned to the
+// declared tenants round-robin, optional scripted chaos. Prints the
+// cluster ledger plus a per-tenant fairness table; exit 0 only when
+// nothing was lost and every served output matches the native reference.
+int ServeThroughCluster(apps::App& app, ServeKnobs& knobs,
+                        blaze::BlazeRuntime& runtime,
+                        const std::vector<std::string>& ids, int requests,
+                        std::size_t records, std::uint64_t seed) {
+  blaze::ClusterOptions coptions;
+  coptions.shard_options = knobs.options;
+  coptions.exec_threads = knobs.options.exec_threads;
+  coptions.seed = knobs.options.seed;
+  coptions.queue_capacity = knobs.options.queue_capacity;
+  blaze::BlazeCluster cluster(runtime, coptions);
+  for (std::size_t s = 0; s < knobs.shards; ++s) cluster.AddShard();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    cluster.AddReplica(i % knobs.shards, app.name, ids[i]);
+  }
+  std::vector<std::string> tenant_names;
+  for (const TenantSpec& spec : knobs.tenants) {
+    cluster.AddTenant(spec.name, spec.weight, spec.quota);
+    tenant_names.push_back(spec.name);
+  }
+  if (tenant_names.empty()) tenant_names.push_back("default");
+
+  Rng rng(seed);
+  blaze::Dataset broadcast;
+  const blaze::Dataset* bc = nullptr;
+  if (app.make_broadcast) {
+    Rng brng(seed ^ 0xBCA57ULL);
+    broadcast = app.make_broadcast(brng);
+    bc = &broadcast;
+  }
+  // --fault-burst windows become unscoped chaos bursts (every shard).
+  for (const blaze::FaultBurst& burst : knobs.bursts) {
+    blaze::ChaosBurst chaos_burst;
+    chaos_burst.window = burst;
+    knobs.chaos.bursts.push_back(chaos_burst);
+    knobs.has_chaos = true;
+  }
+  if (knobs.has_chaos) {
+    try {
+      cluster.SetChaosPlan(knobs.chaos);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: --chaos-plan/S2FA_CHAOS_PLAN: %s\n",
+                   e.what());
+      return 2;
+    }
+    // Floods draw from the same workload generator on a disjoint stream.
+    auto flood_rng = std::make_shared<Rng>(seed ^ 0xF100DULL);
+    cluster.SetFloodGenerator(
+        [&app, bc, records, flood_rng](std::size_t) {
+          blaze::ClusterRequest rq;
+          rq.kernel = app.name;
+          rq.input = app.make_input(records, *flood_rng);
+          rq.broadcast = bc;
+          return rq;
+        });
+  }
+
+  // Open-loop arrivals near the full cluster's service rate.
+  const blaze::ExecutionStats per = runtime.PerInvocationCost(ids.front());
+  const auto batch = static_cast<std::size_t>(
+      runtime.manager().Get(ids.front()).plan.batch);
+  const double request_us =
+      static_cast<double>(std::max<std::size_t>(
+          1, (records + batch - 1) / batch)) *
+      per.total_us;
+  const double spacing_us =
+      0.8 * request_us / static_cast<double>(ids.size());
+  std::vector<blaze::ClusterRequest> stream;
+  std::vector<blaze::Dataset> expected;
+  double arrival = 0;
+  for (int i = 0; i < requests; ++i) {
+    blaze::ClusterRequest rq;
+    rq.kernel = app.name;
+    rq.input = app.make_input(records, rng);
+    rq.broadcast = bc;
+    rq.arrival_us = arrival;
+    rq.tenant = tenant_names[static_cast<std::size_t>(i) %
+                             tenant_names.size()];
+    arrival += spacing_us * rng.NextDouble(0.5, 1.5);
+    expected.push_back(app.reference(rq.input, bc));
+    stream.push_back(std::move(rq));
+  }
+  std::vector<blaze::ClusterRequestOutcome> outcomes =
+      cluster.Run(std::move(stream));
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const blaze::ClusterRequestOutcome& o = outcomes[i];
+    if (o.outcome == blaze::ClusterServe::kRejectedFull ||
+        o.outcome == blaze::ClusterServe::kTenantThrottled) {
+      continue;
+    }
+    for (std::size_t c = 0; c < expected[i].num_columns(); ++c) {
+      const blaze::Column& want = expected[i].column(c);
+      const blaze::Column& got = o.output.ColumnByField(want.field);
+      for (std::size_t n = 0; n < want.data.size(); ++n) {
+        double w = want.data[n].is_float() ? want.data[n].AsFloat()
+                   : want.data[n].is_double()
+                       ? want.data[n].AsDouble()
+                       : static_cast<double>(want.data[n].AsInt());
+        double g = got.data[n].is_float() ? got.data[n].AsFloat()
+                   : got.data[n].is_double()
+                       ? got.data[n].AsDouble()
+                       : static_cast<double>(got.data[n].AsInt());
+        if (std::fabs(g - w) > 1e-4 * std::max(1.0, std::fabs(w))) {
+          ++mismatches;
+        }
+      }
+    }
+  }
+
+  const blaze::ClusterStats& s = cluster.stats();
+  const std::size_t lost =
+      s.submitted - s.completed - s.rejected_full - s.tenant_throttled;
+  std::printf("cluster serving %d requests x %zu records on %zu shard%s "
+              "(%zu replicas, queue %zu, batch <= %zu, %d exec threads)\n",
+              requests, records, knobs.shards, knobs.shards == 1 ? "" : "s",
+              ids.size(), coptions.queue_capacity,
+              coptions.batch_max_requests, coptions.exec_threads);
+  std::printf("admitted:  %zu/%zu (%zu rejected at the gate, %zu tenant "
+              "throttled), max queue depth %zu\n",
+              s.admitted, s.submitted, s.rejected_full, s.tenant_throttled,
+              s.max_queue_depth);
+  std::printf("completed: %zu (%zu accelerator, %zu host, %zu hedged "
+              "host), %zu lost\n",
+              s.completed, s.completed_accel, s.completed_host,
+              s.completed_hedge, lost);
+  std::printf("batching:  %zu batches, %zu members, max batch %zu\n",
+              s.batches, s.batched_requests, s.max_batch);
+  std::printf("latency:   p50 %.0f / p95 %.0f / p99 %.0f us\n",
+              s.LatencyQuantile(0.5), s.LatencyQuantile(0.95),
+              s.LatencyQuantile(0.99));
+  if (s.failovers > 0 || s.bisect_attempts > 0 || s.flood_injected > 0) {
+    std::printf("chaos:     %zu failovers, %zu redirects (%zu exhausted), "
+                "%zu bisect attempts, %zu poison isolated, %zu flood "
+                "requests, %zu commit conflicts\n",
+                s.failovers, s.redirects, s.redirect_exhausted,
+                s.bisect_attempts, s.poison_isolated, s.flood_injected,
+                s.commit_conflicts);
+  }
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    const blaze::ShardStats& shard = s.shards[i];
+    std::printf("shard %zu:   %zu batches, %zu requests, %zu kills, %zu "
+                "restarts, %.1f ms busy (%.1f ms wasted)\n",
+                i, shard.batches, shard.requests, shard.kills,
+                shard.restarts, shard.busy_us / 1e3, shard.wasted_us / 1e3);
+  }
+  TextTable table({"Tenant", "Weight", "Quota", "Submitted", "Admitted",
+                   "Throttled", "Completed", "Records", "p50 us", "p99 us"});
+  for (const auto& [name, ts] : s.tenants) {
+    table.AddRow({name, FormatDouble(ts.weight, 1),
+                  ts.quota == 0 ? "-" : std::to_string(ts.quota),
+                  std::to_string(ts.submitted), std::to_string(ts.admitted),
+                  std::to_string(ts.throttled), std::to_string(ts.completed),
+                  std::to_string(ts.records_completed),
+                  FormatDouble(ts.LatencyQuantile(0.5), 0),
+                  FormatDouble(ts.LatencyQuantile(0.99), 0)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("mismatches vs reference: %zu\n", mismatches);
+  return (lost == 0 && mismatches == 0) ? 0 : 1;
 }
 
 int CmdServe(apps::App& app, const Args& args) {
@@ -582,12 +847,18 @@ int CmdServe(apps::App& app, const Args& args) {
     ids.push_back(app.name + "#" + std::to_string(i));
     RegisterWithBlaze(runtime, ids.back(), artifact);
   }
+  if (knobs.shards > 0) {
+    return ServeThroughCluster(app, knobs, runtime, ids, requests, records,
+                               seed);
+  }
   blaze::BlazeService service(runtime, knobs.options);
   for (const std::string& id : ids) service.AddReplica(app.name, id);
-  if (knobs.burst) {
-    service.SetFaultInjector(blaze::MakeBurstFaultInjector(*knobs.burst));
-    std::printf("fault burst: per-replica invocations [%zu, %zu) fail\n",
-                knobs.burst->start, knobs.burst->start + knobs.burst->length);
+  if (!knobs.bursts.empty()) {
+    service.SetFaultInjector(blaze::MakeBurstFaultInjector(knobs.bursts));
+    for (const blaze::FaultBurst& burst : knobs.bursts) {
+      std::printf("fault burst: per-replica invocations [%zu, %zu) fail\n",
+                  burst.start, burst.start + burst.length);
+    }
   }
 
   Rng rng(seed);
