@@ -181,6 +181,12 @@ void ValidateBursts(const ChaosPlan& plan) {
 void ValidateSpikes(const ChaosPlan& plan) {
   std::vector<std::pair<double, double>> windows;
   for (const ChaosSpike& spike : plan.spikes) {
+    if (spike.factor <= 1.0 || !std::isfinite(spike.factor)) {
+      throw MalformedInput("chaos plan: spike factor must be > 1 and finite");
+    }
+    if (spike.duration_us <= 0 || !std::isfinite(spike.duration_us)) {
+      throw MalformedInput("chaos plan: spike duration must be > 0");
+    }
     windows.emplace_back(spike.start_us, spike.start_us + spike.duration_us);
   }
   std::sort(windows.begin(), windows.end());
@@ -284,14 +290,35 @@ ChaosPlan ParseChaosPlan(const std::string& text) {
   flush();
 
   std::sort(plan.poison_ids.begin(), plan.poison_ids.end());
+  ValidateChaosPlan(plan);
+  return plan;
+}
+
+void ValidateChaosPlan(const ChaosPlan& plan) {
+  if (!std::is_sorted(plan.poison_ids.begin(), plan.poison_ids.end())) {
+    throw MalformedInput("chaos plan: poison ids must be sorted");
+  }
   if (std::adjacent_find(plan.poison_ids.begin(), plan.poison_ids.end()) !=
       plan.poison_ids.end()) {
     throw MalformedInput("chaos plan: duplicate poison request id");
   }
+  if (plan.poison_rate < 0 || plan.poison_rate > 1.0 ||
+      !std::isfinite(plan.poison_rate)) {
+    throw MalformedInput("chaos plan: poison rate must be in [0, 1]");
+  }
+  for (const ChaosBurst& burst : plan.bursts) {
+    if (burst.window.length == 0) {
+      throw MalformedInput("chaos plan: burst length must be >= 1");
+    }
+  }
+  for (const ChaosFlood& flood : plan.floods) {
+    if (flood.requests == 0) {
+      throw MalformedInput("chaos plan: flood request count must be >= 1");
+    }
+  }
   ValidateLifecycle(plan);
   ValidateBursts(plan);
   ValidateSpikes(plan);
-  return plan;
 }
 
 bool IsPoisoned(const ChaosPlan& plan, std::size_t request_id) {

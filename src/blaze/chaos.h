@@ -93,6 +93,15 @@ struct ChaosPlan {
 // empty/whitespace-only string parses to an empty plan.
 ChaosPlan ParseChaosPlan(const std::string& text);
 
+// Structural validation shared by the parser and programmatically built
+// plans: per-shard kill/restart alternation in time order, burst/spike
+// window overlap, spike factor/duration sanity, sorted-unique poison ids,
+// rate in [0, 1]. Throws MalformedInput. ChaosPlan is a public struct, so
+// BlazeCluster::SetChaosPlan re-runs this rather than trusting that the
+// plan came from ParseChaosPlan — a hand-built plan with, say, a restart
+// before its kill fails fast instead of installing inverted dead windows.
+void ValidateChaosPlan(const ChaosPlan& plan);
+
 // Whether `request_id` is poisoned under `plan` (explicit id or hash roll).
 // Stateless, so the verdict is identical across exec-thread counts.
 bool IsPoisoned(const ChaosPlan& plan, std::size_t request_id);

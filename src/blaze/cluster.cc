@@ -266,6 +266,10 @@ double BlazeCluster::DetectUs(const KernelInfo& info,
 }
 
 void BlazeCluster::SetChaosPlan(ChaosPlan plan) {
+  // ChaosPlan is a public struct: re-validate instead of trusting that it
+  // came from ParseChaosPlan (the dead-window pairing below relies on the
+  // per-shard kill/restart alternation this enforces).
+  ValidateChaosPlan(plan);
   for (const ChaosKill& kill : plan.kills) {
     S2FA_REQUIRE(kill.shard < shards_.size(),
                  "chaos plan kills unknown shard " << kill.shard);
@@ -302,7 +306,7 @@ void BlazeCluster::SetChaosPlan(ChaosPlan plan) {
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
     auto& timeline = per_shard[s];
     std::sort(timeline.begin(), timeline.end());
-    // The parser validated alternation: kill, restart, kill, ...
+    // ValidateChaosPlan enforced alternation: kill, restart, kill, ...
     for (std::size_t i = 0; i < timeline.size(); i += 2) {
       const double kill_at = timeline[i].first;
       const double restart_at =
@@ -384,10 +388,21 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
   S2FA_REQUIRE(floods_pending_.empty() || flood_generator_,
                "chaos plan has floods but no flood generator is installed");
 
+  // Tenant queues hold indices into this drain's slots vector. A slot
+  // committed by a winning hedge while still queued is popped lazily
+  // (clean_head), so entries can survive the drain — left in place they
+  // would alias (or overrun) the next drain's slots. Reset them.
+  for (auto& [name, tenant] : tenants_) {
+    tenant.queue.clear();
+    tenant.queued = 0;
+  }
+
   // ---- materialize this drain's slots (real, then in-horizon floods)
   std::vector<Slot> slots;
   slots.reserve(backlog_.size());
-  double horizon = -kInf;
+  // Floods are due once the cluster clock (or any real arrival) passes
+  // them, so an empty drain still materializes already-due floods.
+  double horizon = clock_us_;
   for (auto& request : backlog_) {
     Slot slot;
     slot.id = next_id_++;
@@ -423,6 +438,15 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
   if (injected > 0) {
     S2FA_COUNT("blaze.cluster.flood_injected",
                static_cast<std::int64_t>(injected));
+  }
+  if (!floods_pending_.empty()) {
+    // Never silent: a flood gate that measured zero injected requests
+    // should be visible in the log, not mistaken for surviving the flood.
+    S2FA_LOG_WARN("cluster: " << floods_pending_.size()
+                              << " scheduled flood request(s) fall past this "
+                                 "drain's horizon; they stay pending until a "
+                                 "later drain reaches t="
+                              << floods_pending_.front().at_us << " us");
   }
   if (!plan_.Empty()) {
     for (Slot& slot : slots) slot.poisoned = IsPoisoned(plan_, slot.id);
@@ -638,7 +662,9 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
     // the crash-detect round trip on a virtual probe lane (cursor); clean
     // nodes dispatch to the service at the cursor where they were proven
     // clean. Poison singletons degrade to the host path after their final
-    // failed attempt.
+    // failed attempt. The cursor runs on the raw (unspiked) timeline —
+    // like the service completions below — so the spike factor is applied
+    // exactly once, when raw offsets convert to absolute times.
     struct CleanNode {
       double arrival_us = 0;
       std::vector<std::size_t> members;
@@ -668,7 +694,7 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
         ++burn_count;
         std::size_t node_records = 0;
         for (std::size_t index : node) node_records += records_of(index);
-        cursor += spike * DetectUs(info, node_records);
+        cursor += DetectUs(info, node_records);
         if (node.size() == 1) {
           poison_exits.push_back({node.front(), cursor});
         } else {
@@ -682,16 +708,17 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
 
     // Kill pre-check: conservative single-lane fault-free estimate. A kill
     // inside the window means the shard dies before acking the batch — the
-    // whole batch requeues at the kill, nothing is committed from it.
+    // whole batch requeues at the kill, nothing is committed from it. The
+    // estimate is raw; the spike scales the whole window once.
     double clean_accel_us = 0;
     for (const CleanNode& node : clean) {
       std::size_t node_records = 0;
       for (std::size_t index : node.members) node_records += records_of(index);
-      clean_accel_us += spike * static_cast<double>(InvocationsFor(
-                                    info, node_records)) *
+      clean_accel_us += static_cast<double>(InvocationsFor(
+                            info, node_records)) *
                         info.accel_us_per_invocation;
     }
-    if (kill_at < cursor + clean_accel_us) {
+    if (kill_at < t + spike * (cursor - t + clean_accel_us)) {
       ++stats_.failovers;
       S2FA_COUNT("blaze.cluster.failovers", 1);
       sstats.wasted_us += kill_at - t;
@@ -722,12 +749,16 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
       rec.batch_size = 1;
       rec.dispatch_us = t;
       commits.push_back(std::move(rec));
-      push_event(exit.burn_end_us +
+      // burn_end_us is a raw offset; the spike dilates the burn window
+      // once. The host execution after the final failed attempt runs off
+      // the congested interconnect, so it is not dilated.
+      push_event(t + spike * (exit.burn_end_us - t) +
                      HostUs(info, records_of(exit.slot)),
                  Event::kCommit, commits.size() - 1);
     }
 
     double busy_raw = cursor;  // burns occupy the virtual probe lane
+    double busy_cap_us = kInf;  // absolute-time cap (kill interruption)
     if (!clean.empty()) {
       std::vector<ServiceRequest> service_requests;
       service_requests.reserve(clean.size());
@@ -783,9 +814,19 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
         std::size_t row = 0;
         for (std::size_t index : node.members) {
           Slot& slot = slots[index];
-          const std::size_t count = slot.request.input.num_records();
-          slot.output = SliceRecords(out.output, row, count);
-          row += count;
+          if (info.pattern == kir::ParallelPattern::kReduce) {
+            // A reduce collapses its whole batch to one output record;
+            // slicing by the input record count would read past it. Reduce
+            // batches are singletons (form_batch caps them at 1), so the
+            // lone member owns the service output unsliced.
+            S2FA_CHECK(node.members.size() == 1,
+                       "reduce batches must be singletons");
+            slot.output = std::move(out.output);
+          } else {
+            const std::size_t count = slot.request.input.num_records();
+            slot.output = SliceRecords(out.output, row, count);
+            row += count;
+          }
           CommitRec rec;
           rec.slot = index;
           rec.outcome = mapped;
@@ -804,11 +845,12 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
         sstats.wasted_us += std::max(0.0, kill_at - t);
         requeues.push_back({std::move(interrupted)});
         push_event(kill_at, Event::kRequeue, requeues.size() - 1);
-        busy_raw = std::min(busy_raw, kill_at);
+        busy_cap_us = kill_at;  // the shard is dead past the kill
       }
     }
 
-    const double busy_until = std::max(t, t + spike * (busy_raw - t));
+    const double busy_until =
+        std::min(busy_cap_us, std::max(t, t + spike * (busy_raw - t)));
     shard.busy_until_us = busy_until;
     sstats.busy_us += busy_until - t;
     ++sstats.batches;

@@ -181,6 +181,22 @@ TEST(ChaosPlanTest, RejectsMalformedSchedules) {
   EXPECT_NO_THROW(ParseChaosPlan("burst 0:4 @ 0; burst 0:4 @ 1"));
 }
 
+TEST(ChaosPlanTest, ValidateRejectsHandBuiltInvalidPlans) {
+  // ChaosPlan is a public struct: plans that never went through the
+  // parser must fail the same structural checks.
+  ChaosPlan inverted;
+  inverted.restarts.push_back({0, 100.0});  // restart with no prior kill
+  EXPECT_THROW(ValidateChaosPlan(inverted), MalformedInput);
+  ChaosPlan unsorted;
+  unsorted.poison_ids = {5, 3};
+  EXPECT_THROW(ValidateChaosPlan(unsorted), MalformedInput);
+  ChaosPlan shrink;
+  shrink.spikes.push_back({0.5, 0, 100.0});  // factor <= 1 shrinks time
+  EXPECT_THROW(ValidateChaosPlan(shrink), MalformedInput);
+  ChaosPlan ok = ParseChaosPlan("kill 0 @ 1ms; restart 0 @ 2ms; poison 3, 5");
+  EXPECT_NO_THROW(ValidateChaosPlan(ok));
+}
+
 TEST(ChaosPlanTest, PoisonVerdictIsStateless) {
   ChaosPlan plan = ParseChaosPlan("poison 3; poison-rate 0.2 / 7");
   EXPECT_TRUE(IsPoisoned(plan, 3));
@@ -209,6 +225,10 @@ TEST(ClusterTest, ValidatesTopologyAndPlans) {
   EXPECT_THROW(cluster.SetChaosPlan(ParseChaosPlan("kill 5 @ 1ms")), Error);
   EXPECT_THROW(cluster.SetChaosPlan(ParseChaosPlan("flood ghost @ 0 + 1 x 1")),
                Error);
+  // Hand-built plans are re-validated by SetChaosPlan, not trusted.
+  ChaosPlan inverted;
+  inverted.restarts.push_back({0, 100.0});
+  EXPECT_THROW(cluster.SetChaosPlan(inverted), MalformedInput);
   // Floods need a generator by drain time.
   cluster.SetChaosPlan(ParseChaosPlan("flood a @ 0 + 1ms x 3"));
   cluster.Submit(Req(4));
@@ -250,6 +270,80 @@ TEST(ClusterTest, BatchWindowHoldsForLateArrivals) {
   ExpectDoubled(outcomes[0], 8, 0);
   ExpectDoubled(outcomes[1], 8, 8);
   EXPECT_EQ(cluster.stats().batches, 1u);
+}
+
+// -------------------------------------------------------------- reduce
+
+// SumSq reduce kernel: double call(double acc, double x) = acc + x * x
+// (the b2c_test reduce kernel). Reduce outputs one record per request,
+// whatever its input record count — the slicing regression this guards.
+jvm::ClassPool MakeSumSqPool() {
+  jvm::ClassPool pool;
+  Assembler a;
+  a.Load(Type::Double(), 0);
+  a.Load(Type::Double(), 2).Load(Type::Double(), 2).DMul();
+  a.DAdd().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double(), Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("SumSqKernel").AddMethod(
+      jvm::MakeMethod("call", sig, true, 4, a.Finish()));
+  return pool;
+}
+
+b2c::KernelSpec SumSqSpec(std::int64_t batch = 8) {
+  b2c::KernelSpec spec;
+  spec.kernel_name = "sumsq";
+  spec.klass = "SumSqKernel";
+  spec.pattern = kir::ParallelPattern::kReduce;
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"ret", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+TEST(ClusterTest, ReduceRequestsServeUnslicedThroughTheCluster) {
+  BlazeRuntime runtime;
+  jvm::ClassPool pool = MakeSumSqPool();
+  Artifact artifact =
+      BuildWithConfig(pool, SumSqSpec(8), merlin::DesignConfig{});
+  for (int i = 0; i < 2; ++i) {
+    RegisterWithBlaze(runtime, "s" + std::to_string(i), artifact);
+  }
+  ClusterOptions options;
+  options.batch_max_requests = 8;  // reduce must still cap batches at 1
+  BlazeCluster cluster(runtime, options);
+  for (int s = 0; s < 2; ++s) cluster.AddShard();
+  for (int i = 0; i < 2; ++i) {
+    cluster.AddReplica(static_cast<std::size_t>(i % 2), "sumsq",
+                       "s" + std::to_string(i));
+  }
+  std::vector<ClusterRequest> requests;
+  for (int r = 0; r < 6; ++r) {
+    ClusterRequest request;
+    request.kernel = "sumsq";
+    request.input = DoublerInput(16, r);  // multi-record inputs
+    requests.push_back(std::move(request));
+  }
+  auto outcomes = cluster.Run(std::move(requests));
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (int r = 0; r < 6; ++r) {
+    const auto& o = outcomes[static_cast<std::size_t>(r)];
+    EXPECT_FALSE(IsShed(o));
+    EXPECT_EQ(o.batch_size, 1u) << "reduce batched across requests";
+    ASSERT_EQ(o.output.num_records(), 1u);
+    double expect = 0;
+    for (int i = 0; i < 16; ++i) {
+      expect += static_cast<double>(r + i) * (r + i);
+    }
+    EXPECT_DOUBLE_EQ(o.output.ColumnByField("ret").data[0].AsDouble(), expect)
+        << "request " << r;
+  }
+  // The accelerator path — where slicing a 1-record reduce output by the
+  // input count used to read out of bounds — actually served traffic.
+  EXPECT_GT(cluster.stats().completed_accel, 0u);
 }
 
 // ------------------------------------------------------------- failover
@@ -379,6 +473,31 @@ TEST(ClusterTest, CleanBatchesPayNoBisectTax) {
   for (const auto& o : outcomes) EXPECT_FALSE(o.poisoned);
 }
 
+TEST(ClusterTest, SpikeDilatesBisectBurnsLinearly) {
+  // The poison request's completion is dispatch + spike * burn + host
+  // time: linear in the spike factor. A factor that compounded across the
+  // bisect chain (spike^2) would break the equal spacing below.
+  auto poisoned_complete = [](const std::string& plan) {
+    Fixture fx(1);
+    ClusterOptions options;
+    options.batch_max_requests = 8;
+    BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+    cluster.SetChaosPlan(ParseChaosPlan(plan));
+    std::vector<ClusterRequest> requests;
+    for (int i = 0; i < 8; ++i) {
+      requests.push_back(Req(8, 0, "default", 8 * i));
+    }
+    auto outcomes = cluster.Run(std::move(requests));
+    EXPECT_EQ(outcomes[0].outcome, ClusterServe::kHost);  // isolated alone
+    return outcomes[0].complete_us;
+  };
+  const double c1 = poisoned_complete("poison 0");
+  const double c2 = poisoned_complete("poison 0; spike 2 @ 0 + 1s");
+  const double c3 = poisoned_complete("poison 0; spike 3 @ 0 + 1s");
+  ASSERT_GT(c2, c1);  // the spike does slow the burn down
+  EXPECT_NEAR(c3 - c2, c2 - c1, 1e-6 * c3);
+}
+
 // -------------------------------------------------------------- fairness
 
 TEST(ClusterTest, WeightedFairSharesUnderContention) {
@@ -465,6 +584,25 @@ TEST(ClusterTest, ChaosFloodIsThrottledByQuota) {
   EXPECT_EQ(stats.tenants.at("quiet").throttled, 0u);
 }
 
+TEST(ClusterTest, EmptyDrainsMaterializeDueFloods) {
+  Fixture fx(1);
+  BlazeCluster cluster = fx.MakeCluster({}, 1, 1);
+  cluster.AddTenant("noisy", 1.0, 0);
+  cluster.SetChaosPlan(ParseChaosPlan("flood noisy @ 0 + 1us x 4"));
+  cluster.SetFloodGenerator([](std::size_t ordinal) {
+    return Req(8, 0, "ignored", static_cast<int>(8 * ordinal));
+  });
+  // No real traffic at all: the already-due flood request (t=0) must
+  // still inject instead of hanging pending forever.
+  EXPECT_TRUE(cluster.Drain().empty());
+  EXPECT_EQ(cluster.stats().flood_injected, 1u);
+  // Serving it advanced the cluster clock past the rest of the schedule,
+  // so the next (still traffic-less) drain materializes the remainder.
+  EXPECT_TRUE(cluster.Drain().empty());
+  EXPECT_EQ(cluster.stats().flood_injected, 4u);
+  EXPECT_EQ(cluster.stats().completed, 4u);
+}
+
 // ----------------------------------------------------------- exactly-once
 
 TEST(ClusterTest, HedgeVsFailoverCommitsExactlyOnce) {
@@ -488,6 +626,30 @@ TEST(ClusterTest, HedgeVsFailoverCommitsExactlyOnce) {
   EXPECT_EQ(cluster.stats().completed, 12u);
   EXPECT_EQ(cluster.stats().hedges_won + cluster.stats().hedges_cancelled,
             cluster.stats().hedges_launched);
+}
+
+TEST(ClusterTest, HedgedDrainsDoNotLeakQueueStateAcrossDrains) {
+  // A hedge that wins while its request still sits in a tenant queue
+  // leaves the (drain-local) slot index behind; a later drain must not
+  // see it alias — or overrun — its own, smaller slots vector.
+  Fixture fx(1);
+  ClusterOptions options;
+  options.batch_max_requests = 1;  // serialize: later requests wait queued
+  options.queue_hedge_us = 5;      // hedges win while slots are queued
+  BlazeCluster cluster = fx.MakeCluster(options, 1, 1);
+  std::vector<ClusterRequest> first;
+  for (int i = 0; i < 12; ++i) first.push_back(Req(8, 0, "default", 8 * i));
+  auto wave1 = cluster.Run(std::move(first));
+  ASSERT_EQ(wave1.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    ExpectDoubled(wave1[static_cast<std::size_t>(i)], 8, 8 * i);
+  }
+  // The race this guards requires at least one queued hedge win.
+  EXPECT_GT(cluster.stats().hedges_won, 0u);
+  auto wave2 = cluster.Run({Req(8, 0, "default", 96)});
+  ASSERT_EQ(wave2.size(), 1u);
+  ExpectDoubled(wave2[0], 8, 96);
+  EXPECT_EQ(cluster.stats().completed, 13u);
 }
 
 // ------------------------------------------------------------ determinism
