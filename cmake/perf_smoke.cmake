@@ -6,10 +6,14 @@
 # can fail the smoke test; the regression path is proven with a synthetic
 # snapshot whose Merlin entry is doubled.
 #
-# Inputs (all -D): BENCH_BIN CLI_BIN GOLDEN REGRESSED WORK_DIR
+# The committed repo-root micro ledger (COMMITTED) is held to the same
+# bar: it must stay loadable, schema-compatible, and coverage-complete, so
+# a PR can never commit a ledger the gate itself cannot read.
+#
+# Inputs (all -D): BENCH_BIN CLI_BIN GOLDEN REGRESSED COMMITTED WORK_DIR
 cmake_minimum_required(VERSION 3.20)
 
-foreach(var BENCH_BIN CLI_BIN GOLDEN REGRESSED WORK_DIR)
+foreach(var BENCH_BIN CLI_BIN GOLDEN REGRESSED COMMITTED WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "perf_smoke: missing -D${var}=...")
   endif()
@@ -92,6 +96,36 @@ if(NOT reg_rc EQUAL 1)
   message(FATAL_ERROR
           "perf_smoke: perf-diff missed the synthetic regression "
           "(exited ${reg_rc}, wanted 1)")
+endif()
+
+# --- 5. The committed repo-root ledger must parse, carry the same
+# coverage, and diff cleanly against a fresh run (huge threshold again:
+# machines differ; only schema/coverage rot can fail here).
+if(NOT EXISTS "${COMMITTED}")
+  message(FATAL_ERROR "perf_smoke: committed ledger ${COMMITTED} is missing")
+endif()
+file(READ "${COMMITTED}" committed_content)
+foreach(bm
+    BM_InterpreterPerRecord
+    BM_KirEvalPerRecord
+    BM_MerlinTransform
+    BM_HlsEstimateSmallKernel
+    BM_SerializationRoundTrip
+    BM_FullDesignPointEvaluation)
+  string(JSON ns ERROR_VARIABLE json_err
+         GET "${committed_content}" benchmarks ${bm} ns_per_op)
+  if(json_err)
+    message(FATAL_ERROR
+            "perf_smoke: committed ledger is missing ${bm}: ${json_err}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND "${CLI_BIN}" perf-diff "${COMMITTED}" "${LEDGER}"
+          --threshold 1000000
+  RESULT_VARIABLE committed_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT committed_rc EQUAL 0)
+  message(FATAL_ERROR
+          "perf_smoke: perf-diff committed-vs-fresh failed (${committed_rc})")
 endif()
 
 message(STATUS "perf_smoke: ledger valid, gate catches regressions")

@@ -1,5 +1,6 @@
 #include "blaze/serialization.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/error.h"
@@ -18,6 +19,40 @@ std::string FieldOfSource(const std::string& source) {
 
 bool IsBroadcastSource(const std::string& source) {
   return source.rfind("bcast.", 0) == 0;
+}
+
+// Column-to-buffer element conversion for the narrowed-type fallback: a
+// double column feeding a float buffer narrows like the generated C's
+// buffer store would.
+jvm::Value CoerceToElement(const jvm::Type& element, const jvm::Value& v) {
+  auto to_double = [&]() -> double {
+    if (v.is_int()) return v.AsInt();
+    if (v.is_long()) return static_cast<double>(v.AsLong());
+    if (v.is_float()) return v.AsFloat();
+    return v.AsDouble();
+  };
+  auto to_long = [&]() -> std::int64_t {
+    if (v.is_int()) return v.AsInt();
+    if (v.is_long()) return v.AsLong();
+    if (v.is_float()) return static_cast<std::int64_t>(v.AsFloat());
+    return static_cast<std::int64_t>(v.AsDouble());
+  };
+  switch (element.kind()) {
+    case jvm::TypeKind::kFloat:
+      return jvm::Value::OfFloat(static_cast<float>(to_double()));
+    case jvm::TypeKind::kDouble:
+      return jvm::Value::OfDouble(to_double());
+    case jvm::TypeKind::kLong:
+      return jvm::Value::OfLong(to_long());
+    default:
+      return jvm::Value::OfInt(static_cast<std::int32_t>(to_long()));
+  }
+}
+
+// True when `col` values can be block-copied into a buffer of `element`
+// without per-element conversion.
+bool SameElementKind(const jvm::Type& col, const jvm::Type& element) {
+  return col.kind() == element.kind();
 }
 
 }  // namespace
@@ -49,8 +84,12 @@ SerializationPlan MakeSerializationPlan(const kir::Kernel& kernel) {
     entry.is_input = buf.kind == kir::BufferKind::kInput;
     entry.broadcast = entry.is_input && IsBroadcastSource(buf.source_field);
     // A reduce kernel's output buffer holds one result per invocation.
-    entry.per_invocation = !entry.is_input && buf.length == entry.per_task &&
-                           plan.batch > 1;
+    // Classified from the kernel's pattern, not the batch size: a reduce
+    // kernel instantiated with task-loop trip count 1 is still a reduce
+    // (the old `batch > 1` heuristic misfiled it as a map output).
+    entry.per_invocation = !entry.is_input &&
+                           kernel.pattern == kir::ParallelPattern::kReduce &&
+                           buf.length == entry.per_task;
     plan.entries.push_back(std::move(entry));
   }
   S2FA_REQUIRE(!plan.entries.empty(), "kernel has no interface buffers");
@@ -83,14 +122,26 @@ void SerializeBatch(const SerializationPlan& plan, const Dataset& dataset,
                            << col.per_record << ", accelerator expects "
                            << entry.per_task);
     auto& buf = buffers[entry.buffer];
-    buf.assign(static_cast<std::size_t>(plan.batch * entry.per_task),
-               jvm::DefaultValue(entry.element));
     const std::size_t stride = static_cast<std::size_t>(entry.per_task);
-    for (std::size_t r = 0; r < count; ++r) {
-      for (std::size_t e = 0; e < stride; ++e) {
-        buf[r * stride + e] = col.data[(first_record + r) * stride + e];
+    const std::size_t total = static_cast<std::size_t>(plan.batch) * stride;
+    const std::size_t used = count * stride;
+    buf.resize(total);
+    const jvm::Value* src = col.data.data() + first_record * stride;
+    if (SameElementKind(col.element, entry.element)) {
+      // Zero-copy fast path: the record range is one contiguous slice of
+      // the column (records are `stride` consecutive elements), and Value
+      // is trivially copyable, so the whole batch is a single block copy.
+      std::copy_n(src, used, buf.data());
+    } else {
+      // Narrowed-type fallback: per-element conversion to the buffer's
+      // element kind.
+      for (std::size_t e = 0; e < used; ++e) {
+        buf[e] = CoerceToElement(entry.element, src[e]);
       }
     }
+    // Short final batches are zero-padded to the full batch size.
+    std::fill(buf.begin() + static_cast<std::ptrdiff_t>(used), buf.end(),
+              jvm::DefaultValue(entry.element));
   }
 }
 
@@ -105,18 +156,27 @@ void DeserializeBatch(const SerializationPlan& plan,
                  "missing output buffer " << entry.buffer);
     Column& col = out.MutableColumnByField(entry.source_field);
     const std::size_t stride = static_cast<std::size_t>(entry.per_task);
+    const std::vector<jvm::Value>& buf = it->second;
     if (entry.per_invocation) {
       // Reduce result: a single record per invocation; store at
       // first_record (the runtime later combines invocation results).
-      for (std::size_t e = 0; e < stride; ++e) {
-        col.data[first_record * stride + e] = it->second[e];
-      }
+      S2FA_REQUIRE(buf.size() >= stride,
+                   "output buffer " << entry.buffer << " too small");
+      std::copy_n(buf.data(), stride,
+                  col.data.data() + first_record * stride);
       continue;
     }
-    for (std::size_t r = 0; r < count; ++r) {
-      for (std::size_t e = 0; e < stride; ++e) {
-        col.data[(first_record + r) * stride + e] =
-            it->second[r * stride + e];
+    const std::size_t used = count * stride;
+    S2FA_REQUIRE(buf.size() >= used,
+                 "output buffer " << entry.buffer << " too small");
+    if (SameElementKind(entry.element, col.element)) {
+      // Zero-copy fast path (mirror of SerializeBatch).
+      std::copy_n(buf.data(), used,
+                  col.data.data() + first_record * stride);
+    } else {
+      jvm::Value* dst = col.data.data() + first_record * stride;
+      for (std::size_t e = 0; e < used; ++e) {
+        dst[e] = CoerceToElement(col.element, buf[e]);
       }
     }
   }

@@ -56,8 +56,9 @@ ExecResult Interpreter::Invoke(const std::string& owner,
   const Method& m = pool_.Get(owner).GetMethod(method);
   steps_ = 0;
   cost_ns_ = 0.0;
-  std::vector<Value> locals(static_cast<std::size_t>(m.max_locals));
-  S2FA_REQUIRE(args.size() <= locals.size(),
+  Frame& frame = FrameAt(0);
+  frame.locals.assign(static_cast<std::size_t>(m.max_locals), Value());
+  S2FA_REQUIRE(args.size() <= frame.locals.size(),
                "too many arguments for " << owner << "." << method);
   // Wide values occupy two slots in the JVM; our Value holds them in one,
   // so we still reserve the second slot to keep slot numbering faithful.
@@ -65,7 +66,7 @@ ExecResult Interpreter::Invoke(const std::string& owner,
   std::size_t param_index = 0;
   const std::size_t receiver = m.is_static ? 0 : 1;
   for (const Value& arg : args) {
-    locals.at(slot) = arg;
+    frame.locals.at(slot) = arg;
     bool wide = false;
     if (param_index >= receiver) {
       const Type& t = m.signature.params.at(param_index - receiver);
@@ -74,7 +75,7 @@ ExecResult Interpreter::Invoke(const std::string& owner,
     slot += wide ? 2 : 1;
     ++param_index;
   }
-  CallOutcome outcome = Execute(m, std::move(locals), 0);
+  CallOutcome outcome = Execute(m, 0);
   ExecResult result;
   result.ret = outcome.ret;
   result.steps = steps_;
@@ -82,25 +83,79 @@ ExecResult Interpreter::Invoke(const std::string& owner,
   return result;
 }
 
-Value Interpreter::CallMathIntrinsic(const std::string& member,
-                                     std::vector<Value>& args) {
-  auto arg_d = [&](std::size_t i) { return args.at(i).AsDouble(); };
-  if (member == "exp") return Value::OfDouble(std::exp(arg_d(0)));
-  if (member == "log") return Value::OfDouble(std::log(arg_d(0)));
-  if (member == "sqrt") return Value::OfDouble(std::sqrt(arg_d(0)));
-  if (member == "abs") return Value::OfDouble(std::fabs(arg_d(0)));
-  if (member == "pow") return Value::OfDouble(std::pow(arg_d(0), arg_d(1)));
-  if (member == "max") return Value::OfDouble(std::fmax(arg_d(0), arg_d(1)));
-  if (member == "min") return Value::OfDouble(std::fmin(arg_d(0), arg_d(1)));
-  throw Unsupported("math intrinsic " + member);
+Interpreter::Frame& Interpreter::FrameAt(int depth) {
+  while (frames_.size() <= static_cast<std::size_t>(depth)) {
+    frames_.emplace_back();
+    frames_.back().stack.reserve(16);
+  }
+  return frames_[static_cast<std::size_t>(depth)];
+}
+
+const std::vector<Interpreter::ResolvedSite>& Interpreter::Resolve(
+    const Method& method) {
+  auto it = resolved_.find(&method);
+  if (it != resolved_.end()) return it->second;
+  std::vector<ResolvedSite> sites(method.code.size());
+  for (std::size_t i = 0; i < method.code.size(); ++i) {
+    const Insn& insn = method.code[i];
+    ResolvedSite& site = sites[i];
+    site.cost = cost_model_.InsnCost(insn);
+    switch (insn.op) {
+      case Opcode::kInvoke:
+        if (ClassPool::IsMathIntrinsic(insn.owner, insn.member)) {
+          site.is_math = true;
+          if (insn.member == "exp") site.math = MathFn::kExp;
+          else if (insn.member == "log") site.math = MathFn::kLog;
+          else if (insn.member == "sqrt") site.math = MathFn::kSqrt;
+          else if (insn.member == "abs") site.math = MathFn::kAbs;
+          else if (insn.member == "pow") site.math = MathFn::kPow;
+          else if (insn.member == "max") site.math = MathFn::kMax;
+          else if (insn.member == "min") site.math = MathFn::kMin;
+          else throw Unsupported("math intrinsic " + insn.member);
+          site.math_binary = site.math == MathFn::kPow ||
+                             site.math == MathFn::kMax ||
+                             site.math == MathFn::kMin;
+          break;
+        }
+        site.callee = &pool_.Get(insn.owner).GetMethod(insn.member);
+        site.pop_receiver = insn.invoke_kind != InvokeKind::kStatic;
+        {
+          int slot = site.callee->ParamSlotCount();
+          S2FA_REQUIRE(slot <= site.callee->max_locals,
+                       "parameters exceed max_locals in " << insn.member);
+          const auto& params = site.callee->signature.params;
+          site.arg_slots.reserve(params.size());
+          for (auto pit = params.rbegin(); pit != params.rend(); ++pit) {
+            slot -= pit->is_wide() ? 2 : 1;
+            S2FA_REQUIRE(slot >= 0,
+                         "parameter slots underflow in " << insn.member);
+            site.arg_slots.push_back(slot);
+          }
+        }
+        break;
+      case Opcode::kGetField:
+      case Opcode::kPutField:
+        site.field_index = static_cast<std::uint32_t>(
+            pool_.Get(insn.owner).FieldIndex(insn.member));
+        break;
+      case Opcode::kNew:
+        site.klass = &pool_.Get(insn.owner);
+        break;
+      default:
+        break;
+    }
+  }
+  return resolved_.emplace(&method, std::move(sites)).first->second;
 }
 
 Interpreter::CallOutcome Interpreter::Execute(const Method& method,
-                                              std::vector<Value> locals,
                                               int depth) {
   S2FA_REQUIRE(depth < kMaxCallDepth, "call depth exceeded (recursion?)");
-  std::vector<Value> stack;
-  stack.reserve(16);
+  const std::vector<ResolvedSite>& sites = Resolve(method);
+  Frame& frame = FrameAt(depth);
+  std::vector<Value>& locals = frame.locals;
+  std::vector<Value>& stack = frame.stack;
+  stack.clear();
   std::size_t pc = 0;
 
   auto pop = [&]() -> Value {
@@ -114,11 +169,12 @@ Interpreter::CallOutcome Interpreter::Execute(const Method& method,
     S2FA_CHECK(pc < method.code.size(),
                "pc out of range in " << method.name);
     const Insn& insn = method.code[pc];
+    const ResolvedSite& site = sites[pc];
     if (++steps_ > max_steps_) {
       throw InternalError("interpreter step budget exceeded in " +
                           method.name);
     }
-    cost_ns_ += cost_model_.InsnCost(insn);
+    cost_ns_ += site.cost;
 
     switch (insn.op) {
       case Opcode::kConst:
@@ -271,8 +327,8 @@ Interpreter::CallOutcome Interpreter::Execute(const Method& method,
               case BinOp::kMul: r = x * y; break;
               case BinOp::kDiv: r = x / y; break;
               case BinOp::kRem: r = std::fmod(x, y); break;
-              case BinOp::kMin: r = std::fmin(x, y); break;
-              case BinOp::kMax: r = std::fmax(x, y); break;
+              case BinOp::kMin: r = JavaFMin(x, y); break;
+              case BinOp::kMax: r = JavaFMax(x, y); break;
               default:
                 throw MalformedInput("bitwise op on float");
             }
@@ -289,8 +345,8 @@ Interpreter::CallOutcome Interpreter::Execute(const Method& method,
               case BinOp::kMul: r = x * y; break;
               case BinOp::kDiv: r = x / y; break;
               case BinOp::kRem: r = std::fmod(x, y); break;
-              case BinOp::kMin: r = std::fmin(x, y); break;
-              case BinOp::kMax: r = std::fmax(x, y); break;
+              case BinOp::kMin: r = JavaFMin(x, y); break;
+              case BinOp::kMax: r = JavaFMax(x, y); break;
               default:
                 throw MalformedInput("bitwise op on double");
             }
@@ -406,27 +462,23 @@ Interpreter::CallOutcome Interpreter::Execute(const Method& method,
         continue;
       case Opcode::kGetField: {
         Ref ref = pop().AsRef();
-        const Klass& k = pool_.Get(insn.owner);
-        std::size_t index = k.FieldIndex(insn.member);
         const Object& obj = heap_->Get(ref);
         S2FA_CHECK(obj.kind == Object::Kind::kInstance,
                    "getfield on array");
-        stack.push_back(obj.slots.at(index));
+        stack.push_back(obj.slots.at(site.field_index));
         break;
       }
       case Opcode::kPutField: {
         Value value = pop();
         Ref ref = pop().AsRef();
-        const Klass& k = pool_.Get(insn.owner);
-        std::size_t index = k.FieldIndex(insn.member);
         Object& obj = heap_->Get(ref);
         S2FA_CHECK(obj.kind == Object::Kind::kInstance,
                    "putfield on array");
-        obj.slots.at(index) = value;
+        obj.slots.at(site.field_index) = value;
         break;
       }
       case Opcode::kNew: {
-        const Klass& k = pool_.Get(insn.owner);
+        const Klass& k = *site.klass;
         Ref ref = heap_->NewInstance(Type::Class(insn.owner),
                                      k.fields().size());
         cost_ns_ +=
@@ -435,33 +487,35 @@ Interpreter::CallOutcome Interpreter::Execute(const Method& method,
         break;
       }
       case Opcode::kInvoke: {
-        if (ClassPool::IsMathIntrinsic(insn.owner, insn.member)) {
-          const int arity =
-              (insn.member == "pow" || insn.member == "max" ||
-               insn.member == "min")
-                  ? 2
-                  : 1;
-          std::vector<Value> args(static_cast<std::size_t>(arity));
-          for (int i = arity - 1; i >= 0; --i) {
-            args[static_cast<std::size_t>(i)] = pop();
+        if (site.is_math) {
+          double y = 0.0;
+          if (site.math_binary) y = pop().AsDouble();
+          double x = pop().AsDouble();
+          double r = 0.0;
+          switch (site.math) {
+            case MathFn::kExp: r = std::exp(x); break;
+            case MathFn::kLog: r = std::log(x); break;
+            case MathFn::kSqrt: r = std::sqrt(x); break;
+            case MathFn::kAbs: r = std::fabs(x); break;
+            case MathFn::kPow: r = std::pow(x, y); break;
+            // Java semantics: NaN propagates, -0.0 < +0.0 (fmax/fmin would
+            // drop NaN).
+            case MathFn::kMax: r = JavaFMax(x, y); break;
+            case MathFn::kMin: r = JavaFMin(x, y); break;
           }
-          stack.push_back(CallMathIntrinsic(insn.member, args));
+          stack.push_back(Value::OfDouble(r));
           break;
         }
-        const Method& callee = pool_.Get(insn.owner).GetMethod(insn.member);
-        std::vector<Value> callee_locals(
-            static_cast<std::size_t>(callee.max_locals));
-        // Pop arguments right-to-left into the correct local slots.
-        int slot = callee.ParamSlotCount();
-        for (auto it = callee.signature.params.rbegin();
-             it != callee.signature.params.rend(); ++it) {
-          slot -= it->is_wide() ? 2 : 1;
-          callee_locals.at(static_cast<std::size_t>(slot)) = pop();
+        const Method& callee = *site.callee;
+        Frame& callee_frame = FrameAt(depth + 1);
+        callee_frame.locals.assign(
+            static_cast<std::size_t>(callee.max_locals), Value());
+        // Pop arguments right-to-left into their resolved local slots.
+        for (std::int32_t arg_slot : site.arg_slots) {
+          callee_frame.locals[static_cast<std::size_t>(arg_slot)] = pop();
         }
-        if (insn.invoke_kind != InvokeKind::kStatic) {
-          callee_locals.at(0) = pop();
-        }
-        CallOutcome sub = Execute(callee, std::move(callee_locals), depth + 1);
+        if (site.pop_receiver) callee_frame.locals[0] = pop();
+        CallOutcome sub = Execute(callee, depth + 1);
         if (sub.has_ret) stack.push_back(sub.ret);
         break;
       }

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "jvm/cost_model.h"
@@ -24,11 +26,19 @@ struct ExecResult {
 
 class Interpreter {
  public:
-  // `heap` outlives the interpreter; arguments and results may reference it.
+  // `heap` outlives the interpreter; arguments and results may reference
+  // it. The interpreter caches per-method resolution tables (intrinsic
+  // dispatch, call targets, field indices, per-instruction costs), so the
+  // pool must not gain or drop members between invocations — define all
+  // classes first, then execute.
   Interpreter(const ClassPool& pool, Heap& heap);
 
   // Replaces the default cost model (e.g. to model a slower interpreter).
-  void set_cost_model(const CostModel& model) { cost_model_ = model; }
+  // Drops cached per-site costs so they are recomputed under the new model.
+  void set_cost_model(const CostModel& model) {
+    cost_model_ = model;
+    resolved_.clear();
+  }
 
   // Hard cap on executed instructions per top-level call (runaway guard).
   void set_max_steps(std::uint64_t max_steps) { max_steps_ = max_steps; }
@@ -47,13 +57,44 @@ class Interpreter {
     bool has_ret = false;
   };
 
-  CallOutcome Execute(const Method& method, std::vector<Value> locals,
-                      int depth);
-  Value CallMathIntrinsic(const std::string& member, std::vector<Value>& args);
+  enum class MathFn : std::uint8_t {
+    kExp, kLog, kSqrt, kAbs, kPow, kMax, kMin,
+  };
+
+  // Per-instruction resolution, computed once per method on first
+  // execution: string-keyed lookups (math-intrinsic names, call targets,
+  // field names) and the cost-model switch are paid at resolve time, so
+  // the execute loop only indexes this table.
+  struct ResolvedSite {
+    double cost = 0.0;               // CostModel::InsnCost, precomputed
+    bool is_math = false;            // kInvoke on java/lang/Math
+    bool math_binary = false;        // pow/max/min take two operands
+    MathFn math = MathFn::kExp;
+    const Method* callee = nullptr;  // kInvoke target
+    const Klass* klass = nullptr;    // kNew owner
+    std::uint32_t field_index = 0;   // kGetField / kPutField
+    bool pop_receiver = false;       // non-static kInvoke
+    // Argument local slots in pop (right-to-left) order.
+    std::vector<std::int32_t> arg_slots;
+  };
+
+  // One pooled frame per call depth: locals and operand stack are reused
+  // across invocations instead of reallocated per call. A deque keeps
+  // references to outer frames stable while inner calls grow it.
+  struct Frame {
+    std::vector<Value> locals;
+    std::vector<Value> stack;
+  };
+
+  const std::vector<ResolvedSite>& Resolve(const Method& method);
+  Frame& FrameAt(int depth);
+  CallOutcome Execute(const Method& method, int depth);
 
   const ClassPool& pool_;
   Heap* heap_;
   CostModel cost_model_;
+  std::unordered_map<const Method*, std::vector<ResolvedSite>> resolved_;
+  std::deque<Frame> frames_;
   std::uint64_t max_steps_ = 5'000'000'000ULL;
   std::uint64_t steps_ = 0;
   double cost_ns_ = 0.0;

@@ -1,0 +1,96 @@
+#include "kir/arena.h"
+
+#include <mutex>
+#include <vector>
+
+namespace s2fa::kir::arena {
+
+namespace {
+
+constexpr std::size_t kAlign = alignof(std::max_align_t);
+constexpr std::size_t kSlabBytes = 64 * 1024;
+// Chunks above this go straight to operator new (nodes are far smaller;
+// the ceiling only matters for PoolAllocator::allocate(n > 1)).
+constexpr std::size_t kMaxPooled = 1024;
+constexpr std::size_t kNumClasses = kMaxPooled / kAlign;
+
+struct FreeChunk {
+  FreeChunk* next;
+};
+
+std::size_t ClassOf(std::size_t bytes) {
+  return (bytes + kAlign - 1) / kAlign - 1;
+}
+
+class Registry {
+ public:
+  void* Allocate(std::size_t cls) {
+    const std::size_t chunk = (cls + 1) * kAlign;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.allocations;
+    if (free_[cls] != nullptr) {
+      FreeChunk* c = free_[cls];
+      free_[cls] = c->next;
+      return c;
+    }
+    if (bump_[cls] + chunk > bump_end_[cls]) {
+      auto* slab = static_cast<char*>(::operator new(kSlabBytes));
+      slabs_.push_back(slab);
+      stats_.slab_bytes += kSlabBytes;
+      bump_[cls] = slab;
+      bump_end_[cls] = slab + kSlabBytes;
+    }
+    char* p = bump_[cls];
+    bump_[cls] += chunk;
+    return p;
+  }
+
+  void Deallocate(void* p, std::size_t cls) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frees;
+    auto* c = static_cast<FreeChunk*>(p);
+    c->next = free_[cls];
+    free_[cls] = c;
+  }
+
+  Stats GetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<char*> slabs_;  // never freed; see header
+  FreeChunk* free_[kNumClasses] = {};
+  char* bump_[kNumClasses] = {};
+  char* bump_end_[kNumClasses] = {};
+  Stats stats_;
+};
+
+// Immortal: constructed on first node allocation, never destroyed, so IR
+// nodes held by statics destroyed late can still deallocate safely.
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+void* Allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooled) return ::operator new(bytes);
+  return GetRegistry().Allocate(ClassOf(bytes));
+}
+
+void Deallocate(void* p, std::size_t bytes) noexcept {
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooled) {
+    ::operator delete(p);
+    return;
+  }
+  GetRegistry().Deallocate(p, ClassOf(bytes));
+}
+
+Stats GetStats() { return GetRegistry().GetStats(); }
+
+}  // namespace s2fa::kir::arena

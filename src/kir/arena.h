@@ -1,0 +1,67 @@
+// Pooled allocation for Kernel IR nodes.
+//
+// DSE churns kernels: every candidate design point clones and rewrites the
+// IR, so b2c and the Merlin transforms allocate millions of short-lived
+// Expr/Stmt nodes per exploration. Routing those nodes through a size-class
+// pool turns each allocation into a freelist pop and lets freed node memory
+// be reused immediately instead of round-tripping through malloc.
+//
+// Design: one process-wide registry of 64 KiB slabs carved into size-class
+// chunks, fronted by per-class freelists under a single mutex (nodes are
+// allocated on one thread and may be freed on another — DSE partitions run
+// on a thread pool). Slabs are owned by an immortal singleton: they are
+// never returned to the OS, so a node that outlives every other static can
+// still be destroyed safely, and the memory stays reachable (LSan-clean).
+// Peak pool size is bounded by peak live-node bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace s2fa::kir::arena {
+
+// Pops a chunk of at least `bytes` from the pool (falls back to operator
+// new above the pooled size ceiling). Never returns nullptr.
+void* Allocate(std::size_t bytes);
+
+// Returns a chunk to its size-class freelist.
+void Deallocate(void* p, std::size_t bytes) noexcept;
+
+// Pool observability (tests assert chunk reuse; the profiler could export
+// these as gauges).
+struct Stats {
+  std::uint64_t allocations = 0;  // pooled allocations served
+  std::uint64_t frees = 0;        // pooled chunks returned
+  std::uint64_t slab_bytes = 0;   // total slab memory carved so far
+};
+Stats GetStats();
+
+// Minimal std allocator over the pool, for allocate_shared: one pooled
+// allocation holds the shared_ptr control block and the node.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    Deallocate(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace s2fa::kir::arena

@@ -1,11 +1,31 @@
 // Kernel IR functional evaluator.
 //
 // Executes a kernel on concrete data with the same numeric semantics as the
-// generated C. Used to prove functional equivalence: interpreted bytecode ==
-// compiled IR == Merlin-transformed IR, the end-to-end correctness
-// obligation of the bytecode-to-C compiler.
+// bytecode it was compiled from (Java semantics: exact integral compares,
+// NaN-propagating signed-zero-aware min/max). Used to prove functional
+// equivalence: interpreted bytecode == compiled IR == Merlin-transformed
+// IR, the end-to-end correctness obligation of the bytecode-to-C compiler.
+//
+// Two implementations share that contract:
+//
+//  - Evaluator (the hot path): a resolution pass at construction compiles
+//    the kernel into flat vectors of resolved nodes — every scalar, local,
+//    and loop variable gets a dense integer slot, every buffer a dense
+//    buffer index, literals are pre-materialized, and binary ops are
+//    pre-classified by numeric domain — so evaluation never touches a
+//    string-keyed map. This is what the DSE loop and the Blaze runtime run
+//    thousands of times per exploration.
+//
+//  - ReferenceEvaluator: the original map-keyed tree walker, retained as
+//    executable reference semantics. The differential fuzz harness runs
+//    every random kernel through both and requires bit-identical buffers,
+//    so the fast path can never silently diverge.
+//
+// Both count one step per IR node visited (same runaway budget), and both
+// keep the map-keyed Run signature, so they are drop-in interchangeable.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +42,9 @@ using jvm::Value;
 // and locals are zero-initialized by Run if absent.
 using BufferMap = std::map<std::string, std::vector<Value>>;
 
+// Slot-resolved evaluator: name lookups are compiled away at construction.
+// Not thread-safe; each thread should own its own instance (construction
+// cost amortizes over the batches of a run).
 class Evaluator {
  public:
   explicit Evaluator(const Kernel& kernel);
@@ -33,6 +56,87 @@ class Evaluator {
   void Run(const std::map<std::string, Value>& scalars, BufferMap& buffers);
 
   // Instruction-ish step count of the last Run (sanity/runaway guard).
+  std::uint64_t last_steps() const { return steps_; }
+
+ private:
+  // Numeric domain of a binary op, pre-classified at resolution time so
+  // evaluation switches on a dense enum instead of re-deriving it from
+  // Type objects per node.
+  enum class BinForm : std::uint8_t {
+    kCmpInt,    // comparison, integral operands (exact int64 compare)
+    kCmpFloat,  // comparison, floating operands (double compare)
+    kLogical,   // kLAnd / kLOr
+    kFloat32,   // float arithmetic (computed in float)
+    kFloat64,   // double arithmetic
+    kInt32,     // int-family arithmetic (computed in int64, narrowed)
+    kInt64,     // long arithmetic
+  };
+
+  // One resolved expression node; operands are indices into rexprs_.
+  struct RExpr {
+    ExprKind kind = ExprKind::kIntLit;
+    BinForm form = BinForm::kInt32;
+    BinaryOp bop = BinaryOp::kAdd;
+    UnaryOp uop = UnaryOp::kNeg;
+    Intrinsic fn = Intrinsic::kExp;
+    TypeKind type = TypeKind::kInt;  // node result type
+    TypeKind opnd = TypeKind::kInt;  // first operand's type (unary/binary)
+    std::int32_t slot = -1;          // var slot (kVar) / buffer id (kArrayRef)
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    std::int32_t c = -1;
+    Value lit;  // pre-materialized literal (kIntLit / kFloatLit)
+  };
+
+  // One resolved statement node; children are indices into rstmts_.
+  struct RStmt {
+    StmtKind kind = StmtKind::kBlock;
+    std::int32_t a = -1;          // rhs / init / cond expression
+    std::int32_t index = -1;      // assign-to-array index expression
+    std::int32_t slot = -1;       // var slot or buffer id of the target
+    bool lhs_is_var = true;       // kAssign: variable vs array element
+    TypeKind store = TypeKind::kInt;  // narrow-to type for assign/decl
+    Value dflt;                   // decl default (no initializer)
+    std::int64_t trip = 0;        // kFor trip count
+    std::int32_t body = -1;       // for body / if then
+    std::int32_t els = -1;        // if else
+    std::vector<std::int32_t> stmts;  // kBlock children
+  };
+
+  std::int32_t VarSlot(const std::string& name);
+  std::int32_t CompileExpr(const ExprPtr& expr);
+  std::int32_t CompileStmt(const Stmt& stmt);
+  Value EvalExpr(std::int32_t idx);
+  void ExecStmt(std::int32_t idx);
+
+  const Kernel& kernel_;
+
+  // Resolved program (built once at construction).
+  std::vector<RExpr> rexprs_;
+  std::vector<RStmt> rstmts_;
+  std::int32_t root_ = -1;
+  std::vector<std::string> var_names_;     // slot -> name (diagnostics)
+  std::map<std::string, std::int32_t> var_slots_;
+  std::vector<std::int32_t> scalar_slots_;  // kernel_.scalars[i] -> slot
+  std::vector<std::int32_t> buffer_ids_;    // kernel_.buffers[i] -> id
+  std::map<std::string, std::int32_t> buffer_id_by_name_;
+
+  // Flat runtime environment (reset per Run).
+  std::vector<Value> slots_;
+  std::vector<std::uint8_t> bound_;
+  std::vector<std::vector<Value>*> bufs_;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t max_steps_ = 2'000'000'000ULL;
+};
+
+// The legacy map-keyed tree walker (reference semantics; see file comment).
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(const Kernel& kernel);
+
+  void Run(const std::map<std::string, Value>& scalars, BufferMap& buffers);
+
   std::uint64_t last_steps() const { return steps_; }
 
  private:

@@ -1,16 +1,22 @@
 #include "kir/expr.h"
 
 #include <functional>
+#include <memory>
 #include <sstream>
 
+#include "kir/arena.h"
 #include "support/error.h"
 
 namespace s2fa::kir {
 
+std::shared_ptr<Expr> Expr::New() {
+  return std::allocate_shared<Expr>(arena::PoolAllocator<Expr>(), Token{});
+}
+
 ExprPtr Expr::IntLit(std::int64_t v, Type type) {
   S2FA_REQUIRE(type.is_integral(), "IntLit needs integral type, got "
                                        << type.ToString());
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kIntLit;
   e->type_ = type;
   e->int_value_ = v;
@@ -20,7 +26,7 @@ ExprPtr Expr::IntLit(std::int64_t v, Type type) {
 ExprPtr Expr::FloatLit(double v, Type type) {
   S2FA_REQUIRE(type.is_floating(), "FloatLit needs floating type, got "
                                        << type.ToString());
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kFloatLit;
   e->type_ = type;
   e->float_value_ = v;
@@ -29,7 +35,7 @@ ExprPtr Expr::FloatLit(double v, Type type) {
 
 ExprPtr Expr::Var(std::string name, Type type) {
   S2FA_REQUIRE(!name.empty(), "variable needs a name");
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kVar;
   e->type_ = type;
   e->name_ = std::move(name);
@@ -38,7 +44,7 @@ ExprPtr Expr::Var(std::string name, Type type) {
 
 ExprPtr Expr::ArrayRef(std::string buffer, Type element, ExprPtr index) {
   S2FA_REQUIRE(index != nullptr, "array index is null");
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kArrayRef;
   e->type_ = element;
   e->name_ = std::move(buffer);
@@ -48,7 +54,7 @@ ExprPtr Expr::ArrayRef(std::string buffer, Type element, ExprPtr index) {
 
 ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
   S2FA_REQUIRE(lhs != nullptr && rhs != nullptr, "binary operand is null");
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kBinary;
   e->type_ = BinaryResultType(op, lhs->type());
   e->binary_op_ = op;
@@ -58,7 +64,7 @@ ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
 
 ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
   S2FA_REQUIRE(operand != nullptr, "unary operand is null");
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kUnary;
   e->type_ = op == UnaryOp::kLogicalNot ? Type::Int() : operand->type();
   e->unary_op_ = op;
@@ -71,7 +77,7 @@ ExprPtr Expr::Call(Intrinsic fn, std::vector<ExprPtr> args, Type type) {
   S2FA_REQUIRE(args.size() == arity,
                IntrinsicName(fn) << " takes " << arity << " args, got "
                                  << args.size());
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kCall;
   e->type_ = type;
   e->intrinsic_ = fn;
@@ -81,7 +87,7 @@ ExprPtr Expr::Call(Intrinsic fn, std::vector<ExprPtr> args, Type type) {
 
 ExprPtr Expr::Cast(Type to, ExprPtr operand) {
   S2FA_REQUIRE(operand != nullptr, "cast operand is null");
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kCast;
   e->type_ = to;
   e->operands_ = {std::move(operand)};
@@ -90,7 +96,7 @@ ExprPtr Expr::Cast(Type to, ExprPtr operand) {
 
 ExprPtr Expr::Select(ExprPtr cond, ExprPtr then_value, ExprPtr else_value) {
   S2FA_REQUIRE(cond && then_value && else_value, "select operand is null");
-  auto e = std::shared_ptr<Expr>(new Expr());
+  auto e = New();
   e->kind_ = ExprKind::kSelect;
   e->type_ = then_value->type();
   e->operands_ = {std::move(cond), std::move(then_value),

@@ -84,7 +84,20 @@ class Expr {
   static ExprPtr Select(ExprPtr cond, ExprPtr then_value, ExprPtr else_value);
 
  private:
-  Expr() = default;
+  struct Token {
+    explicit Token() = default;
+  };
+
+ public:
+  // Public only so allocate_shared can construct nodes; Token is private,
+  // so the factories remain the sole way to make an Expr.
+  explicit Expr(Token) {}
+
+ private:
+  // Pool-backed node allocation (kir/arena.h): one pooled chunk holds the
+  // control block and the node, so DSE's clone/rewrite churn reuses memory
+  // instead of hammering malloc.
+  static std::shared_ptr<Expr> New();
 
   ExprKind kind_ = ExprKind::kIntLit;
   Type type_;

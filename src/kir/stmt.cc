@@ -1,11 +1,17 @@
 #include "kir/stmt.h"
 
+#include <memory>
 #include <sstream>
 
+#include "kir/arena.h"
 #include "support/error.h"
 #include "support/strings.h"
 
 namespace s2fa::kir {
+
+StmtPtr Stmt::New() {
+  return std::allocate_shared<Stmt>(arena::PoolAllocator<Stmt>(), Token{});
+}
 
 StmtPtr Stmt::Assign(ExprPtr lhs, ExprPtr rhs) {
   S2FA_REQUIRE(lhs != nullptr && rhs != nullptr, "assign operand is null");
@@ -13,7 +19,7 @@ StmtPtr Stmt::Assign(ExprPtr lhs, ExprPtr rhs) {
                    lhs->kind() == ExprKind::kArrayRef,
                "assign lhs must be a variable or array element, got "
                    << lhs->ToString());
-  auto s = std::shared_ptr<Stmt>(new Stmt());
+  auto s = New();
   s->kind_ = StmtKind::kAssign;
   s->lhs_ = std::move(lhs);
   s->rhs_ = std::move(rhs);
@@ -22,7 +28,7 @@ StmtPtr Stmt::Assign(ExprPtr lhs, ExprPtr rhs) {
 
 StmtPtr Stmt::Decl(std::string name, Type type, ExprPtr init) {
   S2FA_REQUIRE(!name.empty(), "declaration needs a name");
-  auto s = std::shared_ptr<Stmt>(new Stmt());
+  auto s = New();
   s->kind_ = StmtKind::kDecl;
   s->name_ = std::move(name);
   s->type_ = type;
@@ -33,7 +39,7 @@ StmtPtr Stmt::Decl(std::string name, Type type, ExprPtr init) {
 StmtPtr Stmt::If(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt) {
   S2FA_REQUIRE(cond != nullptr && then_stmt != nullptr,
                "if needs a condition and a then-branch");
-  auto s = std::shared_ptr<Stmt>(new Stmt());
+  auto s = New();
   s->kind_ = StmtKind::kIf;
   s->lhs_ = std::move(cond);
   s->body_ = std::move(then_stmt);
@@ -47,7 +53,7 @@ StmtPtr Stmt::For(int loop_id, std::string var, std::int64_t trip_count,
   S2FA_REQUIRE(trip_count >= 1, "loop " << loop_id << " trip count "
                                         << trip_count << " < 1");
   S2FA_REQUIRE(body != nullptr, "loop body is null");
-  auto s = std::shared_ptr<Stmt>(new Stmt());
+  auto s = New();
   s->kind_ = StmtKind::kFor;
   s->loop_id_ = loop_id;
   s->name_ = std::move(var);
@@ -60,14 +66,14 @@ StmtPtr Stmt::Block(std::vector<StmtPtr> stmts) {
   for (const auto& st : stmts) {
     S2FA_REQUIRE(st != nullptr, "null statement in block");
   }
-  auto s = std::shared_ptr<Stmt>(new Stmt());
+  auto s = New();
   s->kind_ = StmtKind::kBlock;
   s->stmts_ = std::move(stmts);
   return s;
 }
 
 StmtPtr Stmt::Clone() const {
-  auto s = std::shared_ptr<Stmt>(new Stmt());
+  auto s = New();
   s->kind_ = kind_;
   s->lhs_ = lhs_;
   s->rhs_ = rhs_;

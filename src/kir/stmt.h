@@ -83,7 +83,18 @@ class Stmt {
   std::string ToString() const;  // debugging form, C-like
 
  private:
-  Stmt() = default;
+  struct Token {
+    explicit Token() = default;
+  };
+
+ public:
+  // Public only so allocate_shared can construct nodes; Token is private,
+  // so the factories remain the sole way to make a Stmt.
+  explicit Stmt(Token) {}
+
+ private:
+  // Pool-backed node allocation (kir/arena.h), shared with Expr.
+  static StmtPtr New();
 
   StmtKind kind_ = StmtKind::kBlock;
   ExprPtr lhs_;   // assign lhs / if cond

@@ -135,6 +135,107 @@ TEST(SerializationTest, RoundTripWithPadding) {
   EXPECT_DOUBLE_EQ(out.ColumnByField("y").data[4].AsDouble(), 7.0);
 }
 
+TEST(SerializationTest, BatchOneReduceKernelIsPerInvocation) {
+  // A reduce kernel instantiated with task-loop trip count 1 is still a
+  // reduce: its output buffer holds one result per invocation (regression:
+  // the old `batch > 1` heuristic misfiled it as a map output).
+  jvm::ClassPool pool;
+  Assembler a;
+  // call(acc: double, x: double) = acc + x * x
+  a.Load(Type::Double(), 0);
+  a.Load(Type::Double(), 2).Load(Type::Double(), 2).DMul();
+  a.DAdd().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double(), Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("SumSq").AddMethod(
+      jvm::MakeMethod("call", sig, true, 4, a.Finish()));
+
+  b2c::KernelSpec spec;
+  spec.kernel_name = "sumsq";
+  spec.klass = "SumSq";
+  spec.pattern = kir::ParallelPattern::kReduce;
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"ret", Type::Double(), 1, false}};
+  spec.batch = 1;
+  kir::Kernel k = b2c::CompileKernel(pool, spec);
+  SerializationPlan plan = MakeSerializationPlan(k);
+  const PlanEntry* out = plan.FindBuffer("out_1");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->per_invocation);
+
+  // Round trip at batch 1: serialize one record, run the kernel, pull the
+  // reduce result back out of the invocation slot.
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  x.data = {Value::OfDouble(3.0)};
+  input.AddColumn(x);
+  kir::BufferMap buffers;
+  SerializeBatch(plan, input, 0, 1, buffers);
+  kir::Evaluator(k).Run({{"N", Value::OfInt(1)}}, buffers);
+  Dataset out_ds = MakeOutputShell(plan, 1);
+  DeserializeBatch(plan, buffers, 0, 1, out_ds);
+  EXPECT_DOUBLE_EQ(out_ds.ColumnByField("ret").data[0].AsDouble(), 9.0);
+}
+
+TEST(SerializationTest, NarrowedColumnFallsBackToElementConversion) {
+  // A double column feeding a float buffer takes the per-element
+  // conversion path (the block-copy fast path requires matching kinds).
+  jvm::ClassPool pool;
+  Assembler a;
+  a.Load(Type::Float(), 0).FConst(1.0f).FAdd().Ret(Type::Float());
+  MethodSignature sig;
+  sig.params = {Type::Float()};
+  sig.ret = Type::Float();
+  pool.Define("Inc").AddMethod(
+      jvm::MakeMethod("call", sig, true, 1, a.Finish()));
+
+  b2c::KernelSpec spec;
+  spec.kernel_name = "inc";
+  spec.klass = "Inc";
+  spec.input.type = Type::Float();
+  spec.input.fields = {{"x", Type::Float(), 1, false}};
+  spec.output.type = Type::Float();
+  spec.output.fields = {{"y", Type::Float(), 1, false}};
+  spec.batch = 4;
+  kir::Kernel k = b2c::CompileKernel(pool, spec);
+  SerializationPlan plan = MakeSerializationPlan(k);
+
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();  // wider than the kernel's float buffer
+  for (int i = 0; i < 4; ++i) x.data.push_back(Value::OfDouble(i + 0.25));
+  input.AddColumn(x);
+  kir::BufferMap buffers;
+  SerializeBatch(plan, input, 0, 4, buffers);
+  ASSERT_EQ(buffers["in_1"].size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(buffers["in_1"][static_cast<std::size_t>(i)].is_float());
+    EXPECT_FLOAT_EQ(buffers["in_1"][static_cast<std::size_t>(i)].AsFloat(),
+                    static_cast<float>(i + 0.25));
+  }
+
+  // And back out: float kernel results land in a double output column.
+  buffers["out_1"].assign(4, Value::OfFloat(2.5f));
+  Dataset out_ds;
+  Column y;
+  y.field = "y";
+  y.element = Type::Double();
+  y.data.assign(4, Value::OfDouble(0.0));
+  out_ds.AddColumn(y);
+  DeserializeBatch(plan, buffers, 0, 4, out_ds);
+  for (int i = 0; i < 4; ++i) {
+    const Value& v = out_ds.ColumnByField("y").data[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(v.is_double());
+    EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+  }
+}
+
 TEST(SerializationTest, ScalaHelperMentionsBuffersAndReflection) {
   jvm::ClassPool pool = MakePool();
   kir::Kernel k = b2c::CompileKernel(pool, MakeSpec());

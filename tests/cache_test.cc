@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -281,7 +282,8 @@ TEST(EvalCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
 
 TEST(EvalCacheTest, JournalHitNeverTouchesTheCache) {
   const std::string path =
-      ::testing::TempDir() + "/cache_precedence_journal.jsonl";
+      ::testing::TempDir() + "/cache_precedence_journal." +
+      std::to_string(::getpid()) + ".jsonl";
   std::remove(path.c_str());
 
   int raw_calls = 0;

@@ -16,6 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
 
 #include "b2c/compiler.h"
 #include "jvm/assembler.h"
@@ -267,6 +270,58 @@ merlin::DesignConfig RandomLegalConfig(const kir::Kernel& kernel, Rng& rng) {
   return cfg;
 }
 
+// Discriminates Value kinds for bit-exact comparison.
+int ValueKind(const Value& v) {
+  if (v.is_int()) return 0;
+  if (v.is_long()) return 1;
+  if (v.is_float()) return 2;
+  if (v.is_double()) return 3;
+  return 4;
+}
+
+// Raw bit pattern of a numeric Value (NaN payloads preserved).
+std::uint64_t ValueBits(const Value& v) {
+  if (v.is_int()) return static_cast<std::uint32_t>(v.AsInt());
+  if (v.is_long()) return static_cast<std::uint64_t>(v.AsLong());
+  if (v.is_float()) {
+    float f = v.AsFloat();
+    std::uint32_t b = 0;
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+  }
+  double d = v.AsDouble();
+  std::uint64_t b = 0;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+// Requires the slot-resolved and reference evaluators to produce
+// bit-identical buffer maps (every buffer, every element, including NaN
+// bit patterns) and to charge the same step count on `kernel`.
+void ExpectEvaluatorsBitIdentical(const kir::Kernel& kernel,
+                                  const std::map<std::string, Value>& scalars,
+                                  const kir::BufferMap& inputs) {
+  kir::BufferMap fast_bufs = inputs;
+  kir::BufferMap ref_bufs = inputs;
+  kir::Evaluator fast(kernel);
+  fast.Run(scalars, fast_bufs);
+  kir::ReferenceEvaluator ref(kernel);
+  ref.Run(scalars, ref_bufs);
+  ASSERT_EQ(fast.last_steps(), ref.last_steps());
+  ASSERT_EQ(fast_bufs.size(), ref_bufs.size());
+  for (const auto& [name, fast_data] : fast_bufs) {
+    auto it = ref_bufs.find(name);
+    ASSERT_NE(it, ref_bufs.end()) << "buffer " << name;
+    ASSERT_EQ(fast_data.size(), it->second.size()) << "buffer " << name;
+    for (std::size_t e = 0; e < fast_data.size(); ++e) {
+      ASSERT_EQ(ValueKind(fast_data[e]), ValueKind(it->second[e]))
+          << "buffer " << name << " element " << e;
+      ASSERT_EQ(ValueBits(fast_data[e]), ValueBits(it->second[e]))
+          << "buffer " << name << " element " << e;
+    }
+  }
+}
+
 // Runs one fuzz case: interpreter vs compiled IR vs transformed IR.
 void RunDifferential(std::uint64_t seed) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
@@ -341,6 +396,21 @@ void RunDifferential(std::uint64_t seed) {
           << "record " << r << " config " << cfg.ToString();
     }
   }
+
+  // 4. Slot-resolved vs reference evaluator must agree bit-for-bit on
+  //    every buffer (and on step counts) — on the compiled kernel and on
+  //    a random transform of it.
+  kir::BufferMap inputs;
+  for (float v : a1) inputs["in_1"].push_back(Value::OfFloat(v));
+  for (float v : a2) inputs["in_2"].push_back(Value::OfFloat(v));
+  for (float v : s) inputs["in_3"].push_back(Value::OfFloat(v));
+  const std::map<std::string, Value> scalars = {
+      {"N", Value::OfInt(static_cast<std::int32_t>(batch))}};
+  ExpectEvaluatorsBitIdentical(kernel, scalars, inputs);
+  Rng trng(seed ^ 0x51D3ULL);
+  merlin::DesignConfig cfg = RandomLegalConfig(kernel, trng);
+  ExpectEvaluatorsBitIdentical(merlin::ApplyDesign(kernel, cfg).kernel,
+                               scalars, inputs);
 }
 
 class DifferentialFuzz : public ::testing::TestWithParam<int> {};

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "jvm/assembler.h"
 #include "jvm/interpreter.h"
@@ -381,6 +382,71 @@ TEST_F(InterpFixture, MathIntrinsics) {
   EXPECT_DOUBLE_EQ(
       interp.Invoke("Test", "h", {Value::OfDouble(x)}).ret.AsDouble(),
       std::exp(std::sqrt(std::fabs(x))));
+}
+
+TEST_F(InterpFixture, MathMinMaxFollowJavaSemantics) {
+  // Java's Math.max/min propagate NaN and order the zeros (-0.0 < +0.0);
+  // fmax/fmin do neither (regression: the intrinsics used to lower to
+  // fmax/fmin).
+  Klass& k = pool_.Define("Test");
+  {
+    Assembler a;
+    a.Load(Type::Double(), 0).Load(Type::Double(), 2)
+        .InvokeStatic("java/lang/Math", "max");
+    a.Ret(Type::Double());
+    MethodSignature sig;
+    sig.params = {Type::Double(), Type::Double()};
+    sig.ret = Type::Double();
+    k.AddMethod(MakeMethod("dmax", sig, true, 4, a.Finish()));
+  }
+  {
+    Assembler a;
+    a.Load(Type::Double(), 0).Load(Type::Double(), 2)
+        .InvokeStatic("java/lang/Math", "min");
+    a.Ret(Type::Double());
+    MethodSignature sig;
+    sig.params = {Type::Double(), Type::Double()};
+    sig.ret = Type::Double();
+    k.AddMethod(MakeMethod("dmin", sig, true, 4, a.Finish()));
+  }
+  VerifyOrThrow(pool_, k.GetMethod("dmax"));
+  VerifyOrThrow(pool_, k.GetMethod("dmin"));
+  Interpreter interp(pool_, heap_);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(
+      interp.Invoke("Test", "dmax", {Value::OfDouble(nan),
+                                     Value::OfDouble(1.0)}).ret.AsDouble()));
+  EXPECT_TRUE(std::isnan(
+      interp.Invoke("Test", "dmin", {Value::OfDouble(2.0),
+                                     Value::OfDouble(nan)}).ret.AsDouble()));
+  EXPECT_TRUE(std::signbit(
+      interp.Invoke("Test", "dmin", {Value::OfDouble(0.0),
+                                     Value::OfDouble(-0.0)}).ret.AsDouble()));
+  EXPECT_FALSE(std::signbit(
+      interp.Invoke("Test", "dmax", {Value::OfDouble(-0.0),
+                                     Value::OfDouble(0.0)}).ret.AsDouble()));
+}
+
+TEST_F(InterpFixture, FloatBinOpMinMaxFollowJavaSemantics) {
+  // Same Java semantics for the fmin/fmax-shaped BinOp path.
+  Klass& k = pool_.Define("Test");
+  Assembler a;
+  a.Load(Type::Float(), 0).Load(Type::Float(), 1)
+      .Bin(Type::Float(), BinOp::kMin);
+  a.Ret(Type::Float());
+  MethodSignature sig;
+  sig.params = {Type::Float(), Type::Float()};
+  sig.ret = Type::Float();
+  k.AddMethod(MakeMethod("fmin2", sig, true, 2, a.Finish()));
+  VerifyOrThrow(pool_, k.GetMethod("fmin2"));
+  Interpreter interp(pool_, heap_);
+  EXPECT_TRUE(std::signbit(
+      interp.Invoke("Test", "fmin2", {Value::OfFloat(0.0f),
+                                      Value::OfFloat(-0.0f)}).ret.AsFloat()));
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(
+      interp.Invoke("Test", "fmin2", {Value::OfFloat(nan),
+                                      Value::OfFloat(3.0f)}).ret.AsFloat()));
 }
 
 TEST_F(InterpFixture, ConversionTruncation) {

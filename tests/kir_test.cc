@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "kir/analysis.h"
+#include "kir/arena.h"
 #include "kir/eval.h"
 #include "kir/kernel.h"
 #include "kir/printer.h"
@@ -307,6 +310,109 @@ TEST(EvalTest, IntegerNarrowingOnByteBuffer) {
   BufferMap buffers;
   Evaluator(k).Run({}, buffers);
   EXPECT_EQ(buffers["out"][0].AsInt(), 44);  // 300 mod 256
+}
+
+TEST(EvalTest, WideLongComparesAreExact) {
+  // 2^53 and 2^53+1 are indistinguishable as doubles; Java long compares
+  // must still see them as distinct (regression: comparisons used to route
+  // integral operands through a double conversion).
+  const std::int64_t big = std::int64_t{1} << 53;
+  Kernel k;
+  k.name = "longcmp";
+  k.buffers.push_back({"out", Type::Int(), 2, BufferKind::kOutput, ""});
+  auto a = Expr::IntLit(big, Type::Long());
+  auto b = Expr::IntLit(big + 1, Type::Long());
+  k.body = Stmt::Block(
+      {Stmt::Assign(Expr::ArrayRef("out", Type::Int(), Expr::IntLit(0)),
+                    Expr::Binary(BinaryOp::kEq, a, b)),
+       Stmt::Assign(Expr::ArrayRef("out", Type::Int(), Expr::IntLit(1)),
+                    Expr::Binary(BinaryOp::kLt, a, b))});
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE(pass == 0 ? "Evaluator" : "ReferenceEvaluator");
+    BufferMap buffers;
+    if (pass == 0) {
+      Evaluator(k).Run({}, buffers);
+    } else {
+      ReferenceEvaluator(k).Run({}, buffers);
+    }
+    EXPECT_EQ(buffers["out"][0].AsInt(), 0);  // not equal
+    EXPECT_EQ(buffers["out"][1].AsInt(), 1);  // strictly less
+  }
+}
+
+TEST(EvalTest, FloatMinMaxFollowJavaSemantics) {
+  // Java Math.min/max: NaN propagates, and the zeros are ordered
+  // (-0.0 < +0.0). fmin/fmax get both wrong.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Kernel k;
+  k.name = "minmax";
+  k.buffers.push_back({"out", Type::Float(), 4, BufferKind::kOutput, ""});
+  auto at = [](std::int64_t i) {
+    return Expr::ArrayRef("out", Type::Float(), Expr::IntLit(i));
+  };
+  k.body = Stmt::Block(
+      {Stmt::Assign(at(0), Expr::Binary(BinaryOp::kMin, Expr::FloatLit(0.0),
+                                        Expr::FloatLit(-0.0))),
+       Stmt::Assign(at(1), Expr::Binary(BinaryOp::kMax, Expr::FloatLit(-0.0),
+                                        Expr::FloatLit(0.0))),
+       Stmt::Assign(at(2), Expr::Binary(BinaryOp::kMin, Expr::FloatLit(nan),
+                                        Expr::FloatLit(1.0))),
+       Stmt::Assign(at(3), Expr::Binary(BinaryOp::kMax, Expr::FloatLit(1.0),
+                                        Expr::FloatLit(nan)))});
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE(pass == 0 ? "Evaluator" : "ReferenceEvaluator");
+    BufferMap buffers;
+    if (pass == 0) {
+      Evaluator(k).Run({}, buffers);
+    } else {
+      ReferenceEvaluator(k).Run({}, buffers);
+    }
+    EXPECT_TRUE(std::signbit(buffers["out"][0].AsFloat()));   // min(0,-0)=-0
+    EXPECT_FALSE(std::signbit(buffers["out"][1].AsFloat()));  // max(-0,0)=+0
+    EXPECT_TRUE(std::isnan(buffers["out"][2].AsFloat()));
+    EXPECT_TRUE(std::isnan(buffers["out"][3].AsFloat()));
+  }
+}
+
+TEST(EvalTest, SlotAndReferenceWalkersCountSameSteps) {
+  // Both implementations charge one step per IR node visited, so the
+  // runaway budget trips at the same point in either.
+  Kernel k = MakeScaleKernel();
+  BufferMap b1, b2;
+  for (int i = 0; i < 16; ++i) {
+    b1["in"].push_back(Value::OfFloat(static_cast<float>(i)));
+    b2["in"].push_back(Value::OfFloat(static_cast<float>(i)));
+  }
+  Evaluator fast(k);
+  fast.Run({{"N", Value::OfInt(16)}}, b1);
+  ReferenceEvaluator ref(k);
+  ref.Run({{"N", Value::OfInt(16)}}, b2);
+  EXPECT_GT(fast.last_steps(), 0u);
+  EXPECT_EQ(fast.last_steps(), ref.last_steps());
+}
+
+// --------------------------------------------------------------- arena
+
+TEST(ArenaTest, FreedNodesAreReused) {
+  // Warm the literal node's size class so a slab exists and the freelist
+  // holds at least one chunk.
+  { auto warm = Expr::IntLit(1); }
+  const arena::Stats before = arena::GetStats();
+  { auto e = Expr::IntLit(2); }
+  const arena::Stats after = arena::GetStats();
+  EXPECT_EQ(after.allocations, before.allocations + 1);
+  EXPECT_EQ(after.frees, before.frees + 1);
+  // Served from the freelist: no new slab memory was carved.
+  EXPECT_EQ(after.slab_bytes, before.slab_bytes);
+}
+
+TEST(ArenaTest, LargeAllocationsBypassThePool) {
+  const arena::Stats before = arena::GetStats();
+  void* p = arena::Allocate(1 << 20);
+  arena::Deallocate(p, 1 << 20);
+  const arena::Stats after = arena::GetStats();
+  EXPECT_EQ(after.allocations, before.allocations);
+  EXPECT_EQ(after.slab_bytes, before.slab_bytes);
 }
 
 // ------------------------------------------------------------- analysis

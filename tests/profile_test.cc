@@ -3,6 +3,7 @@
 // ledger round-trip + comparator classification, reservoir-histogram
 // exactness, and the Drain-vs-Record race.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
@@ -259,7 +260,7 @@ TEST(LedgerTest, JsonRoundTripPreservesEverything) {
 }
 
 TEST(LedgerTest, FileRoundTripAndTryLoad) {
-  const std::string path = ::testing::TempDir() + "/ledger_rt.json";
+  const std::string path = ::testing::TempDir() + "/ledger_rt." + std::to_string(::getpid()) + ".json";
   WriteLedgerFile(path, SampleLedger());
   PerfLedger out = LoadLedgerFile(path);
   EXPECT_EQ(out.benchmarks.size(), 2u);
@@ -283,7 +284,7 @@ TEST(LedgerTest, ValidationRejectsBadDocuments) {
   negative.benchmarks["BM_Bad"] = {-5, 0, 0};
   EXPECT_THROW(ParseLedgerJson(RenderLedgerJson(negative)), MalformedInput);
   // A present-but-corrupt file must throw, not restart the trajectory.
-  const std::string path = ::testing::TempDir() + "/ledger_corrupt.json";
+  const std::string path = ::testing::TempDir() + "/ledger_corrupt." + std::to_string(::getpid()) + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   ASSERT_NE(f, nullptr);
   std::fputs("{\"schema\": \"s2fa-perf-ledger\", \"version\": ", f);

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -483,7 +484,8 @@ TEST(JournalTest, ScopesIsolateIdenticalConfigs) {
 
 TEST(JournalTest, PersistsAndResumes) {
   const std::string path =
-      testing::TempDir() + "s2fa_journal_resume_test.jsonl";
+      testing::TempDir() + "s2fa_journal_resume_test." +
+      std::to_string(::getpid()) + ".jsonl";
   std::remove(path.c_str());
   {
     EvalJournal journal;
@@ -508,7 +510,8 @@ TEST(JournalTest, PersistsAndResumes) {
 
 TEST(JournalTest, AppendAfterTornTailStaysRecoverable) {
   const std::string path =
-      testing::TempDir() + "s2fa_journal_torn_tail_test.jsonl";
+      testing::TempDir() + "s2fa_journal_torn_tail_test." +
+      std::to_string(::getpid()) + ".jsonl";
   std::remove(path.c_str());
   {
     EvalJournal journal;

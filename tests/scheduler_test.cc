@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -445,8 +447,10 @@ TEST(SchedulerTest, AdaptiveTruncatedJournalResumeMatches) {
   DesignSpace space = tuner::BuildDesignSpace(k);
   tuner::EvalFn eval = HlsEval(k);
 
-  const std::string path =
-      testing::TempDir() + "s2fa_sched_journal_prefix.jsonl";
+  // Unique per process: the plain and sanitized builds of this test run
+  // concurrently under ctest and share TempDir.
+  const std::string path = testing::TempDir() + "s2fa_sched_journal_prefix." +
+                           std::to_string(::getpid()) + ".jsonl";
   std::remove(path.c_str());
   ExplorerOptions options;
   options.time_limit_minutes = 120;
