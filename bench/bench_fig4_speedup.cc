@@ -24,7 +24,7 @@ int main() {
   EvalSetup setup;
   TextTable table({"Kernel", "Type", "JVM (ms)", "Manual (ms)", "S2FA (ms)",
                    "Manual x", "S2FA x", "S2FA/Manual"});
-  std::ofstream csv("fig4_speedup.csv");
+  std::ofstream csv(OutPath("fig4_speedup.csv"));
   csv << "kernel,type,jvm_ms,manual_ms,s2fa_ms,manual_x,s2fa_x\n";
 
   double sum_log_speedup = 0;

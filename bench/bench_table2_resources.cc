@@ -19,7 +19,7 @@ int main() {
   MetricsScope metrics("table2");
   EvalSetup setup;
   TextTable table({"Kernel", "Type", "BRAM", "DSP", "FF", "LUT", "Freq."});
-  std::ofstream csv("table2_resources.csv");
+  std::ofstream csv(OutPath("table2_resources.csv"));
   csv << "kernel,type,bram,dsp,ff,lut,freq_mhz\n";
 
   for (apps::App& app : apps::AllApps()) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "b2c/compiler.h"
@@ -144,6 +145,42 @@ SchedulerAblation RunSchedulerAblation(const PreparedApp& prepared,
   return ablation;
 }
 
+TechniqueAblation RunTechniqueAblation(const PreparedApp& prepared,
+                                       const EvalSetup& setup,
+                                       bool check_threads) {
+  dse::ExplorerOptions options;
+  options.time_limit_minutes = setup.time_limit_minutes;
+  options.num_cores = setup.num_cores;
+  options.seed = setup.seed;
+
+  TechniqueAblation ablation;
+  ablation.baseline = dse::RunS2faDse(prepared.space, prepared.generated,
+                                      prepared.evaluate, options);
+  options.techniques = {"bandit", "bottleneck"};
+  ablation.bottleneck = dse::RunS2faDse(prepared.space, prepared.generated,
+                                        prepared.evaluate, options);
+  // (inf <= inf counts as not-worse: neither run found a feasible point.)
+  ablation.not_worse = !(ablation.bottleneck.best_cost >
+                         ablation.baseline.best_cost * (1 + kQorNoiseBand));
+  ablation.strictly_better = ablation.bottleneck.best_cost <
+                             ablation.baseline.best_cost * (1 - kQorNoiseBand);
+  if (check_threads) {
+    // exec_threads only changes wall clock, never results — the commit
+    // order is the proposal order regardless of which worker finishes
+    // first. Pin the bandit+bottleneck roster across 1/2/8 workers.
+    for (int threads : {1, 2, 8}) {
+      options.exec_threads = threads;
+      dse::DseResult rerun = dse::RunS2faDse(
+          prepared.space, prepared.generated, prepared.evaluate, options);
+      if (!SameTrajectory(rerun, ablation.bottleneck) ||
+          rerun.evaluations != ablation.bottleneck.evaluations) {
+        ablation.thread_invariant = false;
+      }
+    }
+  }
+  return ablation;
+}
+
 double CostAt(const std::vector<tuner::TracePoint>& trace, double minutes,
               double norm) {
   double best = std::numeric_limits<double>::infinity();
@@ -208,6 +245,17 @@ std::string RenderTraceRow(const std::string& label,
   return row;
 }
 
+std::string OutPath(const std::string& filename) {
+  std::filesystem::path dir = "bench_out";
+  if (const char* env = std::getenv("S2FA_BENCH_OUT")) {
+    if (*env != '\0') dir = env;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; write errors
+                                                 // surface at the caller
+  return (dir / filename).string();
+}
+
 std::string PerfLedgerPath() {
   if (const char* env = std::getenv("S2FA_PERF_LEDGER")) return env;
   return "BENCH_micro.json";
@@ -246,7 +294,7 @@ MetricsScope::MetricsScope(std::string name)
 }
 
 MetricsScope::~MetricsScope() {
-  const std::string path = name_ + "_metrics.json";
+  const std::string path = OutPath(name_ + "_metrics.json");
   try {
     obs::WriteSummaryFile(path, obs::CaptureSummary());
     std::fprintf(stderr, "metrics snapshot: %s\n", path.c_str());

@@ -77,6 +77,31 @@ struct SchedulerAblation {
 SchedulerAblation RunSchedulerAblation(const PreparedApp& prepared,
                                        const EvalSetup& setup);
 
+// Same-seed S2FA run with the default four-arm bandit vs the same bandit
+// plus the bottleneck-guided arm. The extra arm perturbs the shared RNG
+// stream, so not-worse is an empirical gate (checked per app by
+// bench_fig3), not a structural guarantee like the scheduler ablation's.
+//
+// Both rosters routinely land on the same design plateau with best costs
+// a few 1e-5 apart (different tie-break points, same QoR): comparisons use
+// a relative noise band — losing within the band is a tie, and "strictly
+// better" has to clear the band too.
+inline constexpr double kQorNoiseBand = 1e-3;
+
+struct TechniqueAblation {
+  dse::DseResult baseline;    // default roster
+  dse::DseResult bottleneck;  // bandit + bottleneck-guided arm
+  bool not_worse = false;       // bottleneck best <= baseline best + band
+  bool strictly_better = false;
+  // Bandit+bottleneck trajectories bit-identical across exec_threads
+  // 1/2/8 (only checked when requested; stays true otherwise).
+  bool thread_invariant = true;
+};
+
+TechniqueAblation RunTechniqueAblation(const PreparedApp& prepared,
+                                       const EvalSetup& setup,
+                                       bool check_threads = false);
+
 // Best-so-far cost at simulated `minutes` (normalized when norm > 0).
 double CostAt(const std::vector<tuner::TracePoint>& trace, double minutes,
               double norm);
@@ -96,6 +121,14 @@ std::string RenderTraceRow(const std::string& label,
                            const std::vector<tuner::TracePoint>& trace,
                            const std::vector<double>& sample_minutes,
                            double norm);
+
+// Resolves an output-file path for harness artifacts (metrics snapshots,
+// trace CSVs): `filename` under the S2FA_BENCH_OUT directory when that is
+// set, else under bench_out/ in the working directory. The directory is
+// created on first use. Keeps bench runs from scattering artifacts into
+// whatever CWD the harness was launched from (which is how stray
+// *_metrics.json files ended up committed at the repo root).
+std::string OutPath(const std::string& filename);
 
 // Resolved perf-ledger path: the S2FA_PERF_LEDGER environment variable,
 // or BENCH_micro.json in the working directory.
@@ -117,8 +150,9 @@ std::string UpdatePerfLedger(
     const std::string& path = "");
 
 // Enables the obs layer for the lifetime of a harness main() and writes
-// `<name>_metrics.json` (next to the harness CSVs) on destruction, so
-// every reproduction figure ships with its pipeline metrics snapshot.
+// OutPath("<name>_metrics.json") on destruction — next to the harness's
+// other outputs, never bare CWD — so every reproduction figure ships with
+// its pipeline metrics snapshot.
 class MetricsScope {
  public:
   explicit MetricsScope(std::string name);

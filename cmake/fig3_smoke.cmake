@@ -1,0 +1,53 @@
+# Fig3-smoke gate (ctest `fig3_smoke`): runs the Fig. 3 DSE reproduction
+# in quick mode — one seed on a shortened budget — which keeps exactly one
+# exit-code gate live: the bottleneck-guided technique ablation (the
+# bandit+bottleneck arm set not worse than the default roster on every
+# app, strictly better on at least two, and bit-identical across
+# exec_threads 1/2/8). Also pins the artifact-routing contract: outputs
+# land under S2FA_BENCH_OUT, never in the harness's working directory.
+#
+# Inputs (all -D): BENCH_BIN WORK_DIR
+cmake_minimum_required(VERSION 3.20)
+
+foreach(var BENCH_BIN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "fig3_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(OUT_DIR "${WORK_DIR}/fig3_smoke_out")
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(REMOVE "${WORK_DIR}/fig3_metrics.json" "${WORK_DIR}/fig3_trace.csv")
+
+# --- 1. Quick mode must pass its technique-ablation exit-code gate.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "S2FA_BENCH_QUICK=1"
+          "S2FA_BENCH_OUT=${OUT_DIR}"
+          "${BENCH_BIN}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out ERROR_VARIABLE bench_out)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "fig3_smoke: bench_fig3 technique gate failed (${bench_rc}):\n"
+          "${bench_out}")
+endif()
+
+# --- 2. Artifacts land under S2FA_BENCH_OUT ...
+foreach(artifact fig3_trace.csv fig3_metrics.json)
+  if(NOT EXISTS "${OUT_DIR}/${artifact}")
+    message(FATAL_ERROR "fig3_smoke: ${artifact} not written to ${OUT_DIR}")
+  endif()
+endforeach()
+
+# --- 3. ... and never in the working directory (the old CWD-pollution bug
+# that left stray *_metrics.json files at the repo root).
+foreach(stray fig3_metrics.json fig3_trace.csv)
+  if(EXISTS "${WORK_DIR}/${stray}")
+    message(FATAL_ERROR
+            "fig3_smoke: ${stray} leaked into the working directory")
+  endif()
+endforeach()
+
+message(STATUS "fig3_smoke: technique gate passes, artifacts routed to ${OUT_DIR}")

@@ -161,6 +161,7 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
       topt.parallel = single ? options.num_cores : 1;
       topt.eval_pool = eval_pool.get();
       topt.seed = options.seed * 1000003ULL + i * 7919ULL + 1;
+      topt.techniques = options.techniques;
       if (options.enable_seeds) {
         topt.seeds.push_back(
             MakePerformanceSeed(partition.space, options.seed_values));
@@ -278,6 +279,7 @@ DseResult RunS2faDse(const DesignSpace& space, const kir::Kernel& kernel,
       topt.parallel = 1;
       // A distinct stream from the main run's.
       topt.seed = options.seed * 1000003ULL + i * 7919ULL + 500009ULL;
+      topt.techniques = options.techniques;
       if (outcome.scheduled && outcome.result.found_feasible) {
         topt.seeds.push_back({outcome.result.best, "reclaim warm start"});
       } else if (options.enable_seeds) {
@@ -450,6 +452,7 @@ DseResult RunVanillaOpenTuner(const DesignSpace& space,
   topt.parallel = options.num_cores;
   topt.homogeneous_batches = true;  // footnote 3: one technique's top-8
   topt.seed = options.seed;
+  topt.techniques = options.techniques;
   topt.eval_pool = eval_pool.get();
   TuneResult tuned = tuner::Tune(space, fn, topt);
 

@@ -74,6 +74,11 @@ struct ExplorerOptions {
   // simulated core. Results never depend on this — it only changes
   // wall-clock.
   int exec_threads = 0;
+  // Technique roster, forwarded to every TuneSession (partition, reclaim,
+  // and vanilla baseline alike); empty keeps the paper's default four-arm
+  // bandit, bit-identical to before the knob existed. See
+  // tuner::MakeTechniques for the accepted names.
+  std::vector<std::string> techniques;
 };
 
 struct PartitionOutcome {

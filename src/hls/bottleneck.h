@@ -1,0 +1,91 @@
+// Structured bottleneck attribution for HLS estimates.
+//
+// The estimator already takes every max/cap decision that makes a design
+// slow or infeasible — recurrence II vs memory-port II, local ports vs AXI
+// width, the per-resource usable cap, congestion vs the routing wall. This
+// header names those decisions so a single attribution can ride along with
+// the result and downstream consumers (the bottleneck-guided DSE arm, the
+// journal) can act on *why* instead of re-deriving it. Header-only so the
+// tuner can speak the vocabulary without linking the estimator.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace s2fa::hls {
+
+enum class BottleneckKind {
+  kNone = 0,        // nothing binds: the design is balanced
+  kRecurrenceII,    // pipelined II bound by a carried dependence chain
+  kMemoryPortII,    // pipelined II bound by local-buffer port conflicts
+  kAxiBandwidth,    // pipelined II bound by off-chip interface width
+  kBramCap,         // BRAM utilization at/over the usable cap
+  kDspCap,          // DSP utilization at/over the usable cap
+  kFfCap,           // FF utilization at/over the usable cap
+  kLutCap,          // LUT utilization at/over the usable cap
+  kFreqCongestion,  // clock degraded by LUT/FF congestion or fan-out
+  kRoutingWall,     // clock degraded by the parallelism routing wall
+};
+
+// One attribution: the decision that binds, the value it bound at, and how
+// decisively it won. `quantity` is in the decision's own units (an II in
+// cycles, a utilization fraction, a frequency-slowdown factor); `margin` is
+// the gap to the runner-up at the same decision (or the cap overshoot for
+// resource kinds), so a near-tie can be told apart from a clear verdict.
+struct Bottleneck {
+  BottleneckKind kind = BottleneckKind::kNone;
+  double quantity = 0;
+  double margin = 0;
+};
+
+inline const char* BottleneckKindName(BottleneckKind kind) {
+  switch (kind) {
+    case BottleneckKind::kNone: return "none";
+    case BottleneckKind::kRecurrenceII: return "recurrence_ii";
+    case BottleneckKind::kMemoryPortII: return "memory_port_ii";
+    case BottleneckKind::kAxiBandwidth: return "axi_bandwidth";
+    case BottleneckKind::kBramCap: return "bram_cap";
+    case BottleneckKind::kDspCap: return "dsp_cap";
+    case BottleneckKind::kFfCap: return "ff_cap";
+    case BottleneckKind::kLutCap: return "lut_cap";
+    case BottleneckKind::kFreqCongestion: return "freq_congestion";
+    case BottleneckKind::kRoutingWall: return "routing_wall";
+  }
+  return "none";
+}
+
+inline bool IsResourceCapKind(BottleneckKind kind) {
+  return kind == BottleneckKind::kBramCap ||
+         kind == BottleneckKind::kDspCap ||
+         kind == BottleneckKind::kFfCap || kind == BottleneckKind::kLutCap;
+}
+
+// The resource a cap kind blames ("" for non-cap kinds) — the word the
+// estimator's infeasible_reason must contain for the verdict to be
+// internally consistent (HlsResult::Plausible checks this).
+inline const char* BottleneckCapResource(BottleneckKind kind) {
+  switch (kind) {
+    case BottleneckKind::kBramCap: return "bram";
+    case BottleneckKind::kDspCap: return "dsp";
+    case BottleneckKind::kFfCap: return "ff";
+    case BottleneckKind::kLutCap: return "lut";
+    default: return "";
+  }
+}
+
+inline std::optional<BottleneckKind> BottleneckKindFromName(
+    const std::string& name) {
+  const BottleneckKind kinds[] = {
+      BottleneckKind::kNone,          BottleneckKind::kRecurrenceII,
+      BottleneckKind::kMemoryPortII,  BottleneckKind::kAxiBandwidth,
+      BottleneckKind::kBramCap,       BottleneckKind::kDspCap,
+      BottleneckKind::kFfCap,         BottleneckKind::kLutCap,
+      BottleneckKind::kFreqCongestion, BottleneckKind::kRoutingWall,
+  };
+  for (BottleneckKind kind : kinds) {
+    if (name == BottleneckKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace s2fa::hls

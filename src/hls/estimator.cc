@@ -103,10 +103,14 @@ class Estimator {
   // (replicated `repl` times) on first traversal of each instance.
   double ExprLatency(const ExprPtr& expr, double repl);
 
-  // Latency of one execution of `stmt`; charges resources.
-  double StmtLatency(const Stmt& stmt, double repl);
+  // Latency of one execution of `stmt`; charges resources. `scale` is how
+  // many times this statement executes per invocation (the product of
+  // enclosing sequential iteration counts) — it never affects the latency
+  // or the charged resources, only how much weight an II decision taken
+  // here carries in the whole-kernel bottleneck attribution.
+  double StmtLatency(const Stmt& stmt, double repl, double scale);
 
-  double LoopLatency(const Stmt& loop, double repl);
+  double LoopLatency(const Stmt& loop, double repl, double scale);
 
   void Charge(const OpCost& cost, double repl) {
     dsp_ += cost.dsp * repl;
@@ -116,8 +120,14 @@ class Estimator {
 
   // Memory-port initiation interval for a pipelined loop issuing `u`
   // logical iterations per initiation, whose per-iteration body census is
-  // `counts` (inner fully-unrolled loops already weighted).
-  double MemoryII(const kir::OpCounts& counts, double u);
+  // `counts` (inner fully-unrolled loops already weighted). Reports which
+  // bound set the II — local ports or off-chip width — right where the
+  // max is taken (kNone when neither exceeds II 1).
+  struct MemIi {
+    double ii = 1;
+    BottleneckKind kind = BottleneckKind::kNone;
+  };
+  MemIi MemoryII(const kir::OpCounts& counts, double u);
 
   // Partition factor chosen by Merlin for a local buffer: the largest
   // unroll among loops whose bodies access it.
@@ -131,6 +141,10 @@ class Estimator {
   std::map<std::string, std::int64_t> partition_;
   double max_parallel_ = 1;
   bool unrolled_wavefront_ = false;
+  // Champion II decision across all pipelined loops, weighted by the stall
+  // cycles it costs the whole invocation (scale * II * (iters - 1)).
+  Bottleneck ii_bottleneck_;
+  double ii_weight_ = 0;
   std::vector<std::string> notes_;
 };
 
@@ -160,7 +174,12 @@ double Estimator::ExprLatency(const ExprPtr& expr, double repl) {
           !e.operands()[0]->type().is_floating() &&
           (e.operands()[0]->kind() == ExprKind::kIntLit ||
            e.operands()[1]->kind() == ExprKind::kIntLit)) {
-        double w = e.operands()[0]->type().bit_width();
+        // The shift/add network is sized by the variable operand; the
+        // literal only selects which shifts are wired in.
+        const ExprPtr& variable_side =
+            e.operands()[0]->kind() == ExprKind::kIntLit ? e.operands()[1]
+                                                         : e.operands()[0];
+        double w = variable_side->type().bit_width();
         cost = OpCost{1, 0, w, 2 * w};
       }
       Charge(cost, repl);
@@ -189,7 +208,7 @@ double Estimator::ExprLatency(const ExprPtr& expr, double repl) {
   S2FA_UNREACHABLE("bad expr kind");
 }
 
-double Estimator::StmtLatency(const Stmt& stmt, double repl) {
+double Estimator::StmtLatency(const Stmt& stmt, double repl, double scale) {
   switch (stmt.kind()) {
     case StmtKind::kAssign: {
       double lat = ExprLatency(stmt.rhs(), repl);
@@ -207,17 +226,20 @@ double Estimator::StmtLatency(const Stmt& stmt, double repl) {
                          : 0.0;
     case StmtKind::kIf: {
       double cond = ExprLatency(stmt.cond(), repl);
-      double then_lat = StmtLatency(*stmt.then_stmt(), repl);
+      double then_lat = StmtLatency(*stmt.then_stmt(), repl, scale);
       double else_lat =
-          stmt.else_stmt() ? StmtLatency(*stmt.else_stmt(), repl) : 0.0;
+          stmt.else_stmt() ? StmtLatency(*stmt.else_stmt(), repl, scale)
+                           : 0.0;
       Charge({1, 0, 16, 24}, repl);  // branch select
       return cond + std::max(then_lat, else_lat) + 1;
     }
     case StmtKind::kFor:
-      return LoopLatency(stmt, repl);
+      return LoopLatency(stmt, repl, scale);
     case StmtKind::kBlock: {
       double total = 0;
-      for (const auto& st : stmt.stmts()) total += StmtLatency(*st, repl);
+      for (const auto& st : stmt.stmts()) {
+        total += StmtLatency(*st, repl, scale);
+      }
       return total;
     }
   }
@@ -246,8 +268,8 @@ void Estimator::PrecomputePartitions() {
   }
 }
 
-double Estimator::MemoryII(const kir::OpCounts& counts, double u) {
-  double ii = 1;
+Estimator::MemIi Estimator::MemoryII(const kir::OpCounts& counts, double u) {
+  double port_ii = 1, axi_ii = 1;
   // Local buffers: dual-ported BRAM, one partition set per Merlin config.
   for (const auto& [name, n] : counts.buffer_reads) {
     const Buffer* buf = k_.FindBuffer(name);
@@ -257,13 +279,13 @@ double Estimator::MemoryII(const kir::OpCounts& counts, double u) {
     if (w != counts.buffer_writes.end()) writes = w->second;
     if (buf->kind == BufferKind::kLocal) {
       double ports = 2.0 * static_cast<double>(PartitionOf(name));
-      ii = std::max(ii, std::ceil(u * (n + writes) / ports));
+      port_ii = std::max(port_ii, std::ceil(u * (n + writes) / ports));
     } else {
       const double bits = u * n * buf->element.bit_width();
       const double width = buf->interface_bits > 0
                                ? buf->interface_bits
                                : buf->element.bit_width();
-      ii = std::max(ii, std::ceil(bits / width));
+      axi_ii = std::max(axi_ii, std::ceil(bits / width));
     }
   }
   // Write-only buffers not covered above.
@@ -273,19 +295,25 @@ double Estimator::MemoryII(const kir::OpCounts& counts, double u) {
     if (buf == nullptr) continue;
     if (buf->kind == BufferKind::kLocal) {
       double ports = 2.0 * static_cast<double>(PartitionOf(name));
-      ii = std::max(ii, std::ceil(u * n / ports));
+      port_ii = std::max(port_ii, std::ceil(u * n / ports));
     } else {
       const double bits = u * n * buf->element.bit_width();
       const double width = buf->interface_bits > 0
                                ? buf->interface_bits
                                : buf->element.bit_width();
-      ii = std::max(ii, std::ceil(bits / width));
+      axi_ii = std::max(axi_ii, std::ceil(bits / width));
     }
   }
-  return ii;
+  MemIi result;
+  result.ii = std::max(port_ii, axi_ii);
+  if (result.ii > 1) {
+    result.kind = port_ii >= axi_ii ? BottleneckKind::kMemoryPortII
+                                    : BottleneckKind::kAxiBandwidth;
+  }
+  return result;
 }
 
-double Estimator::LoopLatency(const Stmt& loop, double repl) {
+double Estimator::LoopLatency(const Stmt& loop, double repl, double scale) {
   const std::int64_t trip = loop.trip_count();
   const std::int64_t u = UnrollOf(loop);
   const double iters = std::ceil(static_cast<double>(trip) /
@@ -305,7 +333,9 @@ double Estimator::LoopLatency(const Stmt& loop, double repl) {
                                     }
                                   }));
 
-  const double body_lat = StmtLatency(*loop.body(), repl * u);
+  const double body_lat =
+      StmtLatency(*loop.body(), repl * static_cast<double>(u),
+                  scale * iters);
 
   kir::LoopRecurrence rec = kir::AnalyzeRecurrence(loop);
   if (rec.carried) {
@@ -329,8 +359,18 @@ double Estimator::LoopLatency(const Stmt& loop, double repl) {
       ii_rec *= static_cast<double>(u);
     }
     kir::OpCounts counts = kir::CountTotalOps(*loop.body());
-    const double ii_mem = MemoryII(counts, static_cast<double>(u));
-    const double ii = std::max({1.0, ii_rec, ii_mem});
+    const MemIi mem = MemoryII(counts, static_cast<double>(u));
+    const double ii = std::max({1.0, ii_rec, mem.ii});
+    // This is where the II decision is taken: remember the binding bound
+    // when the stall it costs the whole invocation beats the champion.
+    const double stall_weight = scale * ii * (iters - 1);
+    if (ii > 1 && stall_weight > ii_weight_) {
+      ii_weight_ = stall_weight;
+      ii_bottleneck_.kind = ii_rec >= mem.ii ? BottleneckKind::kRecurrenceII
+                                             : mem.kind;
+      ii_bottleneck_.quantity = ii;
+      ii_bottleneck_.margin = ii - std::max(1.0, std::min(ii_rec, mem.ii));
+    }
     double lat = body_lat + ii * (iters - 1) + 2;
     if (tree && u > 1) {
       // Balanced partial-sum combine after the loop drains.
@@ -384,7 +424,7 @@ HlsResult Estimator::Run() {
     bram_ += 2.0 * std::max(1.0, std::ceil(stage_bits / kBramBits));
   }
 
-  const double cycles = StmtLatency(*k_.body, 1.0);
+  const double cycles = StmtLatency(*k_.body, 1.0, 1.0);
 
   const DeviceModel& dev = opt_.device;
   result.util.bram = bram_;
@@ -397,19 +437,32 @@ HlsResult Estimator::Run() {
   result.util.lut_frac = lut_ / dev.lut;
 
   // Frequency model: congestion + broadcast fan-out of wide unrolls + deep
-  // combinational ripple of unrolled wavefronts.
-  double slowdown = 1.0;
-  slowdown += opt_.lut_congestion_slope *
-              std::max(0.0, result.util.lut_frac - opt_.lut_congestion_knee);
-  slowdown += opt_.ff_congestion_slope *
-              std::max(0.0, result.util.ff_frac - opt_.ff_congestion_knee);
-  slowdown += opt_.unroll_slowdown * Log2Ceil(max_parallel_);
-  slowdown += std::pow(max_parallel_ / opt_.routing_knee,
-                       opt_.routing_power);
-  if (unrolled_wavefront_) slowdown += opt_.wavefront_slowdown;
+  // combinational ripple of unrolled wavefronts. The terms are kept apart
+  // so a timing verdict can blame the side that dominated — congestion
+  // (LUT/FF pressure, fan-out) vs the parallelism routing wall (which the
+  // wavefront ripple belongs to: both are cured by backing parallelism
+  // off).
+  const double congestion_term =
+      opt_.lut_congestion_slope *
+          std::max(0.0, result.util.lut_frac - opt_.lut_congestion_knee) +
+      opt_.ff_congestion_slope *
+          std::max(0.0, result.util.ff_frac - opt_.ff_congestion_knee) +
+      opt_.unroll_slowdown * Log2Ceil(max_parallel_);
+  double routing_term =
+      std::pow(max_parallel_ / opt_.routing_knee, opt_.routing_power);
+  if (unrolled_wavefront_) routing_term += opt_.wavefront_slowdown;
+  const double slowdown = 1.0 + congestion_term + routing_term;
   double freq = dev.target_mhz / slowdown;
   freq = std::floor(freq / 10.0) * 10.0;  // P&R granularity
   freq = std::min(freq, dev.target_mhz);
+  auto freq_bottleneck = [&] {
+    Bottleneck b;
+    b.kind = routing_term >= congestion_term ? BottleneckKind::kRoutingWall
+                                             : BottleneckKind::kFreqCongestion;
+    b.quantity = slowdown;
+    b.margin = std::abs(routing_term - congestion_term);
+    return b;
+  };
 
   result.cycles = cycles;
   result.freq_mhz = freq;
@@ -417,15 +470,53 @@ HlsResult Estimator::Run() {
   result.notes = notes_;
 
   // Feasibility: the paper caps usable resources at 75% and treats designs
-  // the tool cannot place/route in time as failures.
+  // the tool cannot place/route in time as failures. A resource verdict
+  // names the binding resource, and the bottleneck attribution is taken at
+  // the very same argmax (Plausible() holds the two to each other).
   const double cap = dev.usable_fraction;
-  if (result.util.bram_frac > cap || result.util.dsp_frac > cap ||
-      result.util.ff_frac > cap || result.util.lut_frac > cap) {
+  struct ResFrac {
+    BottleneckKind kind;
+    double frac;
+  };
+  const ResFrac fracs[] = {
+      {BottleneckKind::kBramCap, result.util.bram_frac},
+      {BottleneckKind::kDspCap, result.util.dsp_frac},
+      {BottleneckKind::kFfCap, result.util.ff_frac},
+      {BottleneckKind::kLutCap, result.util.lut_frac},
+  };
+  std::size_t max_res = 0, second_res = 1;
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (fracs[i].frac > fracs[max_res].frac) {
+      second_res = max_res;
+      max_res = i;
+    } else if (fracs[i].frac > fracs[second_res].frac || second_res == max_res) {
+      second_res = i;
+    }
+  }
+  auto cap_bottleneck = [&] {
+    Bottleneck b;
+    b.kind = fracs[max_res].kind;
+    b.quantity = fracs[max_res].frac;
+    b.margin = fracs[max_res].frac - fracs[second_res].frac;
+    return b;
+  };
+  if (fracs[max_res].frac > cap) {
     result.feasible = false;
-    result.infeasible_reason = "resource utilization exceeds the usable cap";
+    result.infeasible_reason =
+        std::string(BottleneckCapResource(fracs[max_res].kind)) +
+        " utilization exceeds the usable cap";
+    result.bottleneck = cap_bottleneck();
   } else if (freq < opt_.min_feasible_mhz) {
     result.feasible = false;
     result.infeasible_reason = "timing closure failed";
+    result.bottleneck = freq_bottleneck();
+  } else if (freq < opt_.freq_attr_fraction * dev.target_mhz) {
+    // Feasible but clock-bound: the slowdown dominates before any II does.
+    result.bottleneck = freq_bottleneck();
+  } else if (ii_bottleneck_.kind != BottleneckKind::kNone) {
+    result.bottleneck = ii_bottleneck_;
+  } else if (fracs[max_res].frac >= opt_.near_cap_fraction * cap) {
+    result.bottleneck = cap_bottleneck();
   }
 
   // Simulated synthesis wall time: grows with spatial complexity; jitter is
@@ -458,7 +549,30 @@ double Utilization::MaxFraction() const {
 bool HlsResult::Plausible() const {
   auto positive_finite = [](double v) { return std::isfinite(v) && v > 0; };
   if (!positive_finite(eval_minutes)) return false;
-  if (!feasible) return true;  // an infeasible verdict carries no numbers
+  // The attribution must carry sane numbers whenever it is set, and an
+  // infeasible verdict must blame the same decision its reason names —
+  // a tool that reports "bram ... exceeds the usable cap" while attributing
+  // the failure to DSPs is talking nonsense.
+  if (!std::isfinite(bottleneck.quantity) || bottleneck.quantity < 0 ||
+      !std::isfinite(bottleneck.margin)) {
+    return false;
+  }
+  if (!feasible) {  // an infeasible verdict carries no performance numbers
+    if (infeasible_reason.find("utilization exceeds") != std::string::npos) {
+      const char* resource = BottleneckCapResource(bottleneck.kind);
+      if (resource[0] == '\0' ||
+          infeasible_reason.find(resource) == std::string::npos) {
+        return false;
+      }
+    } else if (infeasible_reason.find("timing closure") !=
+               std::string::npos) {
+      if (bottleneck.kind != BottleneckKind::kFreqCongestion &&
+          bottleneck.kind != BottleneckKind::kRoutingWall) {
+        return false;
+      }
+    }
+    return true;
+  }
   if (!positive_finite(cycles) || !positive_finite(freq_mhz) ||
       !positive_finite(exec_us)) {
     return false;

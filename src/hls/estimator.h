@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "hls/bottleneck.h"
 #include "hls/device.h"
 #include "kir/kernel.h"
 
@@ -43,12 +44,19 @@ struct HlsResult {
   Utilization util;
   double eval_minutes = 0; // simulated HLS synthesis wall time
   std::vector<std::string> notes;
+  // What binds this design, recorded where the estimator took the decision
+  // (dominant pipelined II, resource-cap argmax, frequency-slowdown split)
+  // — never re-derived in a second pass. kNone when nothing binds.
+  Bottleneck bottleneck;
 
   // Sanity check for results crossing a trust boundary (the real flow
   // treats the HLS tool as an unreliable oracle): a feasible result must
   // report positive finite cycles/frequency/latency, utilization fractions
-  // in [0, 1], and a positive finite synthesis time. The resilience layer
-  // classifies implausible results as garbage rather than acting on them.
+  // in [0, 1], and a positive finite synthesis time; the bottleneck
+  // attribution must carry finite numbers and, on an infeasible verdict,
+  // blame the same resource/decision as infeasible_reason. The resilience
+  // layer classifies implausible results as garbage rather than acting on
+  // them.
   bool Plausible() const;
 };
 
@@ -72,6 +80,13 @@ struct EstimatorOptions {
   double routing_power = 1.5;
   double wavefront_slowdown = 1.3;     // unrolled buffer-carried recurrence
   double min_feasible_mhz = 60.0;
+
+  // Attribution thresholds for *feasible* designs: a clock below
+  // freq_attr_fraction * target blames the frequency model, and a max
+  // utilization above near_cap_fraction * usable cap blames that resource
+  // when nothing else binds first.
+  double freq_attr_fraction = 0.8;
+  double near_cap_fraction = 0.9;
 
   // Synthesis-time model: minutes = a + b * sqrt(spatial kops) (+/- 25%
   // deterministic jitter), clamped to [min, max].

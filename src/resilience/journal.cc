@@ -60,6 +60,18 @@ class LineParser {
       } else if (field == "eval_minutes") {
         entry.outcome.eval_minutes = ParseNumberOrNull(0.0);
         have_minutes = true;
+      } else if (field == "bottleneck") {
+        // Optional (absent on pre-attribution journals and kNone results).
+        const std::string name = ParseString();
+        auto kind = hls::BottleneckKindFromName(name);
+        if (!kind) {
+          throw MalformedInput("journal: unknown bottleneck '" + name + "'");
+        }
+        entry.outcome.bottleneck.kind = *kind;
+      } else if (field == "bneck_quantity") {
+        entry.outcome.bottleneck.quantity = ParseNumberOrNull(0.0);
+      } else if (field == "bneck_margin") {
+        entry.outcome.bottleneck.margin = ParseNumberOrNull(0.0);
       } else {
         throw MalformedInput("journal: unknown field '" + field + "'");
       }
@@ -182,8 +194,18 @@ std::string RenderJournalEntry(const JournalEntry& entry) {
   oss << "{\"key\":" << JsonString(entry.key)
       << ",\"feasible\":" << (entry.outcome.feasible ? "true" : "false")
       << ",\"cost\":" << JsonNumberOrNull(entry.outcome.cost)
-      << ",\"eval_minutes\":" << JsonNumberOrNull(entry.outcome.eval_minutes)
-      << "}";
+      << ",\"eval_minutes\":" << JsonNumberOrNull(entry.outcome.eval_minutes);
+  if (entry.outcome.bottleneck.kind != hls::BottleneckKind::kNone) {
+    // kNone renders as the bare legacy line, so old and new journals
+    // interleave and a no-attribution entry round-trips byte-identically.
+    oss << ",\"bottleneck\":"
+        << JsonString(hls::BottleneckKindName(entry.outcome.bottleneck.kind))
+        << ",\"bneck_quantity\":"
+        << JsonNumberOrNull(entry.outcome.bottleneck.quantity)
+        << ",\"bneck_margin\":"
+        << JsonNumberOrNull(entry.outcome.bottleneck.margin);
+  }
+  oss << "}";
   return oss.str();
 }
 

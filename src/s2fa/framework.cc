@@ -41,6 +41,9 @@ tuner::EvalFn MakeHlsEvaluator(const kir::Kernel& kernel,
               : hls_result.cycles / options.device.target_mhz;
       outcome.cost = exec_us * (1.0 + 0.05 * hls_result.util.MaxFraction());
       outcome.eval_minutes = hls_result.eval_minutes;
+      // Attribution rides along for the landscape-aware arms; the garbage
+      // and illegal-config paths above keep the default kNone.
+      outcome.bottleneck = hls_result.bottleneck;
     } catch (const InvalidArgument&) {
       // Illegal factor combination: the HLS job fails fast.
       outcome.feasible = false;

@@ -47,7 +47,7 @@ TuneSession::TuneSession(const DesignSpace& space, EvalFn evaluate,
       evaluate_(std::move(evaluate)),
       options_(std::move(options)),
       rng_(options_.seed),
-      bandit_(DefaultTechniques(space_, options_.seed)) {
+      bandit_(MakeTechniques(space_, options_.seed, options_.techniques)) {
   S2FA_REQUIRE(evaluate_ != nullptr, "no evaluation function");
   S2FA_REQUIRE(options_.parallel >= 1, "need at least one evaluator");
   S2FA_REQUIRE(options_.time_limit_minutes > 0,
@@ -76,10 +76,14 @@ void TuneSession::EvaluateSeeds() {
     db_.Add(seed.point, outcome.cost, outcome.feasible,
             clock_ + outcome.eval_minutes, /*technique=*/0,
             /*parent=*/nullptr);
-    // Every technique starts from the seed knowledge.
+    // Every technique starts from the seed knowledge (attribution
+    // included, for the landscape-aware arms).
     for (std::size_t t = 0; t < bandit_.num_techniques(); ++t) {
       bandit_.technique(t).SeedWith(seed.point, outcome.cost,
                                     outcome.feasible);
+      bandit_.technique(t).ObserveEvaluation(seed.point, outcome.cost,
+                                             outcome.feasible,
+                                             outcome.bottleneck);
     }
     S2FA_LOG_DEBUG("seed '" << seed.label << "' cost=" << outcome.cost
                             << " feasible=" << outcome.feasible);
@@ -135,6 +139,14 @@ bool TuneSession::Iterate() {
     bandit_.technique(pending.technique)
         .Report(pending.point, outcome.cost, outcome.feasible);
     bandit_.ReportOutcome(pending.technique, new_best);
+    // Commit-order broadcast: every arm sees every evaluation with its
+    // bottleneck attribution, so the landscape-aware arms track the global
+    // best regardless of which technique proposed it.
+    for (std::size_t t = 0; t < bandit_.num_techniques(); ++t) {
+      bandit_.technique(t).ObserveEvaluation(pending.point, outcome.cost,
+                                             outcome.feasible,
+                                             outcome.bottleneck);
+    }
     if (obs::Enabled()) {
       const std::string arm = bandit_.technique(pending.technique).name();
       S2FA_COUNT("tuner.evaluations", 1);

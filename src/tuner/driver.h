@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "hls/bottleneck.h"
 #include "merlin/design.h"
 #include "tuner/bandit.h"
 #include "tuner/result.h"
@@ -35,6 +36,11 @@ struct EvalOutcome {
   bool feasible = false;
   double cost = kInfeasibleCost;   // objective: accelerator time (us)
   double eval_minutes = 5.0;       // simulated HLS synthesis time
+  // The estimator's attribution of what binds this design (kNone when the
+  // evaluator has nothing to say — degraded results, illegal configs).
+  // Broadcast to every technique after each commit so landscape-aware arms
+  // can steer their mutations.
+  hls::Bottleneck bottleneck;
 };
 
 using EvalFn = std::function<EvalOutcome(const merlin::DesignConfig&)>;
@@ -53,6 +59,9 @@ struct TuneOptions {
   // the efficiency"). When false, each candidate gets its own selection.
   bool homogeneous_batches = false;
   std::uint64_t seed = 1;
+  // Technique roster by name (see tuner::MakeTechniques); empty keeps the
+  // paper's default four-arm set, bit-identical to before the knob existed.
+  std::vector<std::string> techniques;
   std::vector<SeedPoint> seeds;     // evaluated before any proposals
   // Called after every iteration; return true to stop (reason reported).
   std::function<bool(const ResultDatabase&)> should_stop;

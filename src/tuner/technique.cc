@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "obs/obs.h"
 #include "support/error.h"
+#include "support/strings.h"
 #include "tuner/result.h"
 
 namespace s2fa::tuner {
@@ -29,6 +32,9 @@ void SearchTechnique::SeedWith(const Point& point, double cost,
                                bool feasible) {
   UpdateBest(point, cost, feasible);
 }
+
+void SearchTechnique::ObserveEvaluation(const Point&, double, bool,
+                                        const hls::Bottleneck&) {}
 
 // ---------------------------------------------------------------- greedy
 
@@ -255,6 +261,167 @@ void SimulatedAnnealing::SeedWith(const Point& point, double cost,
   }
 }
 
+// ------------------------------------------------------ bottleneck-guided
+
+FactorKind ParseFactorClass(const std::string& name) {
+  if (name == "tile") return FactorKind::kLoopTile;
+  if (name == "parallel") return FactorKind::kLoopParallel;
+  if (name == "pipeline") return FactorKind::kLoopPipeline;
+  if (name == "bits") return FactorKind::kBufferBits;
+  throw InvalidArgument("no factor class named '" + name +
+                        "'; valid classes: tile, parallel, pipeline, bits");
+}
+
+const std::vector<BottleneckMove>& BottleneckMoves(hls::BottleneckKind kind) {
+  using hls::BottleneckKind;
+  // Directions follow the estimator's landscape: value lists are ordered
+  // ascending (pipeline: off < on < flatten), so +1 buys more of a factor
+  // and -1 backs it off.
+  static const std::vector<BottleneckMove> none = {
+      {"tile", 0}, {"parallel", 0}, {"pipeline", 0}, {"bits", 0}};
+  // A carried chain pipelines at II 1 once Merlin's tree reduction kicks
+  // in, which rides on unroll/pipeline; re-tiling reshapes the chain.
+  static const std::vector<BottleneckMove> recurrence = {
+      {"pipeline", 1}, {"parallel", 1}, {"tile", 0}};
+  // Partition factors follow the accessing unroll, so more parallel means
+  // more banks (ports); tiling changes which buffers the conflict hits.
+  static const std::vector<BottleneckMove> ports = {
+      {"parallel", 1}, {"tile", 0}};
+  // Off-chip throughput scales directly with the interface width.
+  static const std::vector<BottleneckMove> bandwidth = {
+      {"bits", 1}, {"tile", 0}};
+  // BRAM burns on partitions and staging buffers: back both drivers off.
+  static const std::vector<BottleneckMove> bram = {
+      {"parallel", -1}, {"tile", -1}, {"bits", -1}};
+  // Logic caps come from replicated operators: shrink the unroll, and
+  // re-roll pipelining (flatten fully unrolls subloops).
+  static const std::vector<BottleneckMove> logic = {
+      {"parallel", -1}, {"pipeline", 0}};
+  // The routing wall and congestion knees are functions of the widest
+  // unroll: parallel backoff is the only move that attacks them.
+  static const std::vector<BottleneckMove> congestion = {
+      {"parallel", -1}, {"pipeline", 0}};
+  static const std::vector<BottleneckMove> routing = {{"parallel", -1}};
+  switch (kind) {
+    case BottleneckKind::kNone: return none;
+    case BottleneckKind::kRecurrenceII: return recurrence;
+    case BottleneckKind::kMemoryPortII: return ports;
+    case BottleneckKind::kAxiBandwidth: return bandwidth;
+    case BottleneckKind::kBramCap: return bram;
+    case BottleneckKind::kDspCap: return logic;
+    case BottleneckKind::kFfCap: return logic;
+    case BottleneckKind::kLutCap: return logic;
+    case BottleneckKind::kFreqCongestion: return congestion;
+    case BottleneckKind::kRoutingWall: return routing;
+  }
+  return none;
+}
+
+BottleneckTechnique::BottleneckTechnique(const DesignSpace* space)
+    : SearchTechnique(space) {}
+
+Point BottleneckTechnique::Propose(Rng& rng) {
+  if (!has_observed_) {
+    ClearProposalBase();
+    return space_->RandomPoint(rng);
+  }
+  SetProposalBase(observed_best_);
+  if (obs::Enabled()) {
+    S2FA_COUNT(std::string("tuner.bottleneck.") +
+                   hls::BottleneckKindName(best_bneck_.kind),
+               1);
+  }
+  // Candidate factors: every factor whose class the kind's declared subset
+  // permits, paired with the declared direction.
+  std::vector<std::pair<std::size_t, int>> candidates;
+  for (const BottleneckMove& move : BottleneckMoves(best_bneck_.kind)) {
+    const FactorKind kind = ParseFactorClass(move.factor_class);
+    for (std::size_t i = 0; i < space_->num_factors(); ++i) {
+      if (space_->factors[i].kind == kind) {
+        candidates.emplace_back(i, move.direction);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    // A space without any factor the subset can touch (e.g. no interface
+    // buffers for a bandwidth verdict): fall back to a general mutation.
+    return space_->Mutate(observed_best_, rng, 1);
+  }
+  // One candidate neighbor: `width` bounds how many moves get applied, so
+  // retries below can widen the search radius while staying in the subset.
+  auto generate = [&](std::size_t width) {
+    Point point = observed_best_;
+    auto reroll = [&](std::size_t i) {
+      const std::size_t size = space_->factors[i].values.size();
+      if (size > 1) point[i] = (point[i] + 1 + rng.NextIndex(size - 1)) % size;
+    };
+    const std::size_t moves =
+        candidates.size() > 1 ? 1 + rng.NextIndex(width) : 1;
+    for (std::size_t m = 0; m < moves; ++m) {
+      const auto [factor, direction] = candidates[rng.NextIndex(
+          candidates.size())];
+      const std::size_t size = space_->factors[factor].values.size();
+      if (direction > 0) {
+        if (point[factor] + 1 < size) ++point[factor];
+        else reroll(factor);  // already maxed: explore within the subset
+      } else if (direction < 0) {
+        if (point[factor] > 0) --point[factor];
+        else reroll(factor);
+      } else {
+        reroll(factor);
+      }
+    }
+    if (point == observed_best_) {
+      // Opposing moves cancelled out (decrement then reroll back), or every
+      // touched factor was single-valued. Force a change inside the declared
+      // subset when any of its factors can move at all — the arm must never
+      // leak mutations onto undeclared factors.
+      std::vector<std::size_t> movable;
+      for (const auto& candidate : candidates) {
+        if (space_->factors[candidate.first].values.size() > 1) {
+          movable.push_back(candidate.first);
+        }
+      }
+      if (movable.empty()) return space_->Mutate(observed_best_, rng, 1);
+      reroll(movable[rng.NextIndex(movable.size())]);
+    }
+    return point;
+  };
+  // A duplicate neighbor costs a full evaluation downstream (the driver
+  // has no dedup), so spend a few extra draws hunting a point this arm
+  // hasn't proposed since the best last moved, widening the radius each
+  // retry. If the whole reachable neighborhood has been submitted already,
+  // re-submit anyway — the bandit stops picking an arm that stalls.
+  Point point = generate(2);
+  for (std::size_t attempt = 2; attempt <= 4 && proposed_.count(point) != 0;
+       ++attempt) {
+    point = generate(attempt);
+  }
+  proposed_.insert(point);
+  return point;
+}
+
+void BottleneckTechnique::Report(const Point& point, double cost,
+                                 bool feasible) {
+  UpdateBest(point, cost, feasible);
+}
+
+void BottleneckTechnique::ObserveEvaluation(const Point& point, double cost,
+                                            bool feasible,
+                                            const hls::Bottleneck& bneck) {
+  if (!feasible) return;
+  if (!has_observed_ || cost < observed_cost_) {
+    has_observed_ = true;
+    observed_best_ = point;
+    observed_cost_ = cost;
+    best_bneck_ = bneck;
+    // New base point, new neighborhood: forget which neighbors were tried.
+    proposed_.clear();
+  }
+}
+
+// ---------------------------------------------------------------- rosters
+
 std::vector<std::unique_ptr<SearchTechnique>> DefaultTechniques(
     const DesignSpace* space, std::uint64_t seed) {
   std::vector<std::unique_ptr<SearchTechnique>> techniques;
@@ -263,6 +430,46 @@ std::vector<std::unique_ptr<SearchTechnique>> DefaultTechniques(
   techniques.push_back(std::make_unique<ParticleSwarm>(space));
   techniques.push_back(
       std::make_unique<SimulatedAnnealing>(space, seed ^ 0xD1CEB00CULL));
+  return techniques;
+}
+
+std::vector<std::string> ParseTechniqueList(const std::string& csv) {
+  std::vector<std::string> names;
+  for (std::string_view field : Split(csv, ',')) {
+    std::string_view name = Trim(field);
+    if (!name.empty()) names.emplace_back(name);
+  }
+  return names;
+}
+
+std::vector<std::unique_ptr<SearchTechnique>> MakeTechniques(
+    const DesignSpace* space, std::uint64_t seed,
+    const std::vector<std::string>& names) {
+  if (names.empty()) return DefaultTechniques(space, seed);
+  std::vector<std::unique_ptr<SearchTechnique>> techniques;
+  for (const std::string& name : names) {
+    if (name == "bandit" || name == "default") {
+      for (auto& technique : DefaultTechniques(space, seed)) {
+        techniques.push_back(std::move(technique));
+      }
+    } else if (name == "greedy") {
+      techniques.push_back(std::make_unique<UniformGreedyMutation>(space));
+    } else if (name == "de") {
+      techniques.push_back(std::make_unique<DifferentialEvolution>(space));
+    } else if (name == "pso") {
+      techniques.push_back(std::make_unique<ParticleSwarm>(space));
+    } else if (name == "sa") {
+      techniques.push_back(
+          std::make_unique<SimulatedAnnealing>(space, seed ^ 0xD1CEB00CULL));
+    } else if (name == "bottleneck") {
+      techniques.push_back(std::make_unique<BottleneckTechnique>(space));
+    } else {
+      throw InvalidArgument(
+          "no technique named '" + name +
+          "'; available: bandit (the default four), greedy, de, pso, sa, "
+          "bottleneck");
+    }
+  }
   return techniques;
 }
 

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "hls/bottleneck.h"
 #include "support/rng.h"
 #include "tuner/space.h"
 
@@ -27,6 +29,15 @@ class SearchTechnique {
 
   // Injects an externally chosen starting point (seed generation, §4.3.2).
   virtual void SeedWith(const Point& point, double cost, bool feasible);
+
+  // Broadcast by the driver for every committed evaluation — own proposals
+  // and other techniques' alike, seeds included, in commit order — carrying
+  // the estimator's bottleneck attribution. Landscape-aware techniques
+  // override this to learn *why* the current best is slow; the default
+  // ignores it, so the classic arms are byte-for-byte unchanged.
+  virtual void ObserveEvaluation(const Point& point, double cost,
+                                 bool feasible,
+                                 const hls::Bottleneck& bottleneck);
 
   // The point the most recent Propose() mutated from, or nullptr when it
   // drew a fresh random point (no meaningful parent). Valid until the next
@@ -129,8 +140,73 @@ class SimulatedAnnealing final : public SearchTechnique {
   double current_cost_ = 0;
 };
 
+// Bottleneck-guided mutation (AutoDSE's insight as a bandit arm): mutate
+// the best-known point, touching only the factor classes that attack the
+// estimator's reported bottleneck — unroll/pipeline (and Merlin's implied
+// tree reduction) for a recurrence II, partition-driving unroll for port
+// conflicts, interface bit-width for AXI bandwidth, parallel-factor
+// backoff for routing/resource walls. The bandit arbitrates it against
+// the classic arms; when it stops producing wins it stops being picked.
+class BottleneckTechnique final : public SearchTechnique {
+ public:
+  explicit BottleneckTechnique(const DesignSpace* space);
+  std::string name() const override { return "BottleneckGuided"; }
+  Point Propose(Rng& rng) override;
+  void Report(const Point& point, double cost, bool feasible) override;
+  void ObserveEvaluation(const Point& point, double cost, bool feasible,
+                         const hls::Bottleneck& bottleneck) override;
+
+  // The attribution the next Propose() will attack (kNone before any
+  // feasible observation). Exposed for tests and diagnostics.
+  const hls::Bottleneck& current_bottleneck() const { return best_bneck_; }
+
+ private:
+  // Global best over *all* observed evaluations (the base best_ only sees
+  // this arm's own reports), with the attribution that came with it.
+  bool has_observed_ = false;
+  Point observed_best_;
+  double observed_cost_ = 0;
+  hls::Bottleneck best_bneck_;
+  // Neighbors already proposed since the best last moved. Proposals are
+  // 1-2 notches off the base point, so without this the arm re-submits the
+  // same handful of neighbors and burns evaluation slots on duplicates.
+  std::set<Point> proposed_;
+};
+
+// One permitted move for a bottleneck kind: the factor class the arm may
+// touch and the direction it pushes the (ordered) value index — +1 grows,
+// -1 backs off, 0 re-rolls within the factor's range.
+struct BottleneckMove {
+  const char* factor_class;  // "tile" | "parallel" | "pipeline" | "bits"
+  int direction;
+};
+
+// The declared kind -> factor-subset map BottleneckTechnique mutates from.
+// Exposed so regression tests can pin that every kind proposes only
+// factors from its declared subset.
+const std::vector<BottleneckMove>& BottleneckMoves(hls::BottleneckKind kind);
+
+// Resolves a factor-class name from the map to the FactorKind it denotes;
+// throws InvalidArgument listing the valid classes (the same fail-fast
+// contract as DesignSpace::FactorIndex), so a typo in the map dies at the
+// first proposal instead of silently mutating nothing.
+FactorKind ParseFactorClass(const std::string& name);
+
 // The full default roster the paper lists.
 std::vector<std::unique_ptr<SearchTechnique>> DefaultTechniques(
     const DesignSpace* space, std::uint64_t seed);
+
+// Splits a comma-separated technique roster ("bandit,bottleneck"); entries
+// are trimmed, empties dropped.
+std::vector<std::string> ParseTechniqueList(const std::string& csv);
+
+// Builds the arms a roster names: "bandit" (or "default") expands to the
+// paper's four, plus "greedy" / "de" / "pso" / "sa" / "bottleneck"
+// individually. An empty list is the default roster; unknown names throw
+// InvalidArgument. With the default roster this is bit-identical to
+// DefaultTechniques.
+std::vector<std::unique_ptr<SearchTechnique>> MakeTechniques(
+    const DesignSpace* space, std::uint64_t seed,
+    const std::vector<std::string>& names);
 
 }  // namespace s2fa::tuner

@@ -433,6 +433,33 @@ TEST(ExplorerTest, DeterministicAcrossRuns) {
   ASSERT_EQ(a.trace.size(), b.trace.size());
 }
 
+TEST(ExplorerTest, BottleneckRosterBitIdenticalAcrossExecThreads) {
+  // The determinism contract must survive the new arm: with the
+  // bandit+bottleneck roster, exec_threads only changes wall-clock, never
+  // the committed trajectory.
+  kir::Kernel k = NestedKernel();
+  DesignSpace space = tuner::BuildDesignSpace(k);
+  tuner::EvalFn eval = HlsEval(k);
+  ExplorerOptions options;
+  options.time_limit_minutes = 120;
+  options.seed = 2018;
+  options.techniques = {"bandit", "bottleneck"};
+  options.exec_threads = 1;
+  DseResult one = RunS2faDse(space, k, eval, options);
+  for (int threads : {2, 8}) {
+    options.exec_threads = threads;
+    DseResult many = RunS2faDse(space, k, eval, options);
+    EXPECT_EQ(one.best_cost, many.best_cost) << threads;
+    EXPECT_EQ(one.found_feasible, many.found_feasible) << threads;
+    EXPECT_EQ(one.evaluations, many.evaluations) << threads;
+    ASSERT_EQ(one.trace.size(), many.trace.size()) << threads;
+    for (std::size_t i = 0; i < one.trace.size(); ++i) {
+      EXPECT_EQ(one.trace[i].time_minutes, many.trace[i].time_minutes);
+      EXPECT_EQ(one.trace[i].best_cost, many.trace[i].best_cost);
+    }
+  }
+}
+
 TEST(ExplorerTest, AblationSwitchesChangeBehaviour) {
   kir::Kernel k = NestedKernel();
   DesignSpace space = tuner::BuildDesignSpace(k);

@@ -203,7 +203,125 @@ TEST(HlsTest, OverUnrollingBecomesInfeasible) {
   cfg.loops[0] = {1, 1024, PipelineMode::kOn};
   HlsResult r = EstimateHls(Transformed(k, cfg));
   EXPECT_FALSE(r.feasible);
-  EXPECT_NE(r.infeasible_reason.find("resource"), std::string::npos);
+  EXPECT_NE(r.infeasible_reason.find("utilization exceeds"),
+            std::string::npos);
+  // The structured attribution names the same overfull resource the prose
+  // reason does — Plausible() enforces this agreement.
+  const std::string resource = BottleneckCapResource(r.bottleneck.kind);
+  ASSERT_FALSE(resource.empty());
+  EXPECT_EQ(r.infeasible_reason.find(resource), 0u);
+  EXPECT_GT(r.bottleneck.quantity, 0.0);
+  EXPECT_TRUE(r.Plausible());
+}
+
+TEST(HlsTest, PlausibleRejectsMismatchedAttribution) {
+  // An infeasible verdict whose structured bottleneck blames a different
+  // decision than the prose reason is a bug, not a result.
+  HlsResult capped;
+  capped.feasible = false;
+  capped.eval_minutes = 2.0;
+  capped.infeasible_reason = "dsp utilization exceeds the usable cap";
+  capped.bottleneck.kind = BottleneckKind::kDspCap;
+  capped.bottleneck.quantity = 0.9;
+  EXPECT_TRUE(capped.Plausible());
+  capped.bottleneck.kind = BottleneckKind::kBramCap;  // wrong resource
+  EXPECT_FALSE(capped.Plausible());
+  capped.bottleneck.kind = BottleneckKind::kFreqCongestion;  // not a cap
+  EXPECT_FALSE(capped.Plausible());
+
+  HlsResult timing;
+  timing.feasible = false;
+  timing.eval_minutes = 2.0;
+  timing.infeasible_reason = "timing closure failed";
+  timing.bottleneck.kind = BottleneckKind::kRoutingWall;
+  timing.bottleneck.quantity = 4.0;
+  EXPECT_TRUE(timing.Plausible());
+  timing.bottleneck.kind = BottleneckKind::kLutCap;  // resources, not timing
+  EXPECT_FALSE(timing.Plausible());
+}
+
+TEST(HlsTest, PlausibleRejectsGarbageAttributionNumbers) {
+  HlsResult r = EstimateHls(StreamKernel());
+  ASSERT_TRUE(r.Plausible());
+  HlsResult nan_quantity = r;
+  nan_quantity.bottleneck.kind = BottleneckKind::kMemoryPortII;
+  nan_quantity.bottleneck.quantity = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(nan_quantity.Plausible());
+  HlsResult negative = r;
+  negative.bottleneck.kind = BottleneckKind::kMemoryPortII;
+  negative.bottleneck.quantity = -2.0;
+  EXPECT_FALSE(negative.Plausible());
+}
+
+TEST(HlsTest, AttributesRecurrenceII) {
+  kir::Kernel k = ReduceKernel();
+  kir::FindLoop(k.body, 0)->set_is_reduction(false);
+  DesignConfig cfg;
+  cfg.loops[0] = {1, 1, PipelineMode::kOn};
+  cfg.buffer_bits["in"] = 512;
+  HlsResult r = EstimateHls(Transformed(k, cfg));
+  // Strict-IEEE accumulation: the float-add chain binds the II.
+  EXPECT_EQ(r.bottleneck.kind, BottleneckKind::kRecurrenceII);
+  EXPECT_GT(r.bottleneck.quantity, 1.0);
+}
+
+TEST(HlsTest, AttributesMemorySideII) {
+  kir::Kernel k = StreamKernel();
+  DesignConfig cfg;
+  cfg.loops[0] = {1, 8, PipelineMode::kOn};
+  cfg.buffer_bits["in"] = 32;  // 8 accesses per initiation through one port
+  cfg.buffer_bits["out"] = 32;
+  HlsResult r = EstimateHls(Transformed(k, cfg));
+  ASSERT_TRUE(r.feasible);
+  // The narrow interface binds: either the port conflict or the AXI beat
+  // budget, both attacked by the same factor subset.
+  EXPECT_TRUE(r.bottleneck.kind == BottleneckKind::kMemoryPortII ||
+              r.bottleneck.kind == BottleneckKind::kAxiBandwidth)
+      << BottleneckKindName(r.bottleneck.kind);
+  EXPECT_GT(r.bottleneck.quantity, 1.0);
+}
+
+TEST(HlsTest, AttributesFrequencyWall) {
+  kir::Kernel k = WavefrontKernel();
+  DesignConfig harsh;
+  harsh.loops[0] = {1, 64, PipelineMode::kOn};
+  HlsResult r = EstimateHls(Transformed(k, harsh));
+  // Whether or not the slowdown crosses into infeasibility, the
+  // attribution must blame a frequency decision, not a cap or an II.
+  EXPECT_TRUE(r.bottleneck.kind == BottleneckKind::kFreqCongestion ||
+              r.bottleneck.kind == BottleneckKind::kRoutingWall)
+      << BottleneckKindName(r.bottleneck.kind);
+}
+
+// Strength-reduced constant multiplies must size their shift/add network
+// from the variable operand regardless of operand order: `c * x` and
+// `x * c` are the same hardware.
+TEST(HlsTest, ConstMultiplyCostIsOperandOrderInvariant) {
+  auto make = [](bool literal_first) {
+    kir::Kernel k;
+    k.name = literal_first ? "cmul_lit_first" : "cmul_lit_second";
+    k.buffers.push_back({"in", Type::Long(), 256, BufferKind::kInput, ""});
+    k.buffers.push_back({"out", Type::Long(), 256, BufferKind::kOutput, ""});
+    auto i = Expr::Var("i", Type::Int());
+    auto x = Expr::ArrayRef("in", Type::Long(), i);
+    auto c = Expr::IntLit(3);  // 32-bit literal against a 64-bit operand
+    auto product =
+        literal_first ? Expr::Binary(BinaryOp::kMul, c, x)
+                      : Expr::Binary(BinaryOp::kMul, x, c);
+    auto loop = Stmt::For(
+        0, "i", 256,
+        Stmt::Block({Stmt::Assign(Expr::ArrayRef("out", Type::Long(), i),
+                                  product)}));
+    k.body = Stmt::Block({loop});
+    k.task_loop_id = 0;
+    return k;
+  };
+  HlsResult lit_first = EstimateHls(make(true));
+  HlsResult lit_second = EstimateHls(make(false));
+  EXPECT_EQ(lit_first.util.lut, lit_second.util.lut);
+  EXPECT_EQ(lit_first.util.ff, lit_second.util.ff);
+  EXPECT_EQ(lit_first.util.dsp, lit_second.util.dsp);
+  EXPECT_EQ(lit_first.cycles, lit_second.cycles);
 }
 
 TEST(HlsTest, WavefrontUnrollTanksFrequency) {

@@ -442,6 +442,38 @@ TEST(JournalTest, InfiniteCostEncodedAsNull) {
   EXPECT_EQ(parsed.outcome.cost, tuner::kInfeasibleCost);
 }
 
+TEST(JournalTest, BottleneckAttributionRoundTrips) {
+  JournalEntry entry;
+  entry.key = "p1|{L0: par=16}";
+  entry.outcome = GoodOutcome(88.25, 6.0);
+  entry.outcome.bottleneck.kind = hls::BottleneckKind::kMemoryPortII;
+  entry.outcome.bottleneck.quantity = 4.0;
+  entry.outcome.bottleneck.margin = 1.5;
+  const std::string line = RenderJournalEntry(entry);
+  EXPECT_NE(line.find("\"bottleneck\":\"memory_port_ii\""),
+            std::string::npos);
+  JournalEntry parsed = ParseJournalEntry(line);
+  EXPECT_EQ(parsed.outcome.bottleneck.kind,
+            hls::BottleneckKind::kMemoryPortII);
+  EXPECT_DOUBLE_EQ(parsed.outcome.bottleneck.quantity, 4.0);
+  EXPECT_DOUBLE_EQ(parsed.outcome.bottleneck.margin, 1.5);
+
+  // A kNone attribution renders as the bare legacy line, so pre-existing
+  // journals and attribution-free entries stay byte-compatible.
+  JournalEntry legacy;
+  legacy.key = "p0|{}";
+  legacy.outcome = GoodOutcome(10.0, 5.0);
+  EXPECT_EQ(RenderJournalEntry(legacy).find("bneck"), std::string::npos);
+  JournalEntry reparsed = ParseJournalEntry(RenderJournalEntry(legacy));
+  EXPECT_EQ(reparsed.outcome.bottleneck.kind, hls::BottleneckKind::kNone);
+
+  // An unknown bottleneck name is corruption, not a shrug.
+  EXPECT_THROW(ParseJournalEntry(
+                   "{\"key\":\"a\",\"feasible\":true,\"cost\":1,"
+                   "\"eval_minutes\":1,\"bottleneck\":\"mystery\"}"),
+               MalformedInput);
+}
+
 TEST(JournalTest, ParseRejectsMalformedLines) {
   EXPECT_THROW(ParseJournalEntry("not json"), MalformedInput);
   EXPECT_THROW(ParseJournalEntry("{\"key\":\"a\"}"), MalformedInput);

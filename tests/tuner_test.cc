@@ -702,6 +702,170 @@ TEST(DatabaseTest, ExplicitParentAttributesMutatedFactors) {
             (std::vector<std::size_t>{0, 2}));
 }
 
+// ------------------------------------------------- bottleneck technique
+
+const hls::BottleneckKind kAllKinds[] = {
+    hls::BottleneckKind::kNone,         hls::BottleneckKind::kRecurrenceII,
+    hls::BottleneckKind::kMemoryPortII, hls::BottleneckKind::kAxiBandwidth,
+    hls::BottleneckKind::kBramCap,      hls::BottleneckKind::kDspCap,
+    hls::BottleneckKind::kFfCap,        hls::BottleneckKind::kLutCap,
+    hls::BottleneckKind::kFreqCongestion,
+    hls::BottleneckKind::kRoutingWall};
+
+TEST(BottleneckTest, EveryKindDeclaresAParsableFactorSubset) {
+  for (hls::BottleneckKind kind : kAllKinds) {
+    const auto& moves = BottleneckMoves(kind);
+    EXPECT_FALSE(moves.empty()) << hls::BottleneckKindName(kind);
+    for (const BottleneckMove& move : moves) {
+      // A typo in the map must fail fast, like FactorIndex: parsing every
+      // declared class here pins that none of them can silently no-op.
+      EXPECT_NO_THROW(ParseFactorClass(move.factor_class))
+          << hls::BottleneckKindName(kind) << " -> " << move.factor_class;
+    }
+  }
+}
+
+TEST(BottleneckTest, ParseFactorClassUnknownThrowsListingValid) {
+  try {
+    ParseFactorClass("bogus");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no factor class named 'bogus'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("parallel"), std::string::npos) << what;
+  }
+}
+
+TEST(BottleneckTest, ProposalsTouchOnlyTheDeclaredSubset) {
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  for (hls::BottleneckKind kind : kAllKinds) {
+    // The declared subset, resolved to factor kinds.
+    std::set<FactorKind> allowed;
+    for (const BottleneckMove& move : BottleneckMoves(kind)) {
+      allowed.insert(ParseFactorClass(move.factor_class));
+    }
+    BottleneckTechnique tech(&space);
+    Rng rng(11);
+    Point best = space.RandomPoint(rng);
+    hls::Bottleneck bneck;
+    bneck.kind = kind;
+    bneck.quantity = 3.0;
+    tech.ObserveEvaluation(best, 10.0, /*feasible=*/true, bneck);
+    ASSERT_EQ(tech.current_bottleneck().kind, kind);
+    for (int iter = 0; iter < 64; ++iter) {
+      Point p = tech.Propose(rng);
+      space.ValidatePoint(p);
+      ASSERT_NE(tech.last_proposal_base(), nullptr);
+      EXPECT_EQ(*tech.last_proposal_base(), best);
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] != best[i]) {
+          EXPECT_EQ(allowed.count(space.factors[i].kind), 1u)
+              << hls::BottleneckKindName(kind) << " mutated factor "
+              << space.factors[i].name;
+        }
+      }
+    }
+  }
+}
+
+TEST(BottleneckTest, ProposesRandomlyBeforeAnyObservation) {
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  BottleneckTechnique tech(&space);
+  Rng rng(13);
+  Point p = tech.Propose(rng);
+  space.ValidatePoint(p);
+  EXPECT_EQ(tech.last_proposal_base(), nullptr);
+}
+
+TEST(BottleneckTest, TracksGlobalBestAcrossObservations) {
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  BottleneckTechnique tech(&space);
+  Rng rng(17);
+  Point first = space.RandomPoint(rng);
+  Point better = space.RandomPoint(rng);
+  hls::Bottleneck rec{hls::BottleneckKind::kRecurrenceII, 7.0, 5.0};
+  hls::Bottleneck port{hls::BottleneckKind::kMemoryPortII, 4.0, 2.0};
+  tech.ObserveEvaluation(first, 10.0, true, rec);
+  EXPECT_EQ(tech.current_bottleneck().kind,
+            hls::BottleneckKind::kRecurrenceII);
+  // Worse and infeasible observations never displace the best...
+  tech.ObserveEvaluation(better, 50.0, true, port);
+  tech.ObserveEvaluation(better, 1.0, false, port);
+  EXPECT_EQ(tech.current_bottleneck().kind,
+            hls::BottleneckKind::kRecurrenceII);
+  // ...a strictly better feasible one does, attribution included.
+  tech.ObserveEvaluation(better, 5.0, true, port);
+  EXPECT_EQ(tech.current_bottleneck().kind,
+            hls::BottleneckKind::kMemoryPortII);
+  Point p = tech.Propose(rng);
+  ASSERT_NE(tech.last_proposal_base(), nullptr);
+  EXPECT_EQ(*tech.last_proposal_base(), better);
+  (void)p;
+}
+
+TEST(BottleneckTest, MakeTechniquesRosters) {
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  // Empty roster = the default four, in the paper's order.
+  auto def = MakeTechniques(&space, 3, {});
+  ASSERT_EQ(def.size(), 4u);
+  EXPECT_EQ(def[0]->name(), "UniformGreedyMutation");
+  EXPECT_EQ(def[3]->name(), "SimulatedAnnealing");
+  // "bandit" expands to the four; "bottleneck" appends the guided arm.
+  auto extended = MakeTechniques(&space, 3, {"bandit", "bottleneck"});
+  ASSERT_EQ(extended.size(), 5u);
+  EXPECT_EQ(extended[4]->name(), "BottleneckGuided");
+  // Unknown names fail fast with the available roster.
+  try {
+    MakeTechniques(&space, 3, {"bogus"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no technique named 'bogus'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("bottleneck"), std::string::npos) << what;
+  }
+}
+
+TEST(BottleneckTest, ParseTechniqueListSplitsAndTrims) {
+  auto names = ParseTechniqueList(" bandit , bottleneck ,, ");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "bandit");
+  EXPECT_EQ(names[1], "bottleneck");
+  EXPECT_TRUE(ParseTechniqueList("").empty());
+}
+
+TEST(DriverTest, TechniquesRosterDeterministicAndDefaultUnchanged) {
+  DesignSpace space = BuildDesignSpace(TwoLoopKernel());
+  auto eval = [&](const merlin::DesignConfig& cfg) -> EvalOutcome {
+    EvalOutcome outcome;
+    outcome.feasible = true;
+    outcome.cost = 10.0 + static_cast<double>(cfg.loops.at(0).parallel) +
+                   static_cast<double>(cfg.buffer_bits.at("in")) / 64.0;
+    outcome.eval_minutes = 5.0;
+    outcome.bottleneck.kind = hls::BottleneckKind::kMemoryPortII;
+    outcome.bottleneck.quantity = 2.0;
+    return outcome;
+  };
+  TuneOptions options;
+  options.time_limit_minutes = 60;
+  options.seed = 2018;
+  // An explicitly spelled default roster is bit-identical to the empty one.
+  TuneResult implicit = Tune(space, eval, options);
+  options.techniques = {"bandit"};
+  TuneResult spelled = Tune(space, eval, options);
+  EXPECT_EQ(implicit.best, spelled.best);
+  EXPECT_EQ(implicit.best_cost, spelled.best_cost);
+  EXPECT_EQ(implicit.evaluations, spelled.evaluations);
+  // The extended roster is deterministic for a fixed seed.
+  options.techniques = {"bandit", "bottleneck"};
+  TuneResult a = Tune(space, eval, options);
+  TuneResult b = Tune(space, eval, options);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
 TEST(TechniqueTest, ProposalBaseTracksTheMutatedPoint) {
   DesignSpace space = BuildDesignSpace(TwoLoopKernel());
   UniformGreedyMutation greedy(&space);

@@ -7,17 +7,21 @@
 //       generated Scala glue, and the design-space inventory.
 //   s2fa explore <app> [--minutes N] [--cores N] [--seed N]
 //                      [--vanilla] [--no-seeds] [--no-partition]
+//                      [--techniques LIST]
 //                      [--eval-timeout M] [--eval-retries N]
 //                      [--resume-journal FILE] [--fault-rate P]
 //                      [--eval-cache on|off|N]
 //       Run the DSE and report partitions, the trace, and the best design.
-//       --eval-timeout/--eval-retries tune the fault-tolerant evaluation
-//       layer, --resume-journal checkpoints every evaluation (and resumes
-//       a killed run without re-paying them), --fault-rate injects
-//       deterministic evaluator failures to exercise that machinery, and
-//       --eval-cache controls the shared memoizing evaluation cache
-//       (on by default; N bounds it to an N-entry LRU). All of these apply
-//       to --vanilla runs too.
+//       --techniques picks the search-arm roster by name (comma-separated:
+//       "bandit" is the default four, plus greedy/de/pso/sa/bottleneck —
+//       e.g. --techniques bandit,bottleneck adds the bottleneck-guided
+//       arm). --eval-timeout/--eval-retries tune the fault-tolerant
+//       evaluation layer, --resume-journal checkpoints every evaluation
+//       (and resumes a killed run without re-paying them), --fault-rate
+//       injects deterministic evaluator failures to exercise that
+//       machinery, and --eval-cache controls the shared memoizing
+//       evaluation cache (on by default; N bounds it to an N-entry LRU).
+//       All of these apply to --vanilla runs too.
 //   s2fa run <app> [--records N] [--seed N] [--accel-fault-rate P]
 //       Build the accelerator (short DSE), execute a workload through the
 //       Blaze runtime, cross-check against the JVM baseline, and report
@@ -61,7 +65,8 @@
 // Global flags: --trace-out FILE --metrics-out FILE (enable the obs layer
 // and dump the span trace / aggregated summary), --log-level LEVEL.
 // Environment: S2FA_EVAL_TIMEOUT, S2FA_EVAL_RETRIES, S2FA_RESUME_JOURNAL,
-// S2FA_FAULT_RATE and S2FA_EVAL_CACHE mirror the evaluation-stack flags;
+// S2FA_FAULT_RATE, S2FA_EVAL_CACHE and S2FA_TECHNIQUES mirror the
+// evaluation-stack flags;
 // S2FA_SERVE_QUEUE, S2FA_HEDGE_QUANTILE, S2FA_QUARANTINE_WINDOW,
 // S2FA_FAULT_BURST, S2FA_SHARDS, S2FA_TENANTS and S2FA_CHAOS_PLAN mirror
 // the serving knobs; S2FA_PROFILE_OUT and S2FA_PERF_THRESHOLD mirror the
@@ -91,7 +96,9 @@
 #include "obs/obs.h"
 #include "obs/profile.h"
 #include "resilience/evaluator.h"
+#include "tuner/technique.h"
 #include "s2fa/framework.h"
+#include "support/error.h"
 #include "support/logging.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -311,6 +318,23 @@ int CmdExplore(const apps::App& app, const Args& args) {
       return 2;
     }
     options.scheduler = *parsed;
+  }
+  // Technique roster: S2FA_TECHNIQUES env, --techniques flag wins. The
+  // roster is validated up front (against this app's design space) so a
+  // typo dies with the list of valid names instead of deep in the DSE.
+  std::string technique_spec;
+  if (const char* env_techniques = std::getenv("S2FA_TECHNIQUES")) {
+    technique_spec = env_techniques;
+  }
+  if (args.Has("techniques")) technique_spec = args.Str("techniques");
+  if (!technique_spec.empty()) {
+    options.techniques = tuner::ParseTechniqueList(technique_spec);
+    try {
+      tuner::MakeTechniques(&space, seed, options.techniques);
+    } catch (const InvalidArgument& e) {
+      std::fprintf(stderr, "error: --techniques: %s\n", e.what());
+      return 2;
+    }
   }
   if (auto env_cache = cache::ReadEnvCacheOptions()) options.cache = *env_cache;
   if (args.Has("eval-cache")) {
