@@ -13,7 +13,12 @@
 //   3. flood      — a quota'd noisy tenant floods a weighted-fair queue:
 //                   the paying tenant is never throttled and its p99 stays
 //                   bounded while the flooder eats the throttling;
-//   4. determinism— the same chaotic workload on 1/2/8 exec threads renders
+//   4. routing    — a skewed tenant flood over a shard whose fault-burst
+//                   host fallbacks hide expensive backlog behind an idle
+//                   dispatch lane: depth routing loses nothing and its tail
+//                   beats health routing's, which keeps feeding the shard
+//                   that owes invisible host work;
+//   5. determinism— the same chaotic workload on 1/2/8 exec threads renders
 //                   bit-identical outcome streams (plan-order commit).
 //
 // Quick mode (S2FA_BENCH_QUICK=1, used by the cluster_smoke ctest) scales
@@ -407,7 +412,116 @@ int main() {
                  static_cast<double>(flood_reqs));
   }
 
-  // ---- phase 4: exec-thread bit-identity --------------------------------
+  // ---- phase 4: routing under hidden host backlog -----------------------
+  // A host fallback frees the shard's dispatch lane at failure detection,
+  // but the shard's service clock runs ahead to the host completion. With
+  // the host path made genuinely painful, health routing keeps feeding the
+  // shard that looks idle and under-occupied while it owes invisible host
+  // work; depth routing scores that backlog directly. Episodes replay a
+  // skewed tenant flood with a scripted fault burst per fresh cluster so
+  // every episode exercises the pre-quarantine divergence window.
+  const std::size_t routing_episodes = 1000 / scale_div;
+  bool routing_ok = false, routing_tail_ok = false;
+  double routing_p99_health = 0, routing_p99_depth = 0;
+  {
+    blaze::OffloadCostModel pain;
+    pain.host_slowdown = 2000.0;
+    blaze::BlazeRuntime host_pain(pain);
+    {
+      jvm::ClassPool pool = MakePool();
+      Artifact artifact =
+          BuildWithConfig(pool, MakeSpec(), merlin::DesignConfig{});
+      RegisterWithBlaze(host_pain, "r0", artifact);
+      RegisterWithBlaze(host_pain, "r1", artifact);
+    }
+    auto run_policy = [&](blaze::Routing routing, std::size_t& lost,
+                          std::size_t& mismatches) {
+      std::vector<double> latencies;
+      for (std::size_t e = 0; e < routing_episodes; ++e) {
+        blaze::ClusterOptions options;
+        options.queue_capacity = 4096;
+        options.batch_max_requests = 1;  // one routing decision per request
+        options.routing = routing;
+        blaze::BlazeCluster cluster(host_pain, options);
+        cluster.AddShard();
+        cluster.AddShard();
+        cluster.AddReplica(0, "doubler", "r0");  // single replica: faults
+        cluster.AddReplica(1, "doubler", "r1");  // fall back to the host
+        cluster.SetChaosPlan(blaze::ParseChaosPlan("burst 0:3 @ 0"));
+        std::vector<blaze::ClusterRequest> requests;
+        const double base0 =
+            static_cast<double>(e) * 25.0 * kRecordsPerRequest;
+        double base = base0;
+        // Noisy tenant floods at ~5x the per-invocation cost; the light
+        // tenant trickles in between. No simultaneous arrivals: the
+        // routing score, not the one-batch-per-shard gate, decides.
+        for (int i = 0; i < 20; ++i) {
+          blaze::ClusterRequest rq;
+          rq.kernel = "doubler";
+          rq.input = DoublerInput(kRecordsPerRequest, base);
+          rq.arrival_us = 150.0 * i;
+          rq.tenant = "noisy";
+          requests.push_back(std::move(rq));
+          base += kRecordsPerRequest;
+        }
+        for (int i = 0; i < 5; ++i) {
+          blaze::ClusterRequest rq;
+          rq.kernel = "doubler";
+          rq.input = DoublerInput(kRecordsPerRequest, base);
+          rq.arrival_us = 675.0 + 600.0 * i;
+          rq.tenant = "light";
+          requests.push_back(std::move(rq));
+          base += kRecordsPerRequest;
+        }
+        auto outcomes = cluster.Run(std::move(requests));
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          const blaze::ClusterRequestOutcome& o = outcomes[i];
+          if (o.outcome == blaze::ClusterServe::kRejectedFull ||
+              o.outcome == blaze::ClusterServe::kTenantThrottled) {
+            ++lost;
+            continue;
+          }
+          latencies.push_back(o.latency_us);
+          const double want = base0 + static_cast<double>(i) *
+                                          static_cast<double>(
+                                              kRecordsPerRequest);
+          if (o.output.num_records() != kRecordsPerRequest) {
+            ++mismatches;
+            continue;
+          }
+          const blaze::Column& y = o.output.ColumnByField("y");
+          for (std::size_t n = 0; n < kRecordsPerRequest; ++n) {
+            if (y.data[n].AsDouble() !=
+                2.0 * (want + static_cast<double>(n))) {
+              ++mismatches;
+            }
+          }
+        }
+      }
+      return latencies;
+    };
+    std::size_t lost_health = 0, mism_health = 0;
+    std::size_t lost_depth = 0, mism_depth = 0;
+    std::vector<double> health_lat =
+        run_policy(blaze::Routing::kHealth, lost_health, mism_health);
+    std::vector<double> depth_lat =
+        run_policy(blaze::Routing::kDepth, lost_depth, mism_depth);
+    routing_p99_health = Quantile(health_lat, 0.99);
+    routing_p99_depth = Quantile(depth_lat, 0.99);
+    routing_ok = lost_health == 0 && lost_depth == 0 && mism_health == 0 &&
+                 mism_depth == 0;
+    routing_tail_ok = routing_p99_depth < routing_p99_health;
+    std::printf("routing: %zu episodes x 25 reqs, health p99 %.0f us, "
+                "depth p99 %.0f us, lost %zu/%zu, mismatches %zu/%zu "
+                "(health/depth)\n",
+                routing_episodes, routing_p99_health, routing_p99_depth,
+                lost_health, lost_depth, mism_health, mism_depth);
+    ledger_entry("cluster.routing.depth.request",
+                 Quantile(depth_lat, 0.5) * 1e3,
+                 static_cast<double>(routing_episodes * 25));
+  }
+
+  // ---- phase 5: exec-thread bit-identity --------------------------------
   const std::size_t det_reqs = 40000 / scale_div;
   bool deterministic = false;
   {
@@ -453,6 +567,12 @@ int main() {
               rebalance_ok ? "PASS" : "FAIL");
   std::printf("GATE flood-fairness: %s\n", flood_ok ? "PASS" : "FAIL");
   std::printf("GATE flood-p99-bounded: %s\n", flood_p99_ok ? "PASS" : "FAIL");
+  std::printf("GATE routing-zero-lost-and-match: %s\n",
+              routing_ok ? "PASS" : "FAIL");
+  std::printf("GATE routing-depth-tail-improves: %s (health %.0f us, "
+              "depth %.0f us)\n",
+              routing_tail_ok ? "PASS" : "FAIL", routing_p99_health,
+              routing_p99_depth);
   std::printf("GATE exec-thread-determinism: %s\n",
               deterministic ? "PASS" : "FAIL");
 
@@ -461,7 +581,7 @@ int main() {
   std::printf("perf ledger: %s\n", ledger_path.c_str());
 
   return (scales && chaos_ok && chaos_p99_ok && rebalance_ok && flood_ok &&
-          flood_p99_ok && deterministic)
+          flood_p99_ok && routing_ok && routing_tail_ok && deterministic)
              ? 0
              : 1;
 }

@@ -25,50 +25,6 @@ double QuantileNearestRank(std::vector<double> samples, double q) {
   return samples[std::min(index, samples.size() - 1)];
 }
 
-// Concatenates member inputs record-wise into one batch dataset. All
-// members share a kernel, so their schemas must agree; a mismatch is a
-// caller bug worth failing loudly on.
-Dataset ConcatInputs(const std::vector<const Dataset*>& inputs) {
-  S2FA_CHECK(!inputs.empty(), "empty batch");
-  if (inputs.size() == 1) return *inputs.front();
-  const Dataset& first = *inputs.front();
-  Dataset out;
-  for (std::size_t c = 0; c < first.num_columns(); ++c) {
-    Column column = first.column(c);
-    for (std::size_t i = 1; i < inputs.size(); ++i) {
-      S2FA_CHECK(inputs[i]->num_columns() == first.num_columns(),
-                 "batched requests disagree on column count");
-      const Column& other = inputs[i]->column(c);
-      S2FA_CHECK(other.field == column.field &&
-                     other.per_record == column.per_record,
-                 "batched requests disagree on schema");
-      column.data.insert(column.data.end(), other.data.begin(),
-                         other.data.end());
-    }
-    out.AddColumn(std::move(column));
-  }
-  return out;
-}
-
-// Slices `count` records starting at `begin` out of a batch result.
-Dataset SliceRecords(const Dataset& data, std::size_t begin,
-                     std::size_t count) {
-  Dataset out;
-  for (std::size_t c = 0; c < data.num_columns(); ++c) {
-    const Column& column = data.column(c);
-    Column piece;
-    piece.field = column.field;
-    piece.element = column.element;
-    piece.per_record = column.per_record;
-    const auto per = static_cast<std::size_t>(column.per_record);
-    piece.data.assign(column.data.begin() + static_cast<std::ptrdiff_t>(begin * per),
-                      column.data.begin() +
-                          static_cast<std::ptrdiff_t>((begin + count) * per));
-    out.AddColumn(std::move(piece));
-  }
-  return out;
-}
-
 }  // namespace
 
 const char* ClusterServeName(ClusterServe outcome) {
@@ -80,6 +36,21 @@ const char* ClusterServeName(ClusterServe outcome) {
     case ClusterServe::kHedgedHost: return "hedged-host";
   }
   S2FA_UNREACHABLE("bad cluster outcome");
+}
+
+Routing ParseRouting(const std::string& text) {
+  if (text == "health") return Routing::kHealth;
+  if (text == "depth") return Routing::kDepth;
+  throw MalformedInput("routing policy must be 'health' or 'depth', got '" +
+                       text + "'");
+}
+
+const char* RoutingName(Routing routing) {
+  switch (routing) {
+    case Routing::kHealth: return "health";
+    case Routing::kDepth: return "depth";
+  }
+  S2FA_UNREACHABLE("bad routing policy");
 }
 
 double TenantStats::LatencyQuantile(double q) const {
@@ -363,6 +334,35 @@ double BlazeCluster::NextKillAfter(std::size_t shard, double t_us) const {
   return kInf;
 }
 
+double BlazeCluster::AccelUsFor(const std::string& kernel,
+                                std::size_t records) const {
+  const KernelInfo& info = KernelFor(kernel);
+  return static_cast<double>(InvocationsFor(info, records)) *
+         info.accel_us_per_invocation;
+}
+
+double BlazeCluster::HostUsFor(const std::string& kernel,
+                               std::size_t records) const {
+  return HostUs(KernelFor(kernel), records);
+}
+
+bool BlazeCluster::IsReduceKernel(const std::string& kernel) const {
+  return KernelFor(kernel).pattern == kir::ParallelPattern::kReduce;
+}
+
+const std::string& BlazeCluster::ExecAccelFor(
+    const std::string& kernel) const {
+  return KernelFor(kernel).exec_accel;
+}
+
+std::size_t BlazeCluster::LiveLanesAt(double t_us) const {
+  std::size_t lanes = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (ShardAliveAt(s, t_us)) lanes += shards_[s].replicas.size();
+  }
+  return lanes;
+}
+
 const BlazeService& BlazeCluster::shard_service(std::size_t shard) const {
   S2FA_REQUIRE(shard < shards_.size(), "no such shard: " << shard);
   return *shards_[shard].service;
@@ -511,9 +511,18 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
     stats_.latencies_us.push_back(latency);
     ts.latencies_us.push_back(latency);
     switch (rec.outcome) {
-      case ClusterServe::kAccelerator: ++stats_.completed_accel; break;
-      case ClusterServe::kHost: ++stats_.completed_host; break;
-      case ClusterServe::kHedgedHost: ++stats_.completed_hedge; break;
+      case ClusterServe::kAccelerator:
+        ++stats_.completed_accel;
+        ++ts.completed_accel;
+        break;
+      case ClusterServe::kHost:
+        ++stats_.completed_host;
+        ++ts.completed_host;
+        break;
+      case ClusterServe::kHedgedHost:
+        ++stats_.completed_hedge;
+        ++ts.completed_hedge;
+        break;
       default: S2FA_UNREACHABLE("shed outcomes are committed at admission");
     }
     if (rec.shard != kNoShard) ++stats_.shards[rec.shard].requests;
@@ -531,7 +540,9 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
   auto choose_shard = [&](const std::string& kernel, double t) {
     Route route;
     std::size_t best_live = kNoShard;
-    double best_busy_us = kInf;
+    double best_score = kInf;
+    double best_tiebreak = kInf;
+    std::size_t best_live_count = 0;
     std::size_t best_probe = kNoShard;
     bool busy_any = false;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -542,11 +553,41 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
           shard.service->CountHealth(kernel, t);
       if (counts.live() > 0) {
         if (shard.busy_until_us <= t) {
-          // Least cumulative occupancy, index tie-break: deterministic
-          // least-loaded routing.
-          if (stats_.shards[s].busy_us < best_busy_us) {
-            best_busy_us = stats_.shards[s].busy_us;
+          // kHealth: least cumulative occupancy, index tie-break —
+          // deterministic least-loaded routing. It is blind to work the
+          // shard still owes that never occupied the dispatch lane: on a
+          // host fallback the lane frees as soon as the accel-side failure
+          // is detected, but the shard's service clock runs ahead to the
+          // host completion, so the next batch routed there silently
+          // serializes behind invisible host work.
+          //
+          // kDepth: route by that true outstanding backlog — how far the
+          // shard's service clock is ahead of now. A shard that looks idle
+          // but owes host work stops winning. Ties fall back to occupancy
+          // normalized by live lanes (so a burst-degraded shard whose
+          // surviving replicas are drowning loses), then prefer more live
+          // replicas, then the lower index.
+          const double backlog =
+              std::max(shard.service->clock_us() - t, 0.0);
+          const double score = options_.routing == Routing::kDepth
+                                   ? backlog
+                                   : stats_.shards[s].busy_us;
+          const double tiebreak =
+              options_.routing == Routing::kDepth
+                  ? stats_.shards[s].busy_us /
+                        static_cast<double>(counts.live())
+                  : 0.0;
+          const bool better =
+              score < best_score ||
+              (options_.routing == Routing::kDepth && score == best_score &&
+               (tiebreak < best_tiebreak ||
+                (tiebreak == best_tiebreak &&
+                 counts.live() > best_live_count)));
+          if (better) {
+            best_score = score;
+            best_tiebreak = tiebreak;
             best_live = s;
+            best_live_count = counts.live();
           }
         } else {
           busy_any = true;
@@ -770,7 +811,7 @@ std::vector<ClusterRequestOutcome> BlazeCluster::Drain() {
         }
         ServiceRequest srq;
         srq.kernel = key.first;
-        srq.input = ConcatInputs(inputs);
+        srq.input = ConcatDatasets(inputs);
         srq.broadcast = key.second;
         srq.arrival_us = node.arrival_us;
         service_requests.push_back(std::move(srq));

@@ -73,12 +73,28 @@ enum class ClusterServe {
 };
 const char* ClusterServeName(ClusterServe outcome);
 
+// Shard-selection policy. kHealth (default, the original behaviour) picks
+// the free live shard with the least cumulative busy time — blind to work
+// the shard still owes that never occupied its dispatch lane (host
+// fallbacks free the lane early while the shard's service clock runs
+// ahead to the host completion). kDepth scores free live shards by that
+// true outstanding backlog — how far the service clock is ahead of now —
+// with capacity-normalized busy time (cumulative busy divided by live
+// replica lanes) as the tie-break, so a shard that looks idle but owes
+// host work, or whose replicas a fault burst degraded, stops attracting
+// traffic it can no longer absorb promptly.
+enum class Routing { kHealth, kDepth };
+// Parses "health" / "depth"; throws MalformedInput otherwise.
+Routing ParseRouting(const std::string& text);
+const char* RoutingName(Routing routing);
+
 struct ClusterOptions {
   std::size_t queue_capacity = 1024;    // cluster-wide waiting cap
   std::size_t batch_max_requests = 16;  // micro-batch coalescing bound
   double batch_window_us = 0;   // wait this long to fill a batch; 0 = none
   std::size_t max_redirects = 2;  // failovers per request before host
   double queue_hedge_us = 0;    // host hedge for requests older than this
+  Routing routing = Routing::kHealth;  // shard-selection policy
   double default_tenant_weight = 1.0;
   std::size_t default_tenant_quota = 0;  // queued requests per tenant; 0 = off
   int exec_threads = 1;         // functional fan-out (cluster + shards)
@@ -125,6 +141,12 @@ struct TenantStats {
   std::size_t throttled = 0;      // shed: over quota
   std::size_t rejected_full = 0;  // shed: cluster queue full
   std::size_t completed = 0;
+  // Per-path completion breakdown (accelerator / host / winning hedge) so
+  // fairness diagnostics can see *how* a tenant's traffic was served, not
+  // just how much.
+  std::size_t completed_accel = 0;
+  std::size_t completed_host = 0;
+  std::size_t completed_hedge = 0;
   std::size_t records_completed = 0;
   std::vector<double> latencies_us;  // commit order
   double LatencyQuantile(double q) const;
@@ -223,6 +245,23 @@ class BlazeCluster {
   // Whether `shard` is alive (not inside a kill..restart window) at `t_us`.
   bool ShardAliveAt(std::size_t shard, double t_us) const;
   const BlazeService& shard_service(std::size_t shard) const;
+
+  // Capacity/cost introspection for layers planning above the cluster
+  // (the streaming session's backlog model). All are derived from the
+  // registered replicas and the runtime cost model — deterministic.
+  //
+  // Accelerator service time for `records` records of `kernel` on one
+  // lane (whole-invocation granularity, like dispatch planning uses).
+  double AccelUsFor(const std::string& kernel, std::size_t records) const;
+  // Host-path time for the same work.
+  double HostUsFor(const std::string& kernel, std::size_t records) const;
+  // True when `kernel` is a reduce pattern (never batches across requests).
+  bool IsReduceKernel(const std::string& kernel) const;
+  // The design used for functional execution of `kernel` (first replica).
+  const std::string& ExecAccelFor(const std::string& kernel) const;
+  // Replica lanes on shards alive at `t_us` (chaos kills shrink this).
+  std::size_t LiveLanesAt(double t_us) const;
+  BlazeRuntime& runtime() { return runtime_; }
 
  private:
   struct KernelInfo {

@@ -66,4 +66,45 @@ double Dataset::TotalBytes() const {
   return bytes;
 }
 
+Dataset ConcatDatasets(const std::vector<const Dataset*>& inputs) {
+  S2FA_CHECK(!inputs.empty(), "empty batch");
+  if (inputs.size() == 1) return *inputs.front();
+  const Dataset& first = *inputs.front();
+  Dataset out;
+  for (std::size_t c = 0; c < first.num_columns(); ++c) {
+    Column column = first.column(c);
+    for (std::size_t i = 1; i < inputs.size(); ++i) {
+      S2FA_CHECK(inputs[i]->num_columns() == first.num_columns(),
+                 "batched requests disagree on column count");
+      const Column& other = inputs[i]->column(c);
+      S2FA_CHECK(other.field == column.field &&
+                     other.per_record == column.per_record,
+                 "batched requests disagree on schema");
+      column.data.insert(column.data.end(), other.data.begin(),
+                         other.data.end());
+    }
+    out.AddColumn(std::move(column));
+  }
+  return out;
+}
+
+Dataset SliceRecords(const Dataset& data, std::size_t begin,
+                     std::size_t count) {
+  Dataset out;
+  for (std::size_t c = 0; c < data.num_columns(); ++c) {
+    const Column& column = data.column(c);
+    Column piece;
+    piece.field = column.field;
+    piece.element = column.element;
+    piece.per_record = column.per_record;
+    const auto per = static_cast<std::size_t>(column.per_record);
+    piece.data.assign(
+        column.data.begin() + static_cast<std::ptrdiff_t>(begin * per),
+        column.data.begin() +
+            static_cast<std::ptrdiff_t>((begin + count) * per));
+    out.AddColumn(std::move(piece));
+  }
+  return out;
+}
+
 }  // namespace s2fa::blaze

@@ -47,4 +47,13 @@ class Dataset {
   bool has_columns_ = false;
 };
 
+// Concatenates datasets column-wise into one batch. All members must share
+// a schema (the serving layers batch by kernel, so a mismatch is a caller
+// bug worth failing loudly on).
+Dataset ConcatDatasets(const std::vector<const Dataset*>& inputs);
+
+// Slices `count` records starting at `begin` out of a batch result.
+Dataset SliceRecords(const Dataset& data, std::size_t begin,
+                     std::size_t count);
+
 }  // namespace s2fa::blaze

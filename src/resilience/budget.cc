@@ -1,0 +1,50 @@
+#include "resilience/budget.h"
+
+#include <algorithm>
+
+namespace s2fa::resilience {
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options) {
+  S2FA_REQUIRE(options_.refill_per_sec >= 0,
+               "retry budget refill rate must be >= 0, got "
+                   << options_.refill_per_sec);
+  S2FA_REQUIRE(options_.burst >= 1,
+               "retry budget burst must be >= 1, got " << options_.burst);
+}
+
+RetryBudget::Bucket& RetryBudget::Refill(const std::string& key,
+                                         double now_us) {
+  Bucket& bucket = buckets_[key];
+  if (!bucket.initialized) {
+    bucket.tokens = options_.burst;
+    bucket.updated_us = now_us;
+    bucket.initialized = true;
+    return bucket;
+  }
+  S2FA_CHECK(now_us >= bucket.updated_us,
+             "retry budget time went backwards for "
+                 << key << ": " << now_us << " < " << bucket.updated_us);
+  const double elapsed_s = (now_us - bucket.updated_us) / 1e6;
+  bucket.tokens = std::min(options_.burst,
+                           bucket.tokens + elapsed_s * options_.refill_per_sec);
+  bucket.updated_us = now_us;
+  return bucket;
+}
+
+bool RetryBudget::TryAcquire(const std::string& key, double now_us) {
+  Bucket& bucket = Refill(key, now_us);
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++granted_;
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+double RetryBudget::TokensAt(const std::string& key, double now_us) {
+  return Refill(key, now_us).tokens;
+}
+
+}  // namespace s2fa::resilience

@@ -1,0 +1,61 @@
+// Deterministic retry budgets: refill-rate token buckets on simulated time.
+//
+// Overload amplifies itself when every shed request immediately retries —
+// the classic retry storm. A RetryBudget caps each tenant's retry rate with
+// a token bucket that refills at `refill_per_sec` tokens per simulated
+// second up to `burst` tokens. Because time is the caller's simulated
+// clock (never wall time) and state is just (tokens, last refill time),
+// grant decisions replay bit-identically across runs and thread counts.
+//
+// The bucket starts full, so a tenant can always absorb one transient
+// burst of `burst` retries; sustained retrying beyond the refill rate is
+// denied and the caller accounts the request as shed instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/error.h"
+
+namespace s2fa::resilience {
+
+struct RetryBudgetOptions {
+  double refill_per_sec = 10.0;  // tokens per simulated second
+  double burst = 4.0;            // bucket capacity (initial fill)
+};
+
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+  explicit RetryBudget(RetryBudgetOptions options);
+
+  const RetryBudgetOptions& options() const { return options_; }
+
+  // True when `key`'s bucket has a full token at simulated `now_us`;
+  // consumes it. `now_us` must be monotone per key (checked).
+  bool TryAcquire(const std::string& key, double now_us);
+
+  // Current (post-refill) token level for `key` without consuming.
+  double TokensAt(const std::string& key, double now_us);
+
+  // Grants and denials so far, for ledgers.
+  std::uint64_t granted() const { return granted_; }
+  std::uint64_t denied() const { return denied_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    double updated_us = 0;
+    bool initialized = false;
+  };
+
+  Bucket& Refill(const std::string& key, double now_us);
+
+  RetryBudgetOptions options_;
+  std::map<std::string, Bucket> buckets_;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace s2fa::resilience

@@ -181,6 +181,110 @@ TEST(ChaosPlanTest, RejectsMalformedSchedules) {
   EXPECT_NO_THROW(ParseChaosPlan("burst 0:4 @ 0; burst 0:4 @ 1"));
 }
 
+// Runs `fn` and returns the MalformedInput message it throws (statements
+// are whitespace-stripped before parsing, so messages quote the stripped
+// form). A schedule typo must name the exact statement and reason — these
+// messages are load-bearing operator UX, so they are pinned verbatim.
+template <typename Fn>
+std::string MalformedMessageOf(Fn&& fn) {
+  try {
+    fn();
+  } catch (const MalformedInput& e) {
+    return e.what();
+  }
+  return "<no MalformedInput thrown>";
+}
+
+TEST(ChaosPlanTest, MalformedStatementMessagesAreExact) {
+  auto message = [](const std::string& text) {
+    return MalformedMessageOf([&] { ParseChaosPlan(text); });
+  };
+
+  // Parser-level failures name the reason and the offending statement.
+  EXPECT_EQ(message("explode 1 @ 2ms"),
+            "chaos plan: unknown directive in 'explode1@2ms'");
+  EXPECT_EQ(message("kill 1"), "chaos plan: expected '@' in 'kill1'");
+  EXPECT_EQ(message("kill x @ 2ms"),
+            "chaos plan: expected a non-negative integer in 'killx@2ms'");
+  EXPECT_EQ(message("kill 1 @ -5"),
+            "chaos plan: expected a number in 'kill1@-5'");
+  EXPECT_EQ(message("kill 1 @ 2ms extra"),
+            "chaos plan: trailing junk in 'kill1@2msextra'");
+  EXPECT_EQ(message("burst 3"), "chaos plan: expected ':' in 'burst3'");
+  EXPECT_EQ(message("burst 3:0"),
+            "chaos plan: burst length must be >= 1 in 'burst3:0'");
+  EXPECT_EQ(message("spike @ 0 + 1"),
+            "chaos plan: expected a number in 'spike@0+1'");
+  EXPECT_EQ(message("spike 1..5 @ 0 + 1"),
+            "chaos plan: bad number '1..5' in 'spike1..5@0+1'");
+  EXPECT_EQ(message("spike 0.5 @ 0 + 1ms"),
+            "chaos plan: spike factor must be > 1 in 'spike0.5@0+1ms'");
+  EXPECT_EQ(message("spike 2 @ 0"),
+            "chaos plan: expected '+' in 'spike2@0'");
+  EXPECT_EQ(message("spike 2 @ 0 + 0"),
+            "chaos plan: spike duration must be > 0 in 'spike2@0+0'");
+  EXPECT_EQ(message("flood @ 0 + 1 x 1"),
+            "chaos plan: expected a name in 'flood@0+1x1'");
+  EXPECT_EQ(message("flood t @ 0 + 1ms"),
+            "chaos plan: expected 'x' in 'floodt@0+1ms'");
+  EXPECT_EQ(message("flood t @ 0 + 1ms x 0"),
+            "chaos plan: flood request count must be >= 1 in "
+            "'floodt@0+1msx0'");
+  EXPECT_EQ(message("poison-rate 1.5"),
+            "chaos plan: poison rate must be in [0, 1] in 'poison-rate1.5'");
+  EXPECT_EQ(message("poison-rate 0.1; poison-rate 0.2"),
+            "chaos plan: duplicate poison-rate directive in "
+            "'poison-rate0.2'");
+
+  // Validation-level failures describe the structural conflict.
+  EXPECT_EQ(message("poison 1, 1"),
+            "chaos plan: duplicate poison request id");
+  EXPECT_EQ(message("kill 0 @ 1ms; kill 0 @ 1ms"),
+            "chaos plan: shard 0 has two lifecycle events at "
+            "t=1000.000000us");
+  EXPECT_EQ(message("kill 0 @ 1ms; kill 0 @ 2ms"),
+            "chaos plan: shard 0 lifecycle must alternate kill/restart in "
+            "time order (event 1 at t=2000.000000us is a kill)");
+  EXPECT_EQ(message("restart 0 @ 1ms"),
+            "chaos plan: shard 0 lifecycle must alternate kill/restart in "
+            "time order (event 0 at t=1000.000000us is a restart)");
+  EXPECT_EQ(message("burst 0:4 @ 1; burst 2:4 @ 1"),
+            "chaos plan: fault bursts [0:4) and [2:4) overlap on the same "
+            "target");
+  EXPECT_EQ(message("spike 2 @ 0 + 10; spike 3 @ 5 + 10"),
+            "chaos plan: latency spikes overlap (their composition would "
+            "be order-dependent)");
+}
+
+TEST(ChaosPlanTest, ValidateMessagesForHandBuiltPlansAreExact) {
+  // Structural checks reachable only through hand-built plans (the parser
+  // sorts poison ids and bounds fields before validation runs).
+  ChaosPlan unsorted;
+  unsorted.poison_ids = {5, 3};
+  EXPECT_EQ(MalformedMessageOf([&] { ValidateChaosPlan(unsorted); }),
+            "chaos plan: poison ids must be sorted");
+  ChaosPlan bad_rate;
+  bad_rate.poison_rate = 1.5;
+  EXPECT_EQ(MalformedMessageOf([&] { ValidateChaosPlan(bad_rate); }),
+            "chaos plan: poison rate must be in [0, 1]");
+  ChaosPlan zero_burst;
+  zero_burst.bursts.push_back({{4, 0}, std::nullopt});
+  EXPECT_EQ(MalformedMessageOf([&] { ValidateChaosPlan(zero_burst); }),
+            "chaos plan: burst length must be >= 1");
+  ChaosPlan zero_flood;
+  zero_flood.floods.push_back({"t", 0, 100.0, 0});
+  EXPECT_EQ(MalformedMessageOf([&] { ValidateChaosPlan(zero_flood); }),
+            "chaos plan: flood request count must be >= 1");
+  ChaosPlan shrink;
+  shrink.spikes.push_back({0.5, 0, 100.0});
+  EXPECT_EQ(MalformedMessageOf([&] { ValidateChaosPlan(shrink); }),
+            "chaos plan: spike factor must be > 1 and finite");
+  ChaosPlan flat;
+  flat.spikes.push_back({2.0, 0, 0.0});
+  EXPECT_EQ(MalformedMessageOf([&] { ValidateChaosPlan(flat); }),
+            "chaos plan: spike duration must be > 0");
+}
+
 TEST(ChaosPlanTest, ValidateRejectsHandBuiltInvalidPlans) {
   // ChaosPlan is a public struct: plans that never went through the
   // parser must fail the same structural checks.
@@ -424,6 +528,87 @@ TEST(ClusterTest, RestartRejoinsAndServesAgain) {
   // Post-restart traffic rebalances onto the revived shard.
   EXPECT_TRUE(shard0_served_late);
   EXPECT_EQ(cluster.stats().shards[0].restarts, 1u);
+}
+
+// --------------------------------------------------------------- routing
+
+TEST(ClusterTest, ParseRoutingRoundTripsAndRejectsExactly) {
+  EXPECT_EQ(ParseRouting("health"), Routing::kHealth);
+  EXPECT_EQ(ParseRouting("depth"), Routing::kDepth);
+  EXPECT_STREQ(RoutingName(Routing::kHealth), "health");
+  EXPECT_STREQ(RoutingName(Routing::kDepth), "depth");
+  try {
+    ParseRouting("fastest");
+    FAIL() << "expected MalformedInput";
+  } catch (const MalformedInput& e) {
+    EXPECT_STREQ(e.what(),
+                 "routing policy must be 'health' or 'depth', got 'fastest'");
+  }
+}
+
+TEST(ClusterTest, DepthRoutingAvoidsHiddenHostBacklogWithoutLoss) {
+  // A host fallback frees the shard's dispatch lane as soon as the
+  // accelerator-side failure is detected, but the shard's service clock
+  // runs ahead to the (expensive) host completion. Health routing scores
+  // lane occupancy only, so the faulting shard looks BOTH idle and
+  // under-occupied and keeps attracting traffic that silently serializes
+  // behind the invisible host work. Depth routing scores that outstanding
+  // backlog directly and steers around it. Same workload, same fault
+  // budget on both policies: nothing may be lost, and depth's tail must
+  // be strictly better.
+  auto run = [](Routing routing) {
+    OffloadCostModel model;
+    model.host_slowdown = 2000.0;  // host fallbacks are genuinely painful
+    BlazeRuntime runtime(model);
+    jvm::ClassPool pool = MakePool();
+    Artifact artifact =
+        BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+    RegisterWithBlaze(runtime, "r0", artifact);
+    RegisterWithBlaze(runtime, "r1", artifact);
+    ClusterOptions options;
+    options.routing = routing;
+    options.batch_max_requests = 1;  // one routing decision per request
+    BlazeCluster cluster(runtime, options);
+    cluster.AddShard();
+    cluster.AddShard();
+    cluster.AddReplica(0, "doubler", "r0");  // single replica: no sibling,
+    cluster.AddReplica(1, "doubler", "r1");  // faults fall back to host
+    // Fault shard 0's first three invocations. Both policies pay the same
+    // per-fault price (detect + host completion); the difference is whether
+    // later traffic stacks up behind the hidden host work.
+    cluster.SetChaosPlan(ParseChaosPlan("burst 0:3 @ 0"));
+    std::vector<ClusterRequest> requests;
+    int base = 0;
+    // Noisy tenant floods; light tenant trickles. Arrivals never collide
+    // and the spacing leaves both dispatch lanes free at every arrival, so
+    // the routing score — not the one-batch-per-shard gate — decides who
+    // eats the backlog.
+    for (int i = 0; i < 20; ++i) {
+      requests.push_back(Req(8, 150.0 * i, "noisy", base));
+      base += 8;
+    }
+    for (int i = 0; i < 5; ++i) {
+      requests.push_back(Req(8, 675.0 + 600.0 * i, "light", base));
+      base += 8;
+    }
+    auto outcomes = cluster.Run(std::move(requests));
+    EXPECT_EQ(outcomes.size(), 25u);
+    int expected_base = 0;
+    for (const auto& o : outcomes) {
+      EXPECT_FALSE(IsShed(o)) << RoutingName(routing) << " lost request "
+                              << o.id;
+      ExpectDoubled(o, 8, expected_base);
+      expected_base += 8;
+    }
+    EXPECT_EQ(cluster.stats().completed, 25u);
+    return cluster.stats();
+  };
+  const ClusterStats health = run(Routing::kHealth);
+  const ClusterStats depth = run(Routing::kDepth);
+  // Depth routes around the shard that owes host work, so victims of the
+  // fault burst never serialize behind each other's hidden backlog.
+  EXPECT_LT(depth.LatencyQuantile(0.99), health.LatencyQuantile(0.99));
+  EXPECT_LE(depth.LatencyQuantile(0.5), health.LatencyQuantile(0.5));
 }
 
 // ---------------------------------------------------------------- poison

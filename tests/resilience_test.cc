@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "resilience/budget.h"
 #include "resilience/evaluator.h"
 #include "resilience/fault.h"
 #include "resilience/journal.h"
@@ -611,6 +612,72 @@ TEST(EnvKnobsTest, ReadsAndValidates) {
   EnvKnobs none = ReadEnvKnobs();
   EXPECT_FALSE(none.eval_timeout_minutes.has_value());
   EXPECT_FALSE(none.resume_journal.has_value());
+}
+
+TEST(RetryBudgetTest, BucketStartsFullAndDrainsToDenial) {
+  RetryBudgetOptions options;
+  options.refill_per_sec = 0;  // burst only: no refill
+  options.burst = 3;
+  RetryBudget budget(options);
+  EXPECT_DOUBLE_EQ(budget.TokensAt("a", 0), 3.0);
+  EXPECT_TRUE(budget.TryAcquire("a", 0));
+  EXPECT_TRUE(budget.TryAcquire("a", 1));
+  EXPECT_TRUE(budget.TryAcquire("a", 2));
+  EXPECT_FALSE(budget.TryAcquire("a", 3));
+  EXPECT_FALSE(budget.TryAcquire("a", 1e9));  // never refills
+  EXPECT_EQ(budget.granted(), 3u);
+  EXPECT_EQ(budget.denied(), 2u);
+}
+
+TEST(RetryBudgetTest, RefillsAtRateUpToBurstCap) {
+  RetryBudgetOptions options;
+  options.refill_per_sec = 2.0;  // one token per 500ms simulated
+  options.burst = 2;
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.TryAcquire("t", 0));
+  EXPECT_TRUE(budget.TryAcquire("t", 0));
+  EXPECT_FALSE(budget.TryAcquire("t", 0));
+  // 250ms refills half a token: still denied.
+  EXPECT_FALSE(budget.TryAcquire("t", 250e3));
+  // Another 300ms crosses 1.0 (0.5 spent above is gone; refill resumes
+  // from the post-denial level).
+  EXPECT_TRUE(budget.TryAcquire("t", 550e3));
+  // A long idle period caps at burst, not refill * elapsed.
+  EXPECT_NEAR(budget.TokensAt("t", 100e6), 2.0, 1e-12);
+}
+
+TEST(RetryBudgetTest, KeysAreIndependent) {
+  RetryBudgetOptions options;
+  options.refill_per_sec = 0;
+  options.burst = 1;
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.TryAcquire("a", 0));
+  EXPECT_FALSE(budget.TryAcquire("a", 1));
+  EXPECT_TRUE(budget.TryAcquire("b", 1));  // b's bucket untouched by a
+}
+
+TEST(RetryBudgetTest, ReplaysBitIdentically) {
+  auto run = [] {
+    RetryBudgetOptions options;
+    options.refill_per_sec = 7.5;
+    options.burst = 2.5;
+    RetryBudget budget(options);
+    std::string trace;
+    for (int i = 0; i < 200; ++i) {
+      trace += budget.TryAcquire(i % 3 ? "x" : "y", i * 137.0) ? '1' : '0';
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RetryBudgetTest, RejectsInvalidOptions) {
+  RetryBudgetOptions negative_refill;
+  negative_refill.refill_per_sec = -1;
+  EXPECT_THROW(RetryBudget{negative_refill}, InvalidArgument);
+  RetryBudgetOptions tiny_burst;
+  tiny_burst.burst = 0.5;
+  EXPECT_THROW(RetryBudget{tiny_burst}, InvalidArgument);
 }
 
 }  // namespace

@@ -480,6 +480,30 @@ TEST(ServiceTest, ParseFaultBurstsListSyntax) {
   EXPECT_EQ(MakeBurstFaultInjector(ParseFaultBursts("")), nullptr);
 }
 
+TEST(ServiceTest, ParseFaultBurstsMessagesAreExact) {
+  // Operators paste burst lists into env vars; a typo must name the exact
+  // window and reason, so the messages are pinned verbatim.
+  auto message = [](const std::string& text) -> std::string {
+    try {
+      ParseFaultBursts(text);
+    } catch (const MalformedInput& e) {
+      return e.what();
+    }
+    return "<no MalformedInput thrown>";
+  };
+  EXPECT_EQ(message("10"), "fault burst '10' is not START:LEN");
+  EXPECT_EQ(message("10:5,a:b"), "fault burst 'a:b' is not START:LEN");
+  // A trailing comma leaves an empty window, which is still named.
+  EXPECT_EQ(message("10:5,"), "fault burst '' is not START:LEN");
+  EXPECT_EQ(message("10:0"), "fault burst '10:0' has zero length");
+  EXPECT_EQ(message("2:4,5:2"),
+            "fault bursts overlap: [2:4) and [5:2); merge or separate the "
+            "windows");
+  EXPECT_EQ(message("2:4,2:4"),
+            "fault bursts overlap: [2:4) and [2:4); merge or separate the "
+            "windows");
+}
+
 TEST(ServiceTest, CountHealthTracksReplicaStates) {
   Fixture fx(2);
   ServiceOptions options;

@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "b2c/compiler.h"
+#include "blaze/stream.h"
+#include "jvm/assembler.h"
+#include "s2fa/framework.h"
+
+namespace s2fa::blaze {
+namespace {
+
+using jvm::Assembler;
+using jvm::MethodSignature;
+using jvm::Type;
+using jvm::Value;
+
+// Doubler: double -> 2 * double, batch 8 (the cluster_test kernel).
+jvm::ClassPool MakePool() {
+  jvm::ClassPool pool;
+  Assembler a;
+  a.Load(Type::Double(), 0).DConst(2.0).DMul().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("Doubler").AddMethod(
+      jvm::MakeMethod("call", sig, true, 2, a.Finish()));
+  return pool;
+}
+
+b2c::KernelSpec MakeSpec(std::int64_t batch = 8) {
+  b2c::KernelSpec spec;
+  spec.kernel_name = "doubler";
+  spec.klass = "Doubler";
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"y", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+Dataset DoublerInput(int n, int base = 0) {
+  Dataset input;
+  Column x;
+  x.field = "x";
+  x.element = Type::Double();
+  for (int i = 0; i < n; ++i) x.data.push_back(Value::OfDouble(base + i));
+  input.AddColumn(x);
+  return input;
+}
+
+// One-record doubler stream: record `seq` carries the value `seq`, so the
+// committed output must be exactly 2 * seq.
+StreamRecord Gen(std::size_t ordinal) {
+  StreamRecord record;
+  record.kernel = "doubler";
+  record.input = DoublerInput(1, static_cast<int>(ordinal));
+  return record;
+}
+
+// Runtime with doubler replicas r0..r(n-1) and clusters spreading them one
+// per shard; `inv_us` is the accelerator charge for one 8-record batch.
+struct Harness {
+  BlazeRuntime runtime;
+  double inv_us = 0;
+  int lanes = 0;
+
+  explicit Harness(int replicas = 2) : lanes(replicas) {
+    jvm::ClassPool pool = MakePool();
+    Artifact artifact =
+        BuildWithConfig(pool, MakeSpec(8), merlin::DesignConfig{});
+    for (int i = 0; i < replicas; ++i) {
+      RegisterWithBlaze(runtime, "r" + std::to_string(i), artifact);
+    }
+    inv_us = runtime.PerInvocationCost("r0").total_us;
+  }
+
+  BlazeCluster MakeCluster(ClusterOptions options = {}) {
+    const int shards = std::min(lanes, 2);
+    options.queue_capacity = std::max(options.queue_capacity,
+                                      static_cast<std::size_t>(1) << 20);
+    BlazeCluster cluster(runtime, options);
+    for (int s = 0; s < shards; ++s) cluster.AddShard();
+    for (int i = 0; i < lanes; ++i) {
+      cluster.AddReplica(static_cast<std::size_t>(i % shards), "doubler",
+                         "r" + std::to_string(i));
+    }
+    return cluster;
+  }
+
+  // Schedule `count` records at `fraction` of the cluster's modeled
+  // capacity (lanes * 8 records per invocation charge).
+  ArrivalSchedule At(double fraction, std::size_t count,
+                     const std::string& tenant = "default") const {
+    const double inter_us =
+        inv_us / 8.0 / static_cast<double>(lanes) / fraction;
+    ArrivalSchedule schedule;
+    schedule.phases.push_back(
+        {tenant, 0, inter_us * static_cast<double>(count), count});
+    return schedule;
+  }
+
+  // Test options scaled off the invocation charge so thresholds track the
+  // cost model instead of hard-coded microseconds.
+  StreamOptions Opts() const {
+    StreamOptions options;
+    options.batch_max_records = 8;
+    options.batch_age_us = 2 * inv_us;
+    options.slo_us = 50 * inv_us;
+    options.deadline_headroom_us = inv_us;
+    options.codel_target_us = 5 * inv_us;
+    options.codel_interval_us = 5 * inv_us;
+    options.brownout_onset_us = 10 * inv_us;
+    options.shed_onset_us = 20 * inv_us;
+    return options;
+  }
+};
+
+void ExpectDoubledRecord(const StreamRecordOutcome& out) {
+  ASSERT_EQ(out.output.num_records(), 1u) << "seq " << out.seq;
+  EXPECT_DOUBLE_EQ(out.output.ColumnByField("y").data[0].AsDouble(),
+                   2.0 * static_cast<double>(out.seq))
+      << "seq " << out.seq;
+}
+
+// Every record accounted exactly once, in every terminal stats bucket.
+void ExpectAccounted(const StreamStats& stats, std::size_t count) {
+  EXPECT_EQ(stats.arrivals, count);
+  EXPECT_EQ(stats.committed + stats.committed_host + stats.shed_total(),
+            count);
+  EXPECT_EQ(stats.watermark_trace.size(), count);
+}
+
+void ExpectWatermarkMonotone(const StreamStats& stats) {
+  double last = 0;
+  for (const auto& [seq, at] : stats.watermark_trace) {
+    EXPECT_GE(at, last) << "watermark regressed at seq " << seq;
+    last = at;
+  }
+  EXPECT_DOUBLE_EQ(stats.watermark_us, last);
+}
+
+// Bit-exact canonical rendering of stream outcomes.
+std::string Canon(const std::vector<StreamRecordOutcome>& outs) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& o : outs) {
+    os << o.seq << '|' << o.tenant << '|' << StreamOutcomeName(o.outcome)
+       << '|' << o.retries << '|' << o.arrival_us << '|' << o.terminal_us
+       << '|' << o.external_commit_us << '|' << o.latency_us << '|';
+    for (std::size_t c = 0; c < o.output.num_columns(); ++c) {
+      for (const auto& v : o.output.column(c).data) os << v.AsDouble() << ',';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------- arrival schedule
+
+TEST(ArrivalScheduleTest, ParsesArriveDirectives) {
+  ArrivalSchedule schedule = ParseArrivalSchedule(
+      "arrive default @ 0 + 10ms x 100\n"
+      "arrive noisy @ 5ms + 5ms x 50;");
+  ASSERT_EQ(schedule.phases.size(), 2u);
+  EXPECT_EQ(schedule.phases[0].tenant, "default");
+  EXPECT_DOUBLE_EQ(schedule.phases[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.phases[0].duration_us, 10000.0);
+  EXPECT_EQ(schedule.phases[0].count, 100u);
+  EXPECT_EQ(schedule.phases[1].tenant, "noisy");
+  EXPECT_DOUBLE_EQ(schedule.phases[1].start_us, 5000.0);
+  EXPECT_EQ(schedule.phases[1].count, 50u);
+}
+
+// Exact messages: the schedule is user input, so the errors are interface.
+TEST(ArrivalScheduleTest, RejectsMalformedSchedulesWithExactMessages) {
+  auto message = [](const std::string& text) {
+    try {
+      ParseArrivalSchedule(text);
+    } catch (const MalformedInput& e) {
+      return std::string(e.what());
+    }
+    return std::string("<no throw>");
+  };
+  EXPECT_EQ(message("stream x 5"),
+            "arrival schedule: unknown directive in 'streamx5'");
+  EXPECT_EQ(message("arrive t 0 + 1 x 1"),
+            "arrival schedule: expected '@' in 'arrivet0+1x1'");
+  EXPECT_EQ(message("arrive t @ 1 x 5"),
+            "arrival schedule: expected '+' in 'arrivet@1x5'");
+  EXPECT_EQ(message("arrive t @ 0 + 0 x 5"),
+            "arrival schedule: phase duration must be > 0 in 'arrivet@0+0x5'");
+  EXPECT_EQ(message("arrive t @ 0 + 1ms x 0"),
+            "arrival schedule: record count must be >= 1 in 'arrivet@0+1msx0'");
+  EXPECT_EQ(
+      message("arrive t @ 0 + 1ms x 5 junk"),
+      "arrival schedule: trailing junk in 'arrivet@0+1msx5junk'");
+  EXPECT_EQ(message(" ;; \n"), "arrival schedule: no phases");
+}
+
+TEST(ArrivalScheduleTest, ValidateRejectsHandBuiltPhases) {
+  ArrivalSchedule empty;
+  EXPECT_THROW(ValidateArrivalSchedule(empty), MalformedInput);
+  ArrivalSchedule negative;
+  negative.phases.push_back({"t", -1.0, 100.0, 5});
+  EXPECT_THROW(ValidateArrivalSchedule(negative), MalformedInput);
+  ArrivalSchedule anonymous;
+  anonymous.phases.push_back({"", 0, 100.0, 5});
+  EXPECT_THROW(ValidateArrivalSchedule(anonymous), MalformedInput);
+}
+
+// ------------------------------------------------------------ streaming
+
+TEST(StreamTest, SubCapacityStreamsCommitWithinSlo) {
+  Harness hx(2);
+  BlazeCluster cluster = hx.MakeCluster();
+  StreamOptions options = hx.Opts();
+  StreamSession session(cluster, options);
+  const std::size_t kCount = 400;
+  auto outs = session.Run(hx.At(0.5, kCount), Gen);
+  ASSERT_EQ(outs.size(), kCount);
+  const StreamStats& stats = session.stats();
+  ExpectAccounted(stats, kCount);
+  ExpectWatermarkMonotone(stats);
+  EXPECT_EQ(stats.committed, kCount) << "sub-capacity must not shed";
+  EXPECT_EQ(stats.shed_total(), 0u);
+  for (const auto& out : outs) {
+    EXPECT_EQ(out.outcome, StreamOutcome::kCommitted);
+    ExpectDoubledRecord(out);
+    EXPECT_LE(out.latency_us, options.slo_us) << "seq " << out.seq;
+  }
+  EXPECT_LE(stats.LatencyQuantile(0.99), options.slo_us);
+  EXPECT_GT(stats.batches_dispatched, 0u);
+}
+
+TEST(StreamTest, BatchCloseTriggerBreakdown) {
+  Harness hx(2);
+  // Count: a same-instant burst of exactly batch_max_records.
+  {
+    BlazeCluster cluster = hx.MakeCluster();
+    StreamSession session(cluster, hx.Opts());
+    ArrivalSchedule burst;
+    burst.phases.push_back({"default", 0, 1e-3, 8});
+    session.Run(burst, Gen);
+    EXPECT_EQ(session.stats().close_count, 1u);
+    EXPECT_EQ(session.stats().close_age, 0u);
+  }
+  // Age: a single record can only close by aging out.
+  {
+    BlazeCluster cluster = hx.MakeCluster();
+    StreamSession session(cluster, hx.Opts());
+    ArrivalSchedule one;
+    one.phases.push_back({"default", 0, 1.0, 1});
+    session.Run(one, Gen);
+    EXPECT_EQ(session.stats().close_age, 1u);
+    EXPECT_EQ(session.stats().close_count, 0u);
+  }
+  // Deadline: an SLO tighter than the age window forces deadline closes.
+  {
+    BlazeCluster cluster = hx.MakeCluster();
+    StreamOptions options = hx.Opts();
+    options.slo_us = hx.inv_us;
+    options.deadline_headroom_us = hx.inv_us / 2;
+    StreamSession session(cluster, options);
+    ArrivalSchedule one;
+    one.phases.push_back({"default", 0, 1.0, 1});
+    session.Run(one, Gen);
+    EXPECT_EQ(session.stats().close_deadline, 1u);
+    EXPECT_EQ(session.stats().close_age, 0u);
+  }
+}
+
+TEST(StreamTest, OverloadLadderShedsBoundedAndAccountsEverything) {
+  Harness hx(2);
+  BlazeCluster cluster = hx.MakeCluster();
+  StreamOptions options = hx.Opts();
+  // Tight ladder so sustained 3x overload marches through every level
+  // instead of stabilizing inside the brownout band.
+  options.brownout_onset_us = 5 * hx.inv_us;
+  options.shed_onset_us = 10 * hx.inv_us;
+  StreamSession session(cluster, options);
+  const std::size_t kCount = 3000;
+  auto outs = session.Run(hx.At(3.0, kCount), Gen);
+  const StreamStats& stats = session.stats();
+  ExpectAccounted(stats, kCount);
+  ExpectWatermarkMonotone(stats);
+  EXPECT_GT(stats.shed_total(), 0u) << "3x load must shed";
+  EXPECT_GT(stats.committed + stats.committed_host, 0u)
+      << "overload control must preserve goodput";
+  EXPECT_EQ(stats.shed_queue_full, 0u)
+      << "the ladder never FIFO-drops or overflows the cluster queue";
+  for (const auto& out : outs) {
+    if (!IsStreamShed(out.outcome)) ExpectDoubledRecord(out);
+  }
+  EXPECT_GT(stats.max_queue_delay_us, options.shed_onset_us);
+}
+
+TEST(StreamTest, BrownoutRoutesAControlledFractionToHost) {
+  Harness hx(2);
+  BlazeCluster cluster = hx.MakeCluster();
+  StreamOptions options = hx.Opts();
+  options.brownout_onset_us = 2 * hx.inv_us;
+  options.shed_onset_us = 40 * hx.inv_us;
+  options.slo_us = 100 * hx.inv_us;
+  options.deadline_headroom_us = hx.inv_us;
+  StreamSession session(cluster, options);
+  const std::size_t kCount = 2000;
+  auto outs = session.Run(hx.At(1.3, kCount), Gen);
+  const StreamStats& stats = session.stats();
+  ExpectAccounted(stats, kCount);
+  ExpectWatermarkMonotone(stats);
+  EXPECT_GT(stats.committed_host, 0u) << "brownout must engage above 1x";
+  EXPECT_GT(stats.batches_host, 0u);
+  EXPECT_LT(stats.batches_host, stats.batches_closed)
+      << "brownout is a fraction, not a cliff";
+  for (const auto& out : outs) {
+    if (!IsStreamShed(out.outcome)) ExpectDoubledRecord(out);
+  }
+}
+
+TEST(StreamTest, RetryBudgetBoundsTheRetryStorm) {
+  Harness hx(2);
+  BlazeCluster cluster = hx.MakeCluster();
+  StreamOptions options = hx.Opts();
+  options.brownout_onset_us = 5 * hx.inv_us;
+  options.shed_onset_us = 10 * hx.inv_us;
+  options.retry_budget.refill_per_sec = 0;  // no refill: burst only
+  options.retry_budget.burst = 4;
+  options.max_retries = 3;
+  StreamSession session(cluster, options);
+  const std::size_t kCount = 3000;
+  session.Run(hx.At(3.0, kCount), Gen);
+  const StreamStats& stats = session.stats();
+  ExpectAccounted(stats, kCount);
+  EXPECT_LE(stats.retries_granted, 4u)
+      << "a zero-refill bucket grants at most its burst";
+  EXPECT_GT(stats.shed_retry_budget, 0u)
+      << "denied retries must be accounted";
+}
+
+TEST(StreamTest, FifoShedTailDropsInsteadOfChoosing) {
+  Harness hx(2);
+  BlazeCluster cluster = hx.MakeCluster();
+  StreamOptions options = hx.Opts();
+  options.policy = OverloadPolicy::kFifoShed;
+  StreamSession session(cluster, options);
+  const std::size_t kCount = 2000;
+  session.Run(hx.At(2.5, kCount), Gen);
+  const StreamStats& stats = session.stats();
+  ExpectAccounted(stats, kCount);
+  ExpectWatermarkMonotone(stats);
+  EXPECT_GT(stats.shed_queue_full, 0u) << "FIFO must tail-drop at 2.5x";
+  EXPECT_EQ(stats.shed_unmeetable, 0u);
+  EXPECT_EQ(stats.shed_brownout, 0u);
+  EXPECT_EQ(stats.shed_retry_budget, 0u);
+  EXPECT_EQ(stats.retries_granted, 0u);
+}
+
+// Goodput = records visibly committed within their SLO. The strict ">"
+// gate lives in bench_stream; here the ladder must at least never lose.
+TEST(StreamTest, LadderGoodputAtLeastMatchesFifoShed) {
+  Harness hx(2);
+  auto goodput = [&](OverloadPolicy policy) {
+    BlazeCluster cluster = hx.MakeCluster();
+    StreamOptions options = hx.Opts();
+    options.policy = policy;
+    StreamSession session(cluster, options);
+    auto outs = session.Run(hx.At(2.0, 2000), Gen);
+    std::size_t good = 0;
+    for (const auto& out : outs) {
+      if (!IsStreamShed(out.outcome) && out.latency_us <= options.slo_us) {
+        ++good;
+      }
+    }
+    return good;
+  };
+  EXPECT_GE(goodput(OverloadPolicy::kLadder),
+            goodput(OverloadPolicy::kFifoShed));
+}
+
+TEST(StreamTest, ChaosKillMidStreamLosesNothing) {
+  Harness hx(4);
+  BlazeCluster cluster = hx.MakeCluster();
+  // Kill one fault domain a third in, restart later, with a latency spike
+  // across the middle of the stream.
+  const double horizon = 2000.0 * hx.inv_us / 8.0 / 4.0;
+  std::ostringstream plan;
+  plan << "kill 1 @ " << horizon / 3 << "; restart 1 @ " << horizon * 2 / 3
+       << "; spike 2.5 @ " << horizon / 2 << " + " << horizon / 4;
+  cluster.SetChaosPlan(ParseChaosPlan(plan.str()));
+  StreamSession session(cluster, hx.Opts());
+  const std::size_t kCount = 2000;
+  auto outs = session.Run(hx.At(1.0, kCount), Gen);
+  const StreamStats& stats = session.stats();
+  ExpectAccounted(stats, kCount);
+  ExpectWatermarkMonotone(stats);
+  EXPECT_GT(stats.committed, 0u);
+  for (const auto& out : outs) {
+    if (!IsStreamShed(out.outcome)) ExpectDoubledRecord(out);
+  }
+}
+
+TEST(StreamTest, BitIdenticalAcrossExecThreads) {
+  Harness hx(4);
+  auto run = [&](int exec_threads) {
+    ClusterOptions coptions;
+    coptions.exec_threads = exec_threads;
+    BlazeCluster cluster = hx.MakeCluster(coptions);
+    const double horizon = 1200.0 * hx.inv_us / 8.0 / 4.0;
+    std::ostringstream plan;
+    plan << "kill 0 @ " << horizon / 4 << "; restart 0 @ " << horizon / 2;
+    cluster.SetChaosPlan(ParseChaosPlan(plan.str()));
+    StreamSession session(cluster, hx.Opts());
+    return Canon(session.Run(hx.At(1.5, 1200), Gen));
+  };
+  const std::string one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(StreamTest, SessionIsSingleShot) {
+  Harness hx(2);
+  BlazeCluster cluster = hx.MakeCluster();
+  StreamSession session(cluster, hx.Opts());
+  ArrivalSchedule one;
+  one.phases.push_back({"default", 0, 1.0, 1});
+  session.Run(one, Gen);
+  EXPECT_THROW(session.Run(one, Gen), Error);
+}
+
+// -------------------------------------------------------------- reduce
+
+// SumSq reduce kernel (the cluster_test reduce kernel): reduce records
+// must never batch across each other and return unsliced outputs.
+jvm::ClassPool MakeSumSqPool() {
+  jvm::ClassPool pool;
+  Assembler a;
+  a.Load(Type::Double(), 0);
+  a.Load(Type::Double(), 2).Load(Type::Double(), 2).DMul();
+  a.DAdd().Ret(Type::Double());
+  MethodSignature sig;
+  sig.params = {Type::Double(), Type::Double()};
+  sig.ret = Type::Double();
+  pool.Define("SumSqKernel").AddMethod(
+      jvm::MakeMethod("call", sig, true, 4, a.Finish()));
+  return pool;
+}
+
+b2c::KernelSpec SumSqSpec(std::int64_t batch = 8) {
+  b2c::KernelSpec spec;
+  spec.kernel_name = "sumsq";
+  spec.klass = "SumSqKernel";
+  spec.pattern = kir::ParallelPattern::kReduce;
+  spec.input.type = Type::Double();
+  spec.input.fields = {{"x", Type::Double(), 1, false}};
+  spec.output.type = Type::Double();
+  spec.output.fields = {{"ret", Type::Double(), 1, false}};
+  spec.batch = batch;
+  return spec;
+}
+
+TEST(StreamTest, ReduceRecordsNeverBatchAcrossEachOther) {
+  BlazeRuntime runtime;
+  Artifact artifact =
+      BuildWithConfig(MakeSumSqPool(), SumSqSpec(8), merlin::DesignConfig{});
+  for (int i = 0; i < 2; ++i) {
+    RegisterWithBlaze(runtime, "s" + std::to_string(i), artifact);
+  }
+  ClusterOptions coptions;
+  coptions.queue_capacity = 1 << 20;
+  BlazeCluster cluster(runtime, coptions);
+  for (int s = 0; s < 2; ++s) cluster.AddShard();
+  for (int i = 0; i < 2; ++i) {
+    cluster.AddReplica(static_cast<std::size_t>(i % 2), "sumsq",
+                       "s" + std::to_string(i));
+  }
+  const double inv_us = runtime.PerInvocationCost("s0").total_us;
+  StreamOptions options;
+  options.batch_max_records = 8;  // must still cap reduce at 1
+  options.batch_age_us = 4 * inv_us;
+  options.slo_us = 400 * inv_us;
+  options.deadline_headroom_us = inv_us;
+  options.codel_target_us = 40 * inv_us;
+  options.codel_interval_us = 40 * inv_us;
+  options.brownout_onset_us = 80 * inv_us;
+  options.shed_onset_us = 160 * inv_us;
+  StreamSession session(cluster, options);
+  auto gen = [](std::size_t ordinal) {
+    StreamRecord record;
+    record.kernel = "sumsq";
+    record.input = DoublerInput(16, static_cast<int>(ordinal));
+    return record;
+  };
+  ArrivalSchedule schedule;
+  const std::size_t kCount = 24;
+  schedule.phases.push_back(
+      {"default", 0, inv_us * 2.0 * static_cast<double>(kCount), kCount});
+  auto outs = session.Run(schedule, gen);
+  const StreamStats& stats = session.stats();
+  ExpectAccounted(stats, kCount);
+  EXPECT_EQ(stats.committed, kCount);
+  EXPECT_EQ(stats.close_count, kCount) << "every reduce record closes alone";
+  for (const auto& out : outs) {
+    ASSERT_EQ(out.output.num_records(), 1u);
+    double expect = 0;
+    for (int i = 0; i < 16; ++i) {
+      const double x = static_cast<double>(out.seq) + i;
+      expect += x * x;
+    }
+    EXPECT_DOUBLE_EQ(out.output.ColumnByField("ret").data[0].AsDouble(),
+                     expect)
+        << "seq " << out.seq;
+  }
+}
+
+}  // namespace
+}  // namespace s2fa::blaze

@@ -44,8 +44,20 @@
 //       and weighted-fair tenancy. --tenants declares tenants (relative
 //       weight, optional queued quota) and assigns requests round-robin;
 //       --chaos-plan runs a scripted fault schedule (see blaze/chaos.h
-//       for the grammar). Cluster runs print a per-tenant fairness table
-//       and keep the per-request reference cross-check.
+//       for the grammar); --routing health|depth picks the shard-selection
+//       policy (depth scores true outstanding backlog, so it routes around
+//       shards that owe invisible host work). Cluster runs print a
+//       per-tenant fairness table — sheds split by reason, completions by
+//       serving path — and keep the per-request reference cross-check.
+//       --stream replays the workload through the streaming serving mode
+//       (StreamSession): rate-programmed continuous arrivals
+//       (--arrival-rate, a multiple of modeled capacity), SLO-bound
+//       micro-batching (--slo, microseconds), per-tenant retry budgets
+//       (--retry-budget REFILL_PER_SEC:BURST), and the brownout segment of
+//       the overload ladder (--brownout ONSET_US:SHED_US[:MAX_FRACTION]).
+//       Streaming runs print the overload-ladder ledger (shed reasons,
+//       close triggers, CoDel engagements, watermark) and exit non-zero on
+//       lost records, watermark regression, or reference mismatches.
 //   s2fa report <metrics.json>
 //       Render a metrics summary (written by --metrics-out) as tables.
 //   s2fa profile <app> [--minutes N] [--seed N] [--records N] [--top N]
@@ -68,9 +80,11 @@
 // S2FA_FAULT_RATE, S2FA_EVAL_CACHE and S2FA_TECHNIQUES mirror the
 // evaluation-stack flags;
 // S2FA_SERVE_QUEUE, S2FA_HEDGE_QUANTILE, S2FA_QUARANTINE_WINDOW,
-// S2FA_FAULT_BURST, S2FA_SHARDS, S2FA_TENANTS and S2FA_CHAOS_PLAN mirror
-// the serving knobs; S2FA_PROFILE_OUT and S2FA_PERF_THRESHOLD mirror the
-// profiler knobs (flags win).
+// S2FA_FAULT_BURST, S2FA_SHARDS, S2FA_TENANTS, S2FA_CHAOS_PLAN,
+// S2FA_ROUTING, S2FA_STREAM, S2FA_ARRIVAL_RATE, S2FA_SLO,
+// S2FA_RETRY_BUDGET and S2FA_BROWNOUT mirror the serving knobs;
+// S2FA_PROFILE_OUT and S2FA_PERF_THRESHOLD mirror the profiler knobs
+// (flags win).
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -90,6 +104,7 @@
 #include "blaze/cluster.h"
 #include "blaze/runtime.h"
 #include "blaze/service.h"
+#include "blaze/stream.h"
 #include "kir/printer.h"
 #include "obs/export.h"
 #include "obs/ledger.h"
@@ -133,7 +148,7 @@ Args Parse(int argc, char** argv) {
       if (eq != std::string::npos) {
         args.flags[name.substr(0, eq)] = name.substr(eq + 1);
       } else if (name == "vanilla" || name == "no-seeds" ||
-                 name == "no-partition") {
+                 name == "no-partition" || name == "stream") {
         args.flags[name] = "1";
       } else if (i + 1 < argc) {
         args.flags[name] = argv[++i];
@@ -165,6 +180,10 @@ int Usage() {
                "--exec-threads N\n"
                "                 --shards N --tenants NAME:WEIGHT[:QUOTA],.. "
                "--chaos-plan PLAN\n"
+               "                 --routing health|depth --stream "
+               "--arrival-rate R --slo US\n"
+               "                 --retry-budget REFILL:BURST "
+               "--brownout ONSET:SHED[:FRAC]\n"
                "  report:        s2fa report <metrics.json>\n"
                "  profile flags: --minutes N --seed N --records N --top N "
                "--profile-out FILE\n"
@@ -178,6 +197,8 @@ int Usage() {
                "S2FA_HEDGE_QUANTILE S2FA_QUARANTINE_WINDOW\n"
                "                 S2FA_FAULT_BURST S2FA_SHARDS S2FA_TENANTS "
                "S2FA_CHAOS_PLAN\n"
+               "                 S2FA_ROUTING S2FA_STREAM S2FA_ARRIVAL_RATE "
+               "S2FA_SLO S2FA_RETRY_BUDGET S2FA_BROWNOUT\n"
                "                 S2FA_PROFILE_OUT S2FA_PERF_THRESHOLD\n");
   return 2;
 }
@@ -537,6 +558,19 @@ struct ServeKnobs {
   std::vector<TenantSpec> tenants;
   blaze::ChaosPlan chaos;
   bool has_chaos = false;
+  blaze::Routing routing = blaze::Routing::kHealth;
+
+  // Streaming mode (--stream): open-ended arrivals through StreamSession
+  // instead of the pre-staged replay.
+  bool stream = false;
+  double arrival_rate = 1.0;  // multiple of modeled cluster capacity
+  double slo_us = 0;          // 0 = derived (30x the per-request cost)
+  bool has_retry_budget = false;
+  resilience::RetryBudgetOptions retry_budget;
+  bool has_brownout = false;
+  double brownout_onset_us = 0;
+  double brownout_shed_us = 0;
+  double brownout_fraction = 0.5;
 };
 
 // NAME:WEIGHT[:QUOTA], comma-separated; rejects duplicates and weight <= 0.
@@ -661,9 +695,100 @@ bool ResolveServeKnobs(const Args& args, ServeKnobs& knobs) {
       return false;
     }
   }
-  if ((knobs.has_chaos || !knobs.tenants.empty()) && knobs.shards == 0) {
-    // Chaos schedules and tenancy are cluster features; default to one
-    // fault domain rather than silently ignoring them.
+  text.clear();
+  if (resolve("S2FA_ROUTING", "routing", text)) {
+    try {
+      knobs.routing = blaze::ParseRouting(text);
+    } catch (const MalformedInput& e) {
+      std::fprintf(stderr, "error: --routing/S2FA_ROUTING: %s\n", e.what());
+      return false;
+    }
+  }
+  {
+    std::string stream_text;
+    if (const char* env = std::getenv("S2FA_STREAM")) stream_text = env;
+    if (args.Has("stream")) stream_text = "1";
+    knobs.stream = !stream_text.empty() && stream_text != "0";
+  }
+  text.clear();
+  if (resolve("S2FA_ARRIVAL_RATE", "arrival-rate", text)) {
+    auto rate = ParseDoubleStrict(text);
+    if (!rate || !(*rate > 0) || !std::isfinite(*rate)) {
+      std::fprintf(stderr,
+                   "error: --arrival-rate/S2FA_ARRIVAL_RATE expects a "
+                   "finite multiple of capacity > 0, got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    knobs.arrival_rate = *rate;
+  }
+  text.clear();
+  if (resolve("S2FA_SLO", "slo", text)) {
+    auto slo = ParseDoubleStrict(text);
+    if (!slo || !(*slo > 0) || !std::isfinite(*slo)) {
+      std::fprintf(stderr,
+                   "error: --slo/S2FA_SLO expects a deadline in "
+                   "microseconds > 0, got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    knobs.slo_us = *slo;
+  }
+  text.clear();
+  if (resolve("S2FA_RETRY_BUDGET", "retry-budget", text)) {
+    const std::size_t colon = text.find(':');
+    auto refill = ParseDoubleStrict(text.substr(0, colon));
+    std::optional<double> burst;
+    if (colon != std::string::npos) {
+      burst = ParseDoubleStrict(text.substr(colon + 1));
+    }
+    if (!refill || *refill < 0 || !burst || *burst < 1) {
+      std::fprintf(stderr,
+                   "error: --retry-budget/S2FA_RETRY_BUDGET expects "
+                   "REFILL_PER_SEC:BURST with refill >= 0 and burst >= 1, "
+                   "got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    knobs.retry_budget.refill_per_sec = *refill;
+    knobs.retry_budget.burst = *burst;
+    knobs.has_retry_budget = true;
+  }
+  text.clear();
+  if (resolve("S2FA_BROWNOUT", "brownout", text)) {
+    const std::size_t first = text.find(':');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : text.find(':', first + 1);
+    auto onset = ParseDoubleStrict(text.substr(0, first));
+    std::optional<double> shed;
+    if (first != std::string::npos) {
+      shed = ParseDoubleStrict(text.substr(
+          first + 1, second == std::string::npos ? std::string::npos
+                                                 : second - first - 1));
+    }
+    std::optional<double> fraction = 0.5;
+    if (second != std::string::npos) {
+      fraction = ParseDoubleStrict(text.substr(second + 1));
+    }
+    if (!onset || !(*onset > 0) || !shed || !(*shed > *onset) || !fraction ||
+        !(*fraction > 0) || *fraction > 1.0) {
+      std::fprintf(stderr,
+                   "error: --brownout/S2FA_BROWNOUT expects "
+                   "ONSET_US:SHED_US[:MAX_FRACTION] with 0 < onset < shed "
+                   "and fraction in (0, 1], got '%s'\n",
+                   text.c_str());
+      return false;
+    }
+    knobs.brownout_onset_us = *onset;
+    knobs.brownout_shed_us = *shed;
+    knobs.brownout_fraction = *fraction;
+    knobs.has_brownout = true;
+  }
+  if ((knobs.has_chaos || !knobs.tenants.empty() || knobs.stream) &&
+      knobs.shards == 0) {
+    // Chaos schedules, tenancy, and streaming are cluster features;
+    // default to one fault domain rather than silently ignoring them.
     knobs.shards = 1;
   }
   const int exec_threads = static_cast<int>(args.Num("exec-threads", 1));
@@ -673,6 +798,169 @@ bool ResolveServeKnobs(const Args& args, ServeKnobs& knobs) {
   }
   knobs.options.exec_threads = exec_threads;
   return true;
+}
+
+// Fuzzy reference comparison shared by the replay and streaming paths.
+std::size_t CountMismatches(const blaze::Dataset& want,
+                            const blaze::Dataset& got) {
+  std::size_t mismatches = 0;
+  for (std::size_t c = 0; c < want.num_columns(); ++c) {
+    const blaze::Column& w = want.column(c);
+    const blaze::Column& g = got.ColumnByField(w.field);
+    for (std::size_t n = 0; n < w.data.size(); ++n) {
+      double wv = w.data[n].is_float() ? w.data[n].AsFloat()
+                  : w.data[n].is_double()
+                      ? w.data[n].AsDouble()
+                      : static_cast<double>(w.data[n].AsInt());
+      double gv = g.data[n].is_float() ? g.data[n].AsFloat()
+                  : g.data[n].is_double()
+                      ? g.data[n].AsDouble()
+                      : static_cast<double>(g.data[n].AsInt());
+      if (std::fabs(gv - wv) > 1e-4 * std::max(1.0, std::fabs(wv))) {
+        ++mismatches;
+      }
+    }
+  }
+  return mismatches;
+}
+
+// Streaming serve (--stream): records arrive continuously per a
+// rate-programmed schedule and flow through StreamSession's SLO-bound
+// micro-batching and overload ladder on top of the cluster. The ladder
+// thresholds scale off the modeled per-request cost unless overridden, so
+// the same flags behave sensibly across kernels. Exit 0 only when every
+// record reached exactly one terminal state, the external watermark never
+// regressed, and every committed output matches the native reference.
+int RunStreamServe(apps::App& app, const ServeKnobs& knobs,
+                   blaze::BlazeCluster& cluster, blaze::BlazeRuntime& runtime,
+                   const std::vector<std::string>& ids, int requests,
+                   std::size_t records, std::uint64_t seed,
+                   const blaze::Dataset* bc) {
+  const blaze::ExecutionStats per = runtime.PerInvocationCost(ids.front());
+  const auto batch = static_cast<std::size_t>(
+      runtime.manager().Get(ids.front()).plan.batch);
+  const double record_us =
+      static_cast<double>(
+          std::max<std::size_t>(1, (records + batch - 1) / batch)) *
+      per.total_us;
+
+  blaze::StreamOptions sopts;
+  sopts.slo_us = knobs.slo_us > 0 ? knobs.slo_us : 30.0 * record_us;
+  sopts.batch_age_us = record_us;
+  sopts.deadline_headroom_us = std::min(2.0 * record_us, sopts.slo_us / 4);
+  sopts.codel_target_us = 2.0 * record_us;
+  sopts.codel_interval_us = 4.0 * record_us;
+  if (knobs.has_brownout) {
+    sopts.brownout_onset_us = knobs.brownout_onset_us;
+    sopts.shed_onset_us = knobs.brownout_shed_us;
+    sopts.brownout_max_fraction = knobs.brownout_fraction;
+  } else {
+    sopts.brownout_onset_us = 3.0 * record_us;
+    sopts.shed_onset_us = 8.0 * record_us;
+  }
+  if (knobs.has_retry_budget) sopts.retry_budget = knobs.retry_budget;
+
+  // One arrival phase per declared tenant, all spanning the same window;
+  // the aggregate rate is `arrival_rate` times the modeled capacity of
+  // `shards` lanes.
+  std::vector<std::string> tenant_names;
+  for (const TenantSpec& spec : knobs.tenants) {
+    tenant_names.push_back(spec.name);
+  }
+  if (tenant_names.empty()) tenant_names.push_back("default");
+  const double duration_us =
+      static_cast<double>(requests) * record_us /
+      (static_cast<double>(knobs.shards) * knobs.arrival_rate);
+  blaze::ArrivalSchedule schedule;
+  for (std::size_t t = 0; t < tenant_names.size(); ++t) {
+    blaze::ArrivalPhase phase;
+    phase.tenant = tenant_names[t];
+    phase.start_us = 0;
+    phase.duration_us = duration_us;
+    phase.count = static_cast<std::size_t>(requests) / tenant_names.size() +
+                  (t < static_cast<std::size_t>(requests) %
+                           tenant_names.size()
+                       ? 1
+                       : 0);
+    if (phase.count > 0) schedule.phases.push_back(std::move(phase));
+  }
+
+  // Inputs pre-generated by ordinal so the reference cross-check sees the
+  // same data the generator hands the session.
+  Rng rng(seed);
+  std::vector<blaze::Dataset> inputs;
+  std::vector<blaze::Dataset> expected;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  expected.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    inputs.push_back(app.make_input(records, rng));
+    expected.push_back(app.reference(inputs.back(), bc));
+  }
+
+  blaze::StreamSession session(cluster, sopts);
+  std::vector<blaze::StreamRecordOutcome> outcomes = session.Run(
+      schedule, [&app, &inputs, bc](std::size_t ordinal) {
+        blaze::StreamRecord record;
+        record.kernel = app.name;
+        record.input = inputs[ordinal];
+        record.broadcast = bc;
+        return record;
+      });
+
+  std::size_t mismatches = 0;
+  for (const blaze::StreamRecordOutcome& o : outcomes) {
+    if (blaze::IsStreamShed(o.outcome)) continue;
+    mismatches += CountMismatches(expected[o.seq], o.output);
+  }
+  const blaze::StreamStats& s = session.stats();
+  const std::size_t lost = s.arrivals - s.committed - s.committed_host -
+                           s.shed_total();
+  bool watermark_monotone = true;
+  for (std::size_t i = 1; i < s.watermark_trace.size(); ++i) {
+    if (s.watermark_trace[i].second < s.watermark_trace[i - 1].second) {
+      watermark_monotone = false;
+    }
+  }
+
+  std::printf("stream serving %d records x %zu input records on %zu "
+              "shard%s (%.2fx capacity, slo %.0f us, %s routing)\n",
+              requests, records, knobs.shards, knobs.shards == 1 ? "" : "s",
+              knobs.arrival_rate, sopts.slo_us,
+              blaze::RoutingName(knobs.routing));
+  std::printf("arrivals:  %zu; committed %zu cluster + %zu host; shed %zu "
+              "(%zu unmeetable, %zu brownout, %zu retry-budget, %zu "
+              "queue-full); %zu lost\n",
+              s.arrivals, s.committed, s.committed_host, s.shed_total(),
+              s.shed_unmeetable, s.shed_brownout, s.shed_retry_budget,
+              s.shed_queue_full, lost);
+  std::printf("batching:  %zu closed (%zu count / %zu age / %zu deadline), "
+              "%zu dispatched, %zu host-routed, %zu shed\n",
+              s.batches_closed, s.close_count, s.close_age, s.close_deadline,
+              s.batches_dispatched, s.batches_host, s.batches_shed);
+  std::printf("overload:  %zu codel engagements, retries %zu granted / %zu "
+              "denied, max queue delay %.0f us\n",
+              s.codel_engagements, s.retries_granted, s.retries_denied,
+              s.max_queue_delay_us);
+  std::printf("watermark: %.0f us (%s)\n", s.watermark_us,
+              watermark_monotone ? "monotone" : "REGRESSED");
+  std::printf("latency:   p50 %.0f / p95 %.0f / p99 %.0f us\n",
+              s.LatencyQuantile(0.5), s.LatencyQuantile(0.95),
+              s.LatencyQuantile(0.99));
+  TextTable table({"Tenant", "Arrivals", "Committed", "Host", "Unmeetable",
+                   "Brownout", "RetryBudget", "QueueFull", "Retries"});
+  for (const auto& [name, ts] : s.tenants) {
+    table.AddRow({name, std::to_string(ts.arrivals),
+                  std::to_string(ts.committed),
+                  std::to_string(ts.committed_host),
+                  std::to_string(ts.shed_unmeetable),
+                  std::to_string(ts.shed_brownout),
+                  std::to_string(ts.shed_retry_budget),
+                  std::to_string(ts.shed_queue_full),
+                  std::to_string(ts.retries)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("mismatches vs reference: %zu\n", mismatches);
+  return (lost == 0 && mismatches == 0 && watermark_monotone) ? 0 : 1;
 }
 
 // Serves the request stream through BlazeCluster: replicas spread
@@ -689,6 +977,7 @@ int ServeThroughCluster(apps::App& app, ServeKnobs& knobs,
   coptions.exec_threads = knobs.options.exec_threads;
   coptions.seed = knobs.options.seed;
   coptions.queue_capacity = knobs.options.queue_capacity;
+  coptions.routing = knobs.routing;
   blaze::BlazeCluster cluster(runtime, coptions);
   for (std::size_t s = 0; s < knobs.shards; ++s) cluster.AddShard();
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -736,6 +1025,11 @@ int ServeThroughCluster(apps::App& app, ServeKnobs& knobs,
         });
   }
 
+  if (knobs.stream) {
+    return RunStreamServe(app, knobs, cluster, runtime, ids, requests,
+                          records, seed, bc);
+  }
+
   // Open-loop arrivals near the full cluster's service rate.
   const blaze::ExecutionStats per = runtime.PerInvocationCost(ids.front());
   const auto batch = static_cast<std::size_t>(
@@ -771,33 +1065,19 @@ int ServeThroughCluster(apps::App& app, ServeKnobs& knobs,
         o.outcome == blaze::ClusterServe::kTenantThrottled) {
       continue;
     }
-    for (std::size_t c = 0; c < expected[i].num_columns(); ++c) {
-      const blaze::Column& want = expected[i].column(c);
-      const blaze::Column& got = o.output.ColumnByField(want.field);
-      for (std::size_t n = 0; n < want.data.size(); ++n) {
-        double w = want.data[n].is_float() ? want.data[n].AsFloat()
-                   : want.data[n].is_double()
-                       ? want.data[n].AsDouble()
-                       : static_cast<double>(want.data[n].AsInt());
-        double g = got.data[n].is_float() ? got.data[n].AsFloat()
-                   : got.data[n].is_double()
-                       ? got.data[n].AsDouble()
-                       : static_cast<double>(got.data[n].AsInt());
-        if (std::fabs(g - w) > 1e-4 * std::max(1.0, std::fabs(w))) {
-          ++mismatches;
-        }
-      }
-    }
+    mismatches += CountMismatches(expected[i], o.output);
   }
 
   const blaze::ClusterStats& s = cluster.stats();
   const std::size_t lost =
       s.submitted - s.completed - s.rejected_full - s.tenant_throttled;
   std::printf("cluster serving %d requests x %zu records on %zu shard%s "
-              "(%zu replicas, queue %zu, batch <= %zu, %d exec threads)\n",
+              "(%zu replicas, queue %zu, batch <= %zu, %d exec threads, "
+              "%s routing)\n",
               requests, records, knobs.shards, knobs.shards == 1 ? "" : "s",
               ids.size(), coptions.queue_capacity,
-              coptions.batch_max_requests, coptions.exec_threads);
+              coptions.batch_max_requests, coptions.exec_threads,
+              blaze::RoutingName(coptions.routing));
   std::printf("admitted:  %zu/%zu (%zu rejected at the gate, %zu tenant "
               "throttled), max queue depth %zu\n",
               s.admitted, s.submitted, s.rejected_full, s.tenant_throttled,
@@ -826,13 +1106,21 @@ int ServeThroughCluster(apps::App& app, ServeKnobs& knobs,
                 i, shard.batches, shard.requests, shard.kills,
                 shard.restarts, shard.busy_us / 1e3, shard.wasted_us / 1e3);
   }
+  // Shed columns split by reason (queue-full vs quota throttle) and
+  // completions by serving path, so fairness regressions show *why* a
+  // tenant lost traffic and *how* the surviving traffic was served.
   TextTable table({"Tenant", "Weight", "Quota", "Submitted", "Admitted",
-                   "Throttled", "Completed", "Records", "p50 us", "p99 us"});
+                   "ShedFull", "Throttled", "Completed", "Accel", "Host",
+                   "Hedge", "Records", "p50 us", "p99 us"});
   for (const auto& [name, ts] : s.tenants) {
     table.AddRow({name, FormatDouble(ts.weight, 1),
                   ts.quota == 0 ? "-" : std::to_string(ts.quota),
                   std::to_string(ts.submitted), std::to_string(ts.admitted),
+                  std::to_string(ts.rejected_full),
                   std::to_string(ts.throttled), std::to_string(ts.completed),
+                  std::to_string(ts.completed_accel),
+                  std::to_string(ts.completed_host),
+                  std::to_string(ts.completed_hedge),
                   std::to_string(ts.records_completed),
                   FormatDouble(ts.LatencyQuantile(0.5), 0),
                   FormatDouble(ts.LatencyQuantile(0.99), 0)});
